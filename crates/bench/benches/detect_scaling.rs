@@ -1,0 +1,50 @@
+//! Scaling of the detection routines with core count — the measured
+//! counterpart of Table I's Θ(P) (SM) vs Θ(P²·S) (HM) complexity rows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlbmap_core::{HmConfig, HmDetector, SmConfig, SmDetector};
+use tlbmap_mem::{Mmu, MmuConfig, PageGeometry, PageTable, VirtAddr, Vpn};
+use tlbmap_sim::{AccessKind, SimHooks, TlbView};
+
+fn full_mmus(n: usize) -> Vec<Mmu> {
+    let geo = PageGeometry::new_4k();
+    let mut pt = PageTable::new(geo);
+    let mut mmus: Vec<Mmu> = (0..n)
+        .map(|_| Mmu::new(MmuConfig::paper_hardware_managed(), geo))
+        .collect();
+    for (core, mmu) in mmus.iter_mut().enumerate() {
+        for page in 0..64u64 {
+            let base = core as u64 * 32;
+            mmu.translate(VirtAddr((base + page) * 4096), &mut pt);
+        }
+    }
+    mmus
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detect_scaling");
+    for p in [2usize, 4, 8, 16, 32] {
+        let mmus = full_mmus(p);
+        let threads: Vec<Option<usize>> = (0..p).map(Some).collect();
+
+        g.bench_with_input(BenchmarkId::new("sm", p), &p, |b, _| {
+            let mut det = SmDetector::new(p, SmConfig::every_miss());
+            let view = TlbView::new(&mmus, &threads);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(det.on_tlb_miss(0, 0, Vpn(i % 256), AccessKind::Data, &view))
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("hm", p), &p, |b, _| {
+            let mut det = HmDetector::new(p, HmConfig::paper_default());
+            let view = TlbView::new(&mmus, &threads);
+            b.iter(|| black_box(det.search_all_pairs(&view)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! The two detection routines at the paper's configuration (8 cores,
+//! 64-entry 4-way TLBs, all full) — the real-time analogue of Section
+//! VI-C's 231-cycle SM routine vs 84,297-cycle HM routine. The measured
+//! wall-time ratio should be of the same order as the modelled cycle
+//! ratio (~365×).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tlbmap_core::{HmConfig, HmDetector, SmConfig, SmDetector};
+use tlbmap_mem::{Mmu, MmuConfig, PageGeometry, PageTable, VirtAddr, Vpn};
+use tlbmap_sim::{AccessKind, SimHooks, TlbView};
+
+fn full_mmus(n: usize) -> Vec<Mmu> {
+    let geo = PageGeometry::new_4k();
+    let mut pt = PageTable::new(geo);
+    let mut mmus: Vec<Mmu> = (0..n)
+        .map(|_| Mmu::new(MmuConfig::paper_hardware_managed(), geo))
+        .collect();
+    for (core, mmu) in mmus.iter_mut().enumerate() {
+        for page in 0..64u64 {
+            // Overlap half the pages between neighbouring cores so both
+            // routines find matches.
+            let base = core as u64 * 32;
+            mmu.translate(VirtAddr((base + page) * 4096), &mut pt);
+        }
+    }
+    mmus
+}
+
+fn bench_routines(c: &mut Criterion) {
+    let mmus = full_mmus(8);
+    let threads: Vec<Option<usize>> = (0..8).map(Some).collect();
+
+    let mut g = c.benchmark_group("detector_routines");
+
+    g.bench_function("sm_single_search", |b| {
+        let mut det = SmDetector::new(8, SmConfig::every_miss());
+        let view = TlbView::new(&mmus, &threads);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(det.on_tlb_miss(0, 0, Vpn(i % 256), AccessKind::Data, &view))
+        });
+    });
+
+    g.bench_function("hm_all_pairs_search", |b| {
+        let mut det = HmDetector::new(8, HmConfig::paper_default());
+        let view = TlbView::new(&mmus, &threads);
+        b.iter(|| black_box(det.search_all_pairs(&view)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_routines);
+criterion_main!(benches);

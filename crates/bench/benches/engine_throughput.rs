@@ -1,0 +1,62 @@
+//! End-to-end engine throughput: simulated trace events per second, with
+//! and without detectors attached. This bounds how large a campaign the
+//! harness can afford.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tlbmap_core::{HmConfig, HmDetector, SmConfig, SmDetector};
+use tlbmap_sim::{simulate, Mapping, NoHooks, SimConfig, Topology};
+use tlbmap_workloads::synthetic;
+
+fn bench_engine(c: &mut Criterion) {
+    let topo = Topology::harpertown();
+    let n = topo.num_cores();
+    let workload = synthetic::ring_neighbors(n, 40, 3);
+    let events = workload.total_events() as u64;
+    let mapping = Mapping::identity(n);
+
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(events));
+    g.sample_size(20);
+
+    g.bench_function("no_hooks", |b| {
+        let cfg = SimConfig::paper_hardware_managed(&topo).with_tick_period(None);
+        b.iter(|| {
+            black_box(simulate(
+                &cfg,
+                &topo,
+                &workload.traces,
+                &mapping,
+                &mut NoHooks,
+            ))
+        });
+    });
+
+    g.bench_function("sm_detector_1pct", |b| {
+        let cfg = SimConfig::paper_software_managed(&topo);
+        b.iter(|| {
+            let mut det = SmDetector::new(n, SmConfig::paper_default());
+            black_box(simulate(&cfg, &topo, &workload.traces, &mapping, &mut det))
+        });
+    });
+
+    g.bench_function("sm_detector_every_miss", |b| {
+        let cfg = SimConfig::paper_software_managed(&topo);
+        b.iter(|| {
+            let mut det = SmDetector::new(n, SmConfig::every_miss());
+            black_box(simulate(&cfg, &topo, &workload.traces, &mapping, &mut det))
+        });
+    });
+
+    g.bench_function("hm_detector", |b| {
+        let cfg = SimConfig::paper_hardware_managed(&topo).with_tick_period(Some(100_000));
+        b.iter(|| {
+            let mut det = HmDetector::new(n, HmConfig::scaled(100_000));
+            black_box(simulate(&cfg, &topo, &workload.traces, &mapping, &mut det))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Matching and mapping performance: the O(n³) blossom algorithm on
+//! complete graphs of growing size, the greedy baseline, and the full
+//! hierarchical mapper on the paper's 8-core topology.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlbmap_core::CommMatrix;
+use tlbmap_mapping::matching::{greedy_matching, perfect_matching_pairs};
+use tlbmap_mapping::{HierarchicalMapper, RecursiveBisectionMapper};
+use tlbmap_sim::Topology;
+
+fn pseudo_weight(seed: u64) -> impl Fn(usize, usize) -> i64 {
+    move |i: usize, j: usize| {
+        let x = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((i * 131 + j * 17) as u64)
+            .wrapping_mul(0xBF58476D1CE4E5B9);
+        ((x >> 40) % 10_000) as i64
+    }
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    for n in [8usize, 16, 32, 64] {
+        let w = pseudo_weight(7);
+        g.bench_with_input(BenchmarkId::new("blossom_perfect", n), &n, |b, &n| {
+            b.iter(|| black_box(perfect_matching_pairs(n, &w)));
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, &n| {
+            b.iter(|| black_box(greedy_matching(n, &w)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_mappers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mappers");
+    let topo = Topology::harpertown();
+    let mut m = CommMatrix::new(8);
+    let w = pseudo_weight(3);
+    for i in 0..8 {
+        for j in (i + 1)..8 {
+            m.add(i, j, w(i, j) as u64);
+        }
+    }
+    g.bench_function("hierarchical_8", |b| {
+        let mapper = HierarchicalMapper::new();
+        b.iter(|| black_box(mapper.map(&m, &topo)));
+    });
+    g.bench_function("bisection_8", |b| {
+        let mapper = RecursiveBisectionMapper::new();
+        b.iter(|| black_box(mapper.map(&m, &topo)));
+    });
+    // A larger machine exercises more matching levels.
+    let topo32 = Topology::new(2, 4, 4);
+    let mut m32 = CommMatrix::new(32);
+    for i in 0..32 {
+        for j in (i + 1)..32 {
+            m32.add(i, j, w(i, j) as u64);
+        }
+    }
+    g.bench_function("hierarchical_32", |b| {
+        let mapper = HierarchicalMapper::new();
+        b.iter(|| black_box(mapper.map(&m32, &topo32)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_mappers);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Microbenchmarks of the TLB substrate: the operations every simulated
+//! memory access pays (lookup/insert) and the detector-side probes
+//! (`contains`, set scans).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tlbmap_mem::{PageGeometry, PageTable, Pfn, Tlb, TlbConfig, Vpn};
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb");
+
+    g.bench_function("access_hit", |b| {
+        let mut tlb = Tlb::new(TlbConfig::paper_default());
+        for i in 0..64 {
+            tlb.insert(Vpn(i), Pfn(i));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(tlb.access(Vpn(i)))
+        });
+    });
+
+    g.bench_function("access_miss_insert", |b| {
+        let mut tlb = Tlb::new(TlbConfig::paper_default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tlb.access(Vpn(i));
+            black_box(tlb.insert(Vpn(i), Pfn(i)))
+        });
+    });
+
+    g.bench_function("contains_probe", |b| {
+        let mut tlb = Tlb::new(TlbConfig::paper_default());
+        for i in 0..64 {
+            tlb.insert(Vpn(i), Pfn(i));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(tlb.contains(Vpn(i % 128)))
+        });
+    });
+
+    g.bench_function("set_scan", |b| {
+        let mut tlb = Tlb::new(TlbConfig::paper_default());
+        for i in 0..64 {
+            tlb.insert(Vpn(i), Pfn(i));
+        }
+        let mut s = 0usize;
+        b.iter(|| {
+            s = (s + 1) % 16;
+            black_box(tlb.set_entries(s).count())
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_page_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_table");
+    g.bench_function("walk_hit", |b| {
+        let mut pt = PageTable::new(PageGeometry::new_4k());
+        for i in 0..1024 {
+            pt.walk(Vpn(i));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(pt.walk(Vpn(i)))
+        });
+    });
+    g.bench_function("walk_allocate", |b| {
+        let mut pt = PageTable::new(PageGeometry::new_4k());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(pt.walk(Vpn(i)))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tlb, bench_page_table);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablation: direct TLB detection vs indirect hardware-counter estimation.
+//!
+//! The paper's related-work critique of Azimi et al. ("hardware counters
+//! can only be used to estimate the communication pattern between the
+//! threads indirectly. In contrast, our approach using the TLB provides
+//! more accurate information") — quantified. For each heterogeneous app we
+//! compare the SM detector, the HM detector and a counter-correlation
+//! estimator against the full-trace ground truth, then judge the mappings
+//! each produces.
+//!
+//! Usage: `ablation_counter_baseline [--scale workshop] [--seed N]`
+
+use tlbmap_bench::{CampaignConfig, Table};
+use tlbmap_core::metrics::pearson_correlation;
+use tlbmap_core::{
+    CounterConfig, CounterEstimator, GroundTruthConfig, GroundTruthDetector, HmConfig, HmDetector,
+    SmConfig, SmDetector,
+};
+use tlbmap_mapping::{exhaustive_best_mapping, mapping_cost, HierarchicalMapper};
+use tlbmap_sim::{simulate, Mapping, SimConfig};
+use tlbmap_workloads::npb::NpbApp;
+
+fn main() {
+    let cfg = CampaignConfig::from_args();
+    println!("{}", cfg.banner());
+    let topo = cfg.topology();
+    let n = topo.num_cores();
+
+    let mut t = Table::new(vec![
+        "app",
+        "SM r",
+        "HM r",
+        "counters r",
+        "SM map cost/opt",
+        "HM map cost/opt",
+        "counters map cost/opt",
+    ]);
+
+    for app in [
+        NpbApp::Bt,
+        NpbApp::Is,
+        NpbApp::Lu,
+        NpbApp::Mg,
+        NpbApp::Sp,
+        NpbApp::Ua,
+    ] {
+        eprintln!("# running {} ...", app.name());
+        let workload = app.generate(&cfg.npb_params());
+        let identity = Mapping::identity(n);
+
+        let sm_sim = SimConfig::paper_software_managed(&topo);
+        let mut gt = GroundTruthDetector::new(n, GroundTruthConfig::default());
+        simulate(&sm_sim, &topo, &workload.traces, &identity, &mut gt);
+
+        let mut sm = SmDetector::new(
+            n,
+            SmConfig {
+                sample_threshold: cfg.sm_threshold,
+            },
+        );
+        simulate(&sm_sim, &topo, &workload.traces, &identity, &mut sm);
+
+        let hm_sim = SimConfig::paper_hardware_managed(&topo).with_tick_period(Some(cfg.hm_period));
+        let mut hm = HmDetector::new(n, HmConfig::scaled(cfg.hm_period));
+        simulate(&hm_sim, &topo, &workload.traces, &identity, &mut hm);
+
+        let mut counters = CounterEstimator::new(n, CounterConfig::default());
+        simulate(&sm_sim, &topo, &workload.traces, &identity, &mut counters);
+
+        let mapper = HierarchicalMapper::new();
+        let oracle = exhaustive_best_mapping(gt.matrix(), &topo);
+        let opt = mapping_cost(gt.matrix(), &oracle, &topo).max(1);
+        let judge = |m: &tlbmap_core::CommMatrix| -> f64 {
+            mapping_cost(gt.matrix(), &mapper.map(m, &topo), &topo) as f64 / opt as f64
+        };
+
+        t.row(vec![
+            app.name().to_string(),
+            format!("{:.3}", pearson_correlation(sm.matrix(), gt.matrix())),
+            format!("{:.3}", pearson_correlation(hm.matrix(), gt.matrix())),
+            format!("{:.3}", pearson_correlation(counters.matrix(), gt.matrix())),
+            format!("{:.3}", judge(sm.matrix())),
+            format!("{:.3}", judge(hm.matrix())),
+            format!("{:.3}", judge(counters.matrix())),
+        ]);
+    }
+
+    println!("== direct (TLB) vs indirect (hardware counters) detection ==\n");
+    print!("{}", t.render());
+    println!("\n(expected: the counter estimator's temporal co-activity blurs pair");
+    println!(" structure — lower correlation with the truth and worse mappings —");
+    println!(" reproducing the paper's critique of indirect approaches)");
+}

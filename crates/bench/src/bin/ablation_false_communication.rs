@@ -1,0 +1,89 @@
+//! Ablation: the false-communication problem (Section III-B, property 5).
+//!
+//! "False communication means that threads appear to communicate through
+//! shared data, yet in reality they are not communicating … for example
+//! when two threads access the same address, but at different times."
+//!
+//! The workload: threads take barrier-enforced *turns* on one shared
+//! scratch region. Real communication only flows between consecutive
+//! users (a hand-off ring); but every pair of threads touches the same
+//! pages eventually, so a trace analysis without temporal awareness (the
+//! naive full-trace approach of the related work) reports a dense
+//! all-pairs matrix. The paper claims the TLB mechanism avoids this
+//! automatically — the short life of TLB entries is an implicit temporal
+//! window — which this ablation verifies.
+//!
+//! Usage: `ablation_false_communication`
+
+use tlbmap_bench::Table;
+use tlbmap_core::metrics::{cosine_similarity, heterogeneity};
+use tlbmap_core::{GroundTruthConfig, GroundTruthDetector, SmConfig, SmDetector};
+use tlbmap_mem::PageGeometry;
+use tlbmap_sim::{simulate, Mapping, SimConfig, Topology};
+use tlbmap_workloads::synthetic;
+
+fn main() {
+    let topo = Topology::harpertown();
+    let n = topo.num_cores();
+    let workload = synthetic::turn_taking(n, 8, 4);
+    let cfg = SimConfig::paper_software_managed(&topo);
+    let mapping = Mapping::identity(n);
+
+    // Time-aware truth: a tight window only sees hand-offs between
+    // consecutive turns.
+    let mut windowed = GroundTruthDetector::new(
+        n,
+        GroundTruthConfig {
+            geometry: PageGeometry::new_4k(),
+            window: 20_000,
+        },
+    );
+    simulate(&cfg, &topo, &workload.traces, &mapping, &mut windowed);
+
+    // The naive trace analysis: every co-access ever counts.
+    let mut unwindowed = GroundTruthDetector::new(
+        n,
+        GroundTruthConfig {
+            geometry: PageGeometry::new_4k(),
+            window: u64::MAX,
+        },
+    );
+    simulate(&cfg, &topo, &workload.traces, &mapping, &mut unwindowed);
+
+    let mut sm = SmDetector::new(n, SmConfig::every_miss());
+    simulate(&cfg, &topo, &workload.traces, &mapping, &mut sm);
+
+    println!("== false communication: barrier-enforced turn-taking on one scratch region ==\n");
+    println!("time-aware ground truth (20k-access window) — the hand-off ring:");
+    print!("{}", windowed.matrix().heatmap());
+    println!("naive trace analysis (no temporal filter) — everything blurs:");
+    print!("{}", unwindowed.matrix().heatmap());
+    println!("SM detector — TLB entry lifetime is the implicit window:");
+    print!("{}", sm.matrix().heatmap());
+
+    let mut t = Table::new(vec!["quantity", "value"]);
+    t.row(vec![
+        "SM ~ time-aware truth (cosine)".to_string(),
+        format!("{:.3}", cosine_similarity(sm.matrix(), windowed.matrix())),
+    ]);
+    t.row(vec![
+        "SM ~ naive analysis (cosine)".to_string(),
+        format!("{:.3}", cosine_similarity(sm.matrix(), unwindowed.matrix())),
+    ]);
+    t.row(vec![
+        "heterogeneity: time-aware".to_string(),
+        format!("{:.3}", heterogeneity(windowed.matrix())),
+    ]);
+    t.row(vec![
+        "heterogeneity: naive".to_string(),
+        format!("{:.3}", heterogeneity(unwindowed.matrix())),
+    ]);
+    t.row(vec![
+        "heterogeneity: SM".to_string(),
+        format!("{:.3}", heterogeneity(sm.matrix())),
+    ]);
+    print!("{}", t.render());
+    println!("\n(expected: SM closer to the time-aware truth than to the naive");
+    println!(" analysis, and SM/time-aware matrices structured — high");
+    println!(" heterogeneity — while the naive matrix is flat)");
+}

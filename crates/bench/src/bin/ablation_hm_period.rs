@@ -1,0 +1,61 @@
+//! Ablation: HM interrupt period — accuracy vs overhead.
+//!
+//! The HM mechanism's accuracy and overhead both depend on how often the
+//! kernel dumps and compares the TLBs (Section IV-B: "accuracy and
+//! overhead of this mechanism depend on the time between searches"). This
+//! sweep runs the HM detector at periods from 100k to 100M cycles.
+//!
+//! Usage: `ablation_hm_period [--scale workshop] [--seed N]`
+
+use tlbmap_bench::{CampaignConfig, Table};
+use tlbmap_core::metrics::pearson_correlation;
+use tlbmap_core::{GroundTruthConfig, GroundTruthDetector, HmConfig, HmDetector};
+use tlbmap_sim::{simulate, Mapping, SimConfig};
+use tlbmap_workloads::npb::NpbApp;
+
+fn main() {
+    let cfg = CampaignConfig::from_args();
+    println!("{}", cfg.banner());
+    let topo = cfg.topology();
+    let n = topo.num_cores();
+
+    for app in [NpbApp::Bt, NpbApp::Is, NpbApp::Ua] {
+        let workload = app.generate(&cfg.npb_params());
+        let mapping = Mapping::identity(n);
+
+        // Ground truth under the SM-style config (no ticks needed).
+        let mut gt = GroundTruthDetector::new(n, GroundTruthConfig::default());
+        simulate(
+            &SimConfig::paper_software_managed(&topo),
+            &topo,
+            &workload.traces,
+            &mapping,
+            &mut gt,
+        );
+
+        println!("\n== {} — HM period sweep ==", app.name());
+        let mut t = Table::new(vec![
+            "period (cycles)",
+            "searches",
+            "matches",
+            "accuracy r",
+            "overhead",
+        ]);
+        for period in [100_000u64, 1_000_000, 10_000_000, 100_000_000] {
+            let sim = SimConfig::paper_hardware_managed(&topo).with_tick_period(Some(period));
+            let mut det = HmDetector::new(n, HmConfig::full_cost(period));
+            let stats = simulate(&sim, &topo, &workload.traces, &mapping, &mut det);
+            t.row(vec![
+                period.to_string(),
+                det.searches_run().to_string(),
+                det.matches_found().to_string(),
+                format!("{:.3}", pearson_correlation(det.matrix(), gt.matrix())),
+                format!("{:.3}%", stats.detection_overhead_fraction() * 100.0),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+    println!("\n(expected shape: shorter periods buy accuracy with overhead; at the");
+    println!(" paper's 10M cycles overhead stays below 0.85% but sparse sampling");
+    println!(" can catch unrepresentative moments — the HM weakness of Figure 5)");
+}

@@ -1,0 +1,123 @@
+//! Ablation: TLB geometry — how entry count and associativity affect the
+//! detected pattern.
+//!
+//! The TLB's size bounds the detector's "memory": Section IV-C argues that
+//! the short life of TLB entries is what keeps the mechanism responsive to
+//! dynamic behaviour and resistant to false communication. Bigger TLBs
+//! see more sharing (higher raw counts) but with staler entries;
+//! associativity changes which pages collide. This sweep measures both.
+//!
+//! Usage: `ablation_tlb_geometry [--scale workshop] [--seed N]`
+
+use tlbmap_bench::{CampaignConfig, Table};
+use tlbmap_core::metrics::pearson_correlation;
+use tlbmap_core::{GroundTruthConfig, GroundTruthDetector, SmConfig, SmDetector};
+use tlbmap_mem::TlbConfig;
+use tlbmap_sim::{simulate, Mapping, SimConfig};
+use tlbmap_workloads::npb::NpbApp;
+
+fn main() {
+    let cfg = CampaignConfig::from_args();
+    println!("{}", cfg.banner());
+    let topo = cfg.topology();
+    let n = topo.num_cores();
+    let app = NpbApp::Sp;
+    let workload = app.generate(&cfg.npb_params());
+    let mapping = Mapping::identity(n);
+
+    let mut gt = GroundTruthDetector::new(n, GroundTruthConfig::default());
+    simulate(
+        &SimConfig::paper_software_managed(&topo),
+        &topo,
+        &workload.traces,
+        &mapping,
+        &mut gt,
+    );
+
+    println!(
+        "== {} — TLB geometry sweep (SM, every miss) ==\n",
+        app.name()
+    );
+    let mut t = Table::new(vec![
+        "entries",
+        "ways",
+        "TLB miss rate",
+        "matches",
+        "accuracy r",
+    ]);
+    for (entries, ways) in [
+        (16usize, 4usize),
+        (32, 4),
+        (64, 1),
+        (64, 4),
+        (64, 64),
+        (128, 4),
+        (256, 4),
+    ] {
+        let mut sim = SimConfig::paper_software_managed(&topo);
+        sim.mmu.tlb = TlbConfig { entries, ways };
+        let mut det = SmDetector::new(n, SmConfig::every_miss());
+        let stats = simulate(&sim, &topo, &workload.traces, &mapping, &mut det);
+        t.row(vec![
+            entries.to_string(),
+            if ways == entries {
+                "full".to_string()
+            } else {
+                ways.to_string()
+            },
+            format!("{:.3}%", stats.tlb_miss_rate() * 100.0),
+            det.matches_found().to_string(),
+            format!("{:.3}", pearson_correlation(det.matrix(), gt.matrix())),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\n(expected shape: larger TLBs miss less — fewer search opportunities —");
+    println!(" but hold more sharers per search; the 64-entry 4-way point the paper");
+    println!(" uses already detects the pattern accurately)");
+
+    // Extension: a modern second-level TLB (Nehalem-style 512-entry L2
+    // behind the paper's 64-entry L1) absorbs refill misses before they
+    // reach the OS — starving the SM mechanism of search opportunities.
+    println!(
+        "\n== {} — second-level TLB extension (SM, every miss) ==\n",
+        app.name()
+    );
+    let mut t2 = Table::new(vec![
+        "config",
+        "OS-visible miss rate",
+        "searches",
+        "matches",
+        "accuracy r",
+    ]);
+    for (label, l2_tlb) in [
+        ("64-entry L1 only (paper)", None),
+        (
+            "+ 512-entry 4-way L2 TLB",
+            Some(TlbConfig {
+                entries: 512,
+                ways: 4,
+            }),
+        ),
+    ] {
+        let mut sim = SimConfig::paper_software_managed(&topo);
+        sim.mmu.l2_tlb = l2_tlb;
+        let mut det = SmDetector::new(n, SmConfig::every_miss());
+        let stats = simulate(&sim, &topo, &workload.traces, &mapping, &mut det);
+        // OS-visible = misses the fill path (and hence the SM trap) saw.
+        let visible = det.misses_seen();
+        t2.row(vec![
+            label.to_string(),
+            format!(
+                "{:.3}%",
+                visible as f64 / stats.accesses.max(1) as f64 * 100.0
+            ),
+            det.searches_run().to_string(),
+            det.matches_found().to_string(),
+            format!("{:.3}", pearson_correlation(det.matrix(), gt.matrix())),
+        ]);
+    }
+    print!("{}", t2.render());
+    println!("\n(a large L2 TLB hides page reuse from the OS: far fewer SM searches —");
+    println!(" the mechanism ages into modern TLB hierarchies by sampling *deeper*");
+    println!(" misses only, while HM's periodic dump is unaffected)");
+}

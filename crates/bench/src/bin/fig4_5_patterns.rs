@@ -1,0 +1,77 @@
+//! Figures 4 & 5: communication patterns per NPB application as detected
+//! by the SM (Figure 4) and HM (Figure 5) mechanisms, rendered as ASCII
+//! heatmaps (darker = more communication), plus quantitative accuracy
+//! versus the full-trace ground truth.
+//!
+//! Usage: `fig4_5_patterns [--scale workshop] [--sm-threshold 100]
+//!         [--hm-period 10000000] [--seed N] [--csv] [--ppm]`
+//!
+//! With `--ppm`, grayscale images of every matrix (the visual analogue of
+//! the paper's figures) are written to `results/patterns/`.
+
+use tlbmap_bench::{CampaignConfig, Table};
+use tlbmap_core::metrics::{heterogeneity, pearson_correlation};
+use tlbmap_workloads::npb::NpbApp;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let ppm = std::env::args().any(|a| a == "--ppm");
+    let filtered: Vec<String> = std::env::args()
+        .filter(|a| a != "--csv" && a != "--ppm")
+        .collect();
+    let cfg = CampaignConfig::parse(&filtered);
+    println!("{}", cfg.banner());
+    if ppm {
+        std::fs::create_dir_all("results/patterns").expect("create results/patterns");
+    }
+
+    let mut accuracy = Table::new(vec![
+        "app",
+        "pattern",
+        "SM~truth r",
+        "HM~truth r",
+        "SM heterogeneity",
+        "HM heterogeneity",
+    ]);
+
+    for app in NpbApp::ALL {
+        eprintln!("# detecting {} ...", app.name());
+        let d = tlbmap_bench::detect_matrices(app, &cfg);
+        println!(
+            "\n== {} — expected pattern: {:?} ==",
+            app.name(),
+            app.expected_pattern()
+        );
+        println!("-- Figure 4 (SM), {} matches --", d.sm.total());
+        print!("{}", d.sm.heatmap());
+        println!(
+            "-- Figure 5 (HM), {} matches over {} searches --",
+            d.hm.total(),
+            d.hm_searches
+        );
+        print!("{}", d.hm.heatmap());
+        if csv {
+            println!("-- SM csv --\n{}", d.sm.to_csv());
+            println!("-- HM csv --\n{}", d.hm.to_csv());
+            println!("-- ground truth csv --\n{}", d.ground_truth.to_csv());
+        }
+        if ppm {
+            for (tag, m) in [("sm", &d.sm), ("hm", &d.hm), ("truth", &d.ground_truth)] {
+                let path = format!("results/patterns/{}_{}.ppm", app.name().to_lowercase(), tag);
+                std::fs::write(&path, m.to_ppm(24)).expect("write ppm");
+            }
+        }
+        accuracy.row(vec![
+            app.name().to_string(),
+            format!("{:?}", app.expected_pattern()),
+            format!("{:.3}", pearson_correlation(&d.sm, &d.ground_truth)),
+            format!("{:.3}", pearson_correlation(&d.hm, &d.ground_truth)),
+            format!("{:.3}", heterogeneity(&d.sm)),
+            format!("{:.3}", heterogeneity(&d.hm)),
+        ]);
+    }
+
+    println!("\n== Detection accuracy vs full-trace ground truth ==");
+    println!("(the paper's qualitative claim: SM patterns are sharper than HM)");
+    print!("{}", accuracy.render());
+}

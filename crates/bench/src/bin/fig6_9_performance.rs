@@ -1,0 +1,229 @@
+//! Figures 6–9 + Tables IV & V: the full performance campaign.
+//!
+//! For every NPB app, detect the communication pattern with SM and HM,
+//! build static mappings, then run `--reps` repetitions under the OS
+//! baseline (fresh random placement each repetition, as the paper's OS
+//! scheduler effectively does) and under the SM/HM mappings, and report:
+//!
+//! * Figure 6 — execution time normalized to OS,
+//! * Figure 7 — cache-line invalidations normalized to OS,
+//! * Figure 8 — snoop transactions normalized to OS,
+//! * Figure 9 — L2 cache misses normalized to OS,
+//! * Table IV — absolute events per second (with `--absolute`),
+//! * Table V — standard deviations in percent (with `--stddev`).
+//!
+//! Usage: `fig6_9_performance [--reps N] [--scale workshop] [--absolute]
+//!         [--stddev] [--sequential]`
+
+use tlbmap_bench::{bar, mean, stddev_pct, CampaignConfig, PerfResult, Table};
+use tlbmap_sim::RunStats;
+use tlbmap_workloads::npb::NpbApp;
+
+struct Metric {
+    name: &'static str,
+    get: fn(&RunStats) -> f64,
+}
+
+const METRICS: [Metric; 4] = [
+    Metric {
+        name: "Execution time",
+        get: |r| r.seconds(),
+    },
+    Metric {
+        name: "Invalidations",
+        get: |r| r.cache.invalidations as f64,
+    },
+    Metric {
+        name: "Snoop transactions",
+        get: |r| r.cache.snoop_transactions as f64,
+    },
+    Metric {
+        name: "L2 misses",
+        get: |r| r.cache.l2_misses as f64,
+    },
+];
+
+fn main() {
+    // Strip our own flags before CampaignConfig parses the common ones.
+    let absolute = std::env::args().any(|a| a == "--absolute");
+    let stddev = std::env::args().any(|a| a == "--stddev");
+    let csv = std::env::args().any(|a| a == "--csv");
+    let filtered: Vec<String> = std::env::args()
+        .filter(|a| a != "--absolute" && a != "--stddev" && a != "--csv")
+        .collect();
+    let cfg = CampaignConfig::parse(&filtered);
+    println!("{}", cfg.banner());
+
+    eprintln!(
+        "# campaign: scale {:?}, {} reps per mapping, SM threshold {}, HM period {}",
+        cfg.scale, cfg.reps, cfg.sm_threshold, cfg.hm_period
+    );
+
+    let mut results: Vec<(NpbApp, PerfResult)> = Vec::new();
+    for app in NpbApp::ALL {
+        eprintln!("# running {} ...", app.name());
+        results.push((app, tlbmap_bench::run_performance(app, &cfg)));
+    }
+
+    // Figures 6-9: normalized means with ASCII bars.
+    for (fig, metric) in METRICS.iter().enumerate() {
+        println!(
+            "\n== Figure {}: {} (normalized to OS) ==",
+            6 + fig,
+            metric.name
+        );
+        let mut t = Table::new(vec!["app", "OS", "SM", "HM", "SM bar", "HM bar"]);
+        for (app, r) in &results {
+            let os = mean(&r.metric(&r.os, metric.get));
+            let sm = mean(&r.metric(&r.sm, metric.get));
+            let hm = mean(&r.metric(&r.hm, metric.get));
+            let (nsm, nhm) = if os > 0.0 {
+                (sm / os, hm / os)
+            } else {
+                (1.0, 1.0)
+            };
+            t.row(vec![
+                app.name().to_string(),
+                "1.000".to_string(),
+                format!("{nsm:.3}"),
+                format!("{nhm:.3}"),
+                bar(nsm, 1.0, 30),
+                bar(nhm, 1.0, 30),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+
+    if absolute {
+        println!("\n== Table IV: absolute values per second ==");
+        for metric in &METRICS[1..] {
+            println!("\n-- {} / second --", metric.name);
+            let mut t = Table::new(vec!["app", "OS", "SM", "HM"]);
+            for (app, r) in &results {
+                let rate = |runs: &[RunStats]| -> f64 {
+                    mean(
+                        &runs
+                            .iter()
+                            .map(|s| (metric.get)(s) / s.seconds().max(1e-12))
+                            .collect::<Vec<_>>(),
+                    )
+                };
+                t.row(vec![
+                    app.name().to_string(),
+                    format!("{:.0}", rate(&r.os)),
+                    format!("{:.0}", rate(&r.sm)),
+                    format!("{:.0}", rate(&r.hm)),
+                ]);
+            }
+            print!("{}", t.render());
+        }
+        println!("\n-- Execution time (seconds) --");
+        let mut t = Table::new(vec!["app", "OS", "SM", "HM"]);
+        for (app, r) in &results {
+            let secs =
+                |runs: &[RunStats]| mean(&runs.iter().map(|s| s.seconds()).collect::<Vec<_>>());
+            t.row(vec![
+                app.name().to_string(),
+                format!("{:.6}", secs(&r.os)),
+                format!("{:.6}", secs(&r.sm)),
+                format!("{:.6}", secs(&r.hm)),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+
+    if stddev {
+        println!("\n== Table V: standard deviations (percent of mean) ==");
+        for metric in &METRICS {
+            println!("\n-- {} --", metric.name);
+            let mut t = Table::new(vec!["app", "OS", "SM", "HM"]);
+            for (app, r) in &results {
+                t.row(vec![
+                    app.name().to_string(),
+                    format!("{:.2}%", stddev_pct(&r.metric(&r.os, metric.get))),
+                    format!("{:.2}%", stddev_pct(&r.metric(&r.sm, metric.get))),
+                    format!("{:.2}%", stddev_pct(&r.metric(&r.hm, metric.get))),
+                ]);
+            }
+            print!("{}", t.render());
+        }
+    }
+
+    if csv {
+        // Machine-readable export for plotting: one row per app x mapping
+        // x repetition with the raw metrics.
+        std::fs::create_dir_all("results").expect("create results dir");
+        let mut out = String::from(
+            "app,mapping,rep,seconds,cycles,invalidations,snoop_transactions,l2_misses\n",
+        );
+        for (app, r) in &results {
+            for (mapping, runs) in [("OS", &r.os), ("SM", &r.sm), ("HM", &r.hm)] {
+                for (rep, s) in runs.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{},{},{},{:.9},{},{},{},{}\n",
+                        app.name(),
+                        mapping,
+                        rep,
+                        s.seconds(),
+                        s.total_cycles,
+                        s.cache.invalidations,
+                        s.cache.snoop_transactions,
+                        s.cache.l2_misses
+                    ));
+                }
+            }
+        }
+        std::fs::write("results/fig6_9_performance.csv", out).expect("write csv");
+        eprintln!("# wrote results/fig6_9_performance.csv");
+    }
+
+    // Headline numbers matching the abstract's claims.
+    println!("\n== Headlines ==");
+    let mut best_time = (0.0f64, "");
+    let mut best_miss = (0.0f64, "");
+    let mut best_inval = (0.0f64, "");
+    let mut best_snoop = (0.0f64, "");
+    for (app, r) in &results {
+        let imp = |f: fn(&RunStats) -> f64, runs: &[RunStats]| -> f64 {
+            let os = mean(&r.metric(&r.os, f));
+            let v = mean(&r.metric(runs, f));
+            if os > 0.0 {
+                100.0 * (1.0 - v / os)
+            } else {
+                0.0
+            }
+        };
+        let t = imp(|r| r.seconds(), &r.sm);
+        let m = imp(|r| r.cache.l2_misses as f64, &r.sm);
+        let i = imp(|r| r.cache.invalidations as f64, &r.sm);
+        let s = imp(|r| r.cache.snoop_transactions as f64, &r.sm);
+        if t > best_time.0 {
+            best_time = (t, app.name());
+        }
+        if m > best_miss.0 {
+            best_miss = (m, app.name());
+        }
+        if i > best_inval.0 {
+            best_inval = (i, app.name());
+        }
+        if s > best_snoop.0 {
+            best_snoop = (s, app.name());
+        }
+    }
+    println!(
+        "best execution-time improvement (SM): {:.1}% on {} (paper: 15.3% on SP)",
+        best_time.0, best_time.1
+    );
+    println!(
+        "best L2-miss reduction (SM):          {:.1}% on {} (paper: 31.1% on SP)",
+        best_miss.0, best_miss.1
+    );
+    println!(
+        "best invalidation reduction (SM):     {:.1}% on {} (paper: 41%   on UA)",
+        best_inval.0, best_inval.1
+    );
+    println!(
+        "best snoop reduction (SM):            {:.1}% on {} (paper: 65.4% on MG)",
+        best_snoop.0, best_snoop.1
+    );
+}

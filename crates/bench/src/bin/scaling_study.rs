@@ -1,0 +1,128 @@
+//! Extension: how mapping gains scale with core count.
+//!
+//! The paper's introduction motivates thread mapping by the trend: "With
+//! the increase of the number of cores per chip and the number of threads
+//! per core, this difference between the communication latencies is
+//! increasing." This study runs the same pipeline on machines of 4, 8, 16
+//! and 32 cores (scaling the chip count and L2 groups like multi-socket
+//! Harpertown successors) and measures how much a communication-aware
+//! mapping buys at each size.
+//!
+//! Usage: `scaling_study [--reps N] [--scale workshop] [--seed N]`
+
+use tlbmap_bench::{mean, CampaignConfig, Table};
+use tlbmap_core::{SmConfig, SmDetector};
+use tlbmap_mapping::{baselines, HierarchicalMapper};
+use tlbmap_sim::{simulate, Mapping, NoHooks, SimConfig, Topology};
+use tlbmap_workloads::npb::{NpbApp, NpbParams};
+
+fn main() {
+    let cfg = CampaignConfig::from_args();
+    println!("{}", cfg.banner());
+    let app = NpbApp::Sp;
+
+    println!(
+        "== mapping gain vs machine size ({}, random-placement baseline) ==\n",
+        app.name()
+    );
+    let mut t = Table::new(vec![
+        "cores",
+        "machine",
+        "time gain",
+        "invalidation gain",
+        "snoop gain",
+        "cross-chip snoop share (OS)",
+        "(mapped)",
+    ]);
+
+    let machines = [
+        Topology::new(1, 2, 2), //  4 cores, single chip
+        Topology::harpertown(), //  8 cores, 2 chips
+        Topology::new(2, 4, 2), // 16 cores, 2 chips
+        Topology::new(4, 4, 2), // 32 cores, 4 chips
+    ];
+
+    let mut gains = Vec::new();
+    for topo in machines {
+        let n = topo.num_cores();
+        eprintln!("# {n} cores ...");
+        let params = NpbParams {
+            n_threads: n,
+            scale: cfg.scale,
+            seed: cfg.seed,
+        };
+        let workload = app.generate(&params);
+
+        // Detect and map.
+        let mut det = SmDetector::new(
+            n,
+            SmConfig {
+                sample_threshold: cfg.sm_threshold,
+            },
+        );
+        simulate(
+            &SimConfig::paper_software_managed(&topo),
+            &topo,
+            &workload.traces,
+            &Mapping::identity(n),
+            &mut det,
+        );
+        let mapping = HierarchicalMapper::new().map(det.matrix(), &topo);
+
+        // Measure.
+        let perf = SimConfig::paper_hardware_managed(&topo).with_tick_period(None);
+        let mut os_secs = Vec::new();
+        let mut os_inval = Vec::new();
+        let mut os_snoop = Vec::new();
+        let mut os_xchip = Vec::new();
+        for rep in 0..cfg.reps {
+            let os_map = baselines::random(n, &topo, cfg.seed + rep as u64);
+            let sim = perf.clone().with_jitter(rep as u64);
+            let s = simulate(&sim, &topo, &workload.traces, &os_map, &mut NoHooks);
+            os_secs.push(s.seconds());
+            os_inval.push(s.cache.invalidations as f64);
+            os_snoop.push(s.cache.snoop_transactions as f64);
+            os_xchip.push(if s.cache.snoop_transactions > 0 {
+                s.cache.snoops_inter_chip as f64 / s.cache.snoop_transactions as f64
+            } else {
+                0.0
+            });
+        }
+        let mapped = simulate(&perf, &topo, &workload.traces, &mapping, &mut NoHooks);
+        let mapped_xchip = if mapped.cache.snoop_transactions > 0 {
+            mapped.cache.snoops_inter_chip as f64 / mapped.cache.snoop_transactions as f64
+        } else {
+            0.0
+        };
+
+        let gain = |os: f64, m: f64| {
+            if os > 0.0 {
+                100.0 * (1.0 - m / os)
+            } else {
+                0.0
+            }
+        };
+        let time_gain = gain(mean(&os_secs), mapped.seconds());
+        gains.push(time_gain);
+        t.row(vec![
+            n.to_string(),
+            format!("{}x{}x{}", topo.chips, topo.l2_per_chip, topo.cores_per_l2),
+            format!("{time_gain:.1}%"),
+            format!(
+                "{:.1}%",
+                gain(mean(&os_inval), mapped.cache.invalidations as f64)
+            ),
+            format!(
+                "{:.1}%",
+                gain(mean(&os_snoop), mapped.cache.snoop_transactions as f64)
+            ),
+            format!("{:.0}%", 100.0 * mean(&os_xchip)),
+            format!("{:.0}%", 100.0 * mapped_xchip),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nshape: mapping gain grows with machine size: {}",
+        gains.windows(2).all(|w| w[1] >= w[0] - 1.0) // allow 1pt noise
+    );
+}

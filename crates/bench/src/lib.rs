@@ -1,0 +1,16 @@
+//! Experiment harness shared by the table/figure binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index). This library holds the common
+//! machinery: the campaign configuration, the detection and performance
+//! runners, repetition statistics, and plain-text table rendering.
+
+pub mod campaign;
+pub mod report;
+pub mod stats;
+
+pub use campaign::{
+    detect_matrices, run_performance, CampaignConfig, DetectedMatrices, PerfResult,
+};
+pub use report::{bar, Table};
+pub use stats::{mean, mean_std, stddev_pct};

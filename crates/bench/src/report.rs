@@ -1,0 +1,109 @@
+//! Plain-text table and bar rendering for the experiment binaries.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..ncol {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].len();
+                // Right-align numbers, left-align first column.
+                if i == 0 {
+                    line.push_str(&cells[i]);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(&cells[i]);
+                }
+            }
+            line
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A horizontal ASCII bar of `value` against `scale` (value mapped to at
+/// most `width` characters). Used for the normalized Figures 6–9.
+pub fn bar(value: f64, scale: f64, width: usize) -> String {
+    if scale <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / scale) * width as f64).round() as usize;
+    "#".repeat(n.min(width * 2)) // allow mild overshoot beyond the scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["app", "value"]);
+        t.row(vec!["BT", "1.00"]);
+        t.row(vec!["LONGNAME", "0.9"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("app"));
+        assert!(lines[2].starts_with("BT"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new(vec!["a", "b"]).row(vec!["only one"]);
+    }
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(1.0, 1.0, 10).len(), 10);
+        assert_eq!(bar(0.5, 1.0, 10).len(), 5);
+        assert_eq!(bar(0.0, 1.0, 10), "");
+        // Overshoot is visible but capped.
+        assert!(bar(5.0, 1.0, 10).len() <= 20);
+    }
+}

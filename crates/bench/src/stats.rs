@@ -1,0 +1,61 @@
+//! Repetition statistics: means and standard deviations (Table V reports
+//! standard deviations as percentages of the mean).
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation and mean: `(mean, std)`; `(0, 0)` for fewer
+/// than two samples.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return (m, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    (m, var.sqrt())
+}
+
+/// Standard deviation as a percentage of the mean (the paper's Table V
+/// format); 0 when the mean is 0.
+pub fn stddev_pct(xs: &[f64]) -> f64 {
+    let (m, s) = mean_std(xs);
+    if m == 0.0 {
+        0.0
+    } else {
+        100.0 * s / m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let (m, s) = mean_std(&xs);
+        assert!((m - 5.0).abs() < 1e-12);
+        // Sample std of this classic set is ~2.138.
+        assert!((s - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn stddev_pct_is_relative() {
+        let xs = [90.0, 100.0, 110.0];
+        let pct = stddev_pct(&xs);
+        assert!(pct > 9.0 && pct < 11.0, "got {pct}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+        assert_eq!(stddev_pct(&[0.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! A generic set-associative cache of line metadata with LRU replacement.
+//!
+//! Only metadata is stored — tags, MESI state, LRU timestamps — because the
+//! simulator never needs line *contents* (workloads compute on native Rust
+//! data). One structure serves both L1s (which ignore the MESI field beyond
+//! valid/invalid) and the coherent L2s.
+
+use crate::config::CacheConfig;
+use crate::mesi::MesiState;
+use serde::{Deserialize, Serialize};
+
+/// A cache-line-granular physical address (physical address >> line shift).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Line address of a byte-granular physical address.
+    #[inline]
+    pub fn of(paddr: u64, line_shift: u32) -> Self {
+        LineAddr(paddr >> line_shift)
+    }
+}
+
+/// A line pushed out of the cache by replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Which line was evicted.
+    pub addr: LineAddr,
+    /// The state it was in (dirty ⇒ writeback needed).
+    pub state: MesiState,
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    addr: LineAddr,
+    state: MesiState,
+    last_use: u64,
+}
+
+/// Set-associative cache of line metadata.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+}
+
+impl Cache {
+    /// Create an empty cache.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`CacheConfig::validate`]).
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        Cache {
+            config,
+            sets: vec![Vec::new(); config.sets()],
+            clock: 0,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn set_index(&self, addr: LineAddr) -> usize {
+        (addr.0 as usize) % self.sets.len()
+    }
+
+    /// State of `addr` if resident, touching LRU.
+    pub fn touch(&mut self, addr: LineAddr) -> Option<MesiState> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(addr);
+        self.sets[set].iter_mut().find(|l| l.addr == addr).map(|l| {
+            l.last_use = clock;
+            l.state
+        })
+    }
+
+    /// State of `addr` if resident, without touching LRU (snoop path).
+    pub fn peek(&self, addr: LineAddr) -> Option<MesiState> {
+        let set = self.set_index(addr);
+        self.sets[set]
+            .iter()
+            .find(|l| l.addr == addr)
+            .map(|l| l.state)
+    }
+
+    /// Change the state of a resident line. Returns `false` if absent.
+    pub fn set_state(&mut self, addr: LineAddr, state: MesiState) -> bool {
+        debug_assert_ne!(state, MesiState::Invalid, "use remove() to invalidate");
+        let set = self.set_index(addr);
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.addr == addr) {
+            l.state = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Install `addr` with `state`, evicting the LRU line of the set if it
+    /// is full. Returns the evicted line, if any.
+    ///
+    /// # Panics
+    /// Panics (debug) if `addr` is already resident — callers must use
+    /// [`Cache::set_state`] for state changes.
+    pub fn insert(&mut self, addr: LineAddr, state: MesiState) -> Option<EvictedLine> {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.config.ways;
+        let set_idx = self.set_index(addr);
+        let set = &mut self.sets[set_idx];
+        debug_assert!(
+            set.iter().all(|l| l.addr != addr),
+            "insert of already-resident line {addr:?}"
+        );
+        let evicted = if set.len() == ways {
+            let (victim_idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .expect("full set is non-empty");
+            let victim = set.swap_remove(victim_idx);
+            Some(EvictedLine {
+                addr: victim.addr,
+                state: victim.state,
+            })
+        } else {
+            None
+        };
+        set.push(Line {
+            addr,
+            state,
+            last_use: clock,
+        });
+        evicted
+    }
+
+    /// Remove `addr` (coherence invalidation or back-invalidation). Returns
+    /// the state it was in, if resident.
+    pub fn remove(&mut self, addr: LineAddr) -> Option<MesiState> {
+        let set = self.set_index(addr);
+        let lines = &mut self.sets[set];
+        lines
+            .iter()
+            .position(|l| l.addr == addr)
+            .map(|i| lines.swap_remove(i).state)
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Iterate over all resident lines as `(addr, state)`.
+    pub fn lines(&self) -> impl Iterator<Item = (LineAddr, MesiState)> + '_ {
+        self.sets.iter().flatten().map(|l| (l.addr, l.state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways of 64-byte lines.
+        Cache::new(CacheConfig {
+            size_bytes: 64 * 8,
+            line_size: 64,
+            ways: 2,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn insert_then_touch() {
+        let mut c = tiny();
+        assert_eq!(c.touch(LineAddr(1)), None);
+        c.insert(LineAddr(1), MesiState::Exclusive);
+        assert_eq!(c.touch(LineAddr(1)), Some(MesiState::Exclusive));
+    }
+
+    #[test]
+    fn peek_does_not_update_lru() {
+        let mut c = tiny();
+        // Set 0: lines 0, 4 (4 sets → addr & 3).
+        c.insert(LineAddr(0), MesiState::Shared);
+        c.insert(LineAddr(4), MesiState::Shared);
+        // Peek line 0 — should NOT protect it from eviction.
+        assert_eq!(c.peek(LineAddr(0)), Some(MesiState::Shared));
+        let ev = c.insert(LineAddr(8), MesiState::Shared).unwrap();
+        assert_eq!(ev.addr, LineAddr(0));
+    }
+
+    #[test]
+    fn touch_protects_from_eviction() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), MesiState::Shared);
+        c.insert(LineAddr(4), MesiState::Shared);
+        c.touch(LineAddr(0));
+        let ev = c.insert(LineAddr(8), MesiState::Shared).unwrap();
+        assert_eq!(ev.addr, LineAddr(4));
+    }
+
+    #[test]
+    fn eviction_reports_dirty_state() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), MesiState::Modified);
+        c.insert(LineAddr(4), MesiState::Exclusive);
+        let ev = c.insert(LineAddr(8), MesiState::Shared).unwrap();
+        assert_eq!(ev.state, MesiState::Modified);
+        assert!(ev.state.dirty());
+    }
+
+    #[test]
+    fn remove_returns_state() {
+        let mut c = tiny();
+        c.insert(LineAddr(5), MesiState::Modified);
+        assert_eq!(c.remove(LineAddr(5)), Some(MesiState::Modified));
+        assert_eq!(c.remove(LineAddr(5)), None);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn set_state_transitions() {
+        let mut c = tiny();
+        c.insert(LineAddr(2), MesiState::Exclusive);
+        assert!(c.set_state(LineAddr(2), MesiState::Modified));
+        assert_eq!(c.peek(LineAddr(2)), Some(MesiState::Modified));
+        assert!(!c.set_state(LineAddr(99), MesiState::Shared));
+    }
+
+    #[test]
+    fn occupancy_bounded_by_capacity() {
+        let mut c = tiny();
+        for i in 0..100 {
+            if c.peek(LineAddr(i)).is_none() {
+                c.insert(LineAddr(i), MesiState::Shared);
+            }
+        }
+        assert!(c.occupancy() <= 8);
+    }
+
+    #[test]
+    fn line_addr_of_strips_offset() {
+        assert_eq!(LineAddr::of(0x1040, 6), LineAddr(0x41));
+        assert_eq!(LineAddr::of(0x107F, 6), LineAddr(0x41));
+        assert_eq!(LineAddr::of(0x1080, 6), LineAddr(0x42));
+    }
+}

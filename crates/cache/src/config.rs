@@ -1,0 +1,247 @@
+//! Cache and hierarchy configuration, defaulting to the paper's Table II.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_size: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Access latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Table II L1: 32 KiB, 64 B lines, 4-way, 2 cycles, write-through.
+    pub const fn paper_l1() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_size: 64,
+            ways: 4,
+            latency: 2,
+        }
+    }
+
+    /// Table II L2: 6 MiB, 64 B lines, 8-way, 8 cycles, write-back MESI.
+    pub const fn paper_l2() -> Self {
+        CacheConfig {
+            size_bytes: 6 * 1024 * 1024,
+            line_size: 64,
+            ways: 8,
+            latency: 8,
+        }
+    }
+
+    /// Number of lines this cache holds.
+    pub fn lines(&self) -> usize {
+        (self.size_bytes / self.line_size) as usize
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.lines() / self.ways
+    }
+
+    /// log2 of the line size.
+    pub fn line_shift(&self) -> u32 {
+        self.line_size.trailing_zeros()
+    }
+
+    /// Validate the geometry.
+    ///
+    /// # Panics
+    /// Panics on a zero or non-power-of-two line size, zero ways, or a
+    /// capacity that is not a whole number of lines per way. The set count
+    /// need not be a power of two (the paper's Table II L2 — 6 MiB, 8-way,
+    /// 64 B lines — has 12288 sets); indexing uses modulo.
+    pub fn validate(&self) {
+        assert!(
+            self.line_size.is_power_of_two() && self.line_size >= 8,
+            "line size {} must be a power of two >= 8",
+            self.line_size
+        );
+        assert!(self.ways > 0, "cache must have at least one way");
+        assert!(
+            self.size_bytes
+                .is_multiple_of(self.line_size * self.ways as u64),
+            "capacity {} not divisible into {} ways of {}-byte lines",
+            self.size_bytes,
+            self.ways,
+            self.line_size
+        );
+        assert!(self.sets() > 0, "cache must have at least one set");
+    }
+}
+
+/// One shared L2 cache: which cores sit behind it and which chip it is on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L2Group {
+    /// Core ids that share this L2.
+    pub cores: Vec<usize>,
+    /// Chip (package) this L2 belongs to; snoops crossing chips are slower.
+    pub chip: usize,
+}
+
+/// Configuration of the full hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Per-core instruction L1.
+    pub l1i: CacheConfig,
+    /// Per-core data L1 (write-through per Table II).
+    pub l1d: CacheConfig,
+    /// Shared L2 (write-back, MESI per Table II).
+    pub l2: CacheConfig,
+    /// Main-memory access latency in cycles.
+    pub mem_latency: u64,
+    /// Cache-to-cache transfer latency when both L2s are on the same chip.
+    pub c2c_intra_chip: u64,
+    /// Cache-to-cache transfer latency across chips (FSB on Harpertown).
+    pub c2c_inter_chip: u64,
+    /// Extra cycles a store pays when it must invalidate remote copies.
+    pub write_invalidate_penalty: u64,
+    /// Extra cycles a memory fetch pays when the line's home NUMA node is
+    /// a different chip than the requesting L2's (0 models a UMA machine,
+    /// the paper's Harpertown; the paper's conclusion predicts larger
+    /// mapping gains when this is nonzero).
+    pub numa_remote_penalty: u64,
+    /// The shared-L2 groups. `groups[g].cores` lists core ids; every core
+    /// must appear in exactly one group.
+    pub groups: Vec<L2Group>,
+}
+
+impl HierarchyConfig {
+    /// The paper's machine (Figure 3): 8 cores, L2 shared by core pairs,
+    /// two chips. Latencies follow Table II with CACTI-style memory and
+    /// interconnect estimates.
+    pub fn paper_harpertown() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::paper_l1(),
+            l1d: CacheConfig::paper_l1(),
+            l2: CacheConfig::paper_l2(),
+            mem_latency: 200,
+            c2c_intra_chip: 40,
+            c2c_inter_chip: 120,
+            write_invalidate_penalty: 20,
+            numa_remote_penalty: 0,
+            groups: vec![
+                L2Group {
+                    cores: vec![0, 1],
+                    chip: 0,
+                },
+                L2Group {
+                    cores: vec![2, 3],
+                    chip: 0,
+                },
+                L2Group {
+                    cores: vec![4, 5],
+                    chip: 1,
+                },
+                L2Group {
+                    cores: vec![6, 7],
+                    chip: 1,
+                },
+            ],
+        }
+    }
+
+    /// Total number of cores across all groups.
+    pub fn num_cores(&self) -> usize {
+        self.groups.iter().map(|g| g.cores.len()).sum()
+    }
+
+    /// Number of shared L2 caches.
+    pub fn num_l2(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Validate the whole configuration.
+    ///
+    /// # Panics
+    /// Panics if any cache geometry is invalid, line sizes differ between
+    /// levels, a core id is missing or duplicated, or a group is empty.
+    pub fn validate(&self) {
+        self.l1i.validate();
+        self.l1d.validate();
+        self.l2.validate();
+        assert_eq!(
+            self.l1d.line_size, self.l2.line_size,
+            "L1 and L2 line sizes must agree for the inclusive model"
+        );
+        assert!(!self.groups.is_empty(), "need at least one L2 group");
+        let n = self.num_cores();
+        let mut seen = vec![false; n];
+        for g in &self.groups {
+            assert!(!g.cores.is_empty(), "empty L2 group");
+            for &c in &g.cores {
+                assert!(c < n, "core id {c} out of range (num_cores = {n})");
+                assert!(!seen[c], "core id {c} appears in two L2 groups");
+                seen[c] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l1_matches_table2() {
+        let c = CacheConfig::paper_l1();
+        assert_eq!(c.size_bytes, 32 * 1024);
+        assert_eq!(c.line_size, 64);
+        assert_eq!(c.ways, 4);
+        assert_eq!(c.latency, 2);
+        assert_eq!(c.sets(), 128);
+        c.validate();
+    }
+
+    #[test]
+    fn paper_l2_matches_table2() {
+        let c = CacheConfig::paper_l2();
+        assert_eq!(c.size_bytes, 6 * 1024 * 1024);
+        assert_eq!(c.ways, 8);
+        assert_eq!(c.latency, 8);
+        assert_eq!(c.lines(), 98304);
+        c.validate();
+    }
+
+    #[test]
+    fn harpertown_has_8_cores_4_l2s_2_chips() {
+        let h = HierarchyConfig::paper_harpertown();
+        h.validate();
+        assert_eq!(h.num_cores(), 8);
+        assert_eq!(h.num_l2(), 4);
+        let chips: std::collections::HashSet<_> = h.groups.iter().map(|g| g.chip).collect();
+        assert_eq!(chips.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in two L2 groups")]
+    fn duplicate_core_rejected() {
+        let mut h = HierarchyConfig::paper_harpertown();
+        h.groups[1].cores = vec![0, 3];
+        h.validate();
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_allowed() {
+        // 3 sets — legal with modulo indexing (Table II's L2 has 12288).
+        CacheConfig {
+            size_bytes: 3 * 64 * 4,
+            line_size: 64,
+            ways: 4,
+            latency: 1,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn line_shift() {
+        assert_eq!(CacheConfig::paper_l2().line_shift(), 6);
+    }
+}

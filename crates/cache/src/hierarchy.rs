@@ -1,0 +1,860 @@
+//! The full memory hierarchy: private write-through L1s, shared write-back
+//! L2s kept coherent with MESI over a snooping bus.
+//!
+//! Event accounting follows the paper's definitions:
+//!
+//! * an **invalidation** is one remote L2 copy destroyed because some core
+//!   wrote the line (`BusRdX`/upgrade). Sibling-L1 invalidations under the
+//!   *same* L2 are tracked separately — they never cross the interconnect
+//!   and the paper's mapping does not target them.
+//! * a **snoop transaction** is a miss whose data was supplied by another
+//!   cache rather than memory ("a core requests data that is not present in
+//!   its cache and has to retrieve the data from another cache", §VI-B).
+//! * **L2 misses** are classified cold / capacity / coherence so that the
+//!   invalidation-miss reduction of Section III-A is directly observable.
+
+use crate::cache::{Cache, LineAddr};
+use crate::config::HierarchyConfig;
+use crate::mesi::MesiState;
+use crate::stats::{CacheStats, MissKind};
+use std::collections::HashSet;
+
+/// Load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum MemOp {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Instruction fetch vs data access — routed to different L1s. The paper
+/// notes data accesses dominate mapping-relevant communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AccessKind {
+    /// Data access (L1D).
+    Data,
+    /// Instruction fetch (L1I).
+    Instr,
+}
+
+/// Timing and routing result of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Cycles the access took.
+    pub cycles: u64,
+    /// Whether the L1 hit.
+    pub l1_hit: bool,
+    /// Whether the L2 hit (meaningless when `l1_hit`).
+    pub l2_hit: bool,
+    /// Whether the access was serviced cache-to-cache.
+    pub snooped: bool,
+}
+
+/// The coherent hierarchy for one machine.
+pub struct MemoryHierarchy {
+    cfg: HierarchyConfig,
+    l1i: Vec<Cache>,
+    l1d: Vec<Cache>,
+    l2: Vec<Cache>,
+    /// `core_to_l2[core]` = index into `l2` / `cfg.groups`.
+    core_to_l2: Vec<usize>,
+    stats: CacheStats,
+    /// Sibling-L1 copies invalidated under the same L2 (not an interconnect
+    /// event; kept out of `CacheStats::invalidations`).
+    l1_sibling_invalidations: u64,
+    /// Per-L2: lines lost to coherence invalidation (for miss taxonomy).
+    coherence_lost: Vec<HashSet<LineAddr>>,
+    /// Per-L2: lines that were ever resident (cold vs capacity).
+    ever_resident: Vec<HashSet<LineAddr>>,
+}
+
+impl MemoryHierarchy {
+    /// Build an empty hierarchy.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        cfg.validate();
+        let n_cores = cfg.num_cores();
+        let n_l2 = cfg.num_l2();
+        let mut core_to_l2 = vec![usize::MAX; n_cores];
+        for (g, group) in cfg.groups.iter().enumerate() {
+            for &c in &group.cores {
+                core_to_l2[c] = g;
+            }
+        }
+        MemoryHierarchy {
+            l1i: (0..n_cores).map(|_| Cache::new(cfg.l1i)).collect(),
+            l1d: (0..n_cores).map(|_| Cache::new(cfg.l1d)).collect(),
+            l2: (0..n_l2).map(|_| Cache::new(cfg.l2)).collect(),
+            core_to_l2,
+            stats: CacheStats::default(),
+            l1_sibling_invalidations: 0,
+            coherence_lost: vec![HashSet::new(); n_l2],
+            ever_resident: vec![HashSet::new(); n_l2],
+            cfg,
+        }
+    }
+
+    /// The hierarchy's configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Sibling-L1 invalidations (same-L2; not part of [`CacheStats`]).
+    pub fn l1_sibling_invalidations(&self) -> u64 {
+        self.l1_sibling_invalidations
+    }
+
+    /// Which L2 a core sits behind.
+    pub fn l2_of(&self, core: usize) -> usize {
+        self.core_to_l2[core]
+    }
+
+    /// MESI state of `line` in L2 `g` (test/diagnostic hook).
+    pub fn l2_state(&self, g: usize, line: LineAddr) -> Option<MesiState> {
+        self.l2[g].peek(line)
+    }
+
+    /// Perform one memory access by `core` to physical address `paddr`
+    /// on a UMA machine (no NUMA home-node accounting).
+    pub fn access(
+        &mut self,
+        core: usize,
+        paddr: u64,
+        op: MemOp,
+        kind: AccessKind,
+    ) -> AccessOutcome {
+        self.access_numa(core, paddr, op, kind, None)
+    }
+
+    /// Perform one memory access with an optional NUMA home chip for the
+    /// touched page: memory fetches from a different chip's node pay
+    /// `numa_remote_penalty` extra cycles and are counted separately.
+    pub fn access_numa(
+        &mut self,
+        core: usize,
+        paddr: u64,
+        op: MemOp,
+        kind: AccessKind,
+        home_chip: Option<usize>,
+    ) -> AccessOutcome {
+        let line = LineAddr::of(paddr, self.cfg.l2.line_shift());
+        match op {
+            MemOp::Read => self.read(core, line, kind, home_chip),
+            MemOp::Write => self.write(core, line, kind, home_chip),
+        }
+    }
+
+    /// Record a memory fetch by L2 `g`, returning the fetch latency with
+    /// any NUMA penalty applied.
+    fn memory_fetch(&mut self, g: usize, home_chip: Option<usize>) -> u64 {
+        self.stats.memory_fetches += 1;
+        match home_chip {
+            Some(chip) if chip != self.cfg.groups[g].chip => {
+                self.stats.mem_fetches_remote += 1;
+                self.cfg.mem_latency + self.cfg.numa_remote_penalty
+            }
+            Some(_) => {
+                self.stats.mem_fetches_local += 1;
+                self.cfg.mem_latency
+            }
+            None => self.cfg.mem_latency,
+        }
+    }
+
+    fn l1_mut(&mut self, core: usize, kind: AccessKind) -> &mut Cache {
+        match kind {
+            AccessKind::Data => &mut self.l1d[core],
+            AccessKind::Instr => &mut self.l1i[core],
+        }
+    }
+
+    fn note_l1(&mut self, kind: AccessKind, hit: bool) {
+        match (kind, hit) {
+            (AccessKind::Data, true) => self.stats.l1d_hits += 1,
+            (AccessKind::Data, false) => self.stats.l1d_misses += 1,
+            (AccessKind::Instr, true) => self.stats.l1i_hits += 1,
+            (AccessKind::Instr, false) => self.stats.l1i_misses += 1,
+        }
+    }
+
+    fn read(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        kind: AccessKind,
+        home_chip: Option<usize>,
+    ) -> AccessOutcome {
+        let l1_latency = self.cfg.l1d.latency;
+        if self.l1_mut(core, kind).touch(line).is_some() {
+            self.note_l1(kind, true);
+            return AccessOutcome {
+                cycles: l1_latency,
+                l1_hit: true,
+                l2_hit: false,
+                snooped: false,
+            };
+        }
+        self.note_l1(kind, false);
+
+        let g = self.core_to_l2[core];
+        let mut cycles = l1_latency + self.cfg.l2.latency;
+        let mut l2_hit = true;
+        let mut snooped = false;
+
+        if self.l2[g].touch(line).is_none() {
+            // L2 read miss: classify, snoop, fetch, install.
+            l2_hit = false;
+            self.classify_miss(g, line);
+            let (extra, was_snooped) = self.service_read_miss(g, line, home_chip);
+            cycles += extra;
+            snooped = was_snooped;
+        } else {
+            self.stats.l2_hits += 1;
+        }
+
+        self.fill_l1(core, kind, line);
+        AccessOutcome {
+            cycles,
+            l1_hit: false,
+            l2_hit,
+            snooped,
+        }
+    }
+
+    fn write(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        kind: AccessKind,
+        home_chip: Option<usize>,
+    ) -> AccessOutcome {
+        let g = self.core_to_l2[core];
+        let mut cycles = self.cfg.l1d.latency;
+        let mut l2_hit = true;
+        let mut snooped = false;
+
+        match self.l2[g].touch(line) {
+            Some(MesiState::Modified) => {}
+            Some(MesiState::Exclusive) => {
+                // Silent E→M upgrade.
+                self.l2[g].set_state(line, MesiState::Modified);
+            }
+            Some(MesiState::Shared) => {
+                // Upgrade: invalidate every remote copy.
+                let invalidated = self.invalidate_remote_copies(g, line);
+                if invalidated > 0 {
+                    cycles += self.cfg.write_invalidate_penalty;
+                }
+                self.l2[g].set_state(line, MesiState::Modified);
+            }
+            Some(MesiState::Invalid) | None => {
+                // Write miss: read-for-ownership (BusRdX).
+                l2_hit = false;
+                self.classify_miss(g, line);
+                let (extra, was_snooped) = self.service_write_miss(g, line, home_chip);
+                cycles += self.cfg.l2.latency + extra;
+                snooped = was_snooped;
+            }
+        }
+        if !l2_hit {
+            // nothing extra: miss path already accounted
+        } else {
+            self.stats.l2_hits += 1;
+        }
+
+        // Keep sibling L1 copies (cores under the same L2) coherent: they
+        // would otherwise read a stale line through their write-through L1.
+        self.invalidate_sibling_l1s(core, g, line);
+
+        // Write-allocate into the local L1 (write-through to L2 is implied).
+        let hit = self.l1_mut(core, kind).touch(line).is_some();
+        if !hit {
+            self.l1_mut(core, kind).insert(line, MesiState::Shared);
+        }
+        self.note_l1(kind, hit);
+        AccessOutcome {
+            cycles,
+            l1_hit: false,
+            l2_hit,
+            snooped,
+        }
+    }
+
+    /// Snoop all remote L2s for `line` on a read miss; transfer cache-to-
+    /// cache if anyone has it, otherwise fetch from memory. Installs the
+    /// line in `g` and handles the eviction. Returns `(extra_cycles,
+    /// snooped)`.
+    fn service_read_miss(
+        &mut self,
+        g: usize,
+        line: LineAddr,
+        home_chip: Option<usize>,
+    ) -> (u64, bool) {
+        let holder = self.find_holder(g, line);
+        let (extra, state, snooped) = match holder {
+            Some(h) => {
+                let holder_state = self.l2[h].peek(line).expect("holder has line");
+                if holder_state == MesiState::Modified {
+                    // Dirty supplier writes back and both end Shared.
+                    self.stats.writebacks += 1;
+                }
+                self.l2[h].set_state(line, MesiState::Shared);
+                // Demote every other holder to Shared as well (BusRd seen).
+                for other in 0..self.l2.len() {
+                    if other != g && other != h && self.l2[other].peek(line).is_some() {
+                        self.l2[other].set_state(line, MesiState::Shared);
+                    }
+                }
+                self.record_snoop(g, h);
+                (self.c2c_latency(g, h), MesiState::Shared, true)
+            }
+            None => {
+                let latency = self.memory_fetch(g, home_chip);
+                (latency, MesiState::Exclusive, false)
+            }
+        };
+        self.install_l2(g, line, state);
+        (extra, snooped)
+    }
+
+    /// Snoop on a write miss (`BusRdX`): any remote copy supplies the data
+    /// (dirty ownership migrates without a memory writeback) and every
+    /// remote copy is invalidated. Returns `(extra_cycles, snooped)`.
+    fn service_write_miss(
+        &mut self,
+        g: usize,
+        line: LineAddr,
+        home_chip: Option<usize>,
+    ) -> (u64, bool) {
+        let holder = self.find_holder(g, line);
+        let (extra, snooped) = match holder {
+            Some(h) => {
+                self.record_snoop(g, h);
+                (self.c2c_latency(g, h), true)
+            }
+            None => (self.memory_fetch(g, home_chip), false),
+        };
+        let invalidated = self.invalidate_remote_copies(g, line);
+        let penalty = if invalidated > 0 {
+            self.cfg.write_invalidate_penalty
+        } else {
+            0
+        };
+        self.install_l2(g, line, MesiState::Modified);
+        (extra + penalty, snooped)
+    }
+
+    /// First remote L2 holding `line`, preferring the Modified holder (it
+    /// must supply the data), then an intra-chip holder (cheapest transfer).
+    fn find_holder(&self, g: usize, line: LineAddr) -> Option<usize> {
+        let my_chip = self.cfg.groups[g].chip;
+        let mut best: Option<usize> = None;
+        for other in 0..self.l2.len() {
+            if other == g {
+                continue;
+            }
+            match self.l2[other].peek(line) {
+                Some(MesiState::Modified) => return Some(other),
+                Some(_) => {
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            self.cfg.groups[other].chip == my_chip
+                                && self.cfg.groups[b].chip != my_chip
+                        }
+                    };
+                    if better {
+                        best = Some(other);
+                    }
+                }
+                None => {}
+            }
+        }
+        best
+    }
+
+    fn c2c_latency(&self, a: usize, b: usize) -> u64 {
+        if self.cfg.groups[a].chip == self.cfg.groups[b].chip {
+            self.cfg.c2c_intra_chip
+        } else {
+            self.cfg.c2c_inter_chip
+        }
+    }
+
+    fn record_snoop(&mut self, a: usize, b: usize) {
+        self.stats.snoop_transactions += 1;
+        if self.cfg.groups[a].chip == self.cfg.groups[b].chip {
+            self.stats.snoops_intra_chip += 1;
+        } else {
+            self.stats.snoops_inter_chip += 1;
+        }
+    }
+
+    /// Invalidate every copy of `line` in L2s other than `g` (and the L1s of
+    /// the cores behind them). Returns how many L2 copies were destroyed.
+    fn invalidate_remote_copies(&mut self, g: usize, line: LineAddr) -> u64 {
+        let mut count = 0;
+        for other in 0..self.l2.len() {
+            if other == g {
+                continue;
+            }
+            if let Some(state) = self.l2[other].remove(line) {
+                // A remote Modified copy being invalidated by BusRdX hands
+                // its data to the requester; no memory writeback. (A remote
+                // M copy can only exist here on the write-miss path.)
+                let _ = state;
+                count += 1;
+                self.stats.invalidations += 1;
+                self.coherence_lost[other].insert(line);
+                self.back_invalidate_l1s(other, line);
+            }
+        }
+        count
+    }
+
+    /// Drop `line` from the L1s of every core behind L2 `g` (inclusive
+    /// back-invalidation).
+    fn back_invalidate_l1s(&mut self, g: usize, line: LineAddr) {
+        let cores = self.cfg.groups[g].cores.clone();
+        for c in cores {
+            self.l1d[c].remove(line);
+            self.l1i[c].remove(line);
+        }
+    }
+
+    /// Drop `line` from the L1s of `core`'s siblings under the same L2.
+    fn invalidate_sibling_l1s(&mut self, core: usize, g: usize, line: LineAddr) {
+        let cores = self.cfg.groups[g].cores.clone();
+        for c in cores {
+            if c != core && self.l1d[c].remove(line).is_some() {
+                self.l1_sibling_invalidations += 1;
+            }
+        }
+    }
+
+    /// Install `line` into L2 `g`, recording residence and handling the
+    /// evicted victim (writeback if dirty, back-invalidate L1s).
+    fn install_l2(&mut self, g: usize, line: LineAddr, state: MesiState) {
+        self.ever_resident[g].insert(line);
+        if let Some(ev) = self.l2[g].insert(line, state) {
+            if ev.state.dirty() {
+                self.stats.writebacks += 1;
+            }
+            self.back_invalidate_l1s(g, ev.addr);
+        }
+    }
+
+    fn classify_miss(&mut self, g: usize, line: LineAddr) {
+        let kind = if self.coherence_lost[g].remove(&line) {
+            MissKind::Coherence
+        } else if self.ever_resident[g].contains(&line) {
+            MissKind::Capacity
+        } else {
+            MissKind::Cold
+        };
+        self.stats.record_l2_miss(kind);
+    }
+
+    fn fill_l1(&mut self, core: usize, kind: AccessKind, line: LineAddr) {
+        let l1 = self.l1_mut(core, kind);
+        if l1.peek(line).is_none() {
+            l1.insert(line, MesiState::Shared);
+        }
+    }
+
+    /// Check the MESI exclusivity invariant for one line: if any L2 holds it
+    /// Modified or Exclusive, no other L2 may hold it at all. Used by
+    /// property tests.
+    pub fn mesi_invariant_holds(&self, line: LineAddr) -> bool {
+        let holders: Vec<MesiState> = self.l2.iter().filter_map(|c| c.peek(line)).collect();
+        let exclusive_holders = holders
+            .iter()
+            .filter(|s| matches!(s, MesiState::Modified | MesiState::Exclusive))
+            .count();
+        exclusive_holders == 0 || holders.len() == 1
+    }
+
+    /// Check the inclusion invariant: every line resident in a core's L1
+    /// must also be resident in that core's L2 (the model back-invalidates
+    /// L1s on L2 eviction/invalidation, so this must always hold). Used by
+    /// property tests.
+    pub fn inclusion_holds(&self) -> bool {
+        for core in 0..self.core_to_l2.len() {
+            let g = self.core_to_l2[core];
+            for l1 in [&self.l1d[core], &self.l1i[core]] {
+                for (addr, _) in l1.lines() {
+                    if self.l2[g].peek(addr).is_none() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// All distinct lines currently resident in any L2 (diagnostics).
+    pub fn resident_lines(&self) -> HashSet<LineAddr> {
+        self.l2
+            .iter()
+            .flat_map(|c| c.lines().map(|(a, _)| a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheConfig, L2Group};
+
+    /// Small hierarchy: 4 cores, 2 L2s (one per chip), tiny caches.
+    fn small() -> MemoryHierarchy {
+        let l1 = CacheConfig {
+            size_bytes: 64 * 8,
+            line_size: 64,
+            ways: 2,
+            latency: 2,
+        };
+        let l2 = CacheConfig {
+            size_bytes: 64 * 32,
+            line_size: 64,
+            ways: 4,
+            latency: 8,
+        };
+        MemoryHierarchy::new(HierarchyConfig {
+            l1i: l1,
+            l1d: l1,
+            l2,
+            mem_latency: 200,
+            c2c_intra_chip: 40,
+            c2c_inter_chip: 120,
+            write_invalidate_penalty: 20,
+            numa_remote_penalty: 0,
+            groups: vec![
+                L2Group {
+                    cores: vec![0, 1],
+                    chip: 0,
+                },
+                L2Group {
+                    cores: vec![2, 3],
+                    chip: 1,
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn cold_read_fetches_from_memory() {
+        let mut h = small();
+        let out = h.access(0, 0x1000, MemOp::Read, AccessKind::Data);
+        assert!(!out.l1_hit && !out.l2_hit && !out.snooped);
+        assert_eq!(out.cycles, 2 + 8 + 200);
+        assert_eq!(h.stats().memory_fetches, 1);
+        assert_eq!(h.stats().l2_cold_misses, 1);
+    }
+
+    #[test]
+    fn second_read_hits_l1() {
+        let mut h = small();
+        h.access(0, 0x1000, MemOp::Read, AccessKind::Data);
+        let out = h.access(0, 0x1000, MemOp::Read, AccessKind::Data);
+        assert!(out.l1_hit);
+        assert_eq!(out.cycles, 2);
+    }
+
+    #[test]
+    fn sibling_core_hits_shared_l2() {
+        let mut h = small();
+        h.access(0, 0x1000, MemOp::Read, AccessKind::Data);
+        let out = h.access(1, 0x1000, MemOp::Read, AccessKind::Data);
+        assert!(!out.l1_hit && out.l2_hit && !out.snooped);
+        assert_eq!(out.cycles, 2 + 8);
+        assert_eq!(h.stats().snoop_transactions, 0);
+    }
+
+    #[test]
+    fn remote_read_is_a_snoop_transaction() {
+        let mut h = small();
+        h.access(0, 0x1000, MemOp::Read, AccessKind::Data);
+        let out = h.access(2, 0x1000, MemOp::Read, AccessKind::Data);
+        assert!(out.snooped);
+        assert_eq!(out.cycles, 2 + 8 + 120); // inter-chip transfer
+        assert_eq!(h.stats().snoop_transactions, 1);
+        assert_eq!(h.stats().snoops_inter_chip, 1);
+        // Both copies are now Shared.
+        assert_eq!(
+            h.l2_state(0, LineAddr::of(0x1000, 6)),
+            Some(MesiState::Shared)
+        );
+        assert_eq!(
+            h.l2_state(1, LineAddr::of(0x1000, 6)),
+            Some(MesiState::Shared)
+        );
+    }
+
+    #[test]
+    fn write_to_shared_line_invalidates_remote_copy() {
+        let mut h = small();
+        h.access(0, 0x1000, MemOp::Read, AccessKind::Data);
+        h.access(2, 0x1000, MemOp::Read, AccessKind::Data); // both Shared
+        let out = h.access(0, 0x1000, MemOp::Write, AccessKind::Data);
+        assert_eq!(h.stats().invalidations, 1);
+        assert_eq!(h.l2_state(1, LineAddr::of(0x1000, 6)), None);
+        assert_eq!(
+            h.l2_state(0, LineAddr::of(0x1000, 6)),
+            Some(MesiState::Modified)
+        );
+        assert!(out.cycles >= 20); // paid the invalidate penalty
+    }
+
+    #[test]
+    fn invalidated_line_remiss_is_coherence_miss() {
+        let mut h = small();
+        h.access(0, 0x1000, MemOp::Read, AccessKind::Data);
+        h.access(2, 0x1000, MemOp::Read, AccessKind::Data);
+        h.access(0, 0x1000, MemOp::Write, AccessKind::Data); // invalidates L2 1
+        h.access(2, 0x1000, MemOp::Read, AccessKind::Data); // must re-fetch
+        assert_eq!(h.stats().l2_coherence_misses, 1);
+    }
+
+    #[test]
+    fn dirty_remote_line_is_written_back_on_read() {
+        let mut h = small();
+        h.access(0, 0x1000, MemOp::Write, AccessKind::Data); // M in L2 0
+        h.access(2, 0x1000, MemOp::Read, AccessKind::Data);
+        assert_eq!(h.stats().writebacks, 1);
+        assert_eq!(
+            h.l2_state(0, LineAddr::of(0x1000, 6)),
+            Some(MesiState::Shared)
+        );
+    }
+
+    #[test]
+    fn write_miss_steals_dirty_line_without_writeback() {
+        let mut h = small();
+        h.access(0, 0x1000, MemOp::Write, AccessKind::Data); // M in L2 0
+        h.access(2, 0x1000, MemOp::Write, AccessKind::Data); // BusRdX
+        assert_eq!(h.stats().writebacks, 0);
+        assert_eq!(h.stats().invalidations, 1);
+        assert_eq!(h.stats().snoop_transactions, 1);
+        assert_eq!(h.l2_state(0, LineAddr::of(0x1000, 6)), None);
+        assert_eq!(
+            h.l2_state(1, LineAddr::of(0x1000, 6)),
+            Some(MesiState::Modified)
+        );
+    }
+
+    #[test]
+    fn exclusive_upgrade_is_silent() {
+        let mut h = small();
+        h.access(0, 0x1000, MemOp::Read, AccessKind::Data); // E
+        let inv_before = h.stats().invalidations;
+        h.access(0, 0x1000, MemOp::Write, AccessKind::Data); // E→M, silent
+        assert_eq!(h.stats().invalidations, inv_before);
+        assert_eq!(
+            h.l2_state(0, LineAddr::of(0x1000, 6)),
+            Some(MesiState::Modified)
+        );
+    }
+
+    #[test]
+    fn sibling_l1_copy_invalidated_on_write() {
+        let mut h = small();
+        h.access(1, 0x1000, MemOp::Read, AccessKind::Data); // core 1 L1 has it
+        h.access(0, 0x1000, MemOp::Write, AccessKind::Data); // sibling writes
+        assert_eq!(h.l1_sibling_invalidations(), 1);
+        // Not counted as an interconnect invalidation.
+        assert_eq!(h.stats().invalidations, 0);
+        // Core 1's next read must come from L2, not a stale L1.
+        let out = h.access(1, 0x1000, MemOp::Read, AccessKind::Data);
+        assert!(!out.l1_hit && out.l2_hit);
+    }
+
+    #[test]
+    fn capacity_miss_classified_after_eviction() {
+        let mut h = small();
+        // L2 is 4-way x 8 sets. Fill one set beyond capacity: lines with the
+        // same set index are 8 apart (32 lines / 4 ways = 8 sets).
+        for i in 0..5u64 {
+            h.access(0, i * 8 * 64, MemOp::Read, AccessKind::Data);
+        }
+        // Line 0 was evicted; re-reading it is a capacity miss.
+        h.access(0, 0, MemOp::Read, AccessKind::Data);
+        assert_eq!(h.stats().l2_capacity_misses, 1);
+        assert_eq!(h.stats().l2_cold_misses, 5);
+    }
+
+    #[test]
+    fn intra_chip_snoop_is_cheaper() {
+        // Rebuild with both L2s on one chip to compare.
+        let l1 = CacheConfig {
+            size_bytes: 64 * 8,
+            line_size: 64,
+            ways: 2,
+            latency: 2,
+        };
+        let l2 = CacheConfig {
+            size_bytes: 64 * 32,
+            line_size: 64,
+            ways: 4,
+            latency: 8,
+        };
+        let mut h = MemoryHierarchy::new(HierarchyConfig {
+            l1i: l1,
+            l1d: l1,
+            l2,
+            mem_latency: 200,
+            c2c_intra_chip: 40,
+            c2c_inter_chip: 120,
+            write_invalidate_penalty: 20,
+            numa_remote_penalty: 0,
+            groups: vec![
+                L2Group {
+                    cores: vec![0, 1],
+                    chip: 0,
+                },
+                L2Group {
+                    cores: vec![2, 3],
+                    chip: 0,
+                },
+            ],
+        });
+        h.access(0, 0x1000, MemOp::Read, AccessKind::Data);
+        let out = h.access(2, 0x1000, MemOp::Read, AccessKind::Data);
+        assert_eq!(out.cycles, 2 + 8 + 40);
+        assert_eq!(h.stats().snoops_intra_chip, 1);
+        assert_eq!(h.stats().snoops_inter_chip, 0);
+    }
+
+    #[test]
+    fn mesi_invariant_after_mixed_traffic() {
+        let mut h = small();
+        let addrs = [0x0u64, 0x1000, 0x2000, 0x40, 0x1040];
+        for (i, &a) in addrs.iter().cycle().take(100).enumerate() {
+            let core = i % 4;
+            let op = if i % 3 == 0 {
+                MemOp::Write
+            } else {
+                MemOp::Read
+            };
+            h.access(core, a, op, AccessKind::Data);
+            for &chk in &addrs {
+                assert!(h.mesi_invariant_holds(LineAddr::of(chk, 6)));
+            }
+        }
+    }
+
+    #[test]
+    fn numa_remote_fetch_pays_penalty_and_is_counted() {
+        let l1 = CacheConfig {
+            size_bytes: 64 * 8,
+            line_size: 64,
+            ways: 2,
+            latency: 2,
+        };
+        let l2 = CacheConfig {
+            size_bytes: 64 * 32,
+            line_size: 64,
+            ways: 4,
+            latency: 8,
+        };
+        let mut h = MemoryHierarchy::new(HierarchyConfig {
+            l1i: l1,
+            l1d: l1,
+            l2,
+            mem_latency: 200,
+            c2c_intra_chip: 40,
+            c2c_inter_chip: 120,
+            write_invalidate_penalty: 20,
+            numa_remote_penalty: 150,
+            groups: vec![
+                L2Group {
+                    cores: vec![0, 1],
+                    chip: 0,
+                },
+                L2Group {
+                    cores: vec![2, 3],
+                    chip: 1,
+                },
+            ],
+        });
+        // Core 0 (chip 0) fetches a page homed on chip 1: remote.
+        let remote = h.access_numa(0, 0x1000, MemOp::Read, AccessKind::Data, Some(1));
+        assert_eq!(remote.cycles, 2 + 8 + 200 + 150);
+        // Core 0 fetches a page homed on chip 0: local.
+        let local = h.access_numa(0, 0x2000, MemOp::Read, AccessKind::Data, Some(0));
+        assert_eq!(local.cycles, 2 + 8 + 200);
+        assert_eq!(h.stats().mem_fetches_remote, 1);
+        assert_eq!(h.stats().mem_fetches_local, 1);
+        assert_eq!(h.stats().memory_fetches, 2);
+    }
+
+    #[test]
+    fn uma_access_counts_no_numa_fetches() {
+        let mut h = small();
+        h.access(0, 0x1000, MemOp::Read, AccessKind::Data);
+        assert_eq!(h.stats().memory_fetches, 1);
+        assert_eq!(h.stats().mem_fetches_local, 0);
+        assert_eq!(h.stats().mem_fetches_remote, 0);
+    }
+
+    #[test]
+    fn numa_penalty_not_charged_on_cache_to_cache() {
+        let l1 = CacheConfig {
+            size_bytes: 64 * 8,
+            line_size: 64,
+            ways: 2,
+            latency: 2,
+        };
+        let l2 = CacheConfig {
+            size_bytes: 64 * 32,
+            line_size: 64,
+            ways: 4,
+            latency: 8,
+        };
+        let mut h = MemoryHierarchy::new(HierarchyConfig {
+            l1i: l1,
+            l1d: l1,
+            l2,
+            mem_latency: 200,
+            c2c_intra_chip: 40,
+            c2c_inter_chip: 120,
+            write_invalidate_penalty: 20,
+            numa_remote_penalty: 150,
+            groups: vec![
+                L2Group {
+                    cores: vec![0, 1],
+                    chip: 0,
+                },
+                L2Group {
+                    cores: vec![2, 3],
+                    chip: 1,
+                },
+            ],
+        });
+        h.access_numa(0, 0x1000, MemOp::Read, AccessKind::Data, Some(1)); // remote fill
+                                                                          // Core 2 now reads it cache-to-cache — NUMA is irrelevant.
+        let out = h.access_numa(2, 0x1000, MemOp::Read, AccessKind::Data, Some(1));
+        assert!(out.snooped);
+        assert_eq!(out.cycles, 2 + 8 + 120);
+        assert_eq!(h.stats().mem_fetches_remote, 1);
+    }
+
+    #[test]
+    fn instruction_fetches_use_l1i() {
+        let mut h = small();
+        h.access(0, 0x1000, MemOp::Read, AccessKind::Instr);
+        assert_eq!(h.stats().l1i_misses, 1);
+        assert_eq!(h.stats().l1d_misses, 0);
+        let out = h.access(0, 0x1000, MemOp::Read, AccessKind::Instr);
+        assert!(out.l1_hit);
+        assert_eq!(h.stats().l1i_hits, 1);
+    }
+}

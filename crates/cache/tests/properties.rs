@@ -1,0 +1,159 @@
+//! Property-based tests of the coherent cache hierarchy.
+
+use proptest::prelude::*;
+use tlbmap_cache::{
+    AccessKind, CacheConfig, HierarchyConfig, L2Group, LineAddr, MemOp, MemoryHierarchy,
+};
+
+fn small_hierarchy() -> MemoryHierarchy {
+    let l1 = CacheConfig {
+        size_bytes: 64 * 8,
+        line_size: 64,
+        ways: 2,
+        latency: 2,
+    };
+    let l2 = CacheConfig {
+        size_bytes: 64 * 32,
+        line_size: 64,
+        ways: 4,
+        latency: 8,
+    };
+    MemoryHierarchy::new(HierarchyConfig {
+        l1i: l1,
+        l1d: l1,
+        l2,
+        mem_latency: 200,
+        c2c_intra_chip: 40,
+        c2c_inter_chip: 120,
+        write_invalidate_penalty: 20,
+        numa_remote_penalty: 0,
+        groups: vec![
+            L2Group {
+                cores: vec![0, 1],
+                chip: 0,
+            },
+            L2Group {
+                cores: vec![2, 3],
+                chip: 1,
+            },
+        ],
+    })
+}
+
+#[derive(Debug, Clone)]
+struct Step {
+    core: usize,
+    addr: u64,
+    write: bool,
+    instr: bool,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    (
+        0usize..4,
+        0u64..40,
+        any::<bool>(),
+        prop::bool::weighted(0.1),
+    )
+        .prop_map(|(core, line, write, instr)| Step {
+            core,
+            addr: line * 64 + (line % 8), // within-line offsets too
+            write: write && !instr,       // no instruction writes
+            instr,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any access sequence: MESI exclusivity holds for every line,
+    /// L1⊆L2 inclusion holds, and the miss taxonomy adds up.
+    #[test]
+    fn coherence_invariants(steps in prop::collection::vec(step(), 1..300)) {
+        let mut h = small_hierarchy();
+        let mut lines = std::collections::HashSet::new();
+        for s in &steps {
+            let op = if s.write { MemOp::Write } else { MemOp::Read };
+            let kind = if s.instr { AccessKind::Instr } else { AccessKind::Data };
+            h.access(s.core, s.addr, op, kind);
+            lines.insert(LineAddr::of(s.addr, 6));
+        }
+        for &l in &lines {
+            prop_assert!(h.mesi_invariant_holds(l), "MESI violated for {:?}", l);
+        }
+        prop_assert!(h.inclusion_holds(), "L1 line without L2 backing");
+        let st = h.stats();
+        prop_assert_eq!(
+            st.l2_misses,
+            st.l2_cold_misses + st.l2_capacity_misses + st.l2_coherence_misses
+        );
+        prop_assert_eq!(
+            st.snoop_transactions,
+            st.snoops_intra_chip + st.snoops_inter_chip
+        );
+        prop_assert_eq!(st.l1d_hits + st.l1d_misses + st.l1i_hits + st.l1i_misses,
+            steps.len() as u64);
+    }
+
+    /// Reads never invalidate anything, and a single-core workload never
+    /// produces coherence traffic.
+    #[test]
+    fn single_core_has_no_coherence_traffic(addrs in prop::collection::vec(0u64..100, 1..200)) {
+        let mut h = small_hierarchy();
+        for (i, &a) in addrs.iter().enumerate() {
+            let op = if i % 3 == 0 { MemOp::Write } else { MemOp::Read };
+            h.access(0, a * 64, op, AccessKind::Data);
+        }
+        prop_assert_eq!(h.stats().invalidations, 0);
+        prop_assert_eq!(h.stats().snoop_transactions, 0);
+        prop_assert_eq!(h.stats().l2_coherence_misses, 0);
+    }
+
+    /// Access cost is exactly one of the legal latency combinations.
+    #[test]
+    fn cycles_come_from_the_latency_model(steps in prop::collection::vec(step(), 1..100)) {
+        let mut h = small_hierarchy();
+        for s in &steps {
+            let op = if s.write { MemOp::Write } else { MemOp::Read };
+            let out = h.access(s.core, s.addr, op, AccessKind::Data);
+            // Enumerate legal cost structures:
+            //   reads: 2 | 2+8 | 2+8+{40,120,200}
+            //   writes: 2 (+20 upgrade) | 2+8+{40,120,200} (+20)
+            let legal = [
+                2, 2 + 8, 2 + 8 + 40, 2 + 8 + 120, 2 + 8 + 200,
+                2 + 20, 2 + 8 + 40 + 20, 2 + 8 + 120 + 20, 2 + 8 + 200 + 20,
+            ];
+            prop_assert!(
+                legal.contains(&out.cycles),
+                "unexpected access cost {} for {:?}",
+                out.cycles,
+                s
+            );
+        }
+    }
+
+    /// Writing threads placed behind the same L2 never cause interconnect
+    /// invalidations; the same accesses split across chips can.
+    #[test]
+    fn co_location_eliminates_invalidations(lines in prop::collection::vec(0u64..16, 10..60)) {
+        // Same-L2 pair: cores 0 and 1.
+        let mut near = small_hierarchy();
+        for (i, &l) in lines.iter().enumerate() {
+            let core = i % 2; // cores 0,1
+            let op = if i % 2 == 0 { MemOp::Write } else { MemOp::Read };
+            near.access(core, l * 64, op, AccessKind::Data);
+        }
+        prop_assert_eq!(near.stats().invalidations, 0);
+        // Cross-chip pair: cores 0 and 2, same access pattern.
+        let mut far = small_hierarchy();
+        let mut far_inv = 0;
+        for (i, &l) in lines.iter().enumerate() {
+            let core = if i % 2 == 0 { 0 } else { 2 };
+            let op = if i % 2 == 0 { MemOp::Write } else { MemOp::Read };
+            far.access(core, l * 64, op, AccessKind::Data);
+            far_inv = far.stats().invalidations;
+        }
+        // Far placement is allowed to invalidate; near must not.
+        prop_assert!(far_inv >= near.stats().invalidations);
+    }
+}

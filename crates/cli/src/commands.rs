@@ -1,0 +1,326 @@
+//! Subcommand implementations.
+
+use crate::opts::Options;
+use tlbmap_core::{
+    CommMatrix, GroundTruthConfig, GroundTruthDetector, HmConfig, HmDetector, SmConfig, SmDetector,
+};
+use tlbmap_mapping::matching::greedy_matching;
+use tlbmap_mapping::{
+    baselines, exhaustive_best_mapping, mapping_cost, HierarchicalMapper, Mapping,
+    RecursiveBisectionMapper,
+};
+use tlbmap_sim::{simulate, NoHooks, RunStats, SimConfig, Topology};
+
+fn topology() -> Topology {
+    Topology::harpertown()
+}
+
+/// `tlbmap topo`
+pub fn topo() -> Result<(), String> {
+    let t = topology();
+    println!(
+        "machine: {} chips x {} L2 groups x {} cores = {} cores (Harpertown-like, Figure 3)",
+        t.chips,
+        t.l2_per_chip,
+        t.cores_per_l2,
+        t.num_cores()
+    );
+    for chip in 0..t.chips {
+        println!("chip {chip}:");
+        for l2 in 0..t.l2_per_chip {
+            let g = chip * t.l2_per_chip + l2;
+            let first = g * t.cores_per_l2;
+            let cores: Vec<String> = (first..first + t.cores_per_l2)
+                .map(|c| format!("core {c}"))
+                .collect();
+            println!("  L2 {g}: [{}]", cores.join(", "));
+        }
+    }
+    Ok(())
+}
+
+/// Detect a matrix with the mechanism named in the options.
+fn detect_matrix(o: &Options) -> Result<(CommMatrix, RunStats), String> {
+    let topo = topology();
+    let n = topo.num_cores();
+    let workload = o.workload()?;
+    let mapping = Mapping::identity(n);
+    match o.mechanism.as_str() {
+        "sm" => {
+            let sim = SimConfig::paper_software_managed(&topo);
+            let mut det = SmDetector::new(
+                n,
+                SmConfig {
+                    sample_threshold: o.sm_threshold,
+                },
+            );
+            let stats = simulate(&sim, &topo, &workload.traces, &mapping, &mut det);
+            Ok((det.take_matrix(), stats))
+        }
+        "hm" => {
+            let sim = SimConfig::paper_hardware_managed(&topo).with_tick_period(Some(o.hm_period));
+            let mut det = HmDetector::new(n, HmConfig::scaled(o.hm_period));
+            let stats = simulate(&sim, &topo, &workload.traces, &mapping, &mut det);
+            Ok((det.take_matrix(), stats))
+        }
+        "gt" => {
+            let sim = SimConfig::paper_software_managed(&topo);
+            let mut det = GroundTruthDetector::new(n, GroundTruthConfig::default());
+            let stats = simulate(&sim, &topo, &workload.traces, &mapping, &mut det);
+            Ok((det.matrix().clone(), stats))
+        }
+        other => Err(format!("unknown mechanism `{other}` (sm|hm|gt)")),
+    }
+}
+
+/// `tlbmap detect`
+pub fn detect(o: Options) -> Result<(), String> {
+    let (matrix, stats) = detect_matrix(&o)?;
+    eprintln!(
+        "# {} via {}: {} communication units, TLB miss rate {:.3}%, detection overhead {:.3}%",
+        o.app,
+        o.mechanism,
+        matrix.total(),
+        stats.tlb_miss_rate() * 100.0,
+        stats.detection_overhead_fraction() * 100.0
+    );
+    if o.csv {
+        print!("{}", matrix.to_csv());
+    } else {
+        print!("{}", matrix.heatmap());
+    }
+    Ok(())
+}
+
+fn build_mapping(o: &Options, matrix: &CommMatrix, topo: &Topology) -> Result<Mapping, String> {
+    match o.mapper.as_str() {
+        "hierarchical" => Ok(HierarchicalMapper::new().map(matrix, topo)),
+        "bisect" => Ok(RecursiveBisectionMapper::new().map(matrix, topo)),
+        "exhaustive" => Ok(exhaustive_best_mapping(matrix, topo)),
+        "greedy" => {
+            let n = matrix.num_threads();
+            let pairs = greedy_matching(n, &|i, j| matrix.get(i, j) as i64);
+            let mut thread_to_core = vec![0usize; n];
+            for (k, (a, b)) in pairs.iter().enumerate() {
+                thread_to_core[*a] = 2 * k;
+                thread_to_core[*b] = 2 * k + 1;
+            }
+            Ok(Mapping::new(thread_to_core))
+        }
+        other => Err(format!("unknown mapper `{other}`")),
+    }
+}
+
+/// `tlbmap map`
+pub fn map(o: Options) -> Result<(), String> {
+    let topo = topology();
+    let (matrix, _) = detect_matrix(&o)?;
+    let mapping = build_mapping(&o, &matrix, &topo)?;
+    println!("thread -> core: {:?}", mapping.as_slice());
+    println!(
+        "mapping cost {} (identity: {})",
+        mapping_cost(&matrix, &mapping, &topo),
+        mapping_cost(&matrix, &Mapping::identity(matrix.num_threads()), &topo)
+    );
+    Ok(())
+}
+
+fn parse_mapping(o: &Options, topo: &Topology) -> Result<Mapping, String> {
+    let n = topo.num_cores();
+    if o.mapping == "identity" {
+        Ok(Mapping::identity(n))
+    } else if o.mapping == "scatter" {
+        Ok(baselines::scatter(n, topo))
+    } else if o.mapping == "auto" {
+        let (matrix, _) = detect_matrix(o)?;
+        build_mapping(o, &matrix, topo)
+    } else if let Some(seed) = o.mapping.strip_prefix("random=") {
+        let seed: u64 = seed.parse().map_err(|e| format!("random seed: {e}"))?;
+        Ok(baselines::random(n, topo, seed))
+    } else {
+        Err(format!(
+            "unknown mapping `{}` (identity|scatter|random=<seed>|auto)",
+            o.mapping
+        ))
+    }
+}
+
+fn print_stats(stats: &RunStats) {
+    println!("cycles:             {}", stats.total_cycles);
+    println!("simulated seconds:  {:.6}", stats.seconds());
+    println!("accesses:           {}", stats.accesses);
+    println!("TLB miss rate:      {:.4}%", stats.tlb_miss_rate() * 100.0);
+    println!("L2 misses:          {}", stats.cache.l2_misses);
+    println!("  cold:             {}", stats.cache.l2_cold_misses);
+    println!("  capacity:         {}", stats.cache.l2_capacity_misses);
+    println!("  coherence:        {}", stats.cache.l2_coherence_misses);
+    println!("invalidations:      {}", stats.cache.invalidations);
+    println!("snoop transactions: {}", stats.cache.snoop_transactions);
+    println!("  intra-chip:       {}", stats.cache.snoops_intra_chip);
+    println!("  inter-chip:       {}", stats.cache.snoops_inter_chip);
+    println!("writebacks:         {}", stats.cache.writebacks);
+    println!("memory fetches:     {}", stats.cache.memory_fetches);
+}
+
+/// `tlbmap simulate`
+pub fn simulate_cmd(o: Options) -> Result<(), String> {
+    let topo = topology();
+    let workload = o.workload()?;
+    let mapping = parse_mapping(&o, &topo)?;
+    println!("mapping (thread -> core): {:?}", mapping.as_slice());
+    let sim = SimConfig::paper_hardware_managed(&topo).with_tick_period(None);
+    let stats = simulate(&sim, &topo, &workload.traces, &mapping, &mut NoHooks);
+    print_stats(&stats);
+    Ok(())
+}
+
+/// `tlbmap stats`
+pub fn stats(o: Options) -> Result<(), String> {
+    let workload = o.workload()?;
+    let s = tlbmap_workloads::TraceStats::analyze(&workload);
+    println!("== {} trace statistics ==", workload.name);
+    print!("{}", s.render());
+    Ok(())
+}
+
+/// `tlbmap export`
+pub fn export(o: Options) -> Result<(), String> {
+    let path = o
+        .out
+        .clone()
+        .ok_or_else(|| "export needs --out <FILE>".to_string())?;
+    let workload = o.workload()?;
+    let bytes = tlbmap_sim::encode_traces(&workload.traces);
+    let events = workload.total_events();
+    std::fs::write(&path, &bytes).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "wrote {path}: {} events in {} bytes ({:.2} bytes/event)",
+        events,
+        bytes.len(),
+        bytes.len() as f64 / events.max(1) as f64
+    );
+    Ok(())
+}
+
+/// `tlbmap report`
+pub fn report(o: Options) -> Result<(), String> {
+    let topo = topology();
+    let workload = o.workload()?;
+    let (matrix, det_stats) = detect_matrix(&o)?;
+    println!("== detected pattern ({}) ==", o.mechanism);
+    print!("{}", matrix.heatmap());
+    println!(
+        "TLB miss rate {:.3}%, detection overhead {:.3}%",
+        det_stats.tlb_miss_rate() * 100.0,
+        det_stats.detection_overhead_fraction() * 100.0
+    );
+
+    let mapping = build_mapping(&o, &matrix, &topo)?;
+    println!("\n== mapping ==\nthread -> core: {:?}", mapping.as_slice());
+
+    let sim = SimConfig::paper_hardware_managed(&topo).with_tick_period(None);
+    let baseline = baselines::random(topo.num_cores(), &topo, o.seed);
+    let before = simulate(&sim, &topo, &workload.traces, &baseline, &mut NoHooks);
+    let after = simulate(&sim, &topo, &workload.traces, &mapping, &mut NoHooks);
+    println!("\n== baseline (random placement, seed {}) ==", o.seed);
+    print_stats(&before);
+    println!("\n== mapped ==");
+    print_stats(&after);
+    let dt = 100.0 * (1.0 - after.total_cycles as f64 / before.total_cycles.max(1) as f64);
+    println!("\nexecution time improvement: {dt:.1}%");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::Options;
+
+    fn opts(words: &[&str]) -> Options {
+        Options::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn topo_runs() {
+        assert!(topo().is_ok());
+    }
+
+    #[test]
+    fn detect_all_mechanisms() {
+        for mech in ["sm", "hm", "gt"] {
+            let o = opts(&[
+                "ring",
+                "--scale",
+                "test",
+                "--mechanism",
+                mech,
+                "--sm-threshold",
+                "1",
+                "--hm-period",
+                "2000",
+            ]);
+            assert!(detect(o).is_ok(), "mechanism {mech}");
+        }
+        let o = opts(&["ring", "--scale", "test", "--mechanism", "bogus"]);
+        assert!(detect(o).is_err());
+    }
+
+    #[test]
+    fn map_all_mappers() {
+        for mapper in ["hierarchical", "bisect", "greedy", "exhaustive"] {
+            let mut o = opts(&["pairs", "--scale", "test", "--sm-threshold", "1"]);
+            o.mapper = mapper.to_string();
+            assert!(map(o).is_ok(), "mapper {mapper}");
+        }
+        let mut o = opts(&["pairs", "--scale", "test"]);
+        o.mapper = "bogus".to_string();
+        assert!(map(o).is_err());
+    }
+
+    #[test]
+    fn simulate_all_mapping_selectors() {
+        for m in ["identity", "scatter", "random=7", "auto"] {
+            let mut o = opts(&["EP", "--scale", "test", "--sm-threshold", "1"]);
+            o.mapping = m.to_string();
+            assert!(simulate_cmd(o).is_ok(), "mapping {m}");
+        }
+        let mut o = opts(&["EP", "--scale", "test"]);
+        o.mapping = "bogus".to_string();
+        assert!(simulate_cmd(o).is_err());
+    }
+
+    #[test]
+    fn stats_runs() {
+        let o = opts(&["MG", "--scale", "test"]);
+        assert!(stats(o).is_ok());
+    }
+
+    #[test]
+    fn export_then_replay_from_trace_file() {
+        let dir = std::env::temp_dir().join("tlbmap_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ring.tlbt");
+        let mut o = opts(&["ring", "--scale", "test"]);
+        o.out = Some(path.to_string_lossy().into_owned());
+        assert!(export(o).is_ok());
+        // Replay: stats + simulate from the file.
+        let arg = format!("trace={}", path.to_string_lossy());
+        let o2 = opts(&[&arg, "--scale", "test"]);
+        assert!(stats(o2).is_ok());
+        let mut o3 = opts(&[&arg, "--scale", "test"]);
+        o3.mapping = "identity".to_string();
+        assert!(simulate_cmd(o3).is_ok());
+    }
+
+    #[test]
+    fn report_full_pipeline() {
+        let o = opts(&["SP", "--scale", "test", "--sm-threshold", "1"]);
+        assert!(report(o).is_ok());
+    }
+
+    #[test]
+    fn unknown_app_propagates() {
+        let o = opts(&["nonsense", "--scale", "test"]);
+        assert!(detect(o).is_err());
+    }
+}

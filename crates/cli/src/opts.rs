@@ -1,0 +1,226 @@
+//! Hand-rolled option parsing (no external CLI dependency).
+
+use tlbmap_workloads::npb::{NpbApp, NpbParams, ProblemScale};
+pub use tlbmap_workloads::PatternClass;
+use tlbmap_workloads::{synthetic, Workload};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+tlbmap — TLB-based communication detection and thread mapping
+
+USAGE:
+  tlbmap topo
+  tlbmap detect   <APP> [--mechanism sm|hm|gt] [--csv] [COMMON]
+  tlbmap map      <APP> [--mapper hierarchical|bisect|greedy|exhaustive] [COMMON]
+  tlbmap simulate <APP> [--mapping identity|scatter|random=<seed>|auto] [COMMON]
+  tlbmap report   <APP> [COMMON]
+  tlbmap stats    <APP> [COMMON]
+  tlbmap export   <APP> --out <FILE> [COMMON]
+
+<APP> may also be `trace=<FILE>` (a file written by `tlbmap export`) in
+detect/map/simulate/report/stats.
+
+APP: BT CG EP FT IS LU MG SP UA | ring pairs pipeline uniform private master_worker turns
+
+COMMON:
+  --scale test|small|workshop   problem size              [workshop]
+  --seed <u64>                  workload seed             [1819]
+  --sm-threshold <u32>          SM sampling threshold     [100]
+  --hm-period <u64>             HM tick period (cycles)   [250000]";
+
+/// Parsed command options.
+pub struct Options {
+    /// Application or synthetic pattern name.
+    pub app: String,
+    /// Detection mechanism for `detect`.
+    pub mechanism: String,
+    /// Mapper name for `map`.
+    pub mapper: String,
+    /// Mapping selector for `simulate`.
+    pub mapping: String,
+    /// Emit CSV instead of a heatmap.
+    pub csv: bool,
+    /// Problem scale.
+    pub scale: ProblemScale,
+    /// Workload seed.
+    pub seed: u64,
+    /// SM sampling threshold.
+    pub sm_threshold: u32,
+    /// HM tick period.
+    pub hm_period: u64,
+    /// Output path for `export`.
+    pub out: Option<String>,
+}
+
+impl Options {
+    /// Parse `args` (everything after the subcommand).
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            app: String::new(),
+            mechanism: "sm".into(),
+            mapper: "hierarchical".into(),
+            mapping: "auto".into(),
+            csv: false,
+            out: None,
+            scale: ProblemScale::Workshop,
+            seed: 1819,
+            sm_threshold: 100,
+            hm_period: 250_000,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let value = |name: &str| -> Result<String, String> {
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--mechanism" => {
+                    o.mechanism = value("--mechanism")?;
+                    i += 2;
+                }
+                "--mapper" => {
+                    o.mapper = value("--mapper")?;
+                    i += 2;
+                }
+                "--mapping" => {
+                    o.mapping = value("--mapping")?;
+                    i += 2;
+                }
+                "--csv" => {
+                    o.csv = true;
+                    i += 1;
+                }
+                "--out" => {
+                    o.out = Some(value("--out")?);
+                    i += 2;
+                }
+                "--scale" => {
+                    o.scale = match value("--scale")?.as_str() {
+                        "test" => ProblemScale::Test,
+                        "small" => ProblemScale::Small,
+                        "workshop" => ProblemScale::Workshop,
+                        other => return Err(format!("unknown scale `{other}`")),
+                    };
+                    i += 2;
+                }
+                "--seed" => {
+                    o.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                    i += 2;
+                }
+                "--sm-threshold" => {
+                    o.sm_threshold = value("--sm-threshold")?
+                        .parse()
+                        .map_err(|e| format!("--sm-threshold: {e}"))?;
+                    if o.sm_threshold == 0 {
+                        return Err("--sm-threshold must be at least 1".into());
+                    }
+                    i += 2;
+                }
+                "--hm-period" if args.get(i + 1).map(|v| v == "0").unwrap_or(false) => {
+                    return Err("--hm-period must be positive".into());
+                }
+                "--hm-period" => {
+                    o.hm_period = value("--hm-period")?
+                        .parse()
+                        .map_err(|e| format!("--hm-period: {e}"))?;
+                    i += 2;
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag `{flag}`"));
+                }
+                name => {
+                    if !o.app.is_empty() {
+                        return Err(format!("unexpected argument `{name}`"));
+                    }
+                    o.app = name.to_string();
+                    i += 1;
+                }
+            }
+        }
+        if o.app.is_empty() {
+            return Err(format!("missing <APP>\n{USAGE}"));
+        }
+        Ok(o)
+    }
+
+    /// Generate the requested workload for 8 threads, or load it from a
+    /// `trace=<file>` argument.
+    pub fn workload(&self) -> Result<Workload, String> {
+        let n = 8;
+        if let Some(path) = self.app.strip_prefix("trace=") {
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            let traces = tlbmap_sim::decode_traces(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            return Ok(Workload {
+                name: format!("trace:{path}"),
+                traces,
+                expected_pattern: crate::opts::PatternClass::DomainDecomposition,
+                footprint_bytes: 0,
+            });
+        }
+        if let Some(app) = NpbApp::from_name(&self.app) {
+            let params = NpbParams {
+                n_threads: n,
+                scale: self.scale,
+                seed: self.seed,
+            };
+            return Ok(app.generate(&params));
+        }
+        let (pages, iters) = match self.scale {
+            ProblemScale::Test => (8, 2),
+            ProblemScale::Small => (32, 4),
+            ProblemScale::Workshop => (80, 6),
+        };
+        match self.app.as_str() {
+            "ring" => Ok(synthetic::ring_neighbors(n, pages, iters)),
+            "pairs" => Ok(synthetic::producer_consumer(n, pages / 2, iters)),
+            "pipeline" => Ok(synthetic::pipeline(n, pages / 2, iters)),
+            "uniform" => Ok(synthetic::uniform_all_to_all(n, pages / 2, iters)),
+            "private" => Ok(synthetic::private_only(n, pages, iters)),
+            "master_worker" => Ok(synthetic::master_worker(n, pages / 4, iters)),
+            "turns" => Ok(synthetic::turn_taking(n, pages / 4, iters)),
+            other => Err(format!("unknown app `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Options, String> {
+        Options::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_app_and_flags() {
+        let o = parse(&["SP", "--scale", "small", "--mechanism", "hm", "--csv"]).unwrap();
+        assert_eq!(o.app, "SP");
+        assert_eq!(o.scale, ProblemScale::Small);
+        assert_eq!(o.mechanism, "hm");
+        assert!(o.csv);
+    }
+
+    #[test]
+    fn rejects_missing_app_and_bad_flags() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["SP", "--bogus"]).is_err());
+        assert!(parse(&["SP", "--seed", "abc"]).is_err());
+        assert!(parse(&["SP", "--sm-threshold", "0"]).is_err());
+        assert!(parse(&["SP", "--hm-period", "0"]).is_err());
+        assert!(parse(&["SP", "extra"]).is_err());
+    }
+
+    #[test]
+    fn builds_npb_and_synthetic_workloads() {
+        let mut o = parse(&["bt", "--scale", "test"]).unwrap();
+        assert_eq!(o.workload().unwrap().name, "BT");
+        o.app = "ring".into();
+        assert_eq!(o.workload().unwrap().name, "ring");
+        o.app = "nope".into();
+        assert!(o.workload().is_err());
+    }
+}

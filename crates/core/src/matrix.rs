@@ -1,0 +1,336 @@
+//! The communication matrix (Section III-C).
+//!
+//! Cell `(i, j)` accumulates the amount of communication detected between
+//! threads `i` and `j`. The matrix is symmetric with a zero diagonal —
+//! communication is evaluated between *pairs* of threads to keep complexity
+//! Θ(N²).
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric, zero-diagonal matrix of per-thread-pair communication.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommMatrix {
+    n: usize,
+    /// Row-major n×n storage; kept symmetric by construction.
+    data: Vec<u64>,
+}
+
+impl CommMatrix {
+    /// An all-zero matrix for `n` threads.
+    pub fn new(n: usize) -> Self {
+        CommMatrix {
+            n,
+            data: vec![0; n * n],
+        }
+    }
+
+    /// Build from explicit row-major data (tests, tools).
+    ///
+    /// # Panics
+    /// Panics if `data` is not n×n, not symmetric, or has a nonzero
+    /// diagonal.
+    pub fn from_rows(n: usize, data: Vec<u64>) -> Self {
+        assert_eq!(data.len(), n * n, "expected {}x{} entries", n, n);
+        let m = CommMatrix { n, data };
+        for i in 0..n {
+            assert_eq!(m.get(i, i), 0, "diagonal must be zero at ({i},{i})");
+            for j in 0..i {
+                assert_eq!(
+                    m.get(i, j),
+                    m.get(j, i),
+                    "matrix must be symmetric at ({i},{j})"
+                );
+            }
+        }
+        m
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    /// Communication between threads `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Add `amount` to the pair `(i, j)`. Ignores the diagonal (a thread
+    /// does not communicate with itself).
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, amount: u64) {
+        if i == j {
+            return;
+        }
+        self.data[i * self.n + j] += amount;
+        self.data[j * self.n + i] += amount;
+    }
+
+    /// Record one detected match between the threads on two cores.
+    #[inline]
+    pub fn record(&mut self, i: usize, j: usize) {
+        self.add(i, j, 1);
+    }
+
+    /// Sum of the upper triangle — total communication units detected.
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                sum += self.get(i, j);
+            }
+        }
+        sum
+    }
+
+    /// Largest cell value.
+    pub fn max(&self) -> u64 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Element-wise accumulate.
+    ///
+    /// # Panics
+    /// Panics on size mismatch.
+    pub fn merge(&mut self, other: &CommMatrix) {
+        assert_eq!(self.n, other.n, "matrix sizes differ");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Upper-triangle cells as `(i, j, value)`, `i < j`.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        (0..self.n).flat_map(move |i| ((i + 1)..self.n).map(move |j| (i, j, self.get(i, j))))
+    }
+
+    /// Normalized copy: every cell divided by the maximum (all in `[0, 1]`).
+    /// An all-zero matrix normalizes to all zeros.
+    pub fn normalized(&self) -> Vec<f64> {
+        let max = self.max();
+        if max == 0 {
+            return vec![0.0; self.data.len()];
+        }
+        self.data.iter().map(|&v| v as f64 / max as f64).collect()
+    }
+
+    /// Render the matrix as an ASCII heatmap like the paper's Figures 4–5:
+    /// darker glyphs = more communication.
+    pub fn heatmap(&self) -> String {
+        const SHADES: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let norm = self.normalized();
+        let mut out = String::new();
+        out.push_str("    ");
+        for j in 0..self.n {
+            out.push_str(&format!("{j:>2} "));
+        }
+        out.push('\n');
+        for i in 0..self.n {
+            out.push_str(&format!("{i:>2} |"));
+            for j in 0..self.n {
+                let v = norm[i * self.n + j];
+                let idx = ((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+                let c = SHADES[idx];
+                out.push(' ');
+                out.push(c);
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering (header row `t0,t1,...`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &(0..self.n)
+                .map(|j| format!("t{j}"))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for i in 0..self.n {
+            out.push_str(
+                &(0..self.n)
+                    .map(|j| self.get(i, j).to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the matrix as a binary PPM (P6) image like the paper's
+    /// Figures 4–5: one `cell` × `cell` pixel block per matrix entry,
+    /// darker = more communication, 1-pixel grid lines.
+    pub fn to_ppm(&self, cell: usize) -> Vec<u8> {
+        let n = self.n;
+        let cell = cell.max(1);
+        let side = n * cell + (n + 1); // grid lines between cells
+        let norm = self.normalized();
+        let mut img = vec![200u8; side * side * 3]; // grid gray
+        for i in 0..n {
+            for j in 0..n {
+                // 0 → white (255), max → near-black (16).
+                let v = norm[i * n + j];
+                let shade = (255.0 - v * 239.0).round() as u8;
+                let y0 = 1 + i * (cell + 1);
+                let x0 = 1 + j * (cell + 1);
+                for dy in 0..cell {
+                    for dx in 0..cell {
+                        let px = ((y0 + dy) * side + (x0 + dx)) * 3;
+                        img[px] = shade;
+                        img[px + 1] = shade;
+                        img[px + 2] = shade;
+                    }
+                }
+            }
+        }
+        let mut out = format!("P6\n{side} {side}\n255\n").into_bytes();
+        out.extend_from_slice(&img);
+        out
+    }
+
+    /// Check the structural invariants (symmetry, zero diagonal). Property
+    /// tests call this after arbitrary operation sequences.
+    pub fn invariants_hold(&self) -> bool {
+        for i in 0..self.n {
+            if self.get(i, i) != 0 {
+                return false;
+            }
+            for j in 0..i {
+                if self.get(i, j) != self.get(j, i) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zero() {
+        let m = CommMatrix::new(4);
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.max(), 0);
+        assert!(m.invariants_hold());
+    }
+
+    #[test]
+    fn add_is_symmetric() {
+        let mut m = CommMatrix::new(4);
+        m.add(1, 3, 5);
+        assert_eq!(m.get(1, 3), 5);
+        assert_eq!(m.get(3, 1), 5);
+        assert_eq!(m.total(), 5);
+        assert!(m.invariants_hold());
+    }
+
+    #[test]
+    fn diagonal_adds_ignored() {
+        let mut m = CommMatrix::new(3);
+        m.add(2, 2, 100);
+        assert_eq!(m.total(), 0);
+        assert!(m.invariants_hold());
+    }
+
+    #[test]
+    fn record_increments_by_one() {
+        let mut m = CommMatrix::new(2);
+        m.record(0, 1);
+        m.record(1, 0);
+        assert_eq!(m.get(0, 1), 2);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CommMatrix::new(3);
+        let mut b = CommMatrix::new(3);
+        a.add(0, 1, 2);
+        b.add(0, 1, 3);
+        b.add(1, 2, 7);
+        a.merge(&b);
+        assert_eq!(a.get(0, 1), 5);
+        assert_eq!(a.get(1, 2), 7);
+        assert!(a.invariants_hold());
+    }
+
+    #[test]
+    fn pairs_iterates_upper_triangle() {
+        let mut m = CommMatrix::new(3);
+        m.add(0, 1, 1);
+        m.add(0, 2, 2);
+        m.add(1, 2, 3);
+        let pairs: Vec<_> = m.pairs().collect();
+        assert_eq!(pairs, vec![(0, 1, 1), (0, 2, 2), (1, 2, 3)]);
+    }
+
+    #[test]
+    fn normalized_peaks_at_one() {
+        let mut m = CommMatrix::new(2);
+        m.add(0, 1, 8);
+        let n = m.normalized();
+        assert_eq!(n[1], 1.0);
+        assert_eq!(n[0], 0.0);
+    }
+
+    #[test]
+    fn normalized_zero_matrix() {
+        let m = CommMatrix::new(2);
+        assert!(m.normalized().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn heatmap_shape() {
+        let mut m = CommMatrix::new(3);
+        m.add(0, 2, 10);
+        let h = m.heatmap();
+        assert_eq!(h.lines().count(), 4); // header + 3 rows
+        assert!(h.contains('@')); // the max cell renders darkest
+    }
+
+    #[test]
+    fn csv_roundtrip_values() {
+        let mut m = CommMatrix::new(2);
+        m.add(0, 1, 9);
+        let csv = m.to_csv();
+        assert!(csv.starts_with("t0,t1\n"));
+        assert!(csv.contains("0,9"));
+        assert!(csv.contains("9,0"));
+    }
+
+    #[test]
+    fn ppm_has_correct_header_and_size() {
+        let mut m = CommMatrix::new(3);
+        m.add(0, 1, 10);
+        let ppm = m.to_ppm(4);
+        // side = 3*4 + 4 = 16
+        assert!(ppm.starts_with(b"P6\n16 16\n255\n"));
+        let header_len = b"P6\n16 16\n255\n".len();
+        assert_eq!(ppm.len(), header_len + 16 * 16 * 3);
+        // The max cell (0,1) must be darker than an empty cell (0,2).
+        // Cell (0,1) top-left pixel: y=1, x=1+5=6; cell (0,2): x=11.
+        let px = |y: usize, x: usize| ppm[header_len + (y * 16 + x) * 3];
+        assert!(px(1, 6) < px(1, 11), "hot cell must be darker");
+        assert_eq!(px(1, 11), 255, "empty cell is white");
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn from_rows_rejects_asymmetry() {
+        CommMatrix::from_rows(2, vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn from_rows_rejects_diagonal() {
+        CommMatrix::from_rows(2, vec![1, 0, 0, 0]);
+    }
+}

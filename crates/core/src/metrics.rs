@@ -1,0 +1,169 @@
+//! Quantitative accuracy metrics between communication matrices.
+//!
+//! Section VI-A judges the detected patterns visually against known
+//! application structure; these metrics make the comparison reproducible:
+//! how similar is an SM/HM matrix to the ground-truth matrix? All metrics
+//! operate on the upper triangle (the diagonal carries no information) and
+//! are scale-invariant where that is meaningful — detectors sample, so only
+//! the *shape* of the matrix matters for mapping.
+
+use crate::matrix::CommMatrix;
+
+fn upper_triangle(m: &CommMatrix) -> Vec<f64> {
+    m.pairs().map(|(_, _, v)| v as f64).collect()
+}
+
+/// Pearson correlation of the upper triangles; `1.0` for identical shapes,
+/// `0.0` when either matrix is constant (no pattern to correlate).
+pub fn pearson_correlation(a: &CommMatrix, b: &CommMatrix) -> f64 {
+    assert_eq!(a.num_threads(), b.num_threads(), "matrix sizes differ");
+    let xs = upper_triangle(a);
+    let ys = upper_triangle(b);
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Cosine similarity of the upper triangles; scale-invariant, `0.0` when
+/// either matrix is empty.
+pub fn cosine_similarity(a: &CommMatrix, b: &CommMatrix) -> f64 {
+    assert_eq!(a.num_threads(), b.num_threads(), "matrix sizes differ");
+    let xs = upper_triangle(a);
+    let ys = upper_triangle(b);
+    let dot: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    let na: f64 = xs.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = ys.iter().map(|y| y * y).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+/// Mean squared error between the *normalized* matrices (each scaled to
+/// peak 1), so sampling rate differences do not dominate.
+pub fn normalized_mse(a: &CommMatrix, b: &CommMatrix) -> f64 {
+    assert_eq!(a.num_threads(), b.num_threads(), "matrix sizes differ");
+    let na = a.normalized();
+    let nb = b.normalized();
+    if na.is_empty() {
+        return 0.0;
+    }
+    na.iter()
+        .zip(&nb)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        / na.len() as f64
+}
+
+/// Heterogeneity of a matrix: coefficient of variation of the upper
+/// triangle. Near zero means a *homogeneous* pattern (CG/EP/FT in the
+/// paper) for which mapping cannot help; large values mean structure worth
+/// exploiting (BT/SP/MG…).
+pub fn heterogeneity(m: &CommMatrix) -> f64 {
+    let xs = upper_triangle(m);
+    let n = xs.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_pattern(scale: u64) -> CommMatrix {
+        let mut m = CommMatrix::new(4);
+        m.add(0, 1, 10 * scale);
+        m.add(2, 3, 10 * scale);
+        m.add(0, 2, scale);
+        m.add(1, 3, scale);
+        m
+    }
+
+    #[test]
+    fn identical_shape_correlates_perfectly() {
+        let a = diag_pattern(1);
+        let b = diag_pattern(7); // same shape, different sampling rate
+        assert!((pearson_correlation(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((cosine_similarity(&a, &b) - 1.0).abs() < 1e-12);
+        assert!(normalized_mse(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn opposite_patterns_anticorrelate() {
+        let mut a = CommMatrix::new(4);
+        a.add(0, 1, 10);
+        a.add(2, 3, 10);
+        let mut b = CommMatrix::new(4);
+        b.add(0, 2, 10);
+        b.add(1, 3, 10);
+        b.add(0, 3, 10);
+        b.add(1, 2, 10);
+        assert!(pearson_correlation(&a, &b) < 0.0);
+    }
+
+    #[test]
+    fn constant_matrix_has_zero_correlation() {
+        let mut a = CommMatrix::new(3);
+        for (i, j) in [(0, 1), (0, 2), (1, 2)] {
+            a.add(i, j, 5);
+        }
+        let b = diag_pattern(1);
+        // 3-thread version of diag for size match:
+        let mut b3 = CommMatrix::new(3);
+        b3.add(0, 1, 10);
+        let _ = b;
+        assert_eq!(pearson_correlation(&a, &b3), 0.0);
+    }
+
+    #[test]
+    fn empty_matrices_are_safe() {
+        let a = CommMatrix::new(4);
+        let b = CommMatrix::new(4);
+        assert_eq!(pearson_correlation(&a, &b), 0.0);
+        assert_eq!(cosine_similarity(&a, &b), 0.0);
+        assert_eq!(normalized_mse(&a, &b), 0.0);
+        assert_eq!(heterogeneity(&a), 0.0);
+    }
+
+    #[test]
+    fn heterogeneity_separates_patterns() {
+        // Homogeneous: all pairs equal.
+        let mut homo = CommMatrix::new(4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                homo.add(i, j, 10);
+            }
+        }
+        let het = diag_pattern(1);
+        assert!(heterogeneity(&homo) < 1e-12);
+        assert!(heterogeneity(&het) > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes differ")]
+    fn size_mismatch_rejected() {
+        pearson_correlation(&CommMatrix::new(2), &CommMatrix::new(3));
+    }
+}

@@ -1,0 +1,122 @@
+//! Cost functions for comparing thread mappings.
+//!
+//! The quantity a mapping should minimize is communication-weighted
+//! distance: every unit of communication between threads `i` and `j` costs
+//! the hierarchical distance between their cores (0 = same core, 1 = same
+//! L2, 2 = same chip, 3 = cross-chip — see
+//! [`tlbmap_sim::topology::Proximity`]).
+
+use tlbmap_core::CommMatrix;
+use tlbmap_sim::{Mapping, Topology};
+
+/// Total communication-weighted distance of `mapping` — lower is better.
+///
+/// # Panics
+/// Panics if the matrix and mapping disagree on the thread count.
+pub fn mapping_cost(matrix: &CommMatrix, mapping: &Mapping, topo: &Topology) -> u64 {
+    assert_eq!(
+        matrix.num_threads(),
+        mapping.num_threads(),
+        "matrix is {}-thread but mapping is {}-thread",
+        matrix.num_threads(),
+        mapping.num_threads()
+    );
+    matrix
+        .pairs()
+        .map(|(i, j, w)| w * topo.distance(mapping.core_of(i), mapping.core_of(j)))
+        .sum()
+}
+
+/// Fraction of total communication that stays within a shared L2
+/// (distance ≤ 1). `1.0` when there is no communication at all.
+pub fn l2_locality_fraction(matrix: &CommMatrix, mapping: &Mapping, topo: &Topology) -> f64 {
+    let total = matrix.total();
+    if total == 0 {
+        return 1.0;
+    }
+    let local: u64 = matrix
+        .pairs()
+        .filter(|&(i, j, _)| topo.distance(mapping.core_of(i), mapping.core_of(j)) <= 1)
+        .map(|(_, _, w)| w)
+        .sum();
+    local as f64 / total as f64
+}
+
+/// Quality in `[0, 1]`: 1 means every unit of communication sits at the
+/// minimum possible distance (1, shared L2), 0 means everything crosses
+/// chips. These are *bounds*, not achievable extremes for every matrix, so
+/// treat this as a comparable score, not a percentage of optimality.
+pub fn normalized_mapping_quality(matrix: &CommMatrix, mapping: &Mapping, topo: &Topology) -> f64 {
+    let total = matrix.total();
+    if total == 0 {
+        return 1.0;
+    }
+    let cost = mapping_cost(matrix, mapping, topo) as f64;
+    let best = total as f64; // all at distance 1
+    let worst = (total * 3) as f64; // all cross-chip
+    ((worst - cost) / (worst - best)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair_matrix() -> CommMatrix {
+        let mut m = CommMatrix::new(4);
+        m.add(0, 1, 10);
+        m.add(2, 3, 10);
+        m
+    }
+
+    #[test]
+    fn cost_rewards_colocating_communicators() {
+        let topo = Topology::harpertown();
+        let m = pair_matrix();
+        // 0-1 and 2-3 each on one L2: distance 1 each.
+        let good = Mapping::new(vec![0, 1, 2, 3]);
+        // Split each pair across chips.
+        let bad = Mapping::new(vec![0, 4, 1, 5]);
+        assert_eq!(mapping_cost(&m, &good, &topo), 20);
+        assert_eq!(mapping_cost(&m, &bad, &topo), 60);
+    }
+
+    #[test]
+    fn locality_fraction() {
+        let topo = Topology::harpertown();
+        let m = pair_matrix();
+        let good = Mapping::new(vec![0, 1, 2, 3]);
+        let half = Mapping::new(vec![0, 1, 2, 4]); // pair 2-3 crosses chips
+        assert_eq!(l2_locality_fraction(&m, &good, &topo), 1.0);
+        assert!((l2_locality_fraction(&m, &half, &topo) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_bounds() {
+        let topo = Topology::harpertown();
+        let m = pair_matrix();
+        let best = Mapping::new(vec![0, 1, 2, 3]);
+        let worst = Mapping::new(vec![0, 4, 1, 5]);
+        assert_eq!(normalized_mapping_quality(&m, &best, &topo), 1.0);
+        assert_eq!(normalized_mapping_quality(&m, &worst, &topo), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_perfect() {
+        let topo = Topology::harpertown();
+        let m = CommMatrix::new(2);
+        let mapping = Mapping::new(vec![0, 4]);
+        assert_eq!(mapping_cost(&m, &mapping, &topo), 0);
+        assert_eq!(normalized_mapping_quality(&m, &mapping, &topo), 1.0);
+        assert_eq!(l2_locality_fraction(&m, &mapping, &topo), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread")]
+    fn size_mismatch_rejected() {
+        mapping_cost(
+            &CommMatrix::new(3),
+            &Mapping::identity(4),
+            &Topology::harpertown(),
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Exhaustive optimal mapping — a brute-force oracle over all thread
+//! permutations, feasible for the paper's 8-core machine (8! = 40320
+//! candidates). Used to measure how close the polynomial heuristics get to
+//! the true optimum (the mapping problem itself is NP-hard in general).
+
+use crate::cost::mapping_cost;
+use tlbmap_core::CommMatrix;
+use tlbmap_sim::{Mapping, Topology};
+
+/// The minimum-cost mapping over *all* permutations.
+///
+/// # Panics
+/// Panics when threads ≠ cores or the machine has more than 10 cores
+/// (10! ≈ 3.6M candidates is the practical limit).
+pub fn exhaustive_best_mapping(matrix: &CommMatrix, topo: &Topology) -> Mapping {
+    let n = matrix.num_threads();
+    assert_eq!(n, topo.num_cores(), "oracle expects one thread per core");
+    assert!(n <= 10, "exhaustive search infeasible beyond 10 cores");
+
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best = Mapping::new(perm.clone());
+    let mut best_cost = mapping_cost(matrix, &best, topo);
+
+    // Heap's algorithm, iterative.
+    let mut c = vec![0usize; n];
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            let candidate = Mapping::new(perm.clone());
+            let cost = mapping_cost(matrix, &candidate, topo);
+            if cost < best_cost {
+                best_cost = cost;
+                best = candidate;
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy_map::HierarchicalMapper;
+
+    #[test]
+    fn oracle_finds_the_obvious_optimum() {
+        let mut m = CommMatrix::new(4);
+        m.add(0, 3, 100);
+        m.add(1, 2, 100);
+        let topo = Topology::new(1, 2, 2);
+        let best = exhaustive_best_mapping(&m, &topo);
+        // Optimal: pairs (0,3) and (1,2) each on one L2 → cost 200.
+        assert_eq!(mapping_cost(&m, &best, &topo), 200);
+    }
+
+    #[test]
+    fn heuristic_never_beats_the_oracle() {
+        // Pseudo-random matrices; the hierarchical heuristic must be ≥ the
+        // exhaustive optimum and usually close.
+        let topo = Topology::harpertown();
+        for seed in 0..5u64 {
+            let mut m = CommMatrix::new(8);
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            for i in 0..8 {
+                for j in (i + 1)..8 {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    m.add(i, j, (x >> 33) % 100);
+                }
+            }
+            let oracle = exhaustive_best_mapping(&m, &topo);
+            let heur = HierarchicalMapper::new().map(&m, &topo);
+            let oc = mapping_cost(&m, &oracle, &topo);
+            let hc = mapping_cost(&m, &heur, &topo);
+            assert!(hc >= oc, "heuristic beat the exhaustive optimum?!");
+            assert!(
+                (hc as f64) <= (oc as f64) * 1.25,
+                "heuristic too far from optimum: {hc} vs {oc} (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn large_machines_rejected() {
+        let topo = Topology::new(2, 3, 2);
+        exhaustive_best_mapping(&CommMatrix::new(12), &topo);
+    }
+}

@@ -1,0 +1,244 @@
+//! The paper's hierarchical mapping algorithm (Section V-A).
+//!
+//! Level by level up the memory hierarchy:
+//!
+//! 1. Run maximum-weight perfect matching on the communication matrix —
+//!    matched threads will share an L2.
+//! 2. Build the *group* communication matrix. For pairs this is exactly the
+//!    paper's heuristic `H((x,y),(z,k)) = M(x,z)+M(x,k)+M(y,z)+M(y,k)`; in
+//!    general the weight between two groups is the sum of `M` over their
+//!    cross product.
+//! 3. Re-run the matching on groups; matched groups will share a chip.
+//! 4. Repeat until one group spans the machine.
+//!
+//! When a matched pair of groups merges, their members become adjacent in
+//! core order, so the final flattened order maps straight onto the
+//! topology's core numbering (cores `0,1` share L2 0, cores `0..4` share
+//! chip 0, …). As the paper notes, this does not guarantee the optimal
+//! grouping beyond pairs — the pair matrix carries no information about
+//! groups larger than two — but it is a polynomial-time approximation.
+
+use crate::matching::perfect_matching_pairs;
+use tlbmap_core::CommMatrix;
+use tlbmap_sim::{Mapping, Topology};
+
+/// The level-by-level matching mapper.
+#[derive(Debug, Clone, Default)]
+pub struct HierarchicalMapper {
+    _private: (),
+}
+
+impl HierarchicalMapper {
+    /// Create a mapper.
+    pub fn new() -> Self {
+        HierarchicalMapper { _private: () }
+    }
+
+    /// Map `matrix.num_threads()` threads onto `topo`.
+    ///
+    /// # Panics
+    /// Panics unless the thread count equals the core count (the paper's
+    /// setting) and every topology level size is a power-of-two multiple of
+    /// the previous one (pairwise matching doubles group sizes).
+    pub fn map(&self, matrix: &CommMatrix, topo: &Topology) -> Mapping {
+        let n = matrix.num_threads();
+        assert_eq!(
+            n,
+            topo.num_cores(),
+            "hierarchical mapper expects one thread per core ({} threads, {} cores)",
+            n,
+            topo.num_cores()
+        );
+        if n == 1 {
+            return Mapping::identity(1);
+        }
+
+        // groups[g] = ordered list of member threads.
+        let mut groups: Vec<Vec<usize>> = (0..n).map(|t| vec![t]).collect();
+        let mut size = 1usize;
+
+        for target in topo.level_group_sizes() {
+            assert!(
+                target % size == 0 && (target / size).is_power_of_two(),
+                "level size {target} not a power-of-two multiple of current group size {size}"
+            );
+            while size < target {
+                groups = merge_by_matching(&groups, matrix);
+                size *= 2;
+            }
+        }
+        debug_assert_eq!(groups.len(), 1);
+
+        // The flattened member order is the core order.
+        let order = &groups[0];
+        let mut thread_to_core = vec![0usize; n];
+        for (core, &thread) in order.iter().enumerate() {
+            thread_to_core[thread] = core;
+        }
+        Mapping::new(thread_to_core)
+    }
+}
+
+/// Weight between two groups: sum of the communication matrix over their
+/// cross product (the generalization of the paper's `H`).
+pub fn group_weight(a: &[usize], b: &[usize], matrix: &CommMatrix) -> u64 {
+    let mut sum = 0;
+    for &i in a {
+        for &j in b {
+            sum += matrix.get(i, j);
+        }
+    }
+    sum
+}
+
+/// One matching level: pair up the groups and merge matched pairs.
+fn merge_by_matching(groups: &[Vec<usize>], matrix: &CommMatrix) -> Vec<Vec<usize>> {
+    let g = groups.len();
+    debug_assert!(g.is_multiple_of(2));
+    let weight =
+        |a: usize, b: usize| -> i64 { group_weight(&groups[a], &groups[b], matrix) as i64 };
+    let pairs = perfect_matching_pairs(g, &weight);
+    pairs
+        .into_iter()
+        .map(|(a, b)| {
+            let mut merged = groups[a].clone();
+            merged.extend_from_slice(&groups[b]);
+            merged
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::mapping_cost;
+
+    /// Matrix with strong pairs (0,1) (2,3) (4,5) (6,7) and stronger
+    /// quad-affinity between pairs {01,23} and {45,67}.
+    fn structured() -> CommMatrix {
+        let mut m = CommMatrix::new(8);
+        for (a, b) in [(0, 1), (2, 3), (4, 5), (6, 7)] {
+            m.add(a, b, 100);
+        }
+        // Quad affinity.
+        for (a, b) in [(0, 2), (1, 3), (4, 6), (5, 7)] {
+            m.add(a, b, 10);
+        }
+        m
+    }
+
+    #[test]
+    fn pairs_end_up_on_shared_l2() {
+        let topo = Topology::harpertown();
+        let mapping = HierarchicalMapper::new().map(&structured(), &topo);
+        for (a, b) in [(0, 1), (2, 3), (4, 5), (6, 7)] {
+            assert_eq!(
+                topo.l2_of(mapping.core_of(a)),
+                topo.l2_of(mapping.core_of(b)),
+                "threads {a},{b} should share an L2"
+            );
+        }
+    }
+
+    #[test]
+    fn quads_end_up_on_shared_chip() {
+        let topo = Topology::harpertown();
+        let mapping = HierarchicalMapper::new().map(&structured(), &topo);
+        for group in [[0usize, 1, 2, 3], [4, 5, 6, 7]] {
+            let chip = topo.chip_of(mapping.core_of(group[0]));
+            for &t in &group[1..] {
+                assert_eq!(topo.chip_of(mapping.core_of(t)), chip);
+            }
+        }
+    }
+
+    #[test]
+    fn beats_scattered_identity_on_shuffled_pattern() {
+        // Strong pairs deliberately placed far apart by identity.
+        let mut m = CommMatrix::new(8);
+        for (a, b) in [(0, 4), (1, 5), (2, 6), (3, 7)] {
+            m.add(a, b, 50);
+        }
+        let topo = Topology::harpertown();
+        let mapped = HierarchicalMapper::new().map(&m, &topo);
+        let identity = Mapping::identity(8);
+        assert!(
+            mapping_cost(&m, &mapped, &topo) < mapping_cost(&m, &identity, &topo),
+            "mapper must beat identity on an anti-affine pattern"
+        );
+        // In fact each strong pair must share an L2 (distance 1, the
+        // optimum) because pair weights dominate.
+        assert_eq!(mapping_cost(&m, &mapped, &topo), 200);
+    }
+
+    #[test]
+    fn homogeneous_matrix_yields_valid_permutation() {
+        let mut m = CommMatrix::new(8);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                m.add(i, j, 7);
+            }
+        }
+        let topo = Topology::harpertown();
+        let mapping = HierarchicalMapper::new().map(&m, &topo);
+        let mut seen = [false; 8];
+        for t in 0..8 {
+            let c = mapping.core_of(t);
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_mapped_without_panic() {
+        let topo = Topology::harpertown();
+        let mapping = HierarchicalMapper::new().map(&CommMatrix::new(8), &topo);
+        assert_eq!(mapping.num_threads(), 8);
+    }
+
+    #[test]
+    fn group_weight_matches_paper_h() {
+        let mut m = CommMatrix::new(4);
+        m.add(0, 2, 1);
+        m.add(0, 3, 2);
+        m.add(1, 2, 3);
+        m.add(1, 3, 4);
+        // H((0,1),(2,3)) = M(0,2)+M(0,3)+M(1,2)+M(1,3) = 10.
+        assert_eq!(group_weight(&[0, 1], &[2, 3], &m), 10);
+    }
+
+    #[test]
+    fn single_core_machine() {
+        let topo = Topology::new(1, 1, 1);
+        let mapping = HierarchicalMapper::new().map(&CommMatrix::new(1), &topo);
+        assert_eq!(mapping.core_of(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one thread per core")]
+    fn thread_core_mismatch_rejected() {
+        HierarchicalMapper::new().map(&CommMatrix::new(4), &Topology::harpertown());
+    }
+
+    #[test]
+    fn wider_topology_16_cores() {
+        let topo = Topology::new(2, 2, 4);
+        let mut m = CommMatrix::new(16);
+        // Four quads of heavy communication.
+        for q in 0..4 {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    m.add(q * 4 + i, q * 4 + j, 100);
+                }
+            }
+        }
+        let mapping = HierarchicalMapper::new().map(&m, &topo);
+        // Each quad must land on one L2 (4 cores per L2).
+        for q in 0..4 {
+            let l2 = topo.l2_of(mapping.core_of(q * 4));
+            for i in 1..4 {
+                assert_eq!(topo.l2_of(mapping.core_of(q * 4 + i)), l2);
+            }
+        }
+    }
+}

@@ -1,0 +1,1004 @@
+//! Maximum-weight matching on general graphs — Edmonds' blossom algorithm.
+//!
+//! This is the algorithmic engine of the paper's mapper (\[4\] in the paper):
+//! given the complete graph weighted by the communication matrix, a
+//! maximum-weight *perfect* matching pairs up threads so that total
+//! intra-pair communication is maximized (Figure 2).
+//!
+//! [`max_weight_matching`] is an O(n³) implementation following Galil's
+//! formulation, ported from Joris van Rantwijk's well-known reference
+//! implementation (the same code underlying NetworkX's
+//! `max_weight_matching`). With `max_cardinality = true` on a complete
+//! graph with an even number of vertices the result is a maximum-weight
+//! perfect matching. [`brute_force_max_weight_perfect_matching`] is an
+//! exact exponential oracle used by the test suite to validate the blossom
+//! code, and [`greedy_matching`] is the cheap baseline used in ablations.
+
+/// An undirected weighted edge `(u, v, weight)`.
+pub type Edge = (usize, usize, i64);
+
+/// Compute a maximum-weight matching of the given edges.
+///
+/// Returns `mate`, where `mate[v]` is the vertex matched to `v`, or `None`
+/// if `v` is unmatched. With `max_cardinality`, among all maximum-cardinality
+/// matchings one of maximum weight is found — on a complete graph with an
+/// even vertex count this yields a maximum-weight perfect matching.
+///
+/// # Panics
+/// Panics on self-loops or negative vertex counts implied by the edges.
+pub fn max_weight_matching(
+    n_vertices: usize,
+    edges: &[Edge],
+    max_cardinality: bool,
+) -> Vec<Option<usize>> {
+    if edges.is_empty() || n_vertices == 0 {
+        return vec![None; n_vertices];
+    }
+    for &(i, j, _) in edges {
+        assert!(i != j, "self-loop ({i},{i}) not allowed");
+        assert!(
+            i < n_vertices && j < n_vertices,
+            "edge ({i},{j}) out of range"
+        );
+    }
+    let mut m = Matcher::new(n_vertices, edges, max_cardinality);
+    m.solve();
+    m.mate
+        .iter()
+        .map(|&p| {
+            if p >= 0 {
+                Some(m.endpoint[p as usize])
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+struct Matcher<'a> {
+    nvertex: usize,
+    nedge: usize,
+    edges: &'a [Edge],
+    max_cardinality: bool,
+    /// `endpoint[p]` = vertex at endpoint `p` (`p = 2k` is edge k's first
+    /// vertex, `p = 2k+1` its second).
+    endpoint: Vec<usize>,
+    /// `neighbend[v]` = remote endpoints of edges incident to `v`.
+    neighbend: Vec<Vec<usize>>,
+    /// `mate[v]` = remote endpoint of v's matched edge, or -1.
+    mate: Vec<isize>,
+    /// Label per top-level blossom: 0 free, 1 = S, 2 = T (5 = breadcrumb).
+    label: Vec<i32>,
+    /// Endpoint through which a labeled blossom got its label, or -1.
+    labelend: Vec<isize>,
+    /// Top-level blossom containing each vertex.
+    inblossom: Vec<usize>,
+    /// Parent blossom, or -1 for top-level.
+    blossomparent: Vec<isize>,
+    /// Base vertex of each blossom (-1 = unused blossom slot).
+    blossombase: Vec<isize>,
+    /// Connecting endpoints between consecutive sub-blossoms.
+    blossomendps: Vec<Vec<usize>>,
+    /// Sub-blossoms in cyclic order, starting at the base.
+    blossomchilds: Vec<Vec<usize>>,
+    /// Least-slack edge to a different S-blossom, or -1.
+    bestedge: Vec<isize>,
+    /// Per non-trivial blossom: least-slack edges to other S-blossoms.
+    blossombestedges: Vec<Option<Vec<usize>>>,
+    unusedblossoms: Vec<usize>,
+    /// Dual variables (vertices then blossoms), pre-multiplied by 2.
+    dualvar: Vec<i64>,
+    allowedge: Vec<bool>,
+    queue: Vec<usize>,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(nvertex: usize, edges: &'a [Edge], max_cardinality: bool) -> Self {
+        let nedge = edges.len();
+        let maxweight = edges.iter().map(|e| e.2).max().unwrap_or(0).max(0);
+        let endpoint: Vec<usize> = (0..2 * nedge)
+            .map(|p| {
+                if p % 2 == 0 {
+                    edges[p / 2].0
+                } else {
+                    edges[p / 2].1
+                }
+            })
+            .collect();
+        let mut neighbend: Vec<Vec<usize>> = vec![Vec::new(); nvertex];
+        for (k, &(i, j, _)) in edges.iter().enumerate() {
+            neighbend[i].push(2 * k + 1);
+            neighbend[j].push(2 * k);
+        }
+        Matcher {
+            nvertex,
+            nedge,
+            edges,
+            max_cardinality,
+            endpoint,
+            neighbend,
+            mate: vec![-1; nvertex],
+            label: vec![0; 2 * nvertex],
+            labelend: vec![-1; 2 * nvertex],
+            inblossom: (0..nvertex).collect(),
+            blossomparent: vec![-1; 2 * nvertex],
+            blossombase: (0..nvertex as isize)
+                .chain(std::iter::repeat_n(-1, nvertex))
+                .collect(),
+            blossomendps: vec![Vec::new(); 2 * nvertex],
+            blossomchilds: vec![Vec::new(); 2 * nvertex],
+            bestedge: vec![-1; 2 * nvertex],
+            blossombestedges: vec![None; 2 * nvertex],
+            unusedblossoms: (nvertex..2 * nvertex).collect(),
+            dualvar: std::iter::repeat_n(maxweight, nvertex)
+                .chain(std::iter::repeat_n(0, nvertex))
+                .collect(),
+            allowedge: vec![false; nedge],
+            queue: Vec::new(),
+        }
+    }
+
+    /// Slack of edge `k` (non-negative on tight duals).
+    fn slack(&self, k: usize) -> i64 {
+        let (i, j, wt) = self.edges[k];
+        self.dualvar[i] + self.dualvar[j] - 2 * wt
+    }
+
+    /// All vertices contained (recursively) in blossom `b`.
+    fn blossom_leaves(&self, b: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![b];
+        while let Some(t) = stack.pop() {
+            if t < self.nvertex {
+                out.push(t);
+            } else {
+                stack.extend(self.blossomchilds[t].iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Assign label `t` to the top-level blossom containing vertex `w`,
+    /// coming through endpoint `p`.
+    fn assign_label(&mut self, w: usize, t: i32, p: isize) {
+        let b = self.inblossom[w];
+        debug_assert!(self.label[w] == 0 && self.label[b] == 0);
+        self.label[w] = t;
+        self.label[b] = t;
+        self.labelend[w] = p;
+        self.labelend[b] = p;
+        self.bestedge[w] = -1;
+        self.bestedge[b] = -1;
+        if t == 1 {
+            let leaves = self.blossom_leaves(b);
+            self.queue.extend(leaves);
+        } else if t == 2 {
+            let base = self.blossombase[b] as usize;
+            let mate_base = self.mate[base];
+            debug_assert!(mate_base >= 0);
+            let v = self.endpoint[mate_base as usize];
+            self.assign_label(v, 1, mate_base ^ 1);
+        }
+    }
+
+    /// Trace back from vertices `v` and `w` to discover a common ancestor
+    /// (new blossom base) or an augmenting path (returns -1).
+    fn scan_blossom(&mut self, v: usize, w: usize) -> isize {
+        let mut path: Vec<usize> = Vec::new();
+        let mut base: isize = -1;
+        let mut v: isize = v as isize;
+        let mut w: isize = w as isize;
+        while v != -1 || w != -1 {
+            let mut b = self.inblossom[v as usize];
+            if self.label[b] & 4 != 0 {
+                base = self.blossombase[b];
+                break;
+            }
+            debug_assert_eq!(self.label[b], 1);
+            path.push(b);
+            self.label[b] = 5;
+            debug_assert_eq!(self.labelend[b], self.mate[self.blossombase[b] as usize]);
+            if self.labelend[b] == -1 {
+                v = -1;
+            } else {
+                v = self.endpoint[self.labelend[b] as usize] as isize;
+                b = self.inblossom[v as usize];
+                debug_assert_eq!(self.label[b], 2);
+                debug_assert!(self.labelend[b] >= 0);
+                v = self.endpoint[self.labelend[b] as usize] as isize;
+            }
+            if w != -1 {
+                std::mem::swap(&mut v, &mut w);
+            }
+        }
+        for b in path {
+            self.label[b] = 1;
+        }
+        base
+    }
+
+    /// Construct a new blossom with the given base through edge `k`.
+    fn add_blossom(&mut self, base: usize, k: usize) {
+        let (mut v, mut w, _) = self.edges[k];
+        let bb = self.inblossom[base];
+        let mut bv = self.inblossom[v];
+        let mut bw = self.inblossom[w];
+        let b = self.unusedblossoms.pop().expect("blossom slots exhausted");
+        self.blossombase[b] = base as isize;
+        self.blossomparent[b] = -1;
+        self.blossomparent[bb] = b as isize;
+        let mut path: Vec<usize> = Vec::new();
+        let mut endps: Vec<usize> = Vec::new();
+        while bv != bb {
+            self.blossomparent[bv] = b as isize;
+            path.push(bv);
+            endps.push(self.labelend[bv] as usize);
+            debug_assert!(self.labelend[bv] >= 0);
+            v = self.endpoint[self.labelend[bv] as usize];
+            bv = self.inblossom[v];
+        }
+        path.push(bb);
+        path.reverse();
+        endps.reverse();
+        endps.push(2 * k);
+        while bw != bb {
+            self.blossomparent[bw] = b as isize;
+            path.push(bw);
+            endps.push((self.labelend[bw] as usize) ^ 1);
+            debug_assert!(self.labelend[bw] >= 0);
+            w = self.endpoint[self.labelend[bw] as usize];
+            bw = self.inblossom[w];
+        }
+        debug_assert_eq!(self.label[bb], 1);
+        // Register the children/endpoints now — blossom_leaves(b) and the
+        // inblossom checks below depend on them.
+        self.blossomchilds[b] = path.clone();
+        self.blossomendps[b] = endps;
+        self.label[b] = 1;
+        self.labelend[b] = self.labelend[bb];
+        self.dualvar[b] = 0;
+        for leaf in self.blossom_leaves(b) {
+            if self.label[self.inblossom[leaf]] == 2 {
+                self.queue.push(leaf);
+            }
+            self.inblossom[leaf] = b;
+        }
+        // Compute the blossom's least-slack edges to other S-blossoms.
+        let mut bestedgeto: Vec<isize> = vec![-1; 2 * self.nvertex];
+        for &bv in &path {
+            let nblists: Vec<Vec<usize>> = match self.blossombestedges[bv].take() {
+                Some(list) => vec![list],
+                None => self
+                    .blossom_leaves(bv)
+                    .into_iter()
+                    .map(|leaf| self.neighbend[leaf].iter().map(|&p| p / 2).collect())
+                    .collect(),
+            };
+            for nblist in nblists {
+                for k2 in nblist {
+                    let (mut i, mut j, _) = self.edges[k2];
+                    if self.inblossom[j] == b {
+                        std::mem::swap(&mut i, &mut j);
+                    }
+                    let bj = self.inblossom[j];
+                    if bj != b
+                        && self.label[bj] == 1
+                        && (bestedgeto[bj] == -1
+                            || self.slack(k2) < self.slack(bestedgeto[bj] as usize))
+                    {
+                        bestedgeto[bj] = k2 as isize;
+                    }
+                }
+            }
+            self.bestedge[bv] = -1;
+        }
+        let best: Vec<usize> = bestedgeto
+            .into_iter()
+            .filter(|&k2| k2 != -1)
+            .map(|k2| k2 as usize)
+            .collect();
+        self.bestedge[b] = -1;
+        for &k2 in &best {
+            if self.bestedge[b] == -1 || self.slack(k2) < self.slack(self.bestedge[b] as usize) {
+                self.bestedge[b] = k2 as isize;
+            }
+        }
+        self.blossombestedges[b] = Some(best);
+    }
+
+    /// Expand blossom `b`, promoting its children to top level.
+    fn expand_blossom(&mut self, b: usize, endstage: bool) {
+        let childs = self.blossomchilds[b].clone();
+        for &s in &childs {
+            self.blossomparent[s] = -1;
+            if s < self.nvertex {
+                self.inblossom[s] = s;
+            } else if endstage && self.dualvar[s] == 0 {
+                self.expand_blossom(s, endstage);
+            } else {
+                for leaf in self.blossom_leaves(s) {
+                    self.inblossom[leaf] = s;
+                }
+            }
+        }
+        // Relabel sub-blossoms if we expand a T-blossom mid-stage.
+        if !endstage && self.label[b] == 2 {
+            debug_assert!(self.labelend[b] >= 0);
+            let entrychild = self.inblossom[self.endpoint[(self.labelend[b] as usize) ^ 1]];
+            let len = self.blossomchilds[b].len() as isize;
+            let mut j = self.blossomchilds[b]
+                .iter()
+                .position(|&c| c == entrychild)
+                .expect("entry child is a sub-blossom") as isize;
+            let (jstep, endptrick): (isize, usize) = if j & 1 != 0 {
+                j -= len;
+                (1, 0)
+            } else {
+                (-1, 1)
+            };
+            // Python-style negative indexing into the child list.
+            let idx = |j: isize| -> usize { (((j % len) + len) % len) as usize };
+            let mut p = self.labelend[b] as usize;
+            while j != 0 {
+                // Relabel the T-sub-blossom.
+                let ep1 = self.endpoint[p ^ 1];
+                self.label[ep1] = 0;
+                let q = self.blossomendps[b][idx(j - endptrick as isize)] ^ endptrick ^ 1;
+                self.label[self.endpoint[q]] = 0;
+                self.assign_label(ep1, 2, p as isize);
+                // Step to the next S-sub-blossom.
+                self.allowedge[self.blossomendps[b][idx(j - endptrick as isize)] / 2] = true;
+                j += jstep;
+                p = self.blossomendps[b][idx(j - endptrick as isize)] ^ endptrick;
+                // Step to the next T-sub-blossom.
+                self.allowedge[p / 2] = true;
+                j += jstep;
+            }
+            // Relabel the base T-sub-blossom without stepping to its mate.
+            let bv = self.blossomchilds[b][idx(j)];
+            let ep1 = self.endpoint[p ^ 1];
+            self.label[ep1] = 2;
+            self.label[bv] = 2;
+            self.labelend[ep1] = p as isize;
+            self.labelend[bv] = p as isize;
+            self.bestedge[bv] = -1;
+            // Continue along the blossom until we get back to entrychild.
+            j += jstep;
+            while self.blossomchilds[b][idx(j)] != entrychild {
+                let bv = self.blossomchilds[b][idx(j)];
+                if self.label[bv] == 1 {
+                    j += jstep;
+                    continue;
+                }
+                let leaves = self.blossom_leaves(bv);
+                let mut labeled_leaf: Option<usize> = None;
+                for &leaf in &leaves {
+                    if self.label[leaf] != 0 {
+                        labeled_leaf = Some(leaf);
+                        break;
+                    }
+                }
+                if let Some(v) = labeled_leaf {
+                    debug_assert_eq!(self.label[v], 2);
+                    debug_assert_eq!(self.inblossom[v], bv);
+                    self.label[v] = 0;
+                    let base = self.blossombase[bv] as usize;
+                    let mate_base = self.mate[base];
+                    self.label[self.endpoint[mate_base as usize]] = 0;
+                    let le = self.labelend[v];
+                    self.assign_label(v, 2, le);
+                }
+                j += jstep;
+            }
+        }
+        // Recycle the blossom slot.
+        self.label[b] = -1;
+        self.labelend[b] = -1;
+        self.blossomchilds[b].clear();
+        self.blossomendps[b].clear();
+        self.blossombase[b] = -1;
+        self.blossombestedges[b] = None;
+        self.bestedge[b] = -1;
+        self.unusedblossoms.push(b);
+    }
+
+    /// Swap matched/unmatched edges over an alternating path through
+    /// blossom `b` between vertex `v` and the base.
+    fn augment_blossom(&mut self, b: usize, v: usize) {
+        let mut t = v;
+        while self.blossomparent[t] != b as isize {
+            t = self.blossomparent[t] as usize;
+        }
+        if t >= self.nvertex {
+            self.augment_blossom(t, v);
+        }
+        let len = self.blossomchilds[b].len() as isize;
+        let i = self.blossomchilds[b]
+            .iter()
+            .position(|&c| c == t)
+            .expect("t is a sub-blossom") as isize;
+        let mut j = i;
+        let (jstep, endptrick): (isize, usize) = if i & 1 != 0 {
+            j -= len;
+            (1, 0)
+        } else {
+            (-1, 1)
+        };
+        let idx = |j: isize| -> usize { (((j % len) + len) % len) as usize };
+        while j != 0 {
+            j += jstep;
+            let t2 = self.blossomchilds[b][idx(j)];
+            let p = self.blossomendps[b][idx(j - endptrick as isize)] ^ endptrick;
+            if t2 >= self.nvertex {
+                let ep = self.endpoint[p];
+                self.augment_blossom(t2, ep);
+            }
+            j += jstep;
+            let t3 = self.blossomchilds[b][idx(j)];
+            if t3 >= self.nvertex {
+                let ep = self.endpoint[p ^ 1];
+                self.augment_blossom(t3, ep);
+            }
+            self.mate[self.endpoint[p]] = (p ^ 1) as isize;
+            self.mate[self.endpoint[p ^ 1]] = p as isize;
+        }
+        // Rotate the sub-blossom list so the new base is first.
+        let i = i as usize;
+        self.blossomchilds[b].rotate_left(i);
+        self.blossomendps[b].rotate_left(i);
+        self.blossombase[b] = self.blossombase[self.blossomchilds[b][0]];
+        debug_assert_eq!(self.blossombase[b], v as isize);
+    }
+
+    /// Augment the matching along the path through edge `k`.
+    fn augment_matching(&mut self, k: usize) {
+        let (v, w, _) = self.edges[k];
+        for (s0, p0) in [(v, 2 * k + 1), (w, 2 * k)] {
+            let mut s = s0;
+            let mut p = p0;
+            loop {
+                let bs = self.inblossom[s];
+                debug_assert_eq!(self.label[bs], 1);
+                debug_assert_eq!(self.labelend[bs], self.mate[self.blossombase[bs] as usize]);
+                if bs >= self.nvertex {
+                    self.augment_blossom(bs, s);
+                }
+                self.mate[s] = p as isize;
+                if self.labelend[bs] == -1 {
+                    break;
+                }
+                let t = self.endpoint[self.labelend[bs] as usize];
+                let bt = self.inblossom[t];
+                debug_assert_eq!(self.label[bt], 2);
+                debug_assert!(self.labelend[bt] >= 0);
+                s = self.endpoint[self.labelend[bt] as usize];
+                let j = self.endpoint[(self.labelend[bt] as usize) ^ 1];
+                debug_assert_eq!(self.blossombase[bt], t as isize);
+                if bt >= self.nvertex {
+                    self.augment_blossom(bt, j);
+                }
+                self.mate[j] = self.labelend[bt];
+                p = (self.labelend[bt] as usize) ^ 1;
+            }
+        }
+    }
+
+    fn solve(&mut self) {
+        for _stage in 0..self.nvertex {
+            self.label.iter_mut().for_each(|l| *l = 0);
+            self.bestedge.iter_mut().for_each(|e| *e = -1);
+            for k in self.nvertex..2 * self.nvertex {
+                self.blossombestedges[k] = None;
+            }
+            self.allowedge.iter_mut().for_each(|a| *a = false);
+            self.queue.clear();
+
+            for v in 0..self.nvertex {
+                if self.mate[v] == -1 && self.label[self.inblossom[v]] == 0 {
+                    self.assign_label(v, 1, -1);
+                }
+            }
+            let mut augmented = false;
+            loop {
+                while let Some(v) = self.queue.pop() {
+                    if augmented {
+                        break;
+                    }
+                    debug_assert_eq!(self.label[self.inblossom[v]], 1);
+                    let nbs = self.neighbend[v].clone();
+                    for p in nbs {
+                        let k = p / 2;
+                        let w = self.endpoint[p];
+                        if self.inblossom[v] == self.inblossom[w] {
+                            continue;
+                        }
+                        let mut kslack = 0;
+                        if !self.allowedge[k] {
+                            kslack = self.slack(k);
+                            if kslack <= 0 {
+                                self.allowedge[k] = true;
+                            }
+                        }
+                        if self.allowedge[k] {
+                            if self.label[self.inblossom[w]] == 0 {
+                                self.assign_label(w, 2, (p ^ 1) as isize);
+                            } else if self.label[self.inblossom[w]] == 1 {
+                                let base = self.scan_blossom(v, w);
+                                if base >= 0 {
+                                    self.add_blossom(base as usize, k);
+                                } else {
+                                    self.augment_matching(k);
+                                    augmented = true;
+                                    break;
+                                }
+                            } else if self.label[w] == 0 {
+                                debug_assert_eq!(self.label[self.inblossom[w]], 2);
+                                self.label[w] = 2;
+                                self.labelend[w] = (p ^ 1) as isize;
+                            }
+                        } else if self.label[self.inblossom[w]] == 1 {
+                            let b = self.inblossom[v];
+                            if self.bestedge[b] == -1
+                                || kslack < self.slack(self.bestedge[b] as usize)
+                            {
+                                self.bestedge[b] = k as isize;
+                            }
+                        } else if self.label[w] == 0
+                            && (self.bestedge[w] == -1
+                                || kslack < self.slack(self.bestedge[w] as usize))
+                        {
+                            self.bestedge[w] = k as isize;
+                        }
+                    }
+                    if augmented {
+                        break;
+                    }
+                }
+                if augmented {
+                    break;
+                }
+
+                // Compute the dual adjustment delta.
+                let mut deltatype: i32 = -1;
+                let mut delta: i64 = 0;
+                let mut deltaedge: isize = -1;
+                let mut deltablossom: isize = -1;
+
+                if !self.max_cardinality {
+                    deltatype = 1;
+                    delta = self.dualvar[..self.nvertex]
+                        .iter()
+                        .copied()
+                        .min()
+                        .unwrap_or(0);
+                }
+                for v in 0..self.nvertex {
+                    if self.label[self.inblossom[v]] == 0 && self.bestedge[v] != -1 {
+                        let d = self.slack(self.bestedge[v] as usize);
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 2;
+                            deltaedge = self.bestedge[v];
+                        }
+                    }
+                }
+                for b in 0..2 * self.nvertex {
+                    if self.blossomparent[b] == -1 && self.label[b] == 1 && self.bestedge[b] != -1 {
+                        let kslack = self.slack(self.bestedge[b] as usize);
+                        debug_assert_eq!(kslack % 2, 0);
+                        let d = kslack / 2;
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 3;
+                            deltaedge = self.bestedge[b];
+                        }
+                    }
+                }
+                for b in self.nvertex..2 * self.nvertex {
+                    if self.blossombase[b] >= 0
+                        && self.blossomparent[b] == -1
+                        && self.label[b] == 2
+                        && (deltatype == -1 || self.dualvar[b] < delta)
+                    {
+                        delta = self.dualvar[b];
+                        deltatype = 4;
+                        deltablossom = b as isize;
+                    }
+                }
+                if deltatype == -1 {
+                    debug_assert!(self.max_cardinality);
+                    deltatype = 1;
+                    delta = self.dualvar[..self.nvertex]
+                        .iter()
+                        .copied()
+                        .min()
+                        .unwrap_or(0)
+                        .max(0);
+                }
+
+                // Apply delta to the dual variables.
+                for v in 0..self.nvertex {
+                    match self.label[self.inblossom[v]] {
+                        1 => self.dualvar[v] -= delta,
+                        2 => self.dualvar[v] += delta,
+                        _ => {}
+                    }
+                }
+                for b in self.nvertex..2 * self.nvertex {
+                    if self.blossombase[b] >= 0 && self.blossomparent[b] == -1 {
+                        match self.label[b] {
+                            1 => self.dualvar[b] += delta,
+                            2 => self.dualvar[b] -= delta,
+                            _ => {}
+                        }
+                    }
+                }
+
+                match deltatype {
+                    1 => break,
+                    2 => {
+                        let k = deltaedge as usize;
+                        self.allowedge[k] = true;
+                        let (mut i, j, _) = self.edges[k];
+                        if self.label[self.inblossom[i]] == 0 {
+                            i = j;
+                        }
+                        debug_assert_eq!(self.label[self.inblossom[i]], 1);
+                        self.queue.push(i);
+                    }
+                    3 => {
+                        let k = deltaedge as usize;
+                        self.allowedge[k] = true;
+                        let (i, _, _) = self.edges[k];
+                        debug_assert_eq!(self.label[self.inblossom[i]], 1);
+                        self.queue.push(i);
+                    }
+                    4 => {
+                        self.expand_blossom(deltablossom as usize, false);
+                    }
+                    _ => unreachable!("invalid delta type"),
+                }
+            }
+
+            if !augmented {
+                break;
+            }
+            // End of stage: expand all S-blossoms with zero dual.
+            for b in self.nvertex..2 * self.nvertex {
+                if self.blossomparent[b] == -1
+                    && self.blossombase[b] >= 0
+                    && self.label[b] == 1
+                    && self.dualvar[b] == 0
+                {
+                    self.expand_blossom(b, true);
+                }
+            }
+        }
+        debug_assert!(self.verify_matching());
+        let _ = self.nedge;
+    }
+
+    /// Sanity: mate[] is involutive over matched endpoints.
+    fn verify_matching(&self) -> bool {
+        for v in 0..self.nvertex {
+            if self.mate[v] >= 0 {
+                let w = self.endpoint[self.mate[v] as usize];
+                if self.mate[w] < 0 || self.endpoint[self.mate[w] as usize] != v {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Exact maximum-weight perfect matching by exhaustive pairing — O((n-1)!!),
+/// usable for `n ≤ ~12`. Returns `(total_weight, pairs)`.
+///
+/// # Panics
+/// Panics if `n` is odd (no perfect matching exists) or weights are missing
+/// (callers pass a complete weight lookup).
+pub fn brute_force_max_weight_perfect_matching(
+    n: usize,
+    weight: &dyn Fn(usize, usize) -> i64,
+) -> (i64, Vec<(usize, usize)>) {
+    assert!(
+        n.is_multiple_of(2),
+        "perfect matching requires an even vertex count"
+    );
+    let mut used = vec![false; n];
+    let mut current = Vec::new();
+    let mut best = (i64::MIN, Vec::new());
+    fn rec(
+        n: usize,
+        weight: &dyn Fn(usize, usize) -> i64,
+        used: &mut [bool],
+        current: &mut Vec<(usize, usize)>,
+        acc: i64,
+        best: &mut (i64, Vec<(usize, usize)>),
+    ) {
+        let first = match (0..n).find(|&v| !used[v]) {
+            Some(v) => v,
+            None => {
+                if acc > best.0 {
+                    *best = (acc, current.clone());
+                }
+                return;
+            }
+        };
+        used[first] = true;
+        for v in first + 1..n {
+            if used[v] {
+                continue;
+            }
+            used[v] = true;
+            current.push((first, v));
+            rec(n, weight, used, current, acc + weight(first, v), best);
+            current.pop();
+            used[v] = false;
+        }
+        used[first] = false;
+    }
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    rec(n, weight, &mut used, &mut current, 0, &mut best);
+    best
+}
+
+/// Greedy matching: repeatedly take the heaviest remaining edge. Cheap
+/// (O(n² log n)) but suboptimal — the ablation baseline.
+pub fn greedy_matching(n: usize, weight: &dyn Fn(usize, usize) -> i64) -> Vec<(usize, usize)> {
+    let mut edges: Vec<(i64, usize, usize)> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            edges.push((weight(i, j), i, j));
+        }
+    }
+    // Sort by descending weight; ties broken by vertex ids for determinism.
+    edges.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut used = vec![false; n];
+    let mut out = Vec::with_capacity(n / 2);
+    for (_, i, j) in edges {
+        if !used[i] && !used[j] {
+            used[i] = true;
+            used[j] = true;
+            out.push((i, j));
+        }
+    }
+    out
+}
+
+/// Convenience: maximum-weight perfect matching of a complete graph given a
+/// weight function, returned as sorted pairs.
+///
+/// # Panics
+/// Panics if `n` is odd.
+pub fn perfect_matching_pairs(
+    n: usize,
+    weight: &dyn Fn(usize, usize) -> i64,
+) -> Vec<(usize, usize)> {
+    assert!(
+        n.is_multiple_of(2),
+        "perfect matching requires an even vertex count"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            edges.push((i, j, weight(i, j)));
+        }
+    }
+    let mate = max_weight_matching(n, &edges, true);
+    let mut pairs = Vec::with_capacity(n / 2);
+    for (v, &m) in mate.iter().enumerate() {
+        match m {
+            Some(w) if v < w => pairs.push((v, w)),
+            Some(_) => {}
+            None => panic!("matching on a complete even graph must be perfect"),
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    fn matching_weight(pairs: &[(usize, usize)], weight: &dyn Fn(usize, usize) -> i64) -> i64 {
+        pairs.iter().map(|&(i, j)| weight(i, j)).sum()
+    }
+
+    #[test]
+    fn trivial_two_vertices() {
+        let mate = max_weight_matching(2, &[(0, 1, 5)], true);
+        assert_eq!(mate, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn picks_heavier_disjoint_pairs() {
+        // Path 0-1-2-3 with weights 1-10-1: non-perfect max weight takes
+        // just the middle edge.
+        let edges = [(0, 1, 1), (1, 2, 10), (2, 3, 1)];
+        let mate = max_weight_matching(4, &edges, false);
+        assert_eq!(mate[1], Some(2));
+        assert_eq!(mate[0], None);
+        // Max cardinality forces both outer edges (weight 2 < 10 but
+        // cardinality dominates).
+        let mate = max_weight_matching(4, &edges, true);
+        assert_eq!(mate[0], Some(1));
+        assert_eq!(mate[2], Some(3));
+    }
+
+    #[test]
+    fn odd_cycle_blossom() {
+        // Triangle plus pendant: must form and expand a blossom.
+        let edges = [(0, 1, 8), (1, 2, 9), (0, 2, 10), (2, 3, 7)];
+        let mate = max_weight_matching(4, &edges, true);
+        // Perfect matching possibilities: {01,23} = 15, {02? no, 0-2 + 1-3
+        // missing}. Only {01,23} is perfect → weight 15.
+        assert_eq!(mate[0], Some(1));
+        assert_eq!(mate[2], Some(3));
+    }
+
+    #[test]
+    fn known_tricky_case_negative_weights() {
+        // From the mwmatching test suite: s_nest blossom expansion cases.
+        let edges = [
+            (1, 2, 19),
+            (1, 3, 20),
+            (1, 8, 8),
+            (2, 3, 25),
+            (2, 4, 18),
+            (3, 5, 18),
+            (4, 5, 13),
+            (4, 7, 7),
+            (5, 6, 7),
+        ];
+        // Shift to 0-based.
+        let edges: Vec<Edge> = edges.iter().map(|&(i, j, w)| (i - 1, j - 1, w)).collect();
+        let mate = max_weight_matching(8, &edges, false);
+        // Expected (mwmatching test s_nest): [-1, 8, 3, 2, 7, 6, 5, 4, 1]
+        // 0-based: mate[0]=7, mate[1]=2, mate[2]=1, mate[3]=6, mate[4]=5,
+        // mate[5]=4, mate[6]=3, mate[7]=0.
+        assert_eq!(
+            mate,
+            vec![
+                Some(7),
+                Some(2),
+                Some(1),
+                Some(6),
+                Some(5),
+                Some(4),
+                Some(3),
+                Some(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_s_blossom_relabeling() {
+        // mwmatching test s_nest_relabel / s_t_expand family.
+        let edges = [
+            (1, 2, 45),
+            (1, 5, 45),
+            (2, 3, 50),
+            (3, 4, 45),
+            (4, 5, 50),
+            (1, 6, 30),
+            (3, 9, 35),
+            (4, 8, 35),
+            (5, 7, 26),
+            (9, 10, 5),
+        ];
+        let edges: Vec<Edge> = edges.iter().map(|&(i, j, w)| (i - 1, j - 1, w)).collect();
+        let mate = max_weight_matching(10, &edges, false);
+        // Exhaustively verified optimum (weight 146):
+        // pairs 1-6, 2-3, 4-8, 5-7, 9-10.
+        let expect_1based = [6, 3, 2, 8, 7, 1, 5, 4, 10, 9];
+        for (v, &m) in expect_1based.iter().enumerate() {
+            assert_eq!(mate[v], Some((m - 1) as usize), "vertex {}", v + 1);
+        }
+    }
+
+    #[test]
+    fn blossom_expand_t_case() {
+        // mwmatching test s_t_expand: create blossom, relabel as T, expand.
+        let edges = [
+            (1, 2, 23),
+            (1, 5, 22),
+            (1, 6, 15),
+            (2, 3, 25),
+            (3, 4, 22),
+            (4, 5, 25),
+            (4, 8, 14),
+            (5, 7, 13),
+        ];
+        let edges: Vec<Edge> = edges.iter().map(|&(i, j, w)| (i - 1, j - 1, w)).collect();
+        let mate = max_weight_matching(8, &edges, false);
+        let expect_1based = [6, 3, 2, 8, 7, 1, 5, 4];
+        for (v, &m) in expect_1based.iter().enumerate() {
+            assert_eq!(mate[v], Some((m - 1) as usize), "vertex {}", v + 1);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_dense_graphs() {
+        // Deterministic pseudo-random complete graphs, n = 2..=8.
+        let weight = |seed: u64| {
+            move |i: usize, j: usize| -> i64 {
+                let x = seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((i * 31 + j * 17) as u64)
+                    .wrapping_mul(0xBF58476D1CE4E5B9);
+                ((x >> 40) % 1000) as i64
+            }
+        };
+        for seed in 0..20u64 {
+            for n in [2usize, 4, 6, 8] {
+                let w = weight(seed);
+                let pairs = perfect_matching_pairs(n, &w);
+                let (best, _) = brute_force_max_weight_perfect_matching(n, &w);
+                let got = matching_weight(&pairs, &w);
+                assert_eq!(
+                    got, best,
+                    "seed {seed} n {n}: blossom {got} != brute {best}"
+                );
+                // Perfectness.
+                let mut seen = vec![false; n];
+                for (i, j) in pairs {
+                    assert!(!seen[i] && !seen[j]);
+                    seen[i] = true;
+                    seen[j] = true;
+                }
+                assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_is_valid_but_can_be_suboptimal() {
+        // Classic greedy trap: greedy takes (0,1)=10 then (2,3)=1 → 11;
+        // optimal is (0,2)+(1,3) = 9+9 = 18? Construct: w(0,1)=10,
+        // w(0,2)=9, w(1,3)=9, others 0/1.
+        let w = |i: usize, j: usize| -> i64 {
+            match (i.min(j), i.max(j)) {
+                (0, 1) => 10,
+                (0, 2) => 9,
+                (1, 3) => 9,
+                (2, 3) => 1,
+                _ => 0,
+            }
+        };
+        let greedy = greedy_matching(4, &w);
+        let greedy_w = matching_weight(&greedy, &w);
+        assert_eq!(greedy_w, 11);
+        let optimal = perfect_matching_pairs(4, &w);
+        assert_eq!(matching_weight(&optimal, &w), 18);
+    }
+
+    #[test]
+    fn empty_and_zero_weight_graphs() {
+        assert_eq!(
+            max_weight_matching(0, &[], true),
+            Vec::<Option<usize>>::new()
+        );
+        let pairs = perfect_matching_pairs(4, &|_, _| 0);
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "even vertex count")]
+    fn odd_perfect_matching_rejected() {
+        perfect_matching_pairs(3, &|_, _| 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        max_weight_matching(2, &[(1, 1, 3)], false);
+    }
+}

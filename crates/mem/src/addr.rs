@@ -1,0 +1,153 @@
+//! Virtual and physical addresses and the page geometry that relates them.
+//!
+//! All addresses are 64-bit. A [`PageGeometry`] fixes the page size (a power
+//! of two); the default is the ubiquitous 4 KiB page used by the paper's
+//! UltraSparc and x86 reference configurations.
+
+use serde::{Deserialize, Serialize};
+
+/// A virtual address as issued by a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VirtAddr(pub u64);
+
+/// A physical address after translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhysAddr(pub u64);
+
+/// A virtual page number (virtual address shifted down by the page shift).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Vpn(pub u64);
+
+/// A physical frame number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pfn(pub u64);
+
+impl VirtAddr {
+    /// Byte offset of this address within its page.
+    #[inline]
+    pub fn page_offset(self, geo: PageGeometry) -> u64 {
+        self.0 & geo.offset_mask()
+    }
+
+    /// Virtual page number of this address.
+    #[inline]
+    pub fn vpn(self, geo: PageGeometry) -> Vpn {
+        Vpn(self.0 >> geo.page_shift)
+    }
+
+    /// Address advanced by `bytes`.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // offset add, not ops::Add
+    pub fn add(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+}
+
+impl Vpn {
+    /// First byte of the page.
+    #[inline]
+    pub fn base(self, geo: PageGeometry) -> VirtAddr {
+        VirtAddr(self.0 << geo.page_shift)
+    }
+}
+
+impl Pfn {
+    /// Compose a physical address from this frame and an offset.
+    #[inline]
+    pub fn with_offset(self, offset: u64, geo: PageGeometry) -> PhysAddr {
+        debug_assert!(offset <= geo.offset_mask());
+        PhysAddr((self.0 << geo.page_shift) | offset)
+    }
+}
+
+/// Page size description shared by page table, TLB and caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageGeometry {
+    /// log2 of the page size in bytes (12 → 4 KiB pages).
+    pub page_shift: u32,
+}
+
+impl PageGeometry {
+    /// Standard 4 KiB pages.
+    pub const fn new_4k() -> Self {
+        PageGeometry { page_shift: 12 }
+    }
+
+    /// Arbitrary power-of-two page size.
+    ///
+    /// # Panics
+    /// Panics if `page_shift` is not in `6..=30` (64 B .. 1 GiB); smaller
+    /// pages than a cache line or absurdly large pages are configuration
+    /// errors.
+    pub fn with_shift(page_shift: u32) -> Self {
+        assert!(
+            (6..=30).contains(&page_shift),
+            "page_shift {page_shift} out of supported range 6..=30"
+        );
+        PageGeometry { page_shift }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub const fn page_size(self) -> u64 {
+        1 << self.page_shift
+    }
+
+    /// Mask selecting the in-page offset bits.
+    #[inline]
+    pub const fn offset_mask(self) -> u64 {
+        self.page_size() - 1
+    }
+}
+
+impl Default for PageGeometry {
+    fn default() -> Self {
+        Self::new_4k()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_is_4k() {
+        let geo = PageGeometry::default();
+        assert_eq!(geo.page_size(), 4096);
+        assert_eq!(geo.offset_mask(), 4095);
+    }
+
+    #[test]
+    fn vpn_and_offset_decompose_address() {
+        let geo = PageGeometry::new_4k();
+        let a = VirtAddr(0x1234_5678);
+        assert_eq!(a.vpn(geo), Vpn(0x12345));
+        assert_eq!(a.page_offset(geo), 0x678);
+        assert_eq!(a.vpn(geo).base(geo).0 + a.page_offset(geo), a.0);
+    }
+
+    #[test]
+    fn pfn_with_offset_roundtrips() {
+        let geo = PageGeometry::new_4k();
+        let p = Pfn(7).with_offset(0xABC, geo);
+        assert_eq!(p, PhysAddr(7 * 4096 + 0xABC));
+    }
+
+    #[test]
+    fn custom_page_shift() {
+        let geo = PageGeometry::with_shift(16); // 64 KiB
+        assert_eq!(geo.page_size(), 65536);
+        assert_eq!(VirtAddr(65536 * 3 + 5).vpn(geo), Vpn(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of supported range")]
+    fn rejects_tiny_pages() {
+        PageGeometry::with_shift(3);
+    }
+
+    #[test]
+    fn add_advances_address() {
+        assert_eq!(VirtAddr(100).add(28), VirtAddr(128));
+    }
+}

@@ -1,0 +1,27 @@
+//! Virtual-memory substrate for the `tlbmap` system.
+//!
+//! The paper's detection mechanism observes which *page translations* are
+//! resident in each core's Translation Lookaside Buffer. This crate provides
+//! the pieces the simulator needs to make that observation possible:
+//!
+//! * [`addr`] — virtual/physical addresses and page geometry,
+//! * [`page_table`] — a two-level page table with on-demand frame allocation
+//!   and a walk-cost model,
+//! * [`tlb`] — a set-associative, LRU-replaced TLB whose contents can be
+//!   snapshotted and searched (the core operation of both the SM and HM
+//!   detection mechanisms),
+//! * [`mmu`] — a per-core MMU gluing TLB and page table together, modelling
+//!   both software-managed (trap on miss) and hardware-managed (hardware
+//!   walk) TLB fills.
+//!
+//! Everything is deterministic: no wall-clock time, no hidden randomness.
+
+pub mod addr;
+pub mod mmu;
+pub mod page_table;
+pub mod tlb;
+
+pub use addr::{PageGeometry, Pfn, PhysAddr, VirtAddr, Vpn};
+pub use mmu::{Mmu, MmuConfig, TlbMode, Translation};
+pub use page_table::{PageTable, WalkResult};
+pub use tlb::{Tlb, TlbConfig, TlbEntry, TlbLookup, TlbStats};

@@ -1,0 +1,674 @@
+//! The cycle-interleaved execution engine.
+//!
+//! Threads execute their traces on the cores the [`Mapping`] pins them to.
+//! The engine always advances the thread whose core clock is smallest, so
+//! accesses from different cores interleave in (approximate) global cycle
+//! order — the property the coherence protocol and the detectors depend on.
+//! For speed, the chosen thread runs a *batch* of events until its clock
+//! passes the next-smallest running clock; within a batch no other core can
+//! have issued an access anyway.
+//!
+//! Barriers implement OpenMP-style phase structure: every live thread must
+//! arrive before any proceeds, and all participants restart at the same
+//! cycle (plus a configurable barrier cost).
+
+use crate::config::SimConfig;
+use crate::hooks::{SimHooks, TlbView};
+use crate::jitter::Jitter;
+use crate::mapping::Mapping;
+use crate::numa::PageHomes;
+use crate::stats::RunStats;
+use crate::topology::Topology;
+use crate::trace::{barriers_consistent, ThreadTrace, TraceEvent};
+use tlbmap_cache::MemoryHierarchy;
+use tlbmap_mem::{Mmu, PageTable};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Running,
+    AtBarrier,
+    Done,
+}
+
+/// Run `traces` on the machine described by `cfg`/`topo` under `mapping`,
+/// firing `hooks` at the architectural observation points.
+///
+/// # Panics
+/// Panics if the mapping size does not match the trace count, a mapped core
+/// id exceeds the topology, the hierarchy's core count disagrees with the
+/// topology, or the traces have inconsistent barrier counts.
+pub fn simulate(
+    cfg: &SimConfig,
+    topo: &Topology,
+    traces: &[ThreadTrace],
+    mapping: &Mapping,
+    hooks: &mut dyn SimHooks,
+) -> RunStats {
+    let n_threads = traces.len();
+    let n_cores = topo.num_cores();
+    assert_eq!(
+        mapping.num_threads(),
+        n_threads,
+        "mapping covers {} threads but {} traces were given",
+        mapping.num_threads(),
+        n_threads
+    );
+    assert_eq!(
+        cfg.hierarchy.num_cores(),
+        n_cores,
+        "hierarchy configured for {} cores but topology has {}",
+        cfg.hierarchy.num_cores(),
+        n_cores
+    );
+    assert!(
+        barriers_consistent(traces),
+        "threads disagree on barrier count; the workload would deadlock"
+    );
+
+    let mut thread_on_core = mapping.threads_on_cores(n_cores);
+    let mut core_of: Vec<usize> = (0..n_threads).map(|t| mapping.core_of(t)).collect();
+
+    let mut page_table = PageTable::new(cfg.geometry);
+    let mut mmus: Vec<Mmu> = (0..n_cores)
+        .map(|_| Mmu::new(cfg.mmu, cfg.geometry))
+        .collect();
+    let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy.clone());
+    let mut jitter = Jitter::new(cfg.jitter, n_threads);
+    let mut page_homes = cfg.numa.map(|nc| PageHomes::new(nc.policy, topo.chips));
+
+    let mut clocks = vec![0u64; n_cores];
+    let mut pos = vec![0usize; n_threads];
+    let mut state = vec![ThreadState::Running; n_threads];
+    for (t, trace) in traces.iter().enumerate() {
+        if trace.is_empty() {
+            state[t] = ThreadState::Done;
+        }
+    }
+
+    let mut next_tick = cfg.tick_period;
+    let mut detection_overhead = 0u64;
+    let mut detection_searches = 0u64;
+    let mut accesses = 0u64;
+    let mut barriers_crossed = 0u64;
+    let mut migrations = 0u64;
+
+    loop {
+        // Pick the running thread with the smallest core clock.
+        let mut current: Option<usize> = None;
+        let mut limit = u64::MAX; // second-smallest running clock
+        for t in 0..n_threads {
+            if state[t] != ThreadState::Running {
+                continue;
+            }
+            let c = clocks[core_of[t]];
+            match current {
+                None => current = Some(t),
+                Some(cur) => {
+                    let cur_c = clocks[core_of[cur]];
+                    if c < cur_c {
+                        limit = cur_c;
+                        current = Some(t);
+                    } else if c < limit {
+                        limit = c;
+                    }
+                }
+            }
+        }
+
+        let t = match current {
+            Some(t) => t,
+            None => {
+                // Nobody runnable: either everyone is done, or every live
+                // thread waits at the barrier — release it.
+                if state.iter().all(|&s| s == ThreadState::Done) {
+                    break;
+                }
+                let release_at = (0..n_threads)
+                    .filter(|&t| state[t] == ThreadState::AtBarrier)
+                    .map(|t| clocks[core_of[t]])
+                    .max()
+                    .expect("at least one thread waits at the barrier")
+                    + cfg.barrier_cost;
+                for t in 0..n_threads {
+                    if state[t] == ThreadState::AtBarrier {
+                        clocks[core_of[t]] = release_at;
+                        state[t] = ThreadState::Running;
+                    }
+                }
+                barriers_crossed += 1;
+
+                // Barrier release is the safe migration point: every live
+                // thread is parked at the same cycle.
+                let requested = {
+                    let view = TlbView::new(&mmus, &thread_on_core);
+                    hooks.on_barrier(barriers_crossed - 1, &view)
+                };
+                if let Some(new_map) = requested {
+                    assert_eq!(
+                        new_map.num_threads(),
+                        n_threads,
+                        "remapper returned a mapping for {} threads, run has {}",
+                        new_map.num_threads(),
+                        n_threads
+                    );
+                    let mut new_clocks = clocks.clone();
+                    for t in 0..n_threads {
+                        let oc = core_of[t];
+                        let nc = new_map.core_of(t);
+                        assert!(nc < n_cores, "remapper core {nc} out of range");
+                        // Done threads are repositioned for bookkeeping
+                        // consistency but pay no migration.
+                        if state[t] == ThreadState::Done {
+                            core_of[t] = nc;
+                            continue;
+                        }
+                        if oc != nc {
+                            migrations += 1;
+                            // The thread's translations stay behind on the
+                            // old core and are useless to whoever arrives
+                            // there; both TLBs start cold.
+                            mmus[oc].flush();
+                            mmus[nc].flush();
+                            new_clocks[nc] = release_at + cfg.migration_cost;
+                        }
+                        core_of[t] = nc;
+                    }
+                    clocks = new_clocks;
+                    thread_on_core = new_map.threads_on_cores(n_cores);
+                }
+                continue;
+            }
+        };
+        let core = core_of[t];
+
+        // Execute a batch: until this thread's clock passes the next
+        // runnable thread, or it blocks/finishes.
+        while state[t] == ThreadState::Running && clocks[core] <= limit {
+            if pos[t] == traces[t].len() {
+                // Trace ended on a barrier: nothing left after release.
+                state[t] = ThreadState::Done;
+                break;
+            }
+            let event = traces[t][pos[t]];
+            pos[t] += 1;
+            match event {
+                TraceEvent::Compute(c) => {
+                    clocks[core] += jitter.scale(t, c);
+                }
+                TraceEvent::Barrier => {
+                    state[t] = ThreadState::AtBarrier;
+                }
+                TraceEvent::Access { vaddr, op, kind } => {
+                    accesses += 1;
+                    hooks.on_access(core, t, vaddr, op);
+                    let mut cycles = 0u64;
+                    let translation = match mmus[core].lookup(vaddr) {
+                        Some(tr) => tr,
+                        None => {
+                            let vpn = vaddr.vpn(cfg.geometry);
+                            let overhead = {
+                                let view = TlbView::new(&mmus, &thread_on_core);
+                                hooks.on_tlb_miss(core, t, vpn, kind, &view)
+                            };
+                            if overhead > 0 {
+                                detection_overhead += overhead;
+                                detection_searches += 1;
+                                cycles += overhead;
+                            }
+                            mmus[core].fill(vaddr, &mut page_table)
+                        }
+                    };
+                    cycles += translation.cycles;
+                    let home_chip = page_homes
+                        .as_mut()
+                        .map(|ph| ph.home_of(vaddr.vpn(cfg.geometry), topo.chip_of(core)));
+                    let out = hierarchy.access_numa(core, translation.paddr.0, op, kind, home_chip);
+                    hooks.on_access_outcome(core, t, &out);
+                    cycles += out.cycles;
+                    clocks[core] += cycles;
+                }
+            }
+            if pos[t] == traces[t].len() && state[t] == ThreadState::Running {
+                state[t] = ThreadState::Done;
+            }
+
+            // Periodic tick (HM interrupt). Fired against the minimum
+            // (this) core's clock, which tracks global progress.
+            if let Some(period) = cfg.tick_period {
+                // A single large Compute event can jump several periods;
+                // fire every interrupt that became due.
+                let mut tick_at = next_tick.expect("next_tick set when period set");
+                while clocks[core] >= tick_at {
+                    let overhead = {
+                        let view = TlbView::new(&mmus, &thread_on_core);
+                        hooks.on_tick(tick_at, &view)
+                    };
+                    if overhead > 0 {
+                        detection_overhead += overhead;
+                        detection_searches += 1;
+                        clocks[core] += overhead;
+                    }
+                    tick_at += period;
+                }
+                next_tick = Some(tick_at);
+            }
+        }
+    }
+
+    RunStats {
+        total_cycles: clocks.iter().copied().max().unwrap_or(0),
+        core_cycles: clocks,
+        tlb: mmus.iter().map(|m| m.tlb_stats()).collect(),
+        cache: *hierarchy.stats(),
+        detection_overhead_cycles: detection_overhead,
+        detection_searches,
+        accesses,
+        barriers: barriers_crossed,
+        migrations,
+        frequency_hz: cfg.frequency_hz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoHooks;
+    use tlbmap_mem::{VirtAddr, Vpn};
+
+    fn topo() -> Topology {
+        Topology::harpertown()
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig::paper_software_managed(&topo())
+    }
+
+    fn page(i: u64) -> VirtAddr {
+        VirtAddr(i * 4096)
+    }
+
+    #[test]
+    fn empty_traces_finish_immediately() {
+        let traces: Vec<ThreadTrace> = vec![vec![]; 8];
+        let stats = simulate(
+            &cfg(),
+            &topo(),
+            &traces,
+            &Mapping::identity(8),
+            &mut NoHooks,
+        );
+        assert_eq!(stats.total_cycles, 0);
+        assert_eq!(stats.accesses, 0);
+    }
+
+    #[test]
+    fn single_thread_sequential_costs() {
+        let traces = vec![vec![
+            TraceEvent::Compute(100),
+            TraceEvent::read(page(1)),
+            TraceEvent::read(page(1)),
+        ]];
+        // Machine still has 8 cores; one thread on core 0.
+        let mut cfg8 = cfg();
+        cfg8.barrier_cost = 0;
+        let m = Mapping::new(vec![0]);
+        let stats = simulate(&cfg8, &topo(), &traces, &m, &mut NoHooks);
+        // 100 compute + (miss: trap 120 + 3*100 walk, then L1 miss → L2 miss
+        // → memory: 2+8+200) + (hit: 0 translation, L1 hit: 2 cycles)
+        assert_eq!(stats.total_cycles, 100 + 420 + 210 + 2);
+        assert_eq!(stats.tlb_misses(), 1);
+        assert_eq!(stats.accesses, 2);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        // Thread 0 computes 1000 cycles, thread 1 computes 10; both then
+        // read their own page. After the barrier both clocks align.
+        let traces = vec![
+            vec![
+                TraceEvent::Compute(1000),
+                TraceEvent::Barrier,
+                TraceEvent::Compute(1),
+            ],
+            vec![
+                TraceEvent::Compute(10),
+                TraceEvent::Barrier,
+                TraceEvent::Compute(1),
+            ],
+        ];
+        let mut c = cfg();
+        c.barrier_cost = 500;
+        let stats = simulate(
+            &c,
+            &topo(),
+            &traces,
+            &Mapping::new(vec![0, 1]),
+            &mut NoHooks,
+        );
+        assert_eq!(stats.barriers, 1);
+        assert_eq!(stats.core_cycles[0], 1000 + 500 + 1);
+        assert_eq!(stats.core_cycles[1], 1000 + 500 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn inconsistent_barriers_rejected() {
+        let traces = vec![vec![TraceEvent::Barrier], vec![]];
+        simulate(
+            &cfg(),
+            &topo(),
+            &traces,
+            &Mapping::new(vec![0, 1]),
+            &mut NoHooks,
+        );
+    }
+
+    #[test]
+    fn shared_page_hits_tlb_hook() {
+        struct MissCounter {
+            misses: u64,
+            sharers_seen: u64,
+        }
+        impl SimHooks for MissCounter {
+            fn on_tlb_miss(
+                &mut self,
+                core: usize,
+                _t: usize,
+                vpn: Vpn,
+                _kind: tlbmap_cache::AccessKind,
+                view: &TlbView<'_>,
+            ) -> u64 {
+                self.misses += 1;
+                for other in 0..view.num_cores() {
+                    if other != core && view.tlb(other).contains(vpn) {
+                        self.sharers_seen += 1;
+                    }
+                }
+                0
+            }
+        }
+        // Thread 0 touches page 7 first; after the barrier thread 1 touches
+        // it too and must observe thread 0's TLB entry.
+        let traces = vec![
+            vec![TraceEvent::read(page(7)), TraceEvent::Barrier],
+            vec![TraceEvent::Barrier, TraceEvent::read(page(7))],
+        ];
+        let mut hook = MissCounter {
+            misses: 0,
+            sharers_seen: 0,
+        };
+        simulate(
+            &cfg(),
+            &topo(),
+            &traces,
+            &Mapping::new(vec![0, 1]),
+            &mut hook,
+        );
+        assert_eq!(hook.misses, 2);
+        assert_eq!(hook.sharers_seen, 1);
+    }
+
+    #[test]
+    fn tick_hook_fires_periodically() {
+        struct TickCounter(u64);
+        impl SimHooks for TickCounter {
+            fn on_tick(&mut self, _now: u64, _view: &TlbView<'_>) -> u64 {
+                self.0 += 1;
+                1 // nonzero so the engine counts the search
+            }
+        }
+        let traces = vec![vec![TraceEvent::Compute(100); 100]]; // 10k cycles
+        let mut c = cfg().with_tick_period(Some(1000));
+        c.barrier_cost = 0;
+        let mut hook = TickCounter(0);
+        let stats = simulate(&c, &topo(), &traces, &Mapping::new(vec![0]), &mut hook);
+        assert!(hook.0 >= 9, "expected ~10 ticks, got {}", hook.0);
+        assert_eq!(stats.detection_searches, hook.0);
+        assert_eq!(stats.detection_overhead_cycles, hook.0);
+    }
+
+    #[test]
+    fn detection_overhead_slows_the_core() {
+        struct Expensive;
+        impl SimHooks for Expensive {
+            fn on_tlb_miss(
+                &mut self,
+                _: usize,
+                _: usize,
+                _: Vpn,
+                _: tlbmap_cache::AccessKind,
+                _: &TlbView<'_>,
+            ) -> u64 {
+                10_000
+            }
+        }
+        let traces = vec![vec![TraceEvent::read(page(1))]];
+        let m = Mapping::new(vec![0]);
+        let base = simulate(&cfg(), &topo(), &traces, &m, &mut NoHooks);
+        let slowed = simulate(&cfg(), &topo(), &traces, &m, &mut Expensive);
+        assert_eq!(slowed.total_cycles, base.total_cycles + 10_000);
+        assert_eq!(slowed.detection_overhead_cycles, 10_000);
+    }
+
+    #[test]
+    fn mapping_changes_which_cores_work() {
+        let traces = vec![
+            vec![TraceEvent::read(page(1))],
+            vec![TraceEvent::read(page(2))],
+        ];
+        let stats = simulate(
+            &cfg(),
+            &topo(),
+            &traces,
+            &Mapping::new(vec![5, 2]),
+            &mut NoHooks,
+        );
+        assert!(stats.core_cycles[5] > 0);
+        assert!(stats.core_cycles[2] > 0);
+        assert_eq!(stats.core_cycles[0], 0);
+    }
+
+    #[test]
+    fn sharing_mapping_affects_snoops() {
+        // Threads ping-pong writes on one page. On the same L2 there are no
+        // interconnect snoops; on different chips every re-read snoops.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..50 {
+            a.push(TraceEvent::write(page(3)));
+            a.push(TraceEvent::Barrier);
+            b.push(TraceEvent::Barrier);
+            b.push(TraceEvent::read(page(3)));
+            a.push(TraceEvent::Barrier);
+            b.push(TraceEvent::Barrier);
+        }
+        let near = simulate(
+            &cfg(),
+            &topo(),
+            &[a.clone(), b.clone()],
+            &Mapping::new(vec![0, 1]),
+            &mut NoHooks,
+        );
+        let far = simulate(
+            &cfg(),
+            &topo(),
+            &[a, b],
+            &Mapping::new(vec![0, 4]),
+            &mut NoHooks,
+        );
+        assert_eq!(near.cache.snoop_transactions, 0);
+        assert!(far.cache.snoop_transactions > 10);
+        assert!(far.cache.invalidations > 10);
+        assert_eq!(near.cache.invalidations, 0);
+    }
+
+    #[test]
+    fn deterministic_without_jitter() {
+        let traces: Vec<ThreadTrace> = (0..4)
+            .map(|t| {
+                (0..100)
+                    .map(|i| TraceEvent::read(page((t * 13 + i * 7) % 40)))
+                    .collect()
+            })
+            .collect();
+        let m = Mapping::new(vec![0, 2, 4, 6]);
+        let a = simulate(&cfg(), &topo(), &traces, &m, &mut NoHooks);
+        let b = simulate(&cfg(), &topo(), &traces, &m, &mut NoHooks);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn barrier_migration_moves_threads_and_charges_cost() {
+        struct SwapOnce(bool);
+        impl SimHooks for SwapOnce {
+            fn on_barrier(&mut self, _idx: u64, _view: &TlbView<'_>) -> Option<Mapping> {
+                if self.0 {
+                    None
+                } else {
+                    self.0 = true;
+                    Some(Mapping::new(vec![4, 1])) // thread 0: core 0 -> 4
+                }
+            }
+        }
+        // Two phases; thread 0 touches page 9 in both.
+        let traces = vec![
+            vec![
+                TraceEvent::read(page(9)),
+                TraceEvent::Barrier,
+                TraceEvent::read(page(9)),
+            ],
+            vec![TraceEvent::Barrier, TraceEvent::Compute(1)],
+        ];
+        let mut c = cfg();
+        c.barrier_cost = 0;
+        c.migration_cost = 5_000;
+        let stats = simulate(
+            &c,
+            &topo(),
+            &traces,
+            &Mapping::new(vec![0, 1]),
+            &mut SwapOnce(false),
+        );
+        assert_eq!(stats.migrations, 1);
+        // Thread 0 finished phase 2 on core 4.
+        assert!(
+            stats.core_cycles[4] > 0,
+            "migrated thread must run on core 4"
+        );
+        // Migration cost is visible and the refetch is a TLB miss (cold
+        // TLB on the new core): 2 misses total for thread 0's page.
+        assert!(stats.core_cycles[4] >= 5_000);
+        assert_eq!(stats.tlb_misses(), 2);
+    }
+
+    #[test]
+    fn no_migration_when_hook_returns_same_mapping() {
+        struct SameMapping;
+        impl SimHooks for SameMapping {
+            fn on_barrier(&mut self, _idx: u64, _view: &TlbView<'_>) -> Option<Mapping> {
+                Some(Mapping::new(vec![0, 1]))
+            }
+        }
+        let traces = vec![
+            vec![
+                TraceEvent::read(page(1)),
+                TraceEvent::Barrier,
+                TraceEvent::read(page(1)),
+            ],
+            vec![TraceEvent::Barrier, TraceEvent::Compute(1)],
+        ];
+        let stats = simulate(
+            &cfg(),
+            &topo(),
+            &traces,
+            &Mapping::new(vec![0, 1]),
+            &mut SameMapping,
+        );
+        assert_eq!(stats.migrations, 0);
+        // TLB survives: second read of page 1 hits.
+        assert_eq!(stats.tlb_misses(), 1);
+    }
+
+    #[test]
+    fn numa_first_touch_penalizes_cross_chip_consumers() {
+        use crate::numa::NumaPolicy;
+        use tlbmap_cache::{CacheConfig, HierarchyConfig, L2Group};
+        // Tiny L2s so the producer's buffer spills to memory before the
+        // consumer reads it — forcing true memory fetches.
+        let l1 = CacheConfig {
+            size_bytes: 64 * 8,
+            line_size: 64,
+            ways: 2,
+            latency: 2,
+        };
+        let l2 = CacheConfig {
+            size_bytes: 64 * 16,
+            line_size: 64,
+            ways: 4,
+            latency: 8,
+        };
+        let topo = Topology::new(2, 1, 2); // 2 chips x 1 L2 x 2 cores
+        let hierarchy = HierarchyConfig {
+            l1i: l1,
+            l1d: l1,
+            l2,
+            mem_latency: 200,
+            c2c_intra_chip: 40,
+            c2c_inter_chip: 120,
+            write_invalidate_penalty: 20,
+            numa_remote_penalty: 150,
+            groups: vec![
+                L2Group {
+                    cores: vec![0, 1],
+                    chip: 0,
+                },
+                L2Group {
+                    cores: vec![2, 3],
+                    chip: 1,
+                },
+            ],
+        };
+        let mut c = SimConfig::paper_software_managed(&topo);
+        c.hierarchy = hierarchy;
+        c.numa = Some(crate::numa::NumaConfig {
+            policy: NumaPolicy::FirstTouch,
+        });
+        c.barrier_cost = 0;
+
+        // Producer (thread 0) writes 64 lines; consumer (thread 1) reads
+        // them after a barrier.
+        let mut producer = Vec::new();
+        let mut consumer = vec![TraceEvent::Barrier];
+        for i in 0..64u64 {
+            producer.push(TraceEvent::write(VirtAddr(i * 64)));
+            consumer.push(TraceEvent::read(VirtAddr(i * 64)));
+        }
+        producer.push(TraceEvent::Barrier);
+        let traces = vec![producer, consumer];
+
+        // Same chip: all fetches local to the producer's node.
+        let near = simulate(&c, &topo, &traces, &Mapping::new(vec![0, 1]), &mut NoHooks);
+        // Cross chip: the consumer's fetches go remote.
+        let far = simulate(&c, &topo, &traces, &Mapping::new(vec![0, 2]), &mut NoHooks);
+        assert_eq!(near.cache.mem_fetches_remote, 0);
+        assert!(
+            far.cache.mem_fetches_remote > 0,
+            "cross-chip consumer must fetch remotely"
+        );
+        assert!(
+            far.total_cycles > near.total_cycles,
+            "NUMA must penalize the cross-chip placement ({} vs {})",
+            far.total_cycles,
+            near.total_cycles
+        );
+    }
+
+    #[test]
+    fn jitter_varies_total_cycles() {
+        let traces = vec![vec![TraceEvent::Compute(10_000); 50]];
+        let m = Mapping::new(vec![0]);
+        let a = simulate(&cfg().with_jitter(1), &topo(), &traces, &m, &mut NoHooks);
+        let b = simulate(&cfg().with_jitter(2), &topo(), &traces, &m, &mut NoHooks);
+        assert_ne!(a.total_cycles, b.total_cycles);
+    }
+}

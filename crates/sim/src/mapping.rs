@@ -1,0 +1,101 @@
+//! A thread→core assignment.
+//!
+//! The paper's evaluation uses static mappings: each thread is pinned to a
+//! distinct core for the whole run ("the number of threads is equal to the
+//! number of cores, and each thread gets mapped to a different core", §V).
+
+use serde::{Deserialize, Serialize};
+
+/// An injective thread→core assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    thread_to_core: Vec<usize>,
+}
+
+impl Mapping {
+    /// Build a mapping from an explicit vector: `thread_to_core[t]` is the
+    /// core thread `t` runs on.
+    ///
+    /// # Panics
+    /// Panics if two threads share a core.
+    pub fn new(thread_to_core: Vec<usize>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for &c in &thread_to_core {
+            assert!(seen.insert(c), "core {c} assigned to two threads");
+        }
+        Mapping { thread_to_core }
+    }
+
+    /// Thread `t` on core `t` — the naive "OS" placement the paper
+    /// normalizes against.
+    pub fn identity(n_threads: usize) -> Self {
+        Mapping {
+            thread_to_core: (0..n_threads).collect(),
+        }
+    }
+
+    /// Number of threads mapped.
+    pub fn num_threads(&self) -> usize {
+        self.thread_to_core.len()
+    }
+
+    /// Core that runs `thread`.
+    pub fn core_of(&self, thread: usize) -> usize {
+        self.thread_to_core[thread]
+    }
+
+    /// The raw assignment vector.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.thread_to_core
+    }
+
+    /// Inverse view sized for `num_cores`: `result[core]` is the thread on
+    /// that core, or `None` for idle cores.
+    ///
+    /// # Panics
+    /// Panics if any assigned core id is `>= num_cores`.
+    pub fn threads_on_cores(&self, num_cores: usize) -> Vec<Option<usize>> {
+        let mut inv = vec![None; num_cores];
+        for (t, &c) in self.thread_to_core.iter().enumerate() {
+            assert!(
+                c < num_cores,
+                "mapping uses core {c} but machine has {num_cores}"
+            );
+            inv[c] = Some(t);
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_thread_to_same_core() {
+        let m = Mapping::identity(4);
+        for t in 0..4 {
+            assert_eq!(m.core_of(t), t);
+        }
+        assert_eq!(m.num_threads(), 4);
+    }
+
+    #[test]
+    fn inverse_view() {
+        let m = Mapping::new(vec![3, 0, 2]);
+        let inv = m.threads_on_cores(4);
+        assert_eq!(inv, vec![Some(1), None, Some(2), Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to two threads")]
+    fn duplicate_core_rejected() {
+        Mapping::new(vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "machine has")]
+    fn out_of_range_core_rejected() {
+        Mapping::new(vec![0, 9]).threads_on_cores(4);
+    }
+}

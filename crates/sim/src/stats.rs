@@ -1,0 +1,147 @@
+//! Per-run results: cycles, TLB behaviour, cache events, detection overhead.
+
+use serde::{Deserialize, Serialize};
+use tlbmap_cache::CacheStats;
+use tlbmap_mem::TlbStats;
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Final clock of each core (idle cores stay at 0).
+    pub core_cycles: Vec<u64>,
+    /// Makespan: the maximum core clock.
+    pub total_cycles: u64,
+    /// Per-core TLB hit/miss counters.
+    pub tlb: Vec<TlbStats>,
+    /// Aggregated cache-hierarchy counters.
+    pub cache: CacheStats,
+    /// Cycles charged by detection hooks (TLB-miss searches + tick
+    /// searches) across all cores.
+    pub detection_overhead_cycles: u64,
+    /// Number of times a detection hook actually ran a search.
+    pub detection_searches: u64,
+    /// Memory accesses executed (data + instruction).
+    pub accesses: u64,
+    /// Barriers crossed.
+    pub barriers: u64,
+    /// Threads migrated between cores by a dynamic remapper.
+    pub migrations: u64,
+    /// Clock frequency used for seconds conversions.
+    pub frequency_hz: u64,
+}
+
+impl RunStats {
+    /// Aggregate TLB accesses over all cores.
+    pub fn tlb_accesses(&self) -> u64 {
+        self.tlb.iter().map(|t| t.accesses()).sum()
+    }
+
+    /// Aggregate TLB misses over all cores.
+    pub fn tlb_misses(&self) -> u64 {
+        self.tlb.iter().map(|t| t.misses).sum()
+    }
+
+    /// Aggregate TLB miss rate (Table III column 1).
+    pub fn tlb_miss_rate(&self) -> f64 {
+        let acc = self.tlb_accesses();
+        if acc == 0 {
+            0.0
+        } else {
+            self.tlb_misses() as f64 / acc as f64
+        }
+    }
+
+    /// Execution time in seconds at the configured frequency.
+    pub fn seconds(&self) -> f64 {
+        self.total_cycles as f64 / self.frequency_hz as f64
+    }
+
+    /// Fraction of total cycles spent in detection (Table III column 3).
+    pub fn detection_overhead_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.detection_overhead_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Events per second for Table IV-style reporting.
+    pub fn per_second(&self, count: u64) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            count as f64 / s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunStats {
+        RunStats {
+            core_cycles: vec![100, 250, 0],
+            total_cycles: 250,
+            tlb: vec![
+                TlbStats {
+                    hits: 90,
+                    misses: 10,
+                },
+                TlbStats {
+                    hits: 45,
+                    misses: 5,
+                },
+                TlbStats::default(),
+            ],
+            cache: CacheStats::default(),
+            detection_overhead_cycles: 25,
+            detection_searches: 3,
+            accesses: 150,
+            barriers: 2,
+            migrations: 0,
+            frequency_hz: 1000,
+        }
+    }
+
+    #[test]
+    fn tlb_aggregates() {
+        let s = sample();
+        assert_eq!(s.tlb_accesses(), 150);
+        assert_eq!(s.tlb_misses(), 15);
+        assert!((s.tlb_miss_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_and_rates() {
+        let s = sample();
+        assert!((s.seconds() - 0.25).abs() < 1e-12);
+        assert!((s.per_second(50) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_fraction() {
+        let s = sample();
+        assert!((s.detection_overhead_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_run_is_safe() {
+        let s = RunStats {
+            core_cycles: vec![],
+            total_cycles: 0,
+            tlb: vec![],
+            cache: CacheStats::default(),
+            detection_overhead_cycles: 0,
+            detection_searches: 0,
+            accesses: 0,
+            barriers: 0,
+            migrations: 0,
+            frequency_hz: 1000,
+        };
+        assert_eq!(s.tlb_miss_rate(), 0.0);
+        assert_eq!(s.detection_overhead_fraction(), 0.0);
+        assert_eq!(s.per_second(5), 0.0);
+    }
+}

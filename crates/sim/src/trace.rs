@@ -1,0 +1,138 @@
+//! Per-thread trace events consumed by the engine.
+//!
+//! Workload kernels (crate `tlbmap-workloads`) execute their computation in
+//! plain Rust and record what each thread *did to memory* as a sequence of
+//! these events. Barriers mark the phase structure (OpenMP parallel regions
+//! in the original benchmarks) so the engine interleaves threads faithfully.
+
+use serde::{Deserialize, Serialize};
+use tlbmap_cache::{AccessKind, MemOp};
+use tlbmap_mem::VirtAddr;
+
+/// One event in a thread's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A memory access.
+    Access {
+        /// Virtual address touched.
+        vaddr: VirtAddr,
+        /// Load or store.
+        op: MemOp,
+        /// Data access or instruction fetch.
+        kind: AccessKind,
+    },
+    /// `cycles` of pure computation (no memory traffic modelled).
+    Compute(u64),
+    /// A global barrier: every live thread must arrive before any proceeds.
+    Barrier,
+}
+
+impl TraceEvent {
+    /// Shorthand for a data load.
+    pub fn read(vaddr: VirtAddr) -> Self {
+        TraceEvent::Access {
+            vaddr,
+            op: MemOp::Read,
+            kind: AccessKind::Data,
+        }
+    }
+
+    /// Shorthand for a data store.
+    pub fn write(vaddr: VirtAddr) -> Self {
+        TraceEvent::Access {
+            vaddr,
+            op: MemOp::Write,
+            kind: AccessKind::Data,
+        }
+    }
+
+    /// Shorthand for an instruction fetch.
+    pub fn fetch(vaddr: VirtAddr) -> Self {
+        TraceEvent::Access {
+            vaddr,
+            op: MemOp::Read,
+            kind: AccessKind::Instr,
+        }
+    }
+}
+
+/// The whole trace of one thread.
+pub type ThreadTrace = Vec<TraceEvent>;
+
+/// Count the barriers in a trace (phases = barriers + 1).
+pub fn barrier_count(trace: &ThreadTrace) -> usize {
+    trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Barrier))
+        .count()
+}
+
+/// Check that every thread has the same number of barriers — a malformed
+/// workload would deadlock a real barrier implementation; the engine
+/// requires this instead.
+pub fn barriers_consistent(traces: &[ThreadTrace]) -> bool {
+    let mut counts = traces.iter().map(barrier_count);
+    match counts.next() {
+        None => true,
+        Some(first) => counts.all(|c| c == first),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shorthands() {
+        let r = TraceEvent::read(VirtAddr(8));
+        assert!(matches!(
+            r,
+            TraceEvent::Access {
+                op: MemOp::Read,
+                kind: AccessKind::Data,
+                ..
+            }
+        ));
+        let w = TraceEvent::write(VirtAddr(8));
+        assert!(matches!(
+            w,
+            TraceEvent::Access {
+                op: MemOp::Write,
+                ..
+            }
+        ));
+        let f = TraceEvent::fetch(VirtAddr(8));
+        assert!(matches!(
+            f,
+            TraceEvent::Access {
+                kind: AccessKind::Instr,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn barrier_counting() {
+        let t = vec![
+            TraceEvent::read(VirtAddr(0)),
+            TraceEvent::Barrier,
+            TraceEvent::Compute(5),
+            TraceEvent::Barrier,
+        ];
+        assert_eq!(barrier_count(&t), 2);
+    }
+
+    #[test]
+    fn consistency_check() {
+        let a = vec![TraceEvent::Barrier, TraceEvent::Barrier];
+        let b = vec![
+            TraceEvent::read(VirtAddr(0)),
+            TraceEvent::Barrier,
+            TraceEvent::Barrier,
+        ];
+        let c = vec![TraceEvent::Barrier];
+        assert!(barriers_consistent(&[a.clone(), b.clone()]));
+        assert!(!barriers_consistent(&[a, c]));
+        assert!(barriers_consistent(&[]));
+    }
+}

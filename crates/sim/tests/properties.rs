@@ -1,0 +1,146 @@
+//! Property-based tests of the simulation engine.
+
+use proptest::prelude::*;
+use tlbmap_sim::{
+    decode_traces, encode_traces, simulate, Mapping, NoHooks, SimConfig, ThreadTrace, Topology,
+    TraceEvent, VirtAddr,
+};
+
+/// Arbitrary consistent multi-thread traces: a shared phase skeleton with
+/// per-thread event bodies (same barrier count everywhere by construction).
+fn traces(n_threads: usize) -> impl Strategy<Value = Vec<ThreadTrace>> {
+    let phase = prop::collection::vec((0u64..64, any::<bool>(), 0u64..200), 0..20);
+    let thread = prop::collection::vec(phase, 1..4); // phases per thread
+    prop::collection::vec(thread, n_threads..=n_threads).prop_map(|threads| {
+        let phases = threads.iter().map(|t| t.len()).max().unwrap_or(1);
+        threads
+            .into_iter()
+            .map(|thread_phases| {
+                let mut trace = Vec::new();
+                for k in 0..phases {
+                    if let Some(events) = thread_phases.get(k) {
+                        for &(page, write, compute) in events {
+                            let a = VirtAddr(page * 4096 + 8 * (page % 16));
+                            trace.push(if write {
+                                TraceEvent::write(a)
+                            } else {
+                                TraceEvent::read(a)
+                            });
+                            if compute > 0 {
+                                trace.push(TraceEvent::Compute(compute));
+                            }
+                        }
+                    }
+                    trace.push(TraceEvent::Barrier);
+                }
+                trace
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine is deterministic without jitter, completes every trace,
+    /// and produces internally consistent statistics.
+    #[test]
+    fn engine_consistency(ts in traces(4)) {
+        let topo = Topology::new(1, 2, 2); // 4 cores
+        let cfg = SimConfig::paper_software_managed(&topo);
+        let mapping = Mapping::identity(4);
+        let a = simulate(&cfg, &topo, &ts, &mapping, &mut NoHooks);
+        let b = simulate(&cfg, &topo, &ts, &mapping, &mut NoHooks);
+        prop_assert_eq!(&a, &b, "engine is nondeterministic");
+
+        let expected_accesses: u64 = ts
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, TraceEvent::Access { .. }))
+            .count() as u64;
+        prop_assert_eq!(a.accesses, expected_accesses);
+        prop_assert_eq!(a.tlb_accesses(), expected_accesses);
+        prop_assert!(a.tlb_misses() <= a.tlb_accesses());
+        prop_assert_eq!(a.total_cycles, a.core_cycles.iter().copied().max().unwrap_or(0));
+        // Caches saw exactly the data accesses (all ours are Data).
+        let st = &a.cache;
+        prop_assert_eq!(st.l1d_hits + st.l1d_misses, expected_accesses);
+    }
+
+    /// Permuting the mapping permutes per-core work but cannot change the
+    /// number of accesses, TLB-miss totals at full-system level, or which
+    /// pages exist.
+    #[test]
+    fn mapping_preserves_work(ts in traces(4), perm_seed in 0u64..24) {
+        let topo = Topology::new(1, 2, 2);
+        let cfg = SimConfig::paper_software_managed(&topo);
+        // A permutation derived from the seed.
+        let mut cores: Vec<usize> = (0..4).collect();
+        let mut s = perm_seed;
+        for i in (1..4).rev() {
+            cores.swap(i, (s % (i as u64 + 1)) as usize);
+            s /= 4;
+        }
+        let permuted = Mapping::new(cores);
+        let a = simulate(&cfg, &topo, &ts, &Mapping::identity(4), &mut NoHooks);
+        let b = simulate(&cfg, &topo, &ts, &permuted, &mut NoHooks);
+        prop_assert_eq!(a.accesses, b.accesses);
+        prop_assert_eq!(a.barriers, b.barriers);
+        // Same multiset of per-core cycle values is NOT guaranteed (the
+        // hierarchy is asymmetric), but total work never disappears:
+        prop_assert!(b.total_cycles > 0 || a.total_cycles == 0);
+    }
+
+    /// Adding compute to a single-thread run never reduces the makespan.
+    /// (With several threads, extra compute perturbs the interleaving and
+    /// therefore the first-touch physical layout, which can legitimately
+    /// shift cycle counts slightly in either direction — so the strict
+    /// property is only guaranteed when the access order cannot change.)
+    #[test]
+    fn compute_monotonicity_single_thread(ts in traces(1), extra in 1u64..100_000) {
+        let topo = Topology::new(1, 1, 1);
+        let cfg = SimConfig::paper_software_managed(&topo);
+        let mapping = Mapping::identity(1);
+        let base = simulate(&cfg, &topo, &ts, &mapping, &mut NoHooks);
+        let mut heavier = ts.clone();
+        heavier[0].insert(0, TraceEvent::Compute(extra));
+        let slowed = simulate(&cfg, &topo, &heavier, &mapping, &mut NoHooks);
+        prop_assert_eq!(slowed.total_cycles, base.total_cycles + extra);
+    }
+
+    /// With several threads, extra compute can only shift the makespan by
+    /// a bounded amount below the baseline (physical-layout noise), and
+    /// never below the baseline minus the perturbation slack.
+    #[test]
+    fn compute_roughly_monotone_multithread(ts in traces(2), extra in 1u64..100_000) {
+        let topo = Topology::new(1, 1, 2);
+        let cfg = SimConfig::paper_software_managed(&topo);
+        let mapping = Mapping::identity(2);
+        let base = simulate(&cfg, &topo, &ts, &mapping, &mut NoHooks);
+        let mut heavier = ts.clone();
+        heavier[0].insert(0, TraceEvent::Compute(extra));
+        let slowed = simulate(&cfg, &topo, &heavier, &mapping, &mut NoHooks);
+        // Allow 5% layout noise.
+        prop_assert!(
+            slowed.total_cycles as f64 >= base.total_cycles as f64 * 0.95,
+            "{} << {}", slowed.total_cycles, base.total_cycles
+        );
+    }
+}
+
+proptest! {
+    /// The trace codec round-trips arbitrary consistent traces exactly.
+    #[test]
+    fn codec_roundtrip(ts in traces(4)) {
+        let bytes = encode_traces(&ts);
+        let back = decode_traces(&bytes).expect("decode");
+        prop_assert_eq!(back, ts);
+    }
+
+    /// Decoding never panics on arbitrary bytes — it returns an error or a
+    /// (possibly empty) trace set.
+    #[test]
+    fn codec_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let _ = decode_traces(&bytes);
+    }
+}

@@ -1,0 +1,40 @@
+//! Workload generators: NPB-inspired mini-kernels and synthetic patterns.
+//!
+//! The paper evaluates on the OpenMP NAS Parallel Benchmarks (class W).
+//! Those are tens of thousands of lines of Fortran we cannot run inside a
+//! trace-driven simulator, so this crate provides **mini-kernels that
+//! perform a real (small) computation with the same parallel decomposition
+//! and therefore the same page-sharing structure**:
+//!
+//! | kernel | decomposition | communication structure (paper, Figs. 4–5) |
+//! |--------|---------------|---------------------------------------------|
+//! | [`npb::bt`] | 3D grid, 1D slabs | neighbours (domain decomposition) |
+//! | [`npb::cg`] | sparse rows | mostly homogeneous, slight neighbour bias |
+//! | [`npb::ep`] | private batches | (almost) none |
+//! | [`npb::ft`] | slab FFT + transpose | homogeneous all-to-all |
+//! | [`npb::is`] | bucket sort, local-ish keys | neighbours |
+//! | [`npb::lu`] | SSOR wavefront | neighbours + most-distant threads |
+//! | [`npb::mg`] | multigrid V-cycle | neighbours at several strides |
+//! | [`npb::sp`] | 3D grid, 1D slabs | neighbours (lighter compute than BT) |
+//! | [`npb::ua`] | unstructured mesh | irregular neighbours |
+//!
+//! Every kernel emits one [`tlbmap_sim::ThreadTrace`] per thread with
+//! OpenMP-like barriers between phases, operating on a shared virtual
+//! address space laid out by [`AddressSpace`]. Generation is deterministic
+//! given the seed.
+//!
+//! [`synthetic`] provides hand-built patterns (producer/consumer, pipeline,
+//! ring, uniform, phase-shifting) for tests, examples and ablations.
+
+pub mod address_space;
+pub mod builder;
+pub mod npb;
+pub mod stats;
+pub mod synthetic;
+pub mod workload;
+
+pub use address_space::{AddressSpace, ArrayHandle};
+pub use builder::WorkloadBuilder;
+pub use npb::{NpbApp, NpbParams, ProblemScale};
+pub use stats::TraceStats;
+pub use workload::{PatternClass, Workload};

@@ -1,0 +1,157 @@
+//! BT — block tri-diagonal solver.
+//!
+//! NPB BT solves 3D Navier-Stokes with ADI: per time step it computes the
+//! right-hand side and then runs block-tridiagonal solves along x, y and z.
+//! With 1D slab decomposition, each sweep reads the boundary planes of the
+//! z-neighbours — a clean domain-decomposition pattern with heavy per-cell
+//! compute (5×5 block solves).
+
+use super::{alloc_field, stencil_sweep, NpbParams, ProblemScale, SlabGrid};
+use crate::address_space::AddressSpace;
+use crate::builder::WorkloadBuilder;
+use crate::workload::{PatternClass, Workload};
+use tlbmap_mem::PageGeometry;
+
+/// (plane elements, z-planes per thread, time steps, stride, compute/plane)
+pub(crate) fn shape(scale: ProblemScale, _p: usize) -> (u64, u64, usize, u64, u64) {
+    match scale {
+        ProblemScale::Test => (64, 2, 2, 8, 50),
+        ProblemScale::Small => (1024, 4, 3, 8, 400),
+        ProblemScale::Workshop => (4096, 8, 10, 16, 1600),
+    }
+}
+
+/// Shared ADI-style generator used by BT and SP (they differ in compute
+/// weight and sweep count, not in communication structure).
+pub(crate) fn generate_adi(
+    params: &NpbParams,
+    name: &str,
+    sweeps_per_step: usize,
+    compute_scale: u64,
+) -> Workload {
+    let p = params.n_threads;
+    let (plane, planes_per_thread, steps, stride, compute) = shape(params.scale, p);
+    let grid = SlabGrid::new(plane, planes_per_thread * p as u64, p);
+    let mut space = AddressSpace::new(PageGeometry::new_4k());
+    let u = alloc_field(&mut space, &grid);
+    let rhs = alloc_field(&mut space, &grid);
+    let mut b = WorkloadBuilder::new(p);
+
+    for _step in 0..steps {
+        // compute_rhs: stencil over u into rhs (reads neighbour planes).
+        for t in 0..p {
+            stencil_sweep(
+                &mut b,
+                t,
+                &grid,
+                u,
+                rhs,
+                stride,
+                compute * compute_scale,
+                false,
+            );
+        }
+        b.barrier();
+        // Directional solves: x/y solves are slab-local (read rhs, write
+        // u); the z solve needs the boundary planes again.
+        for sweep in 0..sweeps_per_step {
+            let crosses_slabs = sweep == sweeps_per_step - 1; // the z solve
+            for t in 0..p {
+                if crosses_slabs {
+                    stencil_sweep(
+                        &mut b,
+                        t,
+                        &grid,
+                        rhs,
+                        u,
+                        stride,
+                        compute * compute_scale,
+                        false,
+                    );
+                } else {
+                    let (z0, z1) = grid.slab(t);
+                    for z in z0..z1 {
+                        for i in (0..grid.plane).step_by(stride as usize) {
+                            b.read(t, rhs, grid.at(z, i));
+                            b.write(t, u, grid.at(z, i));
+                        }
+                        b.compute(t, compute * compute_scale);
+                    }
+                }
+            }
+            b.barrier();
+        }
+    }
+
+    Workload {
+        name: name.into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::DomainDecomposition,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+/// Generate the BT workload.
+pub fn generate(params: &NpbParams) -> Workload {
+    // BT: 3 directional solves, heavy 5x5 block compute.
+    generate_adi(params, "BT", 3, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::npb::NpbApp;
+
+    fn small() -> NpbParams {
+        NpbParams {
+            n_threads: 4,
+            scale: ProblemScale::Test,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn neighbors_share_pages_distant_threads_do_not() {
+        // Small scale: planes span multiple pages, so page-level sharing
+        // structure is meaningful (Test-scale grids fit in one page).
+        let w = generate(&NpbParams {
+            n_threads: 4,
+            scale: ProblemScale::Small,
+            seed: 0,
+        });
+        let mut pages: Vec<std::collections::HashSet<u64>> =
+            vec![std::collections::HashSet::new(); 4];
+        for (t, trace) in w.traces.iter().enumerate() {
+            for e in trace {
+                if let tlbmap_sim::TraceEvent::Access { vaddr, .. } = e {
+                    pages[t].insert(vaddr.0 >> 12);
+                }
+            }
+        }
+        let shared = |a: usize, b: usize| pages[a].intersection(&pages[b]).count();
+        assert!(shared(0, 1) > 0, "neighbours must share boundary pages");
+        assert!(shared(1, 2) > 0);
+        assert!(
+            shared(0, 1) > shared(0, 3),
+            "neighbour sharing must exceed distant sharing"
+        );
+    }
+
+    #[test]
+    fn workload_metadata() {
+        let w = generate(&small());
+        assert_eq!(w.name, "BT");
+        assert_eq!(w.expected_pattern, NpbApp::Bt.expected_pattern());
+        assert!(w.footprint_bytes > 0);
+    }
+
+    #[test]
+    fn workshop_scale_exceeds_tlb_reach_per_thread() {
+        let p = 8;
+        let (plane, ppt, _, _, _) = shape(ProblemScale::Workshop, p);
+        // Per-thread slab pages across the two fields must exceed the
+        // 64-entry TLB so steady-state misses occur.
+        let slab_pages = 2 * plane * ppt * 8 / 4096;
+        assert!(slab_pages > 64, "slab spans only {slab_pages} pages");
+    }
+}

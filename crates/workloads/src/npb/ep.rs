@@ -1,0 +1,120 @@
+//! EP — embarrassingly parallel.
+//!
+//! Each thread generates pseudo-random pairs and tallies them into private
+//! buffers; only a tiny final reduction touches shared pages. The paper's
+//! null case: "EP, besides having a homogeneous communication pattern,
+//! does not share data between the threads". Its TLB miss rate is the
+//! lowest of the suite (Table III: 0.002%) because the working set is
+//! small and revisited — we keep the private buffer under the TLB reach.
+
+#![allow(clippy::needless_range_loop)] // trace builders index per-thread arrays in lockstep
+
+use super::{NpbParams, ProblemScale};
+use crate::address_space::AddressSpace;
+use crate::builder::WorkloadBuilder;
+use crate::workload::{PatternClass, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tlbmap_mem::PageGeometry;
+
+fn shape(scale: ProblemScale) -> (u64, usize, u64) {
+    // (private pages per thread, batches, accesses per batch)
+    match scale {
+        ProblemScale::Test => (4, 4, 64),
+        ProblemScale::Small => (16, 16, 256),
+        ProblemScale::Workshop => (32, 48, 512),
+    }
+}
+
+/// Generate the EP workload.
+pub fn generate(params: &NpbParams) -> Workload {
+    let p = params.n_threads;
+    let (pages, batches, per_batch) = shape(params.scale);
+    let len = pages * 512;
+    let mut space = AddressSpace::new(PageGeometry::new_4k());
+    let privs: Vec<_> = (0..p).map(|_| space.alloc_f64(len)).collect();
+    // Shared result counters: a single page all threads write at the end.
+    let counts = space.alloc_f64(512);
+    let mut b = WorkloadBuilder::new(p);
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+
+    for _batch in 0..batches {
+        for t in 0..p {
+            for _ in 0..per_batch {
+                // Random tally into the private buffer, heavy compute
+                // (RNG + sqrt/log in the real kernel).
+                let i = rng.gen_range(0..len);
+                b.read(t, privs[t], i);
+                b.write(t, privs[t], i);
+                b.compute(t, 40);
+            }
+        }
+        b.barrier();
+    }
+    // Final reduction: each thread adds its tallies to the shared page.
+    for t in 0..p {
+        for i in 0..8 {
+            b.read(t, counts, i);
+            b.write(t, counts, i);
+        }
+    }
+    b.barrier();
+
+    Workload {
+        name: "EP".into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::None,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::npb::NpbApp;
+
+    #[test]
+    fn only_the_counter_page_is_shared() {
+        let w = generate(&NpbParams {
+            n_threads: 4,
+            scale: ProblemScale::Test,
+            seed: 1,
+        });
+        let mut owners: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            std::collections::HashMap::new();
+        for (t, trace) in w.traces.iter().enumerate() {
+            for e in trace {
+                if let tlbmap_sim::TraceEvent::Access { vaddr, .. } = e {
+                    owners.entry(vaddr.0 >> 12).or_default().insert(t);
+                }
+            }
+        }
+        let shared_pages = owners.values().filter(|s| s.len() > 1).count();
+        assert_eq!(shared_pages, 1, "only the reduction page may be shared");
+    }
+
+    #[test]
+    fn working_set_fits_tlb_at_workshop_scale() {
+        let (pages, _, _) = shape(ProblemScale::Workshop);
+        assert!(pages <= 64, "EP private pages {pages} exceed TLB capacity");
+    }
+
+    #[test]
+    fn compute_dominates_accesses() {
+        let w = generate(&NpbParams {
+            n_threads: 2,
+            scale: ProblemScale::Test,
+            seed: 1,
+        });
+        let (mut compute, mut accesses) = (0u64, 0u64);
+        for e in w.traces.iter().flatten() {
+            match e {
+                tlbmap_sim::TraceEvent::Compute(c) => compute += c,
+                tlbmap_sim::TraceEvent::Access { .. } => accesses += 1,
+                _ => {}
+            }
+        }
+        assert!(compute > accesses * 10, "EP must be compute-bound");
+        assert_eq!(w.expected_pattern, NpbApp::Ep.expected_pattern());
+    }
+}

@@ -1,0 +1,119 @@
+//! FT — 3D fast Fourier transform.
+//!
+//! NPB FT does slab-decomposed FFTs: two local transform passes over the
+//! owned slab, then a global transpose in which every thread reads one
+//! contiguous block from *every* other thread's slab — the canonical
+//! all-to-all, producing the homogeneous matrix of Figure 4.
+
+use super::{NpbParams, ProblemScale, SlabGrid};
+use crate::address_space::AddressSpace;
+use crate::builder::WorkloadBuilder;
+use crate::workload::{PatternClass, Workload};
+use tlbmap_mem::PageGeometry;
+
+fn shape(scale: ProblemScale) -> (u64, u64, usize, u64, u64) {
+    // (plane, planes/thread, iterations, stride, compute/plane)
+    match scale {
+        ProblemScale::Test => (64, 2, 2, 8, 40),
+        ProblemScale::Small => (1024, 4, 3, 8, 500),
+        ProblemScale::Workshop => (4096, 8, 8, 16, 2000),
+    }
+}
+
+/// Generate the FT workload.
+pub fn generate(params: &NpbParams) -> Workload {
+    let p = params.n_threads;
+    let (plane, ppt, iterations, stride, compute) = shape(params.scale);
+    let grid = SlabGrid::new(plane, ppt * p as u64, p);
+    let mut space = AddressSpace::new(PageGeometry::new_4k());
+    let src = space.alloc_f64(grid.len());
+    let dst = space.alloc_f64(grid.len());
+    let mut b = WorkloadBuilder::new(p);
+
+    for _it in 0..iterations {
+        // Local FFT passes over the owned slab (butterflies = compute).
+        for pass in 0..2 {
+            for t in 0..p {
+                let (z0, z1) = grid.slab(t);
+                let field = if pass == 0 { src } else { dst };
+                for z in z0..z1 {
+                    for i in (0..grid.plane).step_by(stride as usize) {
+                        b.read(t, field, grid.at(z, i));
+                        b.write(t, field, grid.at(z, i));
+                    }
+                    b.compute(t, compute);
+                }
+            }
+            b.barrier();
+        }
+        // Global transpose: thread t reads block t of every other thread's
+        // slab and writes into its own slab of dst.
+        let block = (grid.plane * ppt) / p as u64; // elements per exchange
+        for t in 0..p {
+            let (z0, _) = grid.slab(t);
+            for u in 0..p {
+                if u == t {
+                    continue;
+                }
+                let (uz0, _) = grid.slab(u);
+                let remote_base = grid.at(uz0, 0) + (t as u64) * block;
+                let local_base = grid.at(z0, 0) + (u as u64) * block;
+                for i in (0..block).step_by(stride as usize) {
+                    b.read(t, src, remote_base + i);
+                    b.write(t, dst, local_base + i);
+                }
+            }
+            b.compute(t, compute / 2);
+        }
+        b.barrier();
+    }
+
+    Workload {
+        name: "FT".into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::Homogeneous,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::npb::NpbApp;
+
+    #[test]
+    fn every_pair_shares_pages() {
+        let w = generate(&NpbParams {
+            n_threads: 4,
+            scale: ProblemScale::Test,
+            seed: 0,
+        });
+        let mut pages = vec![std::collections::HashSet::new(); 4];
+        for (t, trace) in w.traces.iter().enumerate() {
+            for e in trace {
+                if let tlbmap_sim::TraceEvent::Access { vaddr, .. } = e {
+                    pages[t].insert(vaddr.0 >> 12);
+                }
+            }
+        }
+        for a in 0..4 {
+            for b2 in (a + 1)..4 {
+                assert!(
+                    pages[a].intersection(&pages[b2]).count() > 0,
+                    "pair ({a},{b2}) must share (all-to-all transpose)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metadata() {
+        let w = generate(&NpbParams {
+            n_threads: 4,
+            scale: ProblemScale::Test,
+            seed: 0,
+        });
+        assert_eq!(w.name, "FT");
+        assert_eq!(w.expected_pattern, NpbApp::Ft.expected_pattern());
+    }
+}

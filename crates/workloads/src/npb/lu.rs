@@ -1,0 +1,116 @@
+//! LU — lower-upper Gauss-Seidel (SSOR) solver.
+//!
+//! NPB LU runs SSOR sweeps pipelined along the decomposition dimension: a
+//! forward wavefront (each thread consumes its predecessor's boundary
+//! plane) and a backward wavefront (successor's plane). On top of the
+//! neighbour pattern, the paper (and \[10\]) observe that LU also
+//! communicates with the *most distant* threads: the pipeline wraps and
+//! threads at opposite ends exchange residual/norm data. We model that
+//! with an anti-diagonal exchange — thread `t` reads a reduction buffer
+//! written by thread `p-1-t` every step.
+
+use super::{alloc_field, stencil_sweep, NpbParams, ProblemScale, SlabGrid};
+use crate::address_space::AddressSpace;
+use crate::builder::WorkloadBuilder;
+use crate::workload::{PatternClass, Workload};
+use tlbmap_mem::PageGeometry;
+
+fn shape(scale: ProblemScale) -> (u64, u64, usize, u64, u64) {
+    // (plane, planes/thread, steps, stride, compute/plane)
+    match scale {
+        ProblemScale::Test => (64, 2, 2, 8, 30),
+        ProblemScale::Small => (1024, 4, 4, 8, 300),
+        ProblemScale::Workshop => (4096, 8, 10, 16, 900),
+    }
+}
+
+/// Generate the LU workload.
+pub fn generate(params: &NpbParams) -> Workload {
+    let p = params.n_threads;
+    let (plane, ppt, steps, stride, compute) = shape(params.scale);
+    let grid = SlabGrid::new(plane, ppt * p as u64, p);
+    let mut space = AddressSpace::new(PageGeometry::new_4k());
+    let u = alloc_field(&mut space, &grid);
+    let rsd = alloc_field(&mut space, &grid);
+    // One page-sized reduction buffer per thread for the distant exchange.
+    let norms: Vec<_> = (0..p).map(|_| space.alloc_f64(512)).collect();
+    let mut b = WorkloadBuilder::new(p);
+
+    for _step in 0..steps {
+        // Forward sweep: each thread reads its predecessor's boundary.
+        for t in 0..p {
+            stencil_sweep(&mut b, t, &grid, u, rsd, stride, compute, false);
+        }
+        b.barrier();
+        // Backward sweep: boundary planes again (successor side).
+        for t in 0..p {
+            stencil_sweep(&mut b, t, &grid, rsd, u, stride, compute, false);
+        }
+        b.barrier();
+        // Norm computation + distant exchange: thread t writes its norm
+        // buffer and reads the anti-diagonal partner's.
+        for t in 0..p {
+            for i in (0..512).step_by(8) {
+                b.write(t, norms[t], i);
+            }
+            let partner = p - 1 - t;
+            if partner != t {
+                for i in (0..512).step_by(8) {
+                    b.read(t, norms[partner], i);
+                }
+            }
+            b.compute(t, compute / 2);
+        }
+        b.barrier();
+    }
+
+    Workload {
+        name: "LU".into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::NeighborsPlusDistant,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::npb::NpbApp;
+
+    fn pages_of(w: &Workload) -> Vec<std::collections::HashSet<u64>> {
+        let mut pages = vec![std::collections::HashSet::new(); w.n_threads()];
+        for (t, trace) in w.traces.iter().enumerate() {
+            for e in trace {
+                if let tlbmap_sim::TraceEvent::Access { vaddr, .. } = e {
+                    pages[t].insert(vaddr.0 >> 12);
+                }
+            }
+        }
+        pages
+    }
+
+    #[test]
+    fn neighbors_and_antidiagonal_share_pages() {
+        let w = generate(&NpbParams {
+            n_threads: 4,
+            scale: ProblemScale::Test,
+            seed: 0,
+        });
+        let pages = pages_of(&w);
+        let shared = |a: usize, b: usize| pages[a].intersection(&pages[b]).count();
+        assert!(shared(0, 1) > 0, "neighbour sharing expected");
+        assert!(shared(0, 3) > 0, "anti-diagonal (0,3) sharing expected");
+        assert!(shared(1, 2) > 0, "anti-diagonal (1,2) sharing expected");
+    }
+
+    #[test]
+    fn metadata() {
+        let w = generate(&NpbParams {
+            n_threads: 4,
+            scale: ProblemScale::Test,
+            seed: 0,
+        });
+        assert_eq!(w.name, "LU");
+        assert_eq!(w.expected_pattern, NpbApp::Lu.expected_pattern());
+    }
+}

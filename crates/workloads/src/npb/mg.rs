@@ -1,0 +1,202 @@
+//! MG — multigrid V-cycle.
+//!
+//! NPB MG relaxes on a hierarchy of grids. At the fine level the slab
+//! decomposition gives plain neighbour communication; at each coarser
+//! level the grid shrinks so fewer threads own planes and restriction /
+//! prolongation moves data between threads whose fine and coarse owners
+//! differ — producing the paper's observation that some thread pairs (4-5,
+//! 6-7 in Figure 4) communicate more than others.
+
+use super::{NpbParams, ProblemScale, SlabGrid};
+use crate::address_space::AddressSpace;
+use crate::builder::WorkloadBuilder;
+use crate::workload::{PatternClass, Workload};
+use tlbmap_mem::PageGeometry;
+
+fn shape(scale: ProblemScale) -> (u64, u64, usize, u64, u64) {
+    // (plane, fine planes/thread, v-cycles, stride, compute/plane)
+    match scale {
+        ProblemScale::Test => (64, 2, 2, 8, 30),
+        ProblemScale::Small => (1024, 4, 3, 8, 250),
+        ProblemScale::Workshop => (4096, 8, 8, 16, 800),
+    }
+}
+
+/// Owner of coarse plane `z` at a level with `planes_per_thread` fine
+/// planes per thread coarsened by `1 << level`.
+fn owner(z: u64, fine_ppt: u64, level: u32, p: usize) -> usize {
+    // Coarse plane z corresponds to fine plane z << level.
+    (((z << level) / fine_ppt) as usize).min(p - 1)
+}
+
+/// Generate the MG workload.
+pub fn generate(params: &NpbParams) -> Workload {
+    let p = params.n_threads;
+    let (plane, fine_ppt, cycles, stride, compute) = shape(params.scale);
+    let nz = fine_ppt * p as u64;
+    let levels: u32 = nz.trailing_zeros().min(3); // coarsen up to 3 times
+    let mut space = AddressSpace::new(PageGeometry::new_4k());
+    // One field per level (fine → coarse).
+    let grids: Vec<SlabGrid> = (0..=levels)
+        .map(|l| SlabGrid {
+            plane: (plane >> l).max(64),
+            nz: nz >> l,
+            p,
+        })
+        .collect();
+    let fields: Vec<_> = grids.iter().map(|g| space.alloc_f64(g.len())).collect();
+    let mut b = WorkloadBuilder::new(p);
+
+    // Plane range of thread t at level l (ownership follows the fine slab).
+    let range = |t: usize, l: u32| -> (u64, u64) {
+        let nz_l = nz >> l;
+        let mut z0 = nz_l;
+        let mut z1 = 0;
+        for z in 0..nz_l {
+            if owner(z, fine_ppt, l, p) == t {
+                z0 = z0.min(z);
+                z1 = z1.max(z + 1);
+            }
+        }
+        if z0 >= z1 {
+            (0, 0)
+        } else {
+            (z0, z1)
+        }
+    };
+
+    let relax = |b: &mut WorkloadBuilder, t: usize, l: u32| {
+        let g = &grids[l as usize];
+        let (z0, z1) = range(t, l);
+        for z in z0..z1 {
+            let zm = z.saturating_sub(1);
+            let zp = (z + 1).min(g.nz - 1);
+            for i in (0..g.plane).step_by(stride as usize) {
+                b.read(t, fields[l as usize], g.at(z, i));
+                if zm != z {
+                    b.read(t, fields[l as usize], g.at(zm, i));
+                }
+                if zp != z {
+                    b.read(t, fields[l as usize], g.at(zp, i));
+                }
+                b.write(t, fields[l as usize], g.at(z, i));
+            }
+            b.compute(t, compute >> l);
+        }
+    };
+
+    for _cycle in 0..cycles {
+        // Downward: relax then restrict each level.
+        for l in 0..levels {
+            for t in 0..p {
+                relax(&mut b, t, l);
+            }
+            b.barrier();
+            // Restriction: thread t reads its fine planes and writes the
+            // matching coarse planes — the coarse page may belong to
+            // another thread's coarse range (communication).
+            let fine = &grids[l as usize];
+            let coarse = &grids[(l + 1) as usize];
+            for t in 0..p {
+                let (z0, z1) = range(t, l);
+                for z in (z0..z1).step_by(2) {
+                    let cz = (z / 2).min(coarse.nz - 1);
+                    for i in (0..coarse.plane).step_by(stride as usize) {
+                        b.read(t, fields[l as usize], fine.at(z, i.min(fine.plane - 1)));
+                        b.write(t, fields[(l + 1) as usize], coarse.at(cz, i));
+                    }
+                }
+                b.compute(t, compute >> (l + 1));
+            }
+            b.barrier();
+        }
+        // Coarsest relax.
+        for t in 0..p {
+            relax(&mut b, t, levels);
+        }
+        b.barrier();
+        // Upward: prolongate then relax.
+        for l in (0..levels).rev() {
+            let fine = &grids[l as usize];
+            let coarse = &grids[(l + 1) as usize];
+            for t in 0..p {
+                let (z0, z1) = range(t, l);
+                for z in (z0..z1).step_by(2) {
+                    let cz = (z / 2).min(coarse.nz - 1);
+                    for i in (0..coarse.plane).step_by(stride as usize) {
+                        b.read(t, fields[(l + 1) as usize], coarse.at(cz, i));
+                        b.write(t, fields[l as usize], fine.at(z, i.min(fine.plane - 1)));
+                    }
+                }
+                b.compute(t, compute >> (l + 1));
+            }
+            b.barrier();
+            for t in 0..p {
+                relax(&mut b, t, l);
+            }
+            b.barrier();
+        }
+    }
+
+    Workload {
+        name: "MG".into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::DomainDecomposition,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::npb::NpbApp;
+
+    #[test]
+    fn owner_consolidates_at_coarse_levels() {
+        // 8 threads, 2 fine planes each (nz = 16). At level 3, nz = 2:
+        // plane 0 → thread 0, plane 1 → thread 4.
+        assert_eq!(owner(0, 2, 3, 8), 0);
+        assert_eq!(owner(1, 2, 3, 8), 4);
+        // At level 1 (nz = 8), plane 3 corresponds to fine plane 6 →
+        // thread 3.
+        assert_eq!(owner(3, 2, 1, 8), 3);
+    }
+
+    #[test]
+    fn generates_neighbor_sharing() {
+        let w = generate(&NpbParams {
+            n_threads: 4,
+            scale: ProblemScale::Test,
+            seed: 0,
+        });
+        assert_eq!(w.name, "MG");
+        assert_eq!(w.expected_pattern, NpbApp::Mg.expected_pattern());
+        let mut pages = vec![std::collections::HashSet::new(); 4];
+        for (t, trace) in w.traces.iter().enumerate() {
+            for e in trace {
+                if let tlbmap_sim::TraceEvent::Access { vaddr, .. } = e {
+                    pages[t].insert(vaddr.0 >> 12);
+                }
+            }
+        }
+        let shared = |a: usize, b: usize| pages[a].intersection(&pages[b]).count();
+        assert!(shared(0, 1) > 0);
+        assert!(shared(2, 3) > 0);
+    }
+
+    #[test]
+    fn every_thread_does_work() {
+        let w = generate(&NpbParams {
+            n_threads: 8,
+            scale: ProblemScale::Test,
+            seed: 0,
+        });
+        for (t, trace) in w.traces.iter().enumerate() {
+            let accesses = trace
+                .iter()
+                .filter(|e| matches!(e, tlbmap_sim::TraceEvent::Access { .. }))
+                .count();
+            assert!(accesses > 0, "thread {t} idle");
+        }
+    }
+}

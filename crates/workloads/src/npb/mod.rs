@@ -1,0 +1,333 @@
+//! NPB-inspired mini-kernels.
+//!
+//! Each kernel reproduces the parallel decomposition — and therefore the
+//! page-sharing structure — of one NAS Parallel Benchmark (OpenMP flavour),
+//! as characterized by the paper (Figures 4–5) and its reference \[10\]:
+//! the traces carry the addresses a real run would touch, with `Compute`
+//! events standing in for the arithmetic between them.
+//!
+//! Shared helpers here implement the slab-decomposed 3D grid most kernels
+//! use (BT, SP, LU, MG, FT all operate on slabs of planes).
+
+pub mod bt;
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+pub mod sp;
+pub mod ua;
+
+use crate::address_space::{AddressSpace, ArrayHandle};
+use crate::builder::WorkloadBuilder;
+use crate::workload::{PatternClass, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Problem size selector — the analogue of NPB's class letters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProblemScale {
+    /// Minutes-long unit tests: a few thousand events.
+    Test,
+    /// Fast experiments: tens of thousands of events.
+    Small,
+    /// The evaluation scale (the paper's class W analogue): hundreds of
+    /// thousands of events, per-thread working sets larger than the TLB
+    /// reach so steady-state TLB misses occur.
+    Workshop,
+}
+
+/// Parameters shared by every kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NpbParams {
+    /// Number of threads (== cores in the paper's setup).
+    pub n_threads: usize,
+    /// Problem size.
+    pub scale: ProblemScale,
+    /// Seed for the kernels with randomized structure (CG, EP, IS, UA).
+    pub seed: u64,
+}
+
+impl NpbParams {
+    /// Paper-like defaults: 8 threads, Workshop scale.
+    pub fn paper_default() -> Self {
+        NpbParams {
+            n_threads: 8,
+            scale: ProblemScale::Workshop,
+            seed: 0x71B,
+        }
+    }
+}
+
+/// The nine evaluated applications (all of NPB except DC, exactly as the
+/// paper: "We ran all the benchmarks except DC").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NpbApp {
+    /// Block tri-diagonal solver.
+    Bt,
+    /// Conjugate gradient.
+    Cg,
+    /// Embarrassingly parallel.
+    Ep,
+    /// 3D fast Fourier transform.
+    Ft,
+    /// Integer sort.
+    Is,
+    /// Lower-upper Gauss-Seidel (SSOR).
+    Lu,
+    /// Multigrid.
+    Mg,
+    /// Scalar pentadiagonal solver.
+    Sp,
+    /// Unstructured adaptive mesh.
+    Ua,
+}
+
+impl NpbApp {
+    /// All nine applications, in the paper's (alphabetical) order.
+    pub const ALL: [NpbApp; 9] = [
+        NpbApp::Bt,
+        NpbApp::Cg,
+        NpbApp::Ep,
+        NpbApp::Ft,
+        NpbApp::Is,
+        NpbApp::Lu,
+        NpbApp::Mg,
+        NpbApp::Sp,
+        NpbApp::Ua,
+    ];
+
+    /// Uppercase short name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NpbApp::Bt => "BT",
+            NpbApp::Cg => "CG",
+            NpbApp::Ep => "EP",
+            NpbApp::Ft => "FT",
+            NpbApp::Is => "IS",
+            NpbApp::Lu => "LU",
+            NpbApp::Mg => "MG",
+            NpbApp::Sp => "SP",
+            NpbApp::Ua => "UA",
+        }
+    }
+
+    /// Parse a (case-insensitive) short name.
+    pub fn from_name(name: &str) -> Option<NpbApp> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The communication structure the paper reports for this app.
+    pub fn expected_pattern(&self) -> PatternClass {
+        match self {
+            NpbApp::Bt | NpbApp::Is | NpbApp::Mg | NpbApp::Sp | NpbApp::Ua => {
+                PatternClass::DomainDecomposition
+            }
+            NpbApp::Lu => PatternClass::NeighborsPlusDistant,
+            NpbApp::Cg | NpbApp::Ft => PatternClass::Homogeneous,
+            NpbApp::Ep => PatternClass::None,
+        }
+    }
+
+    /// Generate the workload.
+    pub fn generate(&self, params: &NpbParams) -> Workload {
+        match self {
+            NpbApp::Bt => bt::generate(params),
+            NpbApp::Cg => cg::generate(params),
+            NpbApp::Ep => ep::generate(params),
+            NpbApp::Ft => ft::generate(params),
+            NpbApp::Is => is::generate(params),
+            NpbApp::Lu => lu::generate(params),
+            NpbApp::Mg => mg::generate(params),
+            NpbApp::Sp => sp::generate(params),
+            NpbApp::Ua => ua::generate(params),
+        }
+    }
+}
+
+/// A 3D grid decomposed into contiguous z-slabs, one per thread, stored in
+/// shared arrays (one allocation per field, as a real program would).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlabGrid {
+    /// Elements per z-plane.
+    pub plane: u64,
+    /// Total z-planes.
+    pub nz: u64,
+    /// Threads.
+    pub p: usize,
+}
+
+impl SlabGrid {
+    pub fn new(plane: u64, nz: u64, p: usize) -> Self {
+        assert!(
+            nz.is_multiple_of(p as u64),
+            "nz {nz} must divide evenly among {p} threads"
+        );
+        SlabGrid { plane, nz, p }
+    }
+
+    /// Total elements of one field.
+    pub fn len(&self) -> u64 {
+        self.plane * self.nz
+    }
+
+    /// z-planes owned by thread `t`: `[start, end)`.
+    pub fn slab(&self, t: usize) -> (u64, u64) {
+        let per = self.nz / self.p as u64;
+        (t as u64 * per, (t as u64 + 1) * per)
+    }
+
+    /// Linear index of element `(z, i)`.
+    pub fn at(&self, z: u64, i: u64) -> u64 {
+        z * self.plane + i
+    }
+}
+
+/// Sweep thread `t`'s slab of `field` with a 7-point-style stencil: per
+/// plane, read the plane and its z-neighbours (crossing into neighbouring
+/// threads' slabs at the boundaries — that is the communication), write
+/// `out`. `stride` subsamples elements (one access stands for a cache-line
+/// burst); `wrap` makes the z-dimension periodic.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stencil_sweep(
+    b: &mut WorkloadBuilder,
+    t: usize,
+    grid: &SlabGrid,
+    field: ArrayHandle,
+    out: ArrayHandle,
+    stride: u64,
+    compute_per_plane: u64,
+    wrap: bool,
+) {
+    let (z0, z1) = grid.slab(t);
+    for z in z0..z1 {
+        let zm = if z == 0 {
+            if wrap {
+                grid.nz - 1
+            } else {
+                z
+            }
+        } else {
+            z - 1
+        };
+        let zp = if z == grid.nz - 1 {
+            if wrap {
+                0
+            } else {
+                z
+            }
+        } else {
+            z + 1
+        };
+        for i in (0..grid.plane).step_by(stride as usize) {
+            b.read(t, field, grid.at(z, i));
+            // In-plane neighbours stay on the same pages most of the time;
+            // one representative read keeps trace volume sane.
+            if zm != z {
+                b.read(t, field, grid.at(zm, i));
+            }
+            if zp != z {
+                b.read(t, field, grid.at(zp, i));
+            }
+            b.write(t, out, grid.at(z, i));
+        }
+        b.compute(t, compute_per_plane);
+    }
+}
+
+/// Allocate one field over the whole grid.
+pub(crate) fn alloc_field(space: &mut AddressSpace, grid: &SlabGrid) -> ArrayHandle {
+    space.alloc_f64(grid.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlbmap_mem::PageGeometry;
+    use tlbmap_sim::trace::barriers_consistent;
+
+    #[test]
+    fn app_names_roundtrip() {
+        for app in NpbApp::ALL {
+            assert_eq!(NpbApp::from_name(app.name()), Some(app));
+            assert_eq!(NpbApp::from_name(&app.name().to_lowercase()), Some(app));
+        }
+        assert_eq!(NpbApp::from_name("DC"), None);
+    }
+
+    #[test]
+    fn slab_partition_covers_grid() {
+        let g = SlabGrid::new(100, 64, 8);
+        let mut covered = 0;
+        for t in 0..8 {
+            let (a, b) = g.slab(t);
+            covered += b - a;
+            if t > 0 {
+                assert_eq!(g.slab(t - 1).1, a, "slabs must be contiguous");
+            }
+        }
+        assert_eq!(covered, 64);
+    }
+
+    #[test]
+    fn all_apps_generate_consistent_test_scale_traces() {
+        let params = NpbParams {
+            n_threads: 4,
+            scale: ProblemScale::Test,
+            seed: 42,
+        };
+        for app in NpbApp::ALL {
+            let w = app.generate(&params);
+            assert_eq!(w.n_threads(), 4, "{}", app.name());
+            assert!(barriers_consistent(&w.traces), "{}", app.name());
+            assert!(w.total_events() > 100, "{} too small", app.name());
+            assert_eq!(w.expected_pattern, app.expected_pattern(), "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = NpbParams {
+            n_threads: 4,
+            scale: ProblemScale::Test,
+            seed: 7,
+        };
+        for app in [NpbApp::Cg, NpbApp::Is, NpbApp::Ua] {
+            let a = app.generate(&params);
+            let b = app.generate(&params);
+            assert_eq!(a.traces, b.traces, "{} not deterministic", app.name());
+        }
+    }
+
+    #[test]
+    fn stencil_sweep_touches_neighbor_slabs() {
+        let grid = SlabGrid::new(512, 8, 4); // 1 page per plane
+        let mut space = AddressSpace::new(PageGeometry::new_4k());
+        let u = alloc_field(&mut space, &grid);
+        let r = alloc_field(&mut space, &grid);
+        let mut b = WorkloadBuilder::new(4);
+        stencil_sweep(&mut b, 1, &grid, u, r, 64, 10, false);
+        let traces = b.build();
+        let pages: std::collections::HashSet<u64> = traces[1]
+            .iter()
+            .filter_map(|e| match e {
+                tlbmap_sim::TraceEvent::Access { vaddr, .. } => Some(vaddr.0 >> 12),
+                _ => None,
+            })
+            .collect();
+        // Thread 1 owns planes 2..4 of u; the stencil also reads planes 1
+        // and 4 (pages of threads 0 and 2).
+        let u_page0 = u.base.0 >> 12;
+        assert!(
+            pages.contains(&(u_page0 + 1)),
+            "must read thread 0's boundary plane"
+        );
+        assert!(
+            pages.contains(&(u_page0 + 4)),
+            "must read thread 2's boundary plane"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! SP — scalar pentadiagonal solver.
+//!
+//! Structurally BT's sibling: the same ADI time-stepping over the same slab
+//! decomposition, but with scalar (not 5×5 block) solves — less compute per
+//! communicated byte, which is why the paper sees SP benefit *more* from
+//! mapping than BT (15.3% — its best result).
+
+use super::bt::generate_adi;
+use super::NpbParams;
+use crate::workload::Workload;
+
+/// Generate the SP workload.
+pub fn generate(params: &NpbParams) -> Workload {
+    // SP: 3 directional solves like BT, but scalar compute weight.
+    generate_adi(params, "SP", 3, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::npb::{NpbApp, ProblemScale};
+    use tlbmap_sim::TraceEvent;
+
+    fn params() -> NpbParams {
+        NpbParams {
+            n_threads: 4,
+            scale: ProblemScale::Test,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn sp_has_lighter_compute_than_bt() {
+        let sp = generate(&params());
+        let bt = super::super::bt::generate(&params());
+        let compute = |w: &Workload| -> u64 {
+            w.traces
+                .iter()
+                .flatten()
+                .map(|e| match e {
+                    TraceEvent::Compute(c) => *c,
+                    _ => 0,
+                })
+                .sum()
+        };
+        assert!(
+            compute(&sp) < compute(&bt),
+            "SP must spend fewer compute cycles than BT"
+        );
+        // Same access structure though.
+        let accesses = |w: &Workload| {
+            w.traces
+                .iter()
+                .flatten()
+                .filter(|e| matches!(e, TraceEvent::Access { .. }))
+                .count()
+        };
+        assert_eq!(accesses(&sp), accesses(&bt));
+    }
+
+    #[test]
+    fn metadata() {
+        let w = generate(&params());
+        assert_eq!(w.name, "SP");
+        assert_eq!(w.expected_pattern, NpbApp::Sp.expected_pattern());
+    }
+}

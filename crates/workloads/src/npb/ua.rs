@@ -1,0 +1,156 @@
+//! UA — unstructured adaptive mesh.
+//!
+//! NPB UA solves a heat equation on an adaptively refined unstructured
+//! mesh. Elements are distributed in contiguous chunks, and element
+//! adjacency is mostly local (mesh neighbours) with occasional long-range
+//! edges introduced by refinement — a domain-decomposition pattern with
+//! irregular blur (Figure 4 UA).
+
+use super::{NpbParams, ProblemScale};
+use crate::address_space::AddressSpace;
+use crate::builder::WorkloadBuilder;
+use crate::workload::{PatternClass, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tlbmap_mem::PageGeometry;
+
+fn shape(scale: ProblemScale) -> (u64, usize, u64) {
+    // (elements per thread, time steps, element stride)
+    match scale {
+        ProblemScale::Test => (2_048, 2, 8),
+        ProblemScale::Small => (16_384, 4, 8),
+        ProblemScale::Workshop => (65_536, 10, 16),
+    }
+}
+
+/// Generate the UA workload.
+pub fn generate(params: &NpbParams) -> Workload {
+    let p = params.n_threads;
+    let (ept, steps, stride) = shape(params.scale);
+    let n = ept * p as u64;
+    let mut space = AddressSpace::new(PageGeometry::new_4k());
+    let state = space.alloc_f64(n); // element states, thread-chunked
+    let flux = space.alloc_f64(n);
+    let mut b = WorkloadBuilder::new(p);
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+
+    // Static adjacency for the sampled elements: near neighbours plus a
+    // few refinement-induced long edges.
+    let row = 64i64; // pseudo-2D row width for "mesh" neighbours
+    let neighbors: Vec<Vec<u64>> = (0..n)
+        .step_by(stride as usize)
+        .map(|e| {
+            let mut nb = Vec::with_capacity(5);
+            for d in [-1i64, 1, -row, row] {
+                let j = e as i64 + d * stride as i64;
+                if (0..n as i64).contains(&j) {
+                    nb.push(j as u64);
+                }
+            }
+            // ~1% long-range refinement edges.
+            if rng.gen::<f64>() < 0.01 {
+                nb.push(rng.gen_range(0..n));
+            }
+            nb
+        })
+        .collect();
+
+    for step in 0..steps {
+        // Flux computation: read element + neighbours, write flux.
+        for t in 0..p {
+            let e0 = t as u64 * ept;
+            for (s, e) in (e0..e0 + ept).step_by(stride as usize).enumerate() {
+                let idx = (e0 / stride) as usize + s;
+                b.read(t, state, e);
+                for &j in &neighbors[idx.min(neighbors.len() - 1)] {
+                    b.read(t, state, j);
+                }
+                b.write(t, flux, e);
+                b.compute(t, 20);
+            }
+        }
+        b.barrier();
+        // Update: read flux, write state (local).
+        for t in 0..p {
+            let e0 = t as u64 * ept;
+            for e in (e0..e0 + ept).step_by(stride as usize) {
+                b.read(t, flux, e);
+                b.write(t, state, e);
+            }
+        }
+        b.barrier();
+        // Adaptation: threads exchange a boundary window with their ring
+        // successor (elements migrate between chunks after refinement).
+        {
+            let _ = step;
+            for t in 0..p {
+                let succ = (t + 1) % p;
+                let s0 = succ as u64 * ept;
+                for e in (s0..s0 + (ept / 4)).step_by(stride as usize) {
+                    b.read(t, state, e);
+                }
+                b.compute(t, 50);
+            }
+            b.barrier();
+        }
+    }
+
+    Workload {
+        name: "UA".into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::DomainDecomposition,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::npb::NpbApp;
+
+    #[test]
+    fn neighbor_bias_with_long_tail() {
+        // Count thread 0's accesses landing in each other thread's state
+        // chunk: the successor's chunk (adaptation window + mesh edges)
+        // must receive more traffic than a distant chunk; the long-tail
+        // refinement edges keep distant traffic nonzero across the run.
+        let p = 4;
+        let (ept, _, _) = shape(ProblemScale::Small);
+        let w = generate(&NpbParams {
+            n_threads: p,
+            scale: ProblemScale::Small,
+            seed: 9,
+        });
+        let state_base = 4096u64; // first allocation
+        let mut per_chunk = vec![0u64; p];
+        for e in &w.traces[0] {
+            if let tlbmap_sim::TraceEvent::Access { vaddr, .. } = e {
+                let off = vaddr.0.wrapping_sub(state_base) / 8;
+                if off < ept * p as u64 {
+                    per_chunk[(off / ept) as usize] += 1;
+                }
+            }
+        }
+        assert!(per_chunk[0] > per_chunk[1], "own chunk dominates");
+        assert!(
+            per_chunk[1] > per_chunk[2],
+            "successor chunk ({}) must beat distant chunk ({})",
+            per_chunk[1],
+            per_chunk[2]
+        );
+        assert!(per_chunk[2] > 0, "long-range refinement edges expected");
+    }
+
+    #[test]
+    fn metadata_and_determinism() {
+        let p = NpbParams {
+            n_threads: 4,
+            scale: ProblemScale::Test,
+            seed: 9,
+        };
+        let w = generate(&p);
+        assert_eq!(w.name, "UA");
+        assert_eq!(w.expected_pattern, NpbApp::Ua.expected_pattern());
+        assert_eq!(w.traces, generate(&p).traces);
+    }
+}

@@ -1,0 +1,240 @@
+//! Trace characterization — the workload-side statistics that explain the
+//! detector-side numbers.
+//!
+//! Table III's TLB miss rates, the patterns of Figures 4–5 and the
+//! performance sensitivity of Figures 6–9 are all downstream of a few
+//! trace properties: footprint, page reuse, read/write mix, and how many
+//! threads share each page. [`TraceStats::analyze`] computes them for any
+//! workload, and the `tlbmap stats` CLI subcommand prints them.
+
+use crate::workload::Workload;
+use std::collections::HashMap;
+use tlbmap_sim::{MemOp, ThreadTrace, TraceEvent};
+
+/// Aggregate statistics of one workload's traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Threads in the workload.
+    pub n_threads: usize,
+    /// Memory accesses (loads + stores).
+    pub accesses: u64,
+    /// Stores.
+    pub writes: u64,
+    /// Pure-compute cycles embedded in the traces.
+    pub compute_cycles: u64,
+    /// Barriers per thread.
+    pub barriers: u64,
+    /// Distinct 4 KiB pages touched.
+    pub distinct_pages: usize,
+    /// Pages touched by exactly one thread.
+    pub private_pages: usize,
+    /// Pages touched by two or more threads.
+    pub shared_pages: usize,
+    /// Histogram over sharing degree: `sharers[d]` = pages touched by
+    /// exactly `d + 1` threads.
+    pub sharers: Vec<usize>,
+    /// Mean accesses per touched page.
+    pub accesses_per_page: f64,
+    /// Largest per-thread working set in pages.
+    pub max_thread_pages: usize,
+}
+
+impl TraceStats {
+    /// Analyze a workload's traces (4 KiB page granularity).
+    pub fn analyze(workload: &Workload) -> TraceStats {
+        Self::analyze_traces(&workload.traces)
+    }
+
+    /// Analyze raw traces.
+    ///
+    /// # Panics
+    /// Panics for more than 64 threads (per-page sharer sets are tracked
+    /// as a 64-bit mask; every modelled machine is far smaller).
+    pub fn analyze_traces(traces: &[ThreadTrace]) -> TraceStats {
+        let n_threads = traces.len();
+        assert!(n_threads <= 64, "sharing analysis supports at most 64 threads");
+        let mut accesses = 0u64;
+        let mut writes = 0u64;
+        let mut compute = 0u64;
+        let mut barriers = 0u64;
+        // page -> (bitmask of threads, access count)
+        let mut pages: HashMap<u64, (u64, u64)> = HashMap::new();
+        let mut thread_pages: Vec<std::collections::HashSet<u64>> =
+            vec![std::collections::HashSet::new(); n_threads];
+
+        for (t, trace) in traces.iter().enumerate() {
+            for e in trace {
+                match e {
+                    TraceEvent::Access { vaddr, op, .. } => {
+                        accesses += 1;
+                        if *op == MemOp::Write {
+                            writes += 1;
+                        }
+                        let page = vaddr.0 >> 12;
+                        let entry = pages.entry(page).or_insert((0, 0));
+                        entry.0 |= 1u64 << t;
+                        entry.1 += 1;
+                        thread_pages[t].insert(page);
+                    }
+                    TraceEvent::Compute(c) => compute += c,
+                    TraceEvent::Barrier => {
+                        if t == 0 {
+                            barriers += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let distinct_pages = pages.len();
+        let mut sharers = vec![0usize; n_threads.max(1)];
+        let mut private = 0;
+        for (mask, _) in pages.values() {
+            let d = mask.count_ones() as usize;
+            if d == 1 {
+                private += 1;
+            }
+            if d >= 1 {
+                let idx = (d - 1).min(sharers.len() - 1);
+                sharers[idx] += 1;
+            }
+        }
+        TraceStats {
+            n_threads,
+            accesses,
+            writes,
+            compute_cycles: compute,
+            barriers,
+            distinct_pages,
+            private_pages: private,
+            shared_pages: distinct_pages - private,
+            accesses_per_page: if distinct_pages == 0 {
+                0.0
+            } else {
+                accesses as f64 / distinct_pages as f64
+            },
+            max_thread_pages: thread_pages.iter().map(|s| s.len()).max().unwrap_or(0),
+            sharers,
+        }
+    }
+
+    /// Fraction of accesses that are stores.
+    pub fn write_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of touched pages shared by ≥ 2 threads.
+    pub fn shared_page_fraction(&self) -> f64 {
+        if self.distinct_pages == 0 {
+            0.0
+        } else {
+            self.shared_pages as f64 / self.distinct_pages as f64
+        }
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("threads:            {}\n", self.n_threads));
+        out.push_str(&format!("accesses:           {}\n", self.accesses));
+        out.push_str(&format!(
+            "writes:             {} ({:.1}%)\n",
+            self.writes,
+            100.0 * self.write_fraction()
+        ));
+        out.push_str(&format!("compute cycles:     {}\n", self.compute_cycles));
+        out.push_str(&format!("barriers:           {}\n", self.barriers));
+        out.push_str(&format!(
+            "pages touched:      {} ({} KiB footprint)\n",
+            self.distinct_pages,
+            self.distinct_pages * 4
+        ));
+        out.push_str(&format!(
+            "  private:          {} / shared: {} ({:.1}%)\n",
+            self.private_pages,
+            self.shared_pages,
+            100.0 * self.shared_page_fraction()
+        ));
+        out.push_str(&format!(
+            "max thread pages:   {} ({}x the 64-entry TLB reach)\n",
+            self.max_thread_pages,
+            self.max_thread_pages / 64
+        ));
+        out.push_str(&format!(
+            "accesses per page:  {:.1}\n",
+            self.accesses_per_page
+        ));
+        out.push_str("sharing degree:     ");
+        for (d, &count) in self.sharers.iter().enumerate() {
+            if count > 0 {
+                out.push_str(&format!("{}×{} ", d + 1, count));
+            }
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    #[test]
+    fn private_workload_has_no_shared_pages() {
+        let w = synthetic::private_only(4, 4, 2);
+        let s = TraceStats::analyze(&w);
+        assert_eq!(s.n_threads, 4);
+        assert_eq!(s.shared_pages, 0);
+        assert_eq!(s.private_pages, s.distinct_pages);
+        assert_eq!(s.sharers[0], s.distinct_pages);
+        assert!(s.write_fraction() > 0.4 && s.write_fraction() < 0.6);
+    }
+
+    #[test]
+    fn ring_shares_boundary_pages_pairwise() {
+        let w = synthetic::ring_neighbors(4, 8, 2);
+        let s = TraceStats::analyze(&w);
+        assert!(s.shared_pages > 0);
+        // Ring sharing is pairwise: no page touched by 3+ threads.
+        assert_eq!(s.sharers[2..].iter().sum::<usize>(), 0);
+        assert_eq!(s.barriers, 2);
+    }
+
+    #[test]
+    fn uniform_all_to_all_has_widely_shared_pages() {
+        let w = synthetic::uniform_all_to_all(4, 4, 4);
+        let s = TraceStats::analyze(&w);
+        // Some page must be touched by all 4 threads.
+        assert!(
+            s.sharers[3] > 0,
+            "expected 4-way shared pages: {:?}",
+            s.sharers
+        );
+    }
+
+    #[test]
+    fn counts_are_internally_consistent() {
+        let w = synthetic::producer_consumer(4, 4, 3);
+        let s = TraceStats::analyze(&w);
+        assert_eq!(s.private_pages + s.shared_pages, s.distinct_pages);
+        assert_eq!(s.sharers.iter().sum::<usize>(), s.distinct_pages);
+        assert!(s.writes <= s.accesses);
+        assert!(s.max_thread_pages <= s.distinct_pages);
+        let rendered = s.render();
+        assert!(rendered.contains("pages touched"));
+    }
+
+    #[test]
+    fn empty_traces_are_safe() {
+        let s = TraceStats::analyze_traces(&[vec![], vec![]]);
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.distinct_pages, 0);
+        assert_eq!(s.write_fraction(), 0.0);
+        assert_eq!(s.shared_page_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Hand-built synthetic workloads with known communication structure.
+//!
+//! These are the controlled inputs for unit/integration tests, ablations
+//! and the examples: unlike the NPB kernels their expected communication
+//! matrix is obvious by construction.
+
+#![allow(clippy::needless_range_loop)] // trace builders index per-thread arrays in lockstep
+
+use crate::address_space::AddressSpace;
+use crate::builder::WorkloadBuilder;
+use crate::workload::{PatternClass, Workload};
+use tlbmap_mem::PageGeometry;
+
+const ELEMS_PER_PAGE: u64 = 512; // f64 elements in a 4 KiB page
+
+/// Each thread owns a slab of `pages_per_thread` pages; per iteration it
+/// sweeps its slab (read-modify-write) and reads the first page of its
+/// ring successor's slab — a pure domain-decomposition pattern.
+pub fn ring_neighbors(n_threads: usize, pages_per_thread: u64, iterations: usize) -> Workload {
+    let geo = PageGeometry::new_4k();
+    let mut space = AddressSpace::new(geo);
+    let slab_len = pages_per_thread * ELEMS_PER_PAGE;
+    let slabs: Vec<_> = (0..n_threads).map(|_| space.alloc_f64(slab_len)).collect();
+    let mut b = WorkloadBuilder::new(n_threads);
+    for _ in 0..iterations {
+        for t in 0..n_threads {
+            // Sweep own slab, touching each page a few times.
+            for i in (0..slab_len).step_by(64) {
+                b.read(t, slabs[t], i);
+                b.write(t, slabs[t], i);
+            }
+            // Read the successor's boundary page.
+            let next = (t + 1) % n_threads;
+            for i in (0..ELEMS_PER_PAGE).step_by(16) {
+                b.read(t, slabs[next], i);
+            }
+            b.compute(t, 200);
+        }
+        b.barrier();
+    }
+    Workload {
+        name: "ring".into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::DomainDecomposition,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+/// Threads paired (0,1), (2,3), …: the even thread writes a shared buffer,
+/// the odd thread reads it. Strong pairwise communication, nothing else.
+///
+/// # Panics
+/// Panics for an odd thread count.
+pub fn producer_consumer(n_threads: usize, buffer_pages: u64, iterations: usize) -> Workload {
+    assert!(
+        n_threads.is_multiple_of(2),
+        "producer/consumer needs an even thread count"
+    );
+    let geo = PageGeometry::new_4k();
+    let mut space = AddressSpace::new(geo);
+    let buf_len = buffer_pages * ELEMS_PER_PAGE;
+    let buffers: Vec<_> = (0..n_threads / 2)
+        .map(|_| space.alloc_f64(buf_len))
+        .collect();
+    // Private scratch keeps the TLB busy with non-shared pages too.
+    let scratch: Vec<_> = (0..n_threads).map(|_| space.alloc_f64(buf_len)).collect();
+    let mut b = WorkloadBuilder::new(n_threads);
+    for _ in 0..iterations {
+        for pair in 0..n_threads / 2 {
+            let producer = 2 * pair;
+            let consumer = 2 * pair + 1;
+            for i in (0..buf_len).step_by(32) {
+                b.write(producer, buffers[pair], i);
+                b.read(producer, scratch[producer], i);
+            }
+            for i in (0..buf_len).step_by(32) {
+                b.read(consumer, buffers[pair], i);
+                b.write(consumer, scratch[consumer], i);
+            }
+        }
+        b.barrier();
+    }
+    Workload {
+        name: "producer_consumer".into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::DomainDecomposition,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+/// A software pipeline: thread `t` reads stage buffer `t` and writes stage
+/// buffer `t+1`. Chain-shaped communication.
+pub fn pipeline(n_threads: usize, buffer_pages: u64, iterations: usize) -> Workload {
+    let geo = PageGeometry::new_4k();
+    let mut space = AddressSpace::new(geo);
+    let buf_len = buffer_pages * ELEMS_PER_PAGE;
+    let stages: Vec<_> = (0..=n_threads).map(|_| space.alloc_f64(buf_len)).collect();
+    let mut b = WorkloadBuilder::new(n_threads);
+    for _ in 0..iterations {
+        for t in 0..n_threads {
+            for i in (0..buf_len).step_by(32) {
+                b.read(t, stages[t], i);
+                b.write(t, stages[t + 1], i);
+            }
+            b.compute(t, 100);
+        }
+        b.barrier();
+    }
+    Workload {
+        name: "pipeline".into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::DomainDecomposition,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+/// Every thread reads one page from every other thread's slab each
+/// iteration — a homogeneous all-to-all pattern (FT-like).
+pub fn uniform_all_to_all(n_threads: usize, pages_per_thread: u64, iterations: usize) -> Workload {
+    let geo = PageGeometry::new_4k();
+    let mut space = AddressSpace::new(geo);
+    let slab_len = pages_per_thread * ELEMS_PER_PAGE;
+    let slabs: Vec<_> = (0..n_threads).map(|_| space.alloc_f64(slab_len)).collect();
+    let mut b = WorkloadBuilder::new(n_threads);
+    for it in 0..iterations {
+        for t in 0..n_threads {
+            for i in (0..slab_len).step_by(64) {
+                b.write(t, slabs[t], i);
+            }
+            for u in 0..n_threads {
+                if u == t {
+                    continue;
+                }
+                let page = (it as u64) % pages_per_thread;
+                for i in (page * ELEMS_PER_PAGE..(page + 1) * ELEMS_PER_PAGE).step_by(32) {
+                    b.read(t, slabs[u], i);
+                }
+            }
+        }
+        b.barrier();
+    }
+    Workload {
+        name: "uniform".into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::Homogeneous,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+/// Purely private work: no page is ever shared (EP-like null pattern).
+pub fn private_only(n_threads: usize, pages_per_thread: u64, iterations: usize) -> Workload {
+    let geo = PageGeometry::new_4k();
+    let mut space = AddressSpace::new(geo);
+    let slab_len = pages_per_thread * ELEMS_PER_PAGE;
+    let slabs: Vec<_> = (0..n_threads).map(|_| space.alloc_f64(slab_len)).collect();
+    let mut b = WorkloadBuilder::new(n_threads);
+    for _ in 0..iterations {
+        for t in 0..n_threads {
+            for i in (0..slab_len).step_by(64) {
+                b.read(t, slabs[t], i);
+                b.write(t, slabs[t], i);
+            }
+            b.compute(t, 500);
+        }
+        b.barrier();
+    }
+    Workload {
+        name: "private".into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::None,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+/// Two-phase workload for dynamic-detection tests: the first half of the
+/// iterations communicates ring-wise with offset 1 (neighbours), the second
+/// half with offset `n/2` (distant pairs) — a clean phase change.
+pub fn phase_shift(n_threads: usize, pages_per_thread: u64, iterations: usize) -> Workload {
+    let geo = PageGeometry::new_4k();
+    let mut space = AddressSpace::new(geo);
+    let slab_len = pages_per_thread * ELEMS_PER_PAGE;
+    let slabs: Vec<_> = (0..n_threads).map(|_| space.alloc_f64(slab_len)).collect();
+    let mut b = WorkloadBuilder::new(n_threads);
+    for it in 0..iterations {
+        let offset = if it < iterations / 2 {
+            1
+        } else {
+            n_threads / 2
+        };
+        for t in 0..n_threads {
+            for i in (0..slab_len).step_by(64) {
+                b.write(t, slabs[t], i);
+            }
+            let partner = (t + offset) % n_threads;
+            // A substantial exchange (up to 8 pages) so the phase
+            // structure dominates over private work.
+            let window = (ELEMS_PER_PAGE * 8).min(slab_len);
+            for i in (0..window).step_by(8) {
+                b.read(t, slabs[partner], i);
+            }
+        }
+        b.barrier();
+    }
+    Workload {
+        name: "phase_shift".into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::DomainDecomposition,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+/// A master/worker farm: thread 0 writes task descriptors into per-worker
+/// mailboxes and collects results; workers communicate only with the
+/// master — a star-shaped pattern (row/column 0 dark, the rest empty).
+pub fn master_worker(n_threads: usize, mailbox_pages: u64, iterations: usize) -> Workload {
+    assert!(n_threads >= 2, "need a master and at least one worker");
+    let geo = PageGeometry::new_4k();
+    let mut space = AddressSpace::new(geo);
+    let mb_len = mailbox_pages * ELEMS_PER_PAGE;
+    let inboxes: Vec<_> = (0..n_threads).map(|_| space.alloc_f64(mb_len)).collect();
+    let outboxes: Vec<_> = (0..n_threads).map(|_| space.alloc_f64(mb_len)).collect();
+    let scratch: Vec<_> = (0..n_threads)
+        .map(|_| space.alloc_f64(64 * ELEMS_PER_PAGE))
+        .collect();
+    let mut b = WorkloadBuilder::new(n_threads);
+    for _ in 0..iterations {
+        // Master fills every worker's inbox.
+        for w in 1..n_threads {
+            for i in (0..mb_len).step_by(16) {
+                b.write(0, inboxes[w], i);
+            }
+        }
+        b.barrier();
+        // Workers consume their inbox, work privately, fill their outbox.
+        for w in 1..n_threads {
+            for i in (0..mb_len).step_by(16) {
+                b.read(w, inboxes[w], i);
+            }
+            for i in (0..scratch[w].len).step_by(64) {
+                b.read(w, scratch[w], i);
+                b.write(w, scratch[w], i);
+            }
+            b.compute(w, 500);
+            for i in (0..mb_len).step_by(16) {
+                b.write(w, outboxes[w], i);
+            }
+        }
+        b.barrier();
+        // Master collects results.
+        for w in 1..n_threads {
+            for i in (0..mb_len).step_by(16) {
+                b.read(0, outboxes[w], i);
+            }
+        }
+        b.barrier();
+    }
+    Workload {
+        name: "master_worker".into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::DomainDecomposition,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+/// The false-communication workload of Section III-B property 5: threads
+/// take turns (enforced by barriers) sweeping one shared scratch region.
+/// Only *consecutive* users actually hand data over; a trace analysis
+/// without temporal awareness sees every pair of threads "sharing" the
+/// scratch pages. Private work streams through a rotating window of fresh
+/// pages so TLB entries age realistically — the property the paper relies
+/// on to suppress false communication.
+pub fn turn_taking(n_threads: usize, scratch_pages: u64, iterations: usize) -> Workload {
+    let geo = PageGeometry::new_4k();
+    let mut space = AddressSpace::new(geo);
+    let scratch = space.alloc_f64(scratch_pages * ELEMS_PER_PAGE);
+    let slab_pages = 96u64;
+    let slabs: Vec<_> = (0..n_threads)
+        .map(|_| space.alloc_f64(slab_pages * ELEMS_PER_PAGE))
+        .collect();
+    let mut b = WorkloadBuilder::new(n_threads);
+    let mut slot = 0u64;
+    for _ in 0..iterations {
+        for t in 0..n_threads {
+            // Turn owner touches the scratch region first, while the
+            // previous owner's TLB entries are freshest.
+            for i in (0..scratch.len).step_by(8) {
+                b.read(t, scratch, i);
+                b.write(t, scratch, i);
+            }
+            // Everyone streams through a rotating 48-page window of
+            // private data: 16 fresh pages per slot age out older TLB
+            // entries (including stale scratch translations).
+            let start_page = (slot * 16) % slab_pages;
+            for u in 0..n_threads {
+                for p in 0..48u64 {
+                    let page = (start_page + p) % slab_pages;
+                    for i in (page * ELEMS_PER_PAGE..(page + 1) * ELEMS_PER_PAGE).step_by(64) {
+                        b.read(u, slabs[u], i);
+                        b.write(u, slabs[u], i);
+                    }
+                }
+            }
+            b.barrier();
+            slot += 1;
+        }
+    }
+    Workload {
+        name: "turn_taking".into(),
+        traces: b.build(),
+        expected_pattern: PatternClass::DomainDecomposition,
+        footprint_bytes: space.footprint(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlbmap_sim::trace::barriers_consistent;
+
+    #[test]
+    fn generators_produce_consistent_traces() {
+        for w in [
+            ring_neighbors(4, 8, 3),
+            producer_consumer(4, 4, 3),
+            pipeline(4, 4, 3),
+            uniform_all_to_all(4, 4, 3),
+            private_only(4, 4, 3),
+            phase_shift(4, 4, 4),
+        ] {
+            assert_eq!(w.n_threads(), 4, "{}", w.name);
+            assert!(barriers_consistent(&w.traces), "{}", w.name);
+            assert!(w.total_events() > 0, "{}", w.name);
+            assert!(w.footprint_bytes > 0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn private_only_never_shares_pages() {
+        let w = private_only(3, 4, 2);
+        let mut owner: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (t, trace) in w.traces.iter().enumerate() {
+            for e in trace {
+                if let tlbmap_sim::TraceEvent::Access { vaddr, .. } = e {
+                    let page = vaddr.0 >> 12;
+                    let prev = owner.insert(page, t);
+                    assert!(prev.is_none() || prev == Some(t), "page {page} shared");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_shares_only_with_successor() {
+        let w = ring_neighbors(4, 4, 2);
+        // Collect pages touched per thread.
+        let mut pages: Vec<std::collections::HashSet<u64>> =
+            vec![std::collections::HashSet::new(); 4];
+        for (t, trace) in w.traces.iter().enumerate() {
+            for e in trace {
+                if let tlbmap_sim::TraceEvent::Access { vaddr, .. } = e {
+                    pages[t].insert(vaddr.0 >> 12);
+                }
+            }
+        }
+        // Non-adjacent threads (0,2) share nothing; adjacent share > 0.
+        assert!(pages[0].intersection(&pages[1]).count() > 0);
+        assert_eq!(pages[0].intersection(&pages[2]).count(), 0);
+    }
+
+    #[test]
+    fn master_worker_is_star_shaped() {
+        let w = master_worker(4, 2, 2);
+        assert!(barriers_consistent(&w.traces));
+        // Page sharing: master (0) shares with every worker; workers share
+        // nothing among themselves.
+        let mut pages = vec![std::collections::HashSet::new(); 4];
+        for (t, trace) in w.traces.iter().enumerate() {
+            for e in trace {
+                if let tlbmap_sim::TraceEvent::Access { vaddr, .. } = e {
+                    pages[t].insert(vaddr.0 >> 12);
+                }
+            }
+        }
+        for wkr in 1..4 {
+            assert!(pages[0].intersection(&pages[wkr]).count() > 0);
+        }
+        assert_eq!(pages[1].intersection(&pages[2]).count(), 0);
+        assert_eq!(pages[2].intersection(&pages[3]).count(), 0);
+    }
+
+    #[test]
+    fn turn_taking_single_scratch_region_shared() {
+        let w = turn_taking(3, 2, 2);
+        assert!(barriers_consistent(&w.traces));
+        // Scratch pages (first allocation) touched by all threads.
+        let mut users = std::collections::HashSet::new();
+        for (t, trace) in w.traces.iter().enumerate() {
+            for e in trace {
+                if let tlbmap_sim::TraceEvent::Access { vaddr, .. } = e {
+                    if vaddr.0 < 4096 * 3 {
+                        users.insert(t);
+                    }
+                }
+            }
+        }
+        assert_eq!(users.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "even thread count")]
+    fn producer_consumer_odd_rejected() {
+        producer_consumer(3, 2, 1);
+    }
+}

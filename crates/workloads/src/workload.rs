@@ -1,0 +1,62 @@
+//! The packaged result of a workload generator.
+
+use serde::{Deserialize, Serialize};
+use tlbmap_sim::ThreadTrace;
+
+/// The qualitative communication structure a workload is expected to show —
+/// the categories the paper uses when discussing Figures 4–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternClass {
+    /// Neighbouring threads communicate (domain decomposition): BT, IS,
+    /// MG, SP, UA.
+    DomainDecomposition,
+    /// Neighbours plus the most distant threads: LU.
+    NeighborsPlusDistant,
+    /// Roughly equal communication between all pairs: CG, FT.
+    Homogeneous,
+    /// (Almost) no communication: EP.
+    None,
+}
+
+/// A generated workload: traces plus metadata.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name ("BT", "ring", …).
+    pub name: String,
+    /// One trace per thread.
+    pub traces: Vec<ThreadTrace>,
+    /// The structure the generator intends to exhibit.
+    pub expected_pattern: PatternClass,
+    /// Bytes of shared address space the workload touches.
+    pub footprint_bytes: u64,
+}
+
+impl Workload {
+    /// Number of threads.
+    pub fn n_threads(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Total trace events across threads.
+    pub fn total_events(&self) -> usize {
+        self.traces.iter().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlbmap_sim::TraceEvent;
+
+    #[test]
+    fn accessors() {
+        let w = Workload {
+            name: "x".into(),
+            traces: vec![vec![TraceEvent::Compute(1)], vec![]],
+            expected_pattern: PatternClass::None,
+            footprint_bytes: 4096,
+        };
+        assert_eq!(w.n_threads(), 2);
+        assert_eq!(w.total_events(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Run the paper's pipeline on one NPB-like application.
+//!
+//! Detects the communication pattern with both mechanisms (SM and HM),
+//! prints both heatmaps side by side with the ground truth, builds the
+//! mappings, and reports the hardware-event improvements over an
+//! oblivious random placement.
+//!
+//! Run with: `cargo run --release --example npb_campaign -- SP`
+//! (any of BT CG EP FT IS LU MG SP UA; defaults to SP)
+
+use tlbmap::detect::metrics::pearson_correlation;
+use tlbmap::detect::{
+    GroundTruthConfig, GroundTruthDetector, HmConfig, HmDetector, SmConfig, SmDetector,
+};
+use tlbmap::mapping::{baselines, HierarchicalMapper};
+use tlbmap::sim::{simulate, Mapping, NoHooks, SimConfig, Topology};
+use tlbmap::workloads::npb::{NpbApp, NpbParams, ProblemScale};
+
+fn main() {
+    let app_name = std::env::args().nth(1).unwrap_or_else(|| "SP".to_string());
+    let app = NpbApp::from_name(&app_name)
+        .unwrap_or_else(|| panic!("unknown app {app_name}; use one of BT CG EP FT IS LU MG SP UA"));
+
+    let topo = Topology::harpertown();
+    let n = topo.num_cores();
+    let params = NpbParams {
+        n_threads: n,
+        scale: ProblemScale::Workshop,
+        seed: 0x71B,
+    };
+    let workload = app.generate(&params);
+    println!(
+        "{}: {} events, {:.1} MiB footprint, expected pattern {:?}",
+        app.name(),
+        workload.total_events(),
+        workload.footprint_bytes as f64 / (1024.0 * 1024.0),
+        app.expected_pattern()
+    );
+
+    // Detection phase (inside "Simics"): identity placement, both
+    // mechanisms plus the expensive full-trace ground truth.
+    let identity = Mapping::identity(n);
+    let sm_sim = SimConfig::paper_software_managed(&topo);
+    let mut sm = SmDetector::new(n, SmConfig::paper_default());
+    simulate(&sm_sim, &topo, &workload.traces, &identity, &mut sm);
+
+    let hm_sim = SimConfig::paper_hardware_managed(&topo).with_tick_period(Some(250_000));
+    let mut hm = HmDetector::new(n, HmConfig::scaled(250_000));
+    simulate(&hm_sim, &topo, &workload.traces, &identity, &mut hm);
+
+    let mut gt = GroundTruthDetector::new(n, GroundTruthConfig::default());
+    simulate(&sm_sim, &topo, &workload.traces, &identity, &mut gt);
+
+    println!(
+        "\nSM-detected pattern (r = {:.3} vs ground truth):",
+        pearson_correlation(sm.matrix(), gt.matrix())
+    );
+    print!("{}", sm.matrix().heatmap());
+    println!(
+        "HM-detected pattern (r = {:.3} vs ground truth):",
+        pearson_correlation(hm.matrix(), gt.matrix())
+    );
+    print!("{}", hm.matrix().heatmap());
+    println!("full-trace ground truth:");
+    print!("{}", gt.matrix().heatmap());
+
+    // Mapping + measurement phase (the "real machine"): same architecture
+    // for every mapping, no detector attached.
+    let perf_sim = SimConfig::paper_hardware_managed(&topo).with_tick_period(None);
+    let sm_mapping = HierarchicalMapper::new().map(sm.matrix(), &topo);
+    let hm_mapping = HierarchicalMapper::new().map(hm.matrix(), &topo);
+    let os_mapping = baselines::random(n, &topo, 42);
+
+    println!("\nmapping (thread -> core):");
+    println!("  OS (random): {:?}", os_mapping.as_slice());
+    println!("  SM:          {:?}", sm_mapping.as_slice());
+    println!("  HM:          {:?}", hm_mapping.as_slice());
+
+    let os = simulate(
+        &perf_sim,
+        &topo,
+        &workload.traces,
+        &os_mapping,
+        &mut NoHooks,
+    );
+    let smr = simulate(
+        &perf_sim,
+        &topo,
+        &workload.traces,
+        &sm_mapping,
+        &mut NoHooks,
+    );
+    let hmr = simulate(
+        &perf_sim,
+        &topo,
+        &workload.traces,
+        &hm_mapping,
+        &mut NoHooks,
+    );
+
+    let pct = |a: u64, b: u64| -> f64 {
+        if b == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - a as f64 / b as f64)
+        }
+    };
+    println!("\nmetric              OS            SM (vs OS)        HM (vs OS)");
+    println!(
+        "cycles        {:>10}  {:>10} ({:+5.1}%)  {:>10} ({:+5.1}%)",
+        os.total_cycles,
+        smr.total_cycles,
+        -pct(smr.total_cycles, os.total_cycles),
+        hmr.total_cycles,
+        -pct(hmr.total_cycles, os.total_cycles),
+    );
+    println!(
+        "invalidations {:>10}  {:>10} ({:+5.1}%)  {:>10} ({:+5.1}%)",
+        os.cache.invalidations,
+        smr.cache.invalidations,
+        -pct(smr.cache.invalidations, os.cache.invalidations),
+        hmr.cache.invalidations,
+        -pct(hmr.cache.invalidations, os.cache.invalidations),
+    );
+    println!(
+        "snoops        {:>10}  {:>10} ({:+5.1}%)  {:>10} ({:+5.1}%)",
+        os.cache.snoop_transactions,
+        smr.cache.snoop_transactions,
+        -pct(smr.cache.snoop_transactions, os.cache.snoop_transactions),
+        hmr.cache.snoop_transactions,
+        -pct(hmr.cache.snoop_transactions, os.cache.snoop_transactions),
+    );
+    println!(
+        "L2 misses     {:>10}  {:>10} ({:+5.1}%)  {:>10} ({:+5.1}%)",
+        os.cache.l2_misses,
+        smr.cache.l2_misses,
+        -pct(smr.cache.l2_misses, os.cache.l2_misses),
+        hmr.cache.l2_misses,
+        -pct(hmr.cache.l2_misses, os.cache.l2_misses),
+    );
+}

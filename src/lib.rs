@@ -1,0 +1,55 @@
+//! # tlbmap
+//!
+//! A full reproduction of *"Using the Translation Lookaside Buffer to Map
+//! Threads in Parallel Applications Based on Shared Memory"* (Cruz, Diener,
+//! Navaux — IPDPS 2012) as a production-quality Rust workspace.
+//!
+//! This facade crate re-exports the member crates under short names so an
+//! application can depend on `tlbmap` alone:
+//!
+//! * [`mem`] — virtual memory, page tables and TLB models,
+//! * [`cache`] — cache hierarchy with MESI coherence and event counters,
+//! * [`sim`] — the trace-driven multicore simulator,
+//! * [`detect`] — the paper's contribution: SM/HM communication detectors,
+//! * [`mapping`] — maximum-weight matching and hierarchical thread mapping,
+//! * [`workloads`] — NPB-inspired kernels and synthetic pattern generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tlbmap::prelude::*;
+//!
+//! // 1. Build a workload: 8 threads with a domain-decomposition pattern.
+//! let workload = tlbmap::workloads::synthetic::ring_neighbors(8, 64, 200);
+//!
+//! // 2. Simulate it under the OS (identity) mapping with the SM detector.
+//! let topo = Topology::harpertown();
+//! let sim = SimConfig::paper_software_managed(&topo);
+//! let mapping = Mapping::identity(8);
+//! let mut detector = SmDetector::new(8, SmConfig::paper_default());
+//! let _stats = simulate(&sim, &topo, &workload.traces, &mapping, &mut detector);
+//!
+//! // 3. Use the detected communication matrix to compute a better mapping.
+//! let matrix = detector.matrix();
+//! let better = HierarchicalMapper::new().map(matrix, &topo);
+//! assert!(mapping_cost(matrix, &better, &topo) <= mapping_cost(matrix, &mapping, &topo));
+//! ```
+
+pub use tlbmap_cache as cache;
+pub use tlbmap_core as detect;
+pub use tlbmap_mapping as mapping;
+pub use tlbmap_mem as mem;
+pub use tlbmap_sim as sim;
+pub use tlbmap_workloads as workloads;
+
+/// Commonly used items, re-exported flat.
+pub mod prelude {
+    pub use tlbmap_cache::{CacheConfig, CacheStats};
+    pub use tlbmap_core::{
+        CommMatrix, GroundTruthDetector, HmConfig, HmDetector, SmConfig, SmDetector,
+    };
+    pub use tlbmap_mapping::{mapping_cost, HierarchicalMapper, Mapping};
+    pub use tlbmap_mem::{MmuConfig, PageGeometry, TlbConfig, TlbMode};
+    pub use tlbmap_sim::{simulate, RunStats, SimConfig, ThreadTrace, Topology, TraceEvent};
+    pub use tlbmap_workloads::Workload;
+}

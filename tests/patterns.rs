@@ -1,0 +1,148 @@
+//! Per-application pattern verification: every NPB kernel's *ground-truth*
+//! communication matrix must exhibit the structure the paper reports for
+//! the real benchmark (Figures 4–5 and the discussion in §VI-A).
+
+use tlbmap::detect::metrics::heterogeneity;
+use tlbmap::detect::{CommMatrix, GroundTruthConfig, GroundTruthDetector};
+use tlbmap::sim::{simulate, Mapping, SimConfig, Topology};
+use tlbmap::workloads::npb::{NpbApp, NpbParams, ProblemScale};
+
+fn ground_truth(app: NpbApp) -> CommMatrix {
+    let topo = Topology::harpertown();
+    let n = topo.num_cores();
+    let params = NpbParams {
+        n_threads: n,
+        scale: ProblemScale::Small,
+        seed: 0x71B,
+    };
+    let workload = app.generate(&params);
+    let cfg = SimConfig::paper_software_managed(&topo);
+    let mut gt = GroundTruthDetector::new(n, GroundTruthConfig::default());
+    simulate(
+        &cfg,
+        &topo,
+        &workload.traces,
+        &Mapping::identity(n),
+        &mut gt,
+    );
+    gt.matrix().clone()
+}
+
+/// Fraction of total communication on (t, t±1) pairs.
+fn neighbor_share(m: &CommMatrix) -> f64 {
+    let n = m.num_threads();
+    let near: u64 = (0..n - 1).map(|t| m.get(t, t + 1)).sum();
+    if m.total() == 0 {
+        0.0
+    } else {
+        near as f64 / m.total() as f64
+    }
+}
+
+#[test]
+fn domain_decomposition_apps_have_neighbor_dominant_truth() {
+    for app in [NpbApp::Bt, NpbApp::Sp, NpbApp::Mg] {
+        let m = ground_truth(app);
+        let share = neighbor_share(&m);
+        assert!(
+            share > 0.6,
+            "{}: neighbour share {:.2} too low for domain decomposition",
+            app.name(),
+            share
+        );
+    }
+}
+
+#[test]
+fn is_and_ua_are_neighbor_biased_with_spread() {
+    for app in [NpbApp::Is, NpbApp::Ua] {
+        let m = ground_truth(app);
+        let share = neighbor_share(&m);
+        assert!(
+            share > 0.25,
+            "{}: neighbour share {:.2} too low",
+            app.name(),
+            share
+        );
+        // Unlike the pure stencils, some communication reaches non-
+        // neighbours (buckets / refinement edges).
+        let n = m.num_threads();
+        let distant: u64 = (0..n)
+            .flat_map(|i| ((i + 2)..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| j - i >= 2 && j - i != n - 1)
+            .map(|(i, j)| m.get(i, j))
+            .sum();
+        assert!(
+            distant > 0,
+            "{}: expected some non-neighbour traffic",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn lu_communicates_with_most_distant_threads() {
+    let m = ground_truth(NpbApp::Lu);
+    let n = m.num_threads();
+    // Anti-diagonal pairs (t, n-1-t) must carry clear traffic.
+    let anti: u64 = (0..n / 2).map(|t| m.get(t, n - 1 - t)).sum();
+    assert!(
+        anti > 0,
+        "LU: anti-diagonal communication missing (total {})",
+        m.total()
+    );
+    assert!(neighbor_share(&m) > 0.4, "LU keeps a neighbour backbone");
+}
+
+#[test]
+fn ft_is_homogeneous() {
+    let m = ground_truth(NpbApp::Ft);
+    let het = heterogeneity(&m);
+    assert!(
+        het < 1.0,
+        "FT: heterogeneity {het:.2} too structured for an all-to-all transpose"
+    );
+    assert!(m.total() > 0);
+}
+
+#[test]
+fn cg_structure_is_weaker_than_the_stencils() {
+    // The paper: "CG ... also shows traces of a domain decomposition
+    // pattern. Nevertheless ... the proportion of the memory shared by the
+    // neighbors in CG is less expressive compared to BT, IS, LU, SP and
+    // UA."
+    let cg = neighbor_share(&ground_truth(NpbApp::Cg));
+    for app in [NpbApp::Bt, NpbApp::Lu, NpbApp::Sp] {
+        let other = neighbor_share(&ground_truth(app));
+        assert!(
+            cg < other,
+            "CG neighbour share ({cg:.2}) should be below {}'s ({other:.2})",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn ep_barely_communicates() {
+    let ep = ground_truth(NpbApp::Ep);
+    let sp = ground_truth(NpbApp::Sp);
+    assert!(
+        ep.total() * 20 < sp.total(),
+        "EP ({}) should communicate <5% of SP ({})",
+        ep.total(),
+        sp.total()
+    );
+}
+
+#[test]
+fn heterogeneous_apps_are_more_structured_than_homogeneous_ones() {
+    let structured: f64 = [NpbApp::Bt, NpbApp::Sp, NpbApp::Mg, NpbApp::Lu]
+        .iter()
+        .map(|&a| heterogeneity(&ground_truth(a)))
+        .fold(f64::INFINITY, f64::min);
+    let flat = heterogeneity(&ground_truth(NpbApp::Ft));
+    assert!(
+        structured > flat,
+        "least-structured stencil ({structured:.2}) must beat most-structured homogeneous app ({flat:.2})"
+    );
+}

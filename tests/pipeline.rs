@@ -1,0 +1,169 @@
+//! End-to-end integration tests: workload → simulate → detect → map →
+//! re-simulate, across crates. This is the paper's full experimental
+//! pipeline in miniature.
+
+use tlbmap::detect::metrics::{cosine_similarity, pearson_correlation};
+use tlbmap::detect::{
+    GroundTruthConfig, GroundTruthDetector, HmConfig, HmDetector, SmConfig, SmDetector,
+};
+use tlbmap::mapping::baselines;
+use tlbmap::mapping::{mapping_cost, HierarchicalMapper, Mapping};
+use tlbmap::sim::{simulate, NoHooks, SimConfig, Topology};
+use tlbmap::workloads::npb::{NpbApp, NpbParams, ProblemScale};
+use tlbmap::workloads::synthetic;
+
+fn topo() -> Topology {
+    Topology::harpertown()
+}
+
+fn params(scale: ProblemScale) -> NpbParams {
+    NpbParams {
+        n_threads: 8,
+        scale,
+        seed: 11,
+    }
+}
+
+#[test]
+fn sm_detects_ring_pattern_and_mapping_improves_cost() {
+    let w = synthetic::ring_neighbors(8, 80, 4);
+    let topo = topo();
+    let cfg = SimConfig::paper_software_managed(&topo);
+    let os = Mapping::identity(8);
+    let mut det = SmDetector::new(8, SmConfig::every_miss());
+    let stats = simulate(&cfg, &topo, &w.traces, &os, &mut det);
+    assert!(stats.tlb_misses() > 0, "workload must miss the TLB");
+    let m = det.matrix();
+    assert!(m.total() > 0, "SM must detect communication");
+    // Ring structure: (t, t±1) cells dominate.
+    let ring: u64 = (0..8).map(|t| m.get(t, (t + 1) % 8)).sum();
+    assert!(
+        ring * 2 > m.total(),
+        "ring neighbours should carry most communication: ring {} of total {}",
+        ring,
+        m.total()
+    );
+    let better = HierarchicalMapper::new().map(m, &topo);
+    assert!(
+        mapping_cost(m, &better, &topo) <= mapping_cost(m, &os, &topo),
+        "hierarchical mapping must not be worse than identity"
+    );
+}
+
+#[test]
+fn hm_detects_shared_pages_via_periodic_dump() {
+    let w = synthetic::producer_consumer(8, 16, 6);
+    let topo = topo();
+    // Tick often enough to catch the pattern in a short run.
+    let cfg = SimConfig::paper_hardware_managed(&topo).with_tick_period(Some(100_000));
+    let mut det = HmDetector::new(8, HmConfig::paper_default());
+    simulate(&cfg, &topo, &w.traces, &Mapping::identity(8), &mut det);
+    let m = det.matrix();
+    assert!(m.total() > 0, "HM must observe sharing");
+    // The paired structure must dominate: (0,1), (2,3), (4,5), (6,7).
+    let paired: u64 = (0..4).map(|k| m.get(2 * k, 2 * k + 1)).sum();
+    assert!(
+        paired * 2 > m.total(),
+        "pairs should dominate HM matrix: {} of {}",
+        paired,
+        m.total()
+    );
+}
+
+#[test]
+fn sm_matrix_correlates_with_ground_truth() {
+    let w = synthetic::ring_neighbors(8, 80, 4);
+    let topo = topo();
+    let cfg = SimConfig::paper_software_managed(&topo);
+    let mut sm = SmDetector::new(8, SmConfig::every_miss());
+    simulate(&cfg, &topo, &w.traces, &Mapping::identity(8), &mut sm);
+    let mut gt = GroundTruthDetector::new(8, GroundTruthConfig::default());
+    simulate(&cfg, &topo, &w.traces, &Mapping::identity(8), &mut gt);
+    let r = pearson_correlation(sm.matrix(), gt.matrix());
+    assert!(
+        r > 0.8,
+        "SM matrix should correlate strongly with ground truth (r = {r})"
+    );
+}
+
+#[test]
+fn good_mapping_reduces_invalidations_and_snoops() {
+    // Producer/consumer pairs placed far apart vs together.
+    let w = synthetic::producer_consumer(8, 16, 6);
+    let topo = topo();
+    let cfg = SimConfig::paper_software_managed(&topo);
+    // Scatter splits the pairs across chips.
+    let scattered = baselines::scatter(8, &topo);
+    let paired = Mapping::identity(8); // pairs land on shared L2s
+    let far = simulate(&cfg, &topo, &w.traces, &scattered, &mut NoHooks);
+    let near = simulate(&cfg, &topo, &w.traces, &paired, &mut NoHooks);
+    assert!(
+        near.cache.invalidations < far.cache.invalidations,
+        "co-located pairs must see fewer invalidations ({} vs {})",
+        near.cache.invalidations,
+        far.cache.invalidations
+    );
+    assert!(
+        near.cache.snoop_transactions < far.cache.snoop_transactions,
+        "co-located pairs must see fewer snoops ({} vs {})",
+        near.cache.snoop_transactions,
+        far.cache.snoop_transactions
+    );
+    assert!(
+        near.total_cycles < far.total_cycles,
+        "co-located pairs must run faster ({} vs {})",
+        near.total_cycles,
+        far.total_cycles
+    );
+}
+
+#[test]
+fn full_paper_pipeline_on_npb_sp() {
+    // The paper's full loop on its best-case app: detect under the OS
+    // mapping, map with the hierarchical matcher, re-run, compare.
+    let w = NpbApp::Sp.generate(&params(ProblemScale::Small));
+    let topo = topo();
+    let cfg = SimConfig::paper_software_managed(&topo);
+    let os = baselines::scatter(8, &topo);
+    let mut det = SmDetector::new(8, SmConfig::every_miss());
+    let os_stats = simulate(&cfg, &topo, &w.traces, &os, &mut det);
+    let mapped = HierarchicalMapper::new().map(det.matrix(), &topo);
+    let mapped_stats = simulate(&cfg, &topo, &w.traces, &mapped, &mut NoHooks);
+    assert!(
+        mapped_stats.cache.snoop_transactions <= os_stats.cache.snoop_transactions,
+        "SP mapping must not increase snoops ({} vs {})",
+        mapped_stats.cache.snoop_transactions,
+        os_stats.cache.snoop_transactions
+    );
+}
+
+#[test]
+fn sm_and_hm_agree_on_structured_patterns() {
+    let w = synthetic::producer_consumer(8, 16, 6);
+    let topo = topo();
+    let sm_cfg = SimConfig::paper_software_managed(&topo);
+    let mut sm = SmDetector::new(8, SmConfig::every_miss());
+    simulate(&sm_cfg, &topo, &w.traces, &Mapping::identity(8), &mut sm);
+    let hm_cfg = SimConfig::paper_hardware_managed(&topo).with_tick_period(Some(100_000));
+    let mut hm = HmDetector::new(8, HmConfig::paper_default());
+    simulate(&hm_cfg, &topo, &w.traces, &Mapping::identity(8), &mut hm);
+    let sim = cosine_similarity(sm.matrix(), hm.matrix());
+    assert!(
+        sim > 0.7,
+        "SM and HM should find similar structure (cosine {sim})"
+    );
+}
+
+#[test]
+fn detection_overhead_is_small_at_paper_sampling() {
+    let w = NpbApp::Bt.generate(&params(ProblemScale::Small));
+    let topo = topo();
+    let cfg = SimConfig::paper_software_managed(&topo);
+    let mut det = SmDetector::new(8, SmConfig::paper_default());
+    let stats = simulate(&cfg, &topo, &w.traces, &Mapping::identity(8), &mut det);
+    let overhead = stats.detection_overhead_fraction();
+    assert!(
+        overhead < 0.05,
+        "1% sampled SM overhead should be small, got {overhead}"
+    );
+}
