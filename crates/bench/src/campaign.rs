@@ -11,7 +11,6 @@
 //! exactly this ("the operating system scheduler maps the threads
 //! incorrectly during many executions").
 
-use crossbeam::thread as cb_thread;
 use tlbmap_core::{
     CommMatrix, GroundTruthConfig, GroundTruthDetector, HmConfig, HmDetector, SmConfig, SmDetector,
 };
@@ -257,7 +256,7 @@ pub fn run_performance(app: NpbApp, cfg: &CampaignConfig) -> PerfResult {
         .flat_map(|rep| [0u8, 1, 2].map(|w| (rep, w)))
         .collect();
     let mut results: Vec<(usize, u8, RunStats)> = if cfg.parallel {
-        cb_thread::scope(|s| {
+        std::thread::scope(|s| {
             let workers = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)
@@ -268,7 +267,7 @@ pub fn run_performance(app: NpbApp, cfg: &CampaignConfig) -> PerfResult {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
-                    s.spawn(|_| {
+                    s.spawn(|| {
                         chunk
                             .into_iter()
                             .map(|(rep, w)| (rep, w, run_one(rep, w)))
@@ -281,7 +280,6 @@ pub fn run_performance(app: NpbApp, cfg: &CampaignConfig) -> PerfResult {
                 .flat_map(|h| h.join().expect("worker panicked"))
                 .collect()
         })
-        .expect("scope panicked")
     } else {
         jobs.into_iter()
             .map(|(rep, w)| (rep, w, run_one(rep, w)))

@@ -7,10 +7,9 @@
 
 use crate::config::CacheConfig;
 use crate::mesi::MesiState;
-use serde::{Deserialize, Serialize};
 
 /// A cache-line-granular physical address (physical address >> line shift).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LineAddr(pub u64);
 
 impl LineAddr {

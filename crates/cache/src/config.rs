@@ -1,9 +1,7 @@
 //! Cache and hierarchy configuration, defaulting to the paper's Table II.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry and latency of one cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Capacity in bytes.
     pub size_bytes: u64,
@@ -78,7 +76,7 @@ impl CacheConfig {
 }
 
 /// One shared L2 cache: which cores sit behind it and which chip it is on.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct L2Group {
     /// Core ids that share this L2.
     pub cores: Vec<usize>,
@@ -87,7 +85,7 @@ pub struct L2Group {
 }
 
 /// Configuration of the full hierarchy.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// Per-core instruction L1.
     pub l1i: CacheConfig,

@@ -20,7 +20,7 @@ use crate::stats::{CacheStats, MissKind};
 use std::collections::HashSet;
 
 /// Load or store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemOp {
     /// A load.
     Read,
@@ -30,7 +30,7 @@ pub enum MemOp {
 
 /// Instruction fetch vs data access — routed to different L1s. The paper
 /// notes data accesses dominate mapping-relevant communication.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// Data access (L1D).
     Data,

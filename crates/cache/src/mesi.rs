@@ -3,10 +3,8 @@
 //! The protocol logic itself lives in [`crate::hierarchy`]; this module keeps
 //! the state machine small and independently testable.
 
-use serde::{Deserialize, Serialize};
-
 /// MESI state of one cache line copy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MesiState {
     /// Only copy, dirty.
     Modified,

@@ -1,10 +1,8 @@
 //! Event counters — the quantities the paper reports in Figures 7–9 and
 //! Table IV.
 
-use serde::{Deserialize, Serialize};
-
 /// Classification of an L2 miss, following the taxonomy of Section III-A.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MissKind {
     /// First access to the line by this cache ever (compulsory).
     Cold,
@@ -16,7 +14,7 @@ pub enum MissKind {
 }
 
 /// Aggregate hierarchy counters for one simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Data-L1 hits.
     pub l1d_hits: u64,

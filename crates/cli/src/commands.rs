@@ -1,6 +1,6 @@
 //! Subcommand implementations.
 
-use crate::opts::Options;
+use crate::opts::{Options, OutputFormat};
 use tlbmap_core::{
     CommMatrix, GroundTruthConfig, GroundTruthDetector, HmConfig, HmDetector, SmConfig, SmDetector,
 };
@@ -9,10 +9,47 @@ use tlbmap_mapping::{
     baselines, exhaustive_best_mapping, mapping_cost, HierarchicalMapper, Mapping,
     RecursiveBisectionMapper,
 };
-use tlbmap_sim::{simulate, NoHooks, RunStats, SimConfig, Topology};
+use tlbmap_obs::{Json, ObsConfig, Recorder, COUNTERS, HISTS};
+use tlbmap_sim::{simulate, simulate_observed, NoHooks, RunStats, SimConfig, Topology};
 
 fn topology() -> Topology {
     Topology::harpertown()
+}
+
+/// A recorder sized for this run — enabled only when the options request
+/// an artifact, so unobserved runs pay nothing.
+fn recorder_for(o: &Options, n_threads: usize) -> Recorder {
+    if o.observing() {
+        Recorder::new(ObsConfig::new(n_threads).with_snapshot_period(o.snapshot_every))
+    } else {
+        Recorder::disabled()
+    }
+}
+
+/// Write every artifact the options asked for.
+fn write_artifacts(o: &Options, rec: &Recorder) -> Result<(), String> {
+    if !rec.is_enabled() {
+        return Ok(());
+    }
+    if let Some(path) = &o.trace_out {
+        let mut f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        rec.write_jsonl(&mut f)
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("# trace written to {path}");
+    }
+    if let Some(path) = &o.chrome_out {
+        let mut f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        rec.write_chrome_trace(&mut f)
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("# chrome trace written to {path} (open in chrome://tracing)");
+    }
+    if let Some(path) = &o.metrics_out {
+        let mut text = rec.metrics_json().render();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("# metrics written to {path}");
+    }
+    Ok(())
 }
 
 /// `tlbmap topo`
@@ -39,8 +76,9 @@ pub fn topo() -> Result<(), String> {
     Ok(())
 }
 
-/// Detect a matrix with the mechanism named in the options.
-fn detect_matrix(o: &Options) -> Result<(CommMatrix, RunStats), String> {
+/// Detect a matrix with the mechanism named in the options, reporting
+/// engine and detector events to `rec`.
+fn detect_matrix(o: &Options, rec: &Recorder) -> Result<(CommMatrix, RunStats), String> {
     let topo = topology();
     let n = topo.num_cores();
     let workload = o.workload()?;
@@ -53,20 +91,23 @@ fn detect_matrix(o: &Options) -> Result<(CommMatrix, RunStats), String> {
                 SmConfig {
                     sample_threshold: o.sm_threshold,
                 },
-            );
-            let stats = simulate(&sim, &topo, &workload.traces, &mapping, &mut det);
+            )
+            .with_recorder(rec.clone());
+            let stats = simulate_observed(&sim, &topo, &workload.traces, &mapping, &mut det, rec);
             Ok((det.take_matrix(), stats))
         }
         "hm" => {
             let sim = SimConfig::paper_hardware_managed(&topo).with_tick_period(Some(o.hm_period));
-            let mut det = HmDetector::new(n, HmConfig::scaled(o.hm_period));
-            let stats = simulate(&sim, &topo, &workload.traces, &mapping, &mut det);
+            let mut det =
+                HmDetector::new(n, HmConfig::scaled(o.hm_period)).with_recorder(rec.clone());
+            let stats = simulate_observed(&sim, &topo, &workload.traces, &mapping, &mut det, rec);
             Ok((det.take_matrix(), stats))
         }
         "gt" => {
             let sim = SimConfig::paper_software_managed(&topo);
-            let mut det = GroundTruthDetector::new(n, GroundTruthConfig::default());
-            let stats = simulate(&sim, &topo, &workload.traces, &mapping, &mut det);
+            let mut det = GroundTruthDetector::new(n, GroundTruthConfig::default())
+                .with_recorder(rec.clone());
+            let stats = simulate_observed(&sim, &topo, &workload.traces, &mapping, &mut det, rec);
             Ok((det.matrix().clone(), stats))
         }
         other => Err(format!("unknown mechanism `{other}` (sm|hm|gt)")),
@@ -75,7 +116,8 @@ fn detect_matrix(o: &Options) -> Result<(CommMatrix, RunStats), String> {
 
 /// `tlbmap detect`
 pub fn detect(o: Options) -> Result<(), String> {
-    let (matrix, stats) = detect_matrix(&o)?;
+    let rec = recorder_for(&o, topology().num_cores());
+    let (matrix, stats) = detect_matrix(&o, &rec)?;
     eprintln!(
         "# {} via {}: {} communication units, TLB miss rate {:.3}%, detection overhead {:.3}%",
         o.app,
@@ -84,17 +126,22 @@ pub fn detect(o: Options) -> Result<(), String> {
         stats.tlb_miss_rate() * 100.0,
         stats.detection_overhead_fraction() * 100.0
     );
-    if o.csv {
-        print!("{}", matrix.to_csv());
-    } else {
-        print!("{}", matrix.heatmap());
+    match o.format {
+        OutputFormat::Heatmap => print!("{}", matrix.heatmap()),
+        OutputFormat::Csv => print!("{}", matrix.to_csv()),
+        OutputFormat::Json => println!("{}", matrix.to_json().render()),
     }
-    Ok(())
+    write_artifacts(&o, &rec)
 }
 
-fn build_mapping(o: &Options, matrix: &CommMatrix, topo: &Topology) -> Result<Mapping, String> {
+fn build_mapping(
+    o: &Options,
+    matrix: &CommMatrix,
+    topo: &Topology,
+    rec: &Recorder,
+) -> Result<Mapping, String> {
     match o.mapper.as_str() {
-        "hierarchical" => Ok(HierarchicalMapper::new().map(matrix, topo)),
+        "hierarchical" => Ok(HierarchicalMapper::new().map_observed(matrix, topo, rec)),
         "bisect" => Ok(RecursiveBisectionMapper::new().map(matrix, topo)),
         "exhaustive" => Ok(exhaustive_best_mapping(matrix, topo)),
         "greedy" => {
@@ -114,15 +161,16 @@ fn build_mapping(o: &Options, matrix: &CommMatrix, topo: &Topology) -> Result<Ma
 /// `tlbmap map`
 pub fn map(o: Options) -> Result<(), String> {
     let topo = topology();
-    let (matrix, _) = detect_matrix(&o)?;
-    let mapping = build_mapping(&o, &matrix, &topo)?;
+    let rec = recorder_for(&o, topo.num_cores());
+    let (matrix, _) = detect_matrix(&o, &rec)?;
+    let mapping = build_mapping(&o, &matrix, &topo, &rec)?;
     println!("thread -> core: {:?}", mapping.as_slice());
     println!(
         "mapping cost {} (identity: {})",
         mapping_cost(&matrix, &mapping, &topo),
         mapping_cost(&matrix, &Mapping::identity(matrix.num_threads()), &topo)
     );
-    Ok(())
+    write_artifacts(&o, &rec)
 }
 
 fn parse_mapping(o: &Options, topo: &Topology) -> Result<Mapping, String> {
@@ -132,8 +180,10 @@ fn parse_mapping(o: &Options, topo: &Topology) -> Result<Mapping, String> {
     } else if o.mapping == "scatter" {
         Ok(baselines::scatter(n, topo))
     } else if o.mapping == "auto" {
-        let (matrix, _) = detect_matrix(o)?;
-        build_mapping(o, &matrix, topo)
+        // The preparatory detection run is not part of the observed
+        // simulation; keep its events out of the artifacts.
+        let (matrix, _) = detect_matrix(o, &Recorder::disabled())?;
+        build_mapping(o, &matrix, topo, &Recorder::disabled())
     } else if let Some(seed) = o.mapping.strip_prefix("random=") {
         let seed: u64 = seed.parse().map_err(|e| format!("random seed: {e}"))?;
         Ok(baselines::random(n, topo, seed))
@@ -165,13 +215,14 @@ fn print_stats(stats: &RunStats) {
 /// `tlbmap simulate`
 pub fn simulate_cmd(o: Options) -> Result<(), String> {
     let topo = topology();
+    let rec = recorder_for(&o, topo.num_cores());
     let workload = o.workload()?;
     let mapping = parse_mapping(&o, &topo)?;
     println!("mapping (thread -> core): {:?}", mapping.as_slice());
     let sim = SimConfig::paper_hardware_managed(&topo).with_tick_period(None);
-    let stats = simulate(&sim, &topo, &workload.traces, &mapping, &mut NoHooks);
+    let stats = simulate_observed(&sim, &topo, &workload.traces, &mapping, &mut NoHooks, &rec);
     print_stats(&stats);
-    Ok(())
+    write_artifacts(&o, &rec)
 }
 
 /// `tlbmap stats`
@@ -204,9 +255,13 @@ pub fn export(o: Options) -> Result<(), String> {
 
 /// `tlbmap report`
 pub fn report(o: Options) -> Result<(), String> {
+    if let Some(path) = &o.from {
+        return report_from(path);
+    }
     let topo = topology();
+    let rec = recorder_for(&o, topo.num_cores());
     let workload = o.workload()?;
-    let (matrix, det_stats) = detect_matrix(&o)?;
+    let (matrix, det_stats) = detect_matrix(&o, &rec)?;
     println!("== detected pattern ({}) ==", o.mechanism);
     print!("{}", matrix.heatmap());
     println!(
@@ -215,7 +270,7 @@ pub fn report(o: Options) -> Result<(), String> {
         det_stats.detection_overhead_fraction() * 100.0
     );
 
-    let mapping = build_mapping(&o, &matrix, &topo)?;
+    let mapping = build_mapping(&o, &matrix, &topo, &rec)?;
     println!("\n== mapping ==\nthread -> core: {:?}", mapping.as_slice());
 
     let sim = SimConfig::paper_hardware_managed(&topo).with_tick_period(None);
@@ -228,7 +283,87 @@ pub fn report(o: Options) -> Result<(), String> {
     print_stats(&after);
     let dt = 100.0 * (1.0 - after.total_cycles as f64 / before.total_cycles.max(1) as f64);
     println!("\nexecution time improvement: {dt:.1}%");
+    write_artifacts(&o, &rec)
+}
+
+/// `tlbmap report --from <metrics.json>`: pretty-print a recorded run.
+fn report_from(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    println!("== counters ({path}) ==");
+    let counters = doc
+        .get("counters")
+        .ok_or_else(|| format!("{path}: no `counters` object"))?;
+    for c in COUNTERS {
+        if let Some(v) = counters.get(c.as_str()).and_then(Json::as_u64) {
+            println!("{:<28} {v}", c.as_str());
+        }
+    }
+
+    println!("\n== histograms ==");
+    let hists = doc
+        .get("histograms")
+        .ok_or_else(|| format!("{path}: no `histograms` object"))?;
+    for h in HISTS {
+        let Some(hist) = hists.get(h.as_str()) else {
+            continue;
+        };
+        let count = hist.get("count").and_then(Json::as_u64).unwrap_or(0);
+        if count == 0 {
+            println!("{}: empty", h.as_str());
+            continue;
+        }
+        let sum = hist.get("sum").and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "{}: count {count}, mean {:.1}, min {}, max {}",
+            h.as_str(),
+            sum as f64 / count as f64,
+            hist.get("min").and_then(Json::as_u64).unwrap_or(0),
+            hist.get("max").and_then(Json::as_u64).unwrap_or(0),
+        );
+        if let Some(buckets) = hist.get("buckets").and_then(Json::as_array) {
+            let peak = buckets
+                .iter()
+                .filter_map(|b| b.get("count").and_then(Json::as_u64))
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            for b in buckets {
+                let lo = b.get("lo").and_then(Json::as_u64).unwrap_or(0);
+                let n = b.get("count").and_then(Json::as_u64).unwrap_or(0);
+                let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize);
+                println!("  >= {lo:>12} {n:>10} {bar}");
+            }
+        }
+    }
+
+    println!("\n== snapshots ==");
+    let snaps = doc.get("snapshots").and_then(Json::as_array).unwrap_or(&[]);
+    if snaps.is_empty() {
+        println!("none recorded (run with --snapshot-every)");
+    }
+    for snap in snaps {
+        let index = snap.get("index").and_then(Json::as_u64).unwrap_or(0);
+        let cycle = snap.get("cycle").and_then(Json::as_u64).unwrap_or(0);
+        let barrier = snap.get("barrier").and_then(Json::as_u64).unwrap_or(0);
+        match snapshot_matrix(snap) {
+            Some(m) => {
+                println!(
+                    "snapshot {index} @ cycle {cycle} (after {barrier} barriers), {} units:",
+                    m.total()
+                );
+                print!("{}", m.heatmap());
+            }
+            None => println!("snapshot {index} @ cycle {cycle}: malformed rows"),
+        }
+    }
     Ok(())
+}
+
+/// Rebuild a snapshot's matrix from its JSON `rows`.
+fn snapshot_matrix(snap: &Json) -> Option<CommMatrix> {
+    CommMatrix::from_json(snap).ok()
 }
 
 #[cfg(test)]
@@ -316,6 +451,63 @@ mod tests {
     fn report_full_pipeline() {
         let o = opts(&["SP", "--scale", "test", "--sm-threshold", "1"]);
         assert!(report(o).is_ok());
+    }
+
+    #[test]
+    fn detect_formats() {
+        for fmt in ["heatmap", "csv", "json"] {
+            let o = opts(&["ring", "--scale", "test", "--format", fmt]);
+            assert!(detect(o).is_ok(), "format {fmt}");
+        }
+    }
+
+    #[test]
+    fn detect_writes_artifacts_and_report_reads_them() {
+        let dir = std::env::temp_dir().join("tlbmap_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("run.jsonl");
+        let chrome = dir.join("run.trace.json");
+        let metrics = dir.join("metrics.json");
+        let mut o = opts(&["ring", "--scale", "test", "--sm-threshold", "1"]);
+        o.trace_out = Some(trace.to_string_lossy().into_owned());
+        o.chrome_out = Some(chrome.to_string_lossy().into_owned());
+        o.metrics_out = Some(metrics.to_string_lossy().into_owned());
+        o.snapshot_every = Some(2_000);
+        detect(o).unwrap();
+
+        // Every JSONL line parses and the meta line leads.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 1, "trace must hold events");
+        assert!(lines[0].contains("\"ev\":\"meta\""));
+        for line in &lines {
+            Json::parse(line).unwrap();
+        }
+
+        // The chrome trace is one valid JSON document.
+        let chrome_doc = Json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        assert!(!chrome_doc
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+
+        // Metrics parse, and `report --from` pretty-prints them.
+        let doc = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(
+            doc.get("counters")
+                .unwrap()
+                .get("accesses")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+        assert!(!doc.get("snapshots").unwrap().as_array().unwrap().is_empty());
+        let mut from = opts(&[]);
+        from.from = Some(metrics.to_string_lossy().into_owned());
+        report(from).unwrap();
     }
 
     #[test]

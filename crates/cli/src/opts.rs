@@ -10,23 +10,41 @@ tlbmap — TLB-based communication detection and thread mapping
 
 USAGE:
   tlbmap topo
-  tlbmap detect   <APP> [--mechanism sm|hm|gt] [--csv] [COMMON]
-  tlbmap map      <APP> [--mapper hierarchical|bisect|greedy|exhaustive] [COMMON]
-  tlbmap simulate <APP> [--mapping identity|scatter|random=<seed>|auto] [COMMON]
-  tlbmap report   <APP> [COMMON]
-  tlbmap stats    <APP> [COMMON]
-  tlbmap export   <APP> --out <FILE> [COMMON]
+  tlbmap detect   [APP] [--mechanism sm|hm|gt] [--format heatmap|csv|json] [OBS] [COMMON]
+  tlbmap map      [APP] [--mapper hierarchical|bisect|greedy|exhaustive] [OBS] [COMMON]
+  tlbmap simulate [APP] [--mapping identity|scatter|random=<seed>|auto] [OBS] [COMMON]
+  tlbmap report   [APP] [OBS] [COMMON]
+  tlbmap report   --from <metrics.json>
+  tlbmap stats    [APP] [COMMON]
+  tlbmap export   [APP] --out <FILE> [COMMON]
 
-<APP> may also be `trace=<FILE>` (a file written by `tlbmap export`) in
-detect/map/simulate/report/stats.
+APP defaults to CG. It may also be `trace=<FILE>` (a file written by
+`tlbmap export`) in detect/map/simulate/report/stats.
 
 APP: BT CG EP FT IS LU MG SP UA | ring pairs pipeline uniform private master_worker turns
+
+OBS (run-artifact export; any of these enables recording):
+  --trace-out <FILE>            event trace as JSONL
+  --chrome-out <FILE>           event trace as Chrome trace_event JSON
+  --metrics-out <FILE>          counters/histograms/snapshots as JSON
+  --snapshot-every <CYCLES>     periodic communication-matrix snapshots
 
 COMMON:
   --scale test|small|workshop   problem size              [workshop]
   --seed <u64>                  workload seed             [1819]
   --sm-threshold <u32>          SM sampling threshold     [100]
   --hm-period <u64>             HM tick period (cycles)   [250000]";
+
+/// How `detect` prints the communication matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// ASCII heatmap (the paper's Figures 4–5 look).
+    Heatmap,
+    /// CSV with a `t0,t1,...` header row.
+    Csv,
+    /// JSON (`CommMatrix::to_json`).
+    Json,
+}
 
 /// Parsed command options.
 pub struct Options {
@@ -38,8 +56,18 @@ pub struct Options {
     pub mapper: String,
     /// Mapping selector for `simulate`.
     pub mapping: String,
-    /// Emit CSV instead of a heatmap.
-    pub csv: bool,
+    /// Matrix output format for `detect`.
+    pub format: OutputFormat,
+    /// JSONL event-trace output path.
+    pub trace_out: Option<String>,
+    /// Chrome trace_event output path.
+    pub chrome_out: Option<String>,
+    /// Metrics-JSON output path.
+    pub metrics_out: Option<String>,
+    /// Snapshot the communication matrix every this many cycles.
+    pub snapshot_every: Option<u64>,
+    /// Recorded metrics file for `report --from`.
+    pub from: Option<String>,
     /// Problem scale.
     pub scale: ProblemScale,
     /// Workload seed.
@@ -60,7 +88,12 @@ impl Options {
             mechanism: "sm".into(),
             mapper: "hierarchical".into(),
             mapping: "auto".into(),
-            csv: false,
+            format: OutputFormat::Heatmap,
+            trace_out: None,
+            chrome_out: None,
+            metrics_out: None,
+            snapshot_every: None,
+            from: None,
             out: None,
             scale: ProblemScale::Workshop,
             seed: 1819,
@@ -88,9 +121,40 @@ impl Options {
                     o.mapping = value("--mapping")?;
                     i += 2;
                 }
-                "--csv" => {
-                    o.csv = true;
-                    i += 1;
+                "--format" => {
+                    o.format = match value("--format")?.as_str() {
+                        "heatmap" => OutputFormat::Heatmap,
+                        "csv" => OutputFormat::Csv,
+                        "json" => OutputFormat::Json,
+                        other => return Err(format!("unknown format `{other}`")),
+                    };
+                    i += 2;
+                }
+                "--trace-out" => {
+                    o.trace_out = Some(value("--trace-out")?);
+                    i += 2;
+                }
+                "--chrome-out" => {
+                    o.chrome_out = Some(value("--chrome-out")?);
+                    i += 2;
+                }
+                "--metrics-out" => {
+                    o.metrics_out = Some(value("--metrics-out")?);
+                    i += 2;
+                }
+                "--snapshot-every" => {
+                    let period: u64 = value("--snapshot-every")?
+                        .parse()
+                        .map_err(|e| format!("--snapshot-every: {e}"))?;
+                    if period == 0 {
+                        return Err("--snapshot-every must be positive".into());
+                    }
+                    o.snapshot_every = Some(period);
+                    i += 2;
+                }
+                "--from" => {
+                    o.from = Some(value("--from")?);
+                    i += 2;
                 }
                 "--out" => {
                     o.out = Some(value("--out")?);
@@ -142,9 +206,17 @@ impl Options {
             }
         }
         if o.app.is_empty() {
-            return Err(format!("missing <APP>\n{USAGE}"));
+            o.app = "CG".into();
         }
         Ok(o)
+    }
+
+    /// Whether any observability artifact was requested.
+    pub fn observing(&self) -> bool {
+        self.trace_out.is_some()
+            || self.chrome_out.is_some()
+            || self.metrics_out.is_some()
+            || self.snapshot_every.is_some()
     }
 
     /// Generate the requested workload for 8 threads, or load it from a
@@ -197,20 +269,68 @@ mod tests {
 
     #[test]
     fn parses_app_and_flags() {
-        let o = parse(&["SP", "--scale", "small", "--mechanism", "hm", "--csv"]).unwrap();
+        let o = parse(&[
+            "SP",
+            "--scale",
+            "small",
+            "--mechanism",
+            "hm",
+            "--format",
+            "csv",
+        ])
+        .unwrap();
         assert_eq!(o.app, "SP");
         assert_eq!(o.scale, ProblemScale::Small);
         assert_eq!(o.mechanism, "hm");
-        assert!(o.csv);
+        assert_eq!(o.format, OutputFormat::Csv);
+        assert!(!o.observing());
     }
 
     #[test]
-    fn rejects_missing_app_and_bad_flags() {
-        assert!(parse(&[]).is_err());
+    fn app_defaults_to_cg() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.app, "CG");
+        assert_eq!(o.format, OutputFormat::Heatmap);
+        let o = parse(&["--mechanism", "hm"]).unwrap();
+        assert_eq!(o.app, "CG");
+        assert_eq!(o.mechanism, "hm");
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let o = parse(&[
+            "--trace-out",
+            "run.jsonl",
+            "--chrome-out",
+            "run.trace.json",
+            "--metrics-out",
+            "metrics.json",
+            "--snapshot-every",
+            "100000",
+        ])
+        .unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("run.jsonl"));
+        assert_eq!(o.chrome_out.as_deref(), Some("run.trace.json"));
+        assert_eq!(o.metrics_out.as_deref(), Some("metrics.json"));
+        assert_eq!(o.snapshot_every, Some(100_000));
+        assert!(o.observing());
+        let o = parse(&["--from", "metrics.json"]);
+        assert_eq!(o.unwrap().from.as_deref(), Some("metrics.json"));
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
         assert!(parse(&["SP", "--bogus"]).is_err());
+        assert!(
+            parse(&["SP", "--csv"]).is_err(),
+            "--csv was replaced by --format"
+        );
+        assert!(parse(&["SP", "--format", "xml"]).is_err());
         assert!(parse(&["SP", "--seed", "abc"]).is_err());
         assert!(parse(&["SP", "--sm-threshold", "0"]).is_err());
         assert!(parse(&["SP", "--hm-period", "0"]).is_err());
+        assert!(parse(&["SP", "--snapshot-every", "0"]).is_err());
+        assert!(parse(&["SP", "--trace-out"]).is_err(), "needs a value");
         assert!(parse(&["SP", "extra"]).is_err());
     }
 

@@ -19,11 +19,10 @@
 
 use crate::dynamic::MatrixSource;
 use crate::matrix::CommMatrix;
-use serde::{Deserialize, Serialize};
 use tlbmap_sim::{AccessOutcome, SimHooks};
 
 /// Estimator parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterConfig {
     /// Correlation window, in observed accesses.
     pub window_accesses: u64,
@@ -191,7 +190,12 @@ mod tests {
 
     #[test]
     fn flush_counts_partial_window() {
-        let mut e = CounterEstimator::new(2, CounterConfig { window_accesses: 100 });
+        let mut e = CounterEstimator::new(
+            2,
+            CounterConfig {
+                window_accesses: 100,
+            },
+        );
         e.on_access_outcome(0, 0, &outcome(true));
         e.on_access_outcome(1, 1, &outcome(true));
         assert_eq!(e.matrix().total(), 0, "partial window not yet counted");

@@ -10,8 +10,8 @@
 
 use crate::matrix::CommMatrix;
 use crate::metrics::cosine_similarity;
-use serde::{Deserialize, Serialize};
 use tlbmap_mem::{VirtAddr, Vpn};
+use tlbmap_obs::Recorder;
 use tlbmap_sim::{AccessKind, Mapping, MemOp, SimHooks, TlbView};
 
 /// A detector whose accumulated matrix can be harvested.
@@ -41,7 +41,7 @@ impl MatrixSource for crate::hm::HmDetector {
 }
 
 /// Windowing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseConfig {
     /// Close a window every this many observed memory accesses.
     pub window_accesses: u64,
@@ -155,6 +155,7 @@ pub struct OnlineRemapper<D> {
     last_mapping: Option<Mapping>,
     remaps: u64,
     windows_closed: u64,
+    recorder: Recorder,
 }
 
 impl<D: MatrixSource + SimHooks> OnlineRemapper<D> {
@@ -178,7 +179,20 @@ impl<D: MatrixSource + SimHooks> OnlineRemapper<D> {
             last_mapping: None,
             remaps: 0,
             windows_closed: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Report phase changes to `rec`.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// Swap the observability sink in place.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.recorder = rec;
     }
 
     /// How many times a new mapping was issued.
@@ -228,14 +242,17 @@ impl<D: MatrixSource + SimHooks> SimHooks for OnlineRemapper<D> {
             // the previous pattern and placement.
             return None;
         }
-        let changed = match &self.prev_window {
-            None => true,
-            Some(prev) => cosine_similarity(prev, &window) < self.similarity_threshold,
+        let similarity = match &self.prev_window {
+            None => 0.0,
+            Some(prev) => cosine_similarity(prev, &window),
         };
+        let changed = self.prev_window.is_none() || similarity < self.similarity_threshold;
         self.prev_window = Some(window);
         if !changed {
             return None;
         }
+        self.recorder
+            .record_phase_change(self.windows_closed - 1, similarity);
         let new_mapping = (self.mapper)(self.prev_window.as_ref().expect("just set"));
         if self.last_mapping.as_ref() == Some(&new_mapping) {
             return None;

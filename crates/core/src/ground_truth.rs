@@ -13,13 +13,13 @@
 //! if `u` touched `p` within the last `window` accesses.
 
 use crate::matrix::CommMatrix;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use tlbmap_mem::{PageGeometry, VirtAddr, Vpn};
+use tlbmap_obs::Recorder;
 use tlbmap_sim::{MemOp, SimHooks};
 
 /// Ground-truth detector parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroundTruthConfig {
     /// Page geometry used to bucket addresses.
     pub geometry: PageGeometry,
@@ -46,6 +46,7 @@ pub struct GroundTruthDetector {
     last_access: HashMap<Vpn, Vec<Option<u64>>>,
     now: u64,
     n_threads: usize,
+    recorder: Recorder,
 }
 
 impl GroundTruthDetector {
@@ -57,7 +58,20 @@ impl GroundTruthDetector {
             last_access: HashMap::new(),
             now: 0,
             n_threads,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Report matrix increments to `rec`.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// Swap the observability sink in place.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.recorder = rec;
     }
 
     /// The accumulated communication matrix.
@@ -91,6 +105,7 @@ impl GroundTruthDetector {
             if let Some(t) = *slot {
                 if self.now - t <= self.config.window {
                     self.matrix.record(thread, u);
+                    self.recorder.record_matrix_inc(thread, u, 1);
                 }
             }
         }

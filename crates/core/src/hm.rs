@@ -13,7 +13,7 @@
 
 use crate::matrix::CommMatrix;
 use crate::overhead;
-use serde::{Deserialize, Serialize};
+use tlbmap_obs::{Mechanism, Recorder};
 use tlbmap_sim::{SimHooks, TlbView};
 
 /// HM detector parameters.
@@ -25,7 +25,7 @@ use tlbmap_sim::{SimHooks, TlbView};
 /// overhead **fraction** of execution time stays the deployment value
 /// (routine cost / nominal period, < 0.85% in the paper) rather than
 /// ballooning with the compressed timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HmConfig {
     /// Deployment interrupt period (the paper's n = 10,000,000 cycles).
     pub nominal_period_cycles: u64,
@@ -78,6 +78,7 @@ pub struct HmDetector {
     matrix: CommMatrix,
     searches_run: u64,
     matches_found: u64,
+    recorder: Recorder,
 }
 
 impl HmDetector {
@@ -88,7 +89,20 @@ impl HmDetector {
             matrix: CommMatrix::new(n_threads),
             searches_run: 0,
             matches_found: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Report search costs and matrix increments to `rec`.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// Swap the observability sink in place.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.recorder = rec;
     }
 
     /// The communication matrix accumulated so far.
@@ -140,6 +154,7 @@ impl HmDetector {
                             comparisons += 1;
                             if ea.vpn == eb.vpn {
                                 self.matrix.record(ta, tb);
+                                self.recorder.record_matrix_inc(ta, tb, 1);
                                 self.matches_found += 1;
                             }
                         }
@@ -153,9 +168,23 @@ impl HmDetector {
 
 impl SimHooks for HmDetector {
     fn on_tick(&mut self, _now: u64, view: &TlbView<'_>) -> u64 {
+        // The periodic interrupt is machine-wide; its cost is charged to
+        // whichever core the engine interrupted, but the trace attributes
+        // it to core 0 (the kernel's bookkeeping CPU).
+        self.recorder.record_search_start(Mechanism::Hm, 0);
+        let matches_before = self.matches_found;
         let comparisons = self.search_all_pairs(view);
-        self.config
-            .scale_cost(overhead::hm_search_cycles(comparisons))
+        let cost = self
+            .config
+            .scale_cost(overhead::hm_search_cycles(comparisons));
+        self.recorder.record_search_end(
+            Mechanism::Hm,
+            0,
+            comparisons,
+            self.matches_found - matches_before,
+            cost,
+        );
+        cost
     }
 }
 

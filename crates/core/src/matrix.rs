@@ -5,10 +5,10 @@
 //! communication is evaluated between *pairs* of threads to keep complexity
 //! Θ(N²).
 
-use serde::{Deserialize, Serialize};
+use tlbmap_obs::{Json, JsonError};
 
 /// A symmetric, zero-diagonal matrix of per-thread-pair communication.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommMatrix {
     n: usize,
     /// Row-major n×n storage; kept symmetric by construction.
@@ -161,6 +161,66 @@ impl CommMatrix {
             out.push('\n');
         }
         out
+    }
+
+    /// JSON rendering: `{"n":N,"rows":[[...],...]}`, row-major.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = (0..self.n)
+            .map(|i| Json::Arr((0..self.n).map(|j| Json::U64(self.get(i, j))).collect()))
+            .collect();
+        Json::obj(vec![
+            ("n", Json::U64(self.n as u64)),
+            ("rows", Json::Arr(rows)),
+        ])
+    }
+
+    /// Rebuild from [`CommMatrix::to_json`] output. Unlike [`from_rows`]
+    /// this returns an error (rather than panicking) on malformed input —
+    /// JSON arrives from outside the process.
+    ///
+    /// [`from_rows`]: CommMatrix::from_rows
+    ///
+    /// # Errors
+    /// Fails on missing/mistyped fields, ragged rows, an asymmetric matrix,
+    /// or a nonzero diagonal.
+    pub fn from_json(json: &Json) -> Result<CommMatrix, JsonError> {
+        let err = |message: &str| JsonError {
+            message: message.to_string(),
+            offset: 0,
+        };
+        let n = json
+            .get("n")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| err("missing or mistyped field: n"))? as usize;
+        let rows = json
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or_else(|| err("missing or mistyped field: rows"))?;
+        if rows.len() != n {
+            return Err(err("row count does not match n"));
+        }
+        let mut data = Vec::with_capacity(n * n);
+        for row in rows {
+            let cells = row.as_array().ok_or_else(|| err("row is not an array"))?;
+            if cells.len() != n {
+                return Err(err("ragged row"));
+            }
+            for cell in cells {
+                data.push(cell.as_u64().ok_or_else(|| err("non-integer cell"))?);
+            }
+        }
+        let m = CommMatrix { n, data };
+        for i in 0..n {
+            if m.get(i, i) != 0 {
+                return Err(err("nonzero diagonal"));
+            }
+            for j in 0..i {
+                if m.get(i, j) != m.get(j, i) {
+                    return Err(err("matrix not symmetric"));
+                }
+            }
+        }
+        Ok(m)
     }
 
     /// Render the matrix as a binary PPM (P6) image like the paper's
@@ -320,6 +380,34 @@ mod tests {
         let px = |y: usize, x: usize| ppm[header_len + (y * 16 + x) * 3];
         assert!(px(1, 6) < px(1, 11), "hot cell must be darker");
         assert_eq!(px(1, 11), 255, "empty cell is white");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut m = CommMatrix::new(3);
+        m.add(0, 1, 9);
+        m.add(1, 2, 4);
+        let text = m.to_json().render();
+        assert_eq!(text, "{\"n\":3,\"rows\":[[0,9,0],[9,0,4],[0,4,0]]}");
+        let back = CommMatrix::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        let cases = [
+            "{}",
+            "{\"n\":2}",
+            "{\"n\":2,\"rows\":[[0,1]]}",
+            "{\"n\":2,\"rows\":[[0,1],[1]]}",
+            "{\"n\":2,\"rows\":[[0,1],[2,0]]}",
+            "{\"n\":2,\"rows\":[[5,1],[1,0]]}",
+            "{\"n\":2,\"rows\":[[0,\"x\"],[1,0]]}",
+        ];
+        for text in cases {
+            let json = Json::parse(text).unwrap();
+            assert!(CommMatrix::from_json(&json).is_err(), "accepted: {text}");
+        }
     }
 
     #[test]

@@ -17,12 +17,12 @@
 
 use crate::matrix::CommMatrix;
 use crate::overhead;
-use serde::{Deserialize, Serialize};
 use tlbmap_mem::Vpn;
+use tlbmap_obs::{Mechanism, Recorder};
 use tlbmap_sim::{AccessKind, SimHooks, TlbView};
 
 /// SM detector parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SmConfig {
     /// Run the search on one out of `sample_threshold` TLB misses. The
     /// paper uses 100 (1% sampling, Table I: n = 100).
@@ -54,6 +54,7 @@ pub struct SmDetector {
     misses_seen: u64,
     searches_run: u64,
     matches_found: u64,
+    recorder: Recorder,
 }
 
 impl SmDetector {
@@ -73,7 +74,20 @@ impl SmDetector {
             misses_seen: 0,
             searches_run: 0,
             matches_found: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Report search costs and matrix increments to `rec`.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// Swap the observability sink in place.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.recorder = rec;
     }
 
     /// The communication matrix accumulated so far.
@@ -135,10 +149,12 @@ impl SimHooks for SmDetector {
         }
         self.counter = 0;
         self.searches_run += 1;
+        self.recorder.record_search_start(Mechanism::Sm, core);
 
         // Search every *other* core's TLB for the missing page. Only the
         // set the VPN indexes needs scanning (set-associative shortcut).
         let mut entries_compared = 0u64;
+        let mut matches_here = 0u64;
         for other in 0..view.num_cores() {
             if other == core {
                 continue;
@@ -150,12 +166,17 @@ impl SimHooks for SmDetector {
                 if entry.vpn == vpn {
                     if let Some(other_thread) = view.thread_on(other) {
                         self.matrix.record(thread, other_thread);
-                        self.matches_found += 1;
+                        self.recorder.record_matrix_inc(thread, other_thread, 1);
+                        matches_here += 1;
                     }
                 }
             }
         }
-        overhead::sm_search_cycles(entries_compared)
+        self.matches_found += matches_here;
+        let cost = overhead::sm_search_cycles(entries_compared);
+        self.recorder
+            .record_search_end(Mechanism::Sm, core, entries_compared, matches_here, cost);
+        cost
     }
 }
 

@@ -20,6 +20,7 @@
 
 use crate::matching::perfect_matching_pairs;
 use tlbmap_core::CommMatrix;
+use tlbmap_obs::Recorder;
 use tlbmap_sim::{Mapping, Topology};
 
 /// The level-by-level matching mapper.
@@ -41,6 +42,15 @@ impl HierarchicalMapper {
     /// setting) and every topology level size is a power-of-two multiple of
     /// the previous one (pairwise matching doubles group sizes).
     pub fn map(&self, matrix: &CommMatrix, topo: &Topology) -> Mapping {
+        self.map_observed(matrix, topo, &Recorder::disabled())
+    }
+
+    /// [`map`](HierarchicalMapper::map), reporting each matching level
+    /// (group counts and captured pair weight) to `rec`.
+    ///
+    /// # Panics
+    /// Same conditions as [`map`](HierarchicalMapper::map).
+    pub fn map_observed(&self, matrix: &CommMatrix, topo: &Topology, rec: &Recorder) -> Mapping {
         let n = matrix.num_threads();
         assert_eq!(
             n,
@@ -56,6 +66,7 @@ impl HierarchicalMapper {
         // groups[g] = ordered list of member threads.
         let mut groups: Vec<Vec<usize>> = (0..n).map(|t| vec![t]).collect();
         let mut size = 1usize;
+        let mut level = 0u32;
 
         for target in topo.level_group_sizes() {
             assert!(
@@ -63,7 +74,17 @@ impl HierarchicalMapper {
                 "level size {target} not a power-of-two multiple of current group size {size}"
             );
             while size < target {
+                let before = groups.len() as u32;
                 groups = merge_by_matching(&groups, matrix);
+                let weight: u64 = groups
+                    .iter()
+                    .map(|g| {
+                        let (a, b) = g.split_at(g.len() / 2);
+                        group_weight(a, b, matrix)
+                    })
+                    .sum();
+                rec.record_mapper_round(level, before, groups.len() as u32, weight);
+                level += 1;
                 size *= 2;
             }
         }
@@ -205,6 +226,36 @@ mod tests {
         m.add(1, 3, 4);
         // H((0,1),(2,3)) = M(0,2)+M(0,3)+M(1,2)+M(1,3) = 10.
         assert_eq!(group_weight(&[0, 1], &[2, 3], &m), 10);
+    }
+
+    #[test]
+    fn observed_map_reports_every_level() {
+        use tlbmap_obs::{CounterId, Event, ObsConfig, Recorder};
+        let rec = Recorder::new(ObsConfig::new(8));
+        let topo = Topology::harpertown();
+        let mapping = HierarchicalMapper::new().map_observed(&structured(), &topo, &rec);
+        assert_eq!(mapping, HierarchicalMapper::new().map(&structured(), &topo));
+        // 8 → 4 → 2 → 1 groups: three matching levels.
+        assert_eq!(rec.counter(CounterId::MapperRounds), 3);
+        let rounds: Vec<_> = rec
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::MapperRound {
+                    level,
+                    groups_before,
+                    groups_after,
+                    weight,
+                } => Some((level, groups_before, groups_after, weight)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rounds.len(), 3);
+        assert_eq!(rounds[0].1, 8);
+        assert_eq!(rounds[0].2, 4);
+        // Level 0 pairs the strong couples: 4 × 100 captured weight.
+        assert_eq!(rounds[0].3, 400);
+        assert_eq!(rounds[2], (2, 2, 1, 0));
     }
 
     #[test]

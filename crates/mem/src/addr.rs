@@ -4,22 +4,20 @@
 //! of two); the default is the ubiquitous 4 KiB page used by the paper's
 //! UltraSparc and x86 reference configurations.
 
-use serde::{Deserialize, Serialize};
-
 /// A virtual address as issued by a thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtAddr(pub u64);
 
 /// A physical address after translation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhysAddr(pub u64);
 
 /// A virtual page number (virtual address shifted down by the page shift).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Vpn(pub u64);
 
 /// A physical frame number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pfn(pub u64);
 
 impl VirtAddr {
@@ -61,7 +59,7 @@ impl Pfn {
 }
 
 /// Page size description shared by page table, TLB and caches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageGeometry {
     /// log2 of the page size in bytes (12 → 4 KiB pages).
     pub page_shift: u32,

@@ -18,10 +18,9 @@
 use crate::addr::{PageGeometry, PhysAddr, VirtAddr, Vpn};
 use crate::page_table::PageTable;
 use crate::tlb::{Tlb, TlbConfig, TlbLookup, TlbStats};
-use serde::{Deserialize, Serialize};
 
 /// How TLB misses are serviced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TlbMode {
     /// Miss traps to the OS (SPARC, MIPS). Fill cost includes the trap and
     /// context-switch overhead; the SM detector piggybacks on this trap.
@@ -32,7 +31,7 @@ pub enum TlbMode {
 }
 
 /// MMU timing and geometry configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MmuConfig {
     /// TLB geometry.
     pub tlb: TlbConfig,

@@ -16,10 +16,9 @@
 //! Replacement is true-LRU per set, driven by a monotonic access counter.
 
 use crate::addr::{Pfn, Vpn};
-use serde::{Deserialize, Serialize};
 
 /// Geometry of a TLB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
     /// Total number of entries. The paper uses 64 (UltraSparc default, and
     /// the Nehalem L1 TLB size).
@@ -81,7 +80,7 @@ impl TlbConfig {
 }
 
 /// One valid TLB entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbEntry {
     /// The cached virtual page number.
     pub vpn: Vpn,
@@ -99,7 +98,7 @@ pub enum TlbLookup {
 }
 
 /// Hit/miss counters for one TLB.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
     /// Translating lookups that hit.
     pub hits: u64,

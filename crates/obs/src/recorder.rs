@@ -1,0 +1,731 @@
+//! The recorder: a cloneable handle threaded through the engine, the
+//! detectors and the mapper.
+//!
+//! A disabled recorder holds no state at all (`inner: None`); every method
+//! is `#[inline]` and reduces to one `Option` discriminant check, so the
+//! simulation hot path pays nothing measurable when observability is off —
+//! verified by the `engine_throughput` benchmark. An enabled recorder
+//! funnels counters and histograms into lock-free atomics and events into
+//! a bounded ring buffer.
+
+use crate::event::Event;
+use crate::json::Json;
+use crate::metrics::{CounterId, HistId, Histogram, COUNTERS, HISTS};
+use crate::ring::RingBuffer;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Recorder construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Thread count of the run (sizes the snapshot matrix).
+    pub n_threads: usize,
+    /// Maximum events retained in the trace ring.
+    pub ring_capacity: usize,
+    /// Take a communication-matrix snapshot every this many cycles.
+    pub snapshot_period: Option<u64>,
+}
+
+impl ObsConfig {
+    /// Defaults: 1 Mi events, no periodic snapshots.
+    pub fn new(n_threads: usize) -> Self {
+        ObsConfig {
+            n_threads,
+            ring_capacity: 1 << 20,
+            snapshot_period: None,
+        }
+    }
+
+    /// Override the ring capacity.
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Snapshot the matrix every `period` cycles (`None` disables).
+    pub fn with_snapshot_period(mut self, period: Option<u64>) -> Self {
+        self.snapshot_period = period;
+        self
+    }
+}
+
+/// One periodic communication-matrix snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixSnapshot {
+    /// Zero-based snapshot index.
+    pub index: u64,
+    /// Cycle the snapshot is keyed to (a multiple of the period).
+    pub cycle: u64,
+    /// Barriers crossed when it was taken.
+    pub barrier: u64,
+    /// Thread count.
+    pub n: usize,
+    /// Row-major n×n matrix cells.
+    pub cells: Vec<u64>,
+}
+
+impl MatrixSnapshot {
+    /// JSON export.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = (0..self.n)
+            .map(|i| {
+                Json::Arr(
+                    (0..self.n)
+                        .map(|j| Json::U64(self.cells[i * self.n + j]))
+                        .collect(),
+                )
+            })
+            .collect();
+        Json::obj(vec![
+            ("index", Json::U64(self.index)),
+            ("cycle", Json::U64(self.cycle)),
+            ("barrier", Json::U64(self.barrier)),
+            ("n", Json::U64(self.n as u64)),
+            ("rows", Json::Arr(rows)),
+        ])
+    }
+}
+
+/// Snapshot accumulator: the recorder's own copy of the communication
+/// matrix, grown by `matrix_inc` events and sampled periodically.
+#[derive(Debug)]
+struct SnapState {
+    n: usize,
+    cells: Vec<u64>,
+    period: Option<u64>,
+    barrier: u64,
+    snaps: Vec<MatrixSnapshot>,
+}
+
+impl SnapState {
+    fn take(&mut self, cycle: u64) -> u64 {
+        let index = self.snaps.len() as u64;
+        self.snaps.push(MatrixSnapshot {
+            index,
+            cycle,
+            barrier: self.barrier,
+            n: self.n,
+            cells: self.cells.clone(),
+        });
+        index
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    counters: [AtomicU64; COUNTERS.len()],
+    hists: [Histogram; HISTS.len()],
+    /// Global cycle estimate, stamped onto emitted events.
+    now: AtomicU64,
+    /// Cycle of the previous TLB miss (`u64::MAX` = none yet).
+    last_miss: AtomicU64,
+    /// Cycle at which the next snapshot is due (`u64::MAX` = never).
+    next_snap: AtomicU64,
+    ring: Mutex<RingBuffer<Event>>,
+    snap: Mutex<SnapState>,
+}
+
+/// Cloneable observability handle. `Recorder::disabled()` is the no-op.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder: every call is a single `None` check.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// An enabled recorder.
+    pub fn new(cfg: ObsConfig) -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                counters: std::array::from_fn(|_| AtomicU64::new(0)),
+                hists: std::array::from_fn(|_| Histogram::default()),
+                now: AtomicU64::new(0),
+                last_miss: AtomicU64::new(u64::MAX),
+                next_snap: AtomicU64::new(cfg.snapshot_period.unwrap_or(u64::MAX)),
+                ring: Mutex::new(RingBuffer::new(cfg.ring_capacity)),
+                snap: Mutex::new(SnapState {
+                    n: cfg.n_threads,
+                    cells: vec![0; cfg.n_threads * cfg.n_threads],
+                    period: cfg.snapshot_period,
+                    barrier: 0,
+                    snaps: Vec::new(),
+                }),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters[id as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.counters[id as usize].load(Ordering::Relaxed))
+    }
+
+    /// Record a histogram observation.
+    #[inline]
+    pub fn observe(&self, id: HistId, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.hists[id as usize].observe(value);
+        }
+    }
+
+    /// Count of a histogram's observations.
+    pub fn hist_count(&self, id: HistId) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.hists[id as usize].count())
+    }
+
+    /// Stamp the global cycle estimate (the engine calls this as its clock
+    /// advances; detectors never see cycles directly).
+    #[inline]
+    pub fn set_cycle(&self, cycle: u64) {
+        if let Some(inner) = &self.inner {
+            inner.now.store(cycle, Ordering::Relaxed);
+        }
+    }
+
+    /// The last stamped cycle.
+    pub fn now(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.now.load(Ordering::Relaxed))
+    }
+
+    /// Stamp the cycle and take any snapshots that became due. The engine
+    /// calls this once per executed trace event.
+    #[inline]
+    pub fn advance(&self, cycle: u64) {
+        if let Some(inner) = &self.inner {
+            inner.now.store(cycle, Ordering::Relaxed);
+            if cycle >= inner.next_snap.load(Ordering::Relaxed) {
+                self.take_due_snapshots(inner, cycle);
+            }
+        }
+    }
+
+    #[cold]
+    fn take_due_snapshots(&self, inner: &Inner, cycle: u64) {
+        let mut snap = inner.snap.lock().expect("snapshot state poisoned");
+        let period = match snap.period {
+            Some(p) => p,
+            None => return,
+        };
+        let mut due = inner.next_snap.load(Ordering::Relaxed);
+        while cycle >= due {
+            let index = snap.take(due);
+            self.push_event(inner, Event::Snapshot { cycle: due, index });
+            inner.counters[CounterId::SnapshotsTaken as usize].fetch_add(1, Ordering::Relaxed);
+            due += period;
+        }
+        inner.next_snap.store(due, Ordering::Relaxed);
+    }
+
+    /// Close the run: fill in any snapshots still due so that exactly
+    /// `floor(total_cycles / period)` exist, and stamp the final cycle.
+    pub fn finish(&self, total_cycles: u64) {
+        if let Some(inner) = &self.inner {
+            inner.now.store(total_cycles, Ordering::Relaxed);
+            self.take_due_snapshots(inner, total_cycles);
+        }
+    }
+
+    /// Append a raw event, stamped with the current cycle by the caller.
+    #[inline]
+    pub fn emit(&self, make: impl FnOnce(u64) -> Event) {
+        if let Some(inner) = &self.inner {
+            let event = make(inner.now.load(Ordering::Relaxed));
+            self.push_event(inner, event);
+        }
+    }
+
+    fn push_event(&self, inner: &Inner, event: Event) {
+        let mut ring = inner.ring.lock().expect("event ring poisoned");
+        if ring.push(event) {
+            inner.counters[CounterId::EventsDropped as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // ----- composite helpers (one call per observation point) -----
+
+    /// A TLB miss: event + counter + inter-arrival histogram.
+    #[inline]
+    pub fn record_tlb_miss(&self, core: usize, thread: usize, vpn: u64, data: bool) {
+        if let Some(inner) = &self.inner {
+            let cycle = inner.now.load(Ordering::Relaxed);
+            inner.counters[CounterId::TlbMisses as usize].fetch_add(1, Ordering::Relaxed);
+            let prev = inner.last_miss.swap(cycle, Ordering::Relaxed);
+            if prev != u64::MAX {
+                inner.hists[HistId::TlbMissInterArrival as usize]
+                    .observe(cycle.saturating_sub(prev));
+            }
+            self.push_event(
+                inner,
+                Event::TlbMiss {
+                    cycle,
+                    core: core as u32,
+                    thread: thread as u32,
+                    vpn,
+                    data,
+                },
+            );
+        }
+    }
+
+    /// A detection search is about to scan remote TLBs.
+    #[inline]
+    pub fn record_search_start(&self, mech: crate::event::Mechanism, core: usize) {
+        self.emit(|cycle| Event::SearchStart {
+            cycle,
+            mech,
+            core: core as u32,
+        });
+    }
+
+    /// A detection search finished: event + counters + latency histogram.
+    #[inline]
+    pub fn record_search_end(
+        &self,
+        mech: crate::event::Mechanism,
+        core: usize,
+        entries: u64,
+        matches: u64,
+        charged_cycles: u64,
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.counters[CounterId::DetectionSearches as usize].fetch_add(1, Ordering::Relaxed);
+            inner.counters[CounterId::DetectionOverheadCycles as usize]
+                .fetch_add(charged_cycles, Ordering::Relaxed);
+            inner.counters[CounterId::SearchEntriesCompared as usize]
+                .fetch_add(entries, Ordering::Relaxed);
+            inner.hists[HistId::DetectionSearchCycles as usize].observe(charged_cycles);
+            self.push_event(
+                inner,
+                Event::SearchEnd {
+                    cycle: inner.now.load(Ordering::Relaxed),
+                    mech,
+                    core: core as u32,
+                    entries,
+                    matches,
+                    charged_cycles,
+                },
+            );
+        }
+    }
+
+    /// A matrix increment: event + counter + amount histogram + the
+    /// recorder's own matrix copy (what snapshots sample).
+    #[inline]
+    pub fn record_matrix_inc(&self, a: usize, b: usize, amount: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters[CounterId::MatrixIncrements as usize].fetch_add(1, Ordering::Relaxed);
+            inner.hists[HistId::MatrixIncrementAmount as usize].observe(amount);
+            {
+                let mut snap = inner.snap.lock().expect("snapshot state poisoned");
+                let n = snap.n;
+                if a < n && b < n && a != b {
+                    snap.cells[a * n + b] += amount;
+                    snap.cells[b * n + a] += amount;
+                }
+            }
+            self.push_event(
+                inner,
+                Event::MatrixInc {
+                    cycle: inner.now.load(Ordering::Relaxed),
+                    a: a as u32,
+                    b: b as u32,
+                    amount,
+                },
+            );
+        }
+    }
+
+    /// A barrier release.
+    #[inline]
+    pub fn record_barrier(&self, index: u64, cycle: u64) {
+        if let Some(inner) = &self.inner {
+            inner.now.store(cycle, Ordering::Relaxed);
+            inner.counters[CounterId::Barriers as usize].fetch_add(1, Ordering::Relaxed);
+            inner.snap.lock().expect("snapshot state poisoned").barrier = index + 1;
+            self.push_event(inner, Event::Barrier { cycle, index });
+        }
+    }
+
+    /// A thread migration (plus the TLB flushes it implies).
+    #[inline]
+    pub fn record_migration(&self, thread: usize, from_core: usize, to_core: usize) {
+        if let Some(inner) = &self.inner {
+            let cycle = inner.now.load(Ordering::Relaxed);
+            inner.counters[CounterId::Migrations as usize].fetch_add(1, Ordering::Relaxed);
+            self.push_event(
+                inner,
+                Event::Migration {
+                    cycle,
+                    thread: thread as u32,
+                    from_core: from_core as u32,
+                    to_core: to_core as u32,
+                },
+            );
+            for core in [from_core, to_core] {
+                self.push_event(
+                    inner,
+                    Event::TlbFlush {
+                        cycle,
+                        core: core as u32,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A phase change flagged by windowed detection.
+    #[inline]
+    pub fn record_phase_change(&self, window: u64, similarity: f64) {
+        if let Some(inner) = &self.inner {
+            inner.counters[CounterId::PhaseChanges as usize].fetch_add(1, Ordering::Relaxed);
+            let ppm = (similarity.clamp(0.0, 1.0) * 1e6).round() as u64;
+            self.push_event(
+                inner,
+                Event::PhaseChange {
+                    cycle: inner.now.load(Ordering::Relaxed),
+                    window,
+                    similarity_ppm: ppm,
+                },
+            );
+        }
+    }
+
+    /// One hierarchical-mapper matching level.
+    #[inline]
+    pub fn record_mapper_round(
+        &self,
+        level: u32,
+        groups_before: u32,
+        groups_after: u32,
+        weight: u64,
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.counters[CounterId::MapperRounds as usize].fetch_add(1, Ordering::Relaxed);
+            inner.hists[HistId::MapperLevelWeight as usize].observe(weight);
+            self.push_event(
+                inner,
+                Event::MapperRound {
+                    level,
+                    groups_before,
+                    groups_after,
+                    weight,
+                },
+            );
+        }
+    }
+
+    // ----- export -----
+
+    /// Snapshots taken so far.
+    pub fn snapshots(&self) -> Vec<MatrixSnapshot> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.snap
+                .lock()
+                .expect("snapshot state poisoned")
+                .snaps
+                .clone()
+        })
+    }
+
+    /// Events retained in the ring (oldest first).
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.ring
+                .lock()
+                .expect("event ring poisoned")
+                .iter()
+                .cloned()
+                .collect()
+        })
+    }
+
+    /// Write the trace as JSONL: a meta line, then one event per line.
+    pub fn write_jsonl(&self, w: &mut dyn Write) -> io::Result<()> {
+        let inner = match &self.inner {
+            Some(inner) => inner,
+            None => return Ok(()),
+        };
+        let ring = inner.ring.lock().expect("event ring poisoned");
+        let meta = Json::obj(vec![
+            ("ev", Json::Str("meta".into())),
+            ("schema", Json::U64(1)),
+            ("events", Json::U64(ring.len() as u64)),
+            ("dropped", Json::U64(ring.dropped())),
+        ]);
+        writeln!(w, "{}", meta.render())?;
+        for event in ring.iter() {
+            writeln!(w, "{}", event.to_json().render())?;
+        }
+        Ok(())
+    }
+
+    /// Write the trace in Chrome `trace_event` format (open the file in
+    /// `chrome://tracing` or Perfetto; 1 cycle renders as 1 µs).
+    pub fn write_chrome_trace(&self, w: &mut dyn Write) -> io::Result<()> {
+        let inner = match &self.inner {
+            Some(inner) => inner,
+            None => return write!(w, "{{\"traceEvents\":[]}}"),
+        };
+        let ring = inner.ring.lock().expect("event ring poisoned");
+        write!(w, "{{\"traceEvents\":[")?;
+        for (i, event) in ring.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write!(w, "{}", event.to_chrome().render())?;
+        }
+        write!(w, "],\"displayTimeUnit\":\"ns\"}}")
+    }
+
+    /// The metrics registry plus snapshots as one JSON document.
+    pub fn metrics_json(&self) -> Json {
+        let counters = Json::Obj(
+            COUNTERS
+                .iter()
+                .map(|&c| (c.as_str().to_string(), Json::U64(self.counter(c))))
+                .collect(),
+        );
+        let hists = Json::Obj(
+            HISTS
+                .iter()
+                .map(|&h| {
+                    let json = self.inner.as_ref().map_or_else(
+                        || Histogram::default().to_json(),
+                        |i| i.hists[h as usize].to_json(),
+                    );
+                    (h.as_str().to_string(), json)
+                })
+                .collect(),
+        );
+        let snapshots = Json::Arr(
+            self.snapshots()
+                .iter()
+                .map(MatrixSnapshot::to_json)
+                .collect(),
+        );
+        Json::obj(vec![
+            ("schema", Json::U64(1)),
+            ("counters", counters),
+            ("histograms", hists),
+            ("snapshots", snapshots),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Mechanism;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.inc(CounterId::Accesses);
+        r.observe(HistId::DetectionSearchCycles, 5);
+        r.record_tlb_miss(0, 0, 7, true);
+        r.record_matrix_inc(0, 1, 1);
+        r.advance(1_000_000);
+        r.finish(2_000_000);
+        assert_eq!(r.counter(CounterId::Accesses), 0);
+        assert_eq!(r.hist_count(HistId::DetectionSearchCycles), 0);
+        assert!(r.events().is_empty());
+        assert!(r.snapshots().is_empty());
+        let mut out = Vec::new();
+        r.write_jsonl(&mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn counters_and_hists_accumulate() {
+        let r = Recorder::new(ObsConfig::new(4));
+        r.inc(CounterId::Accesses);
+        r.add(CounterId::Accesses, 9);
+        r.observe(HistId::DetectionSearchCycles, 231);
+        assert_eq!(r.counter(CounterId::Accesses), 10);
+        assert_eq!(r.hist_count(HistId::DetectionSearchCycles), 1);
+    }
+
+    #[test]
+    fn miss_interarrival_histogram() {
+        let r = Recorder::new(ObsConfig::new(2));
+        r.set_cycle(100);
+        r.record_tlb_miss(0, 0, 1, true); // first miss: no inter-arrival
+        r.set_cycle(160);
+        r.record_tlb_miss(1, 1, 2, true); // gap 60
+        assert_eq!(r.counter(CounterId::TlbMisses), 2);
+        assert_eq!(r.hist_count(HistId::TlbMissInterArrival), 1);
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].cycle(), 160);
+    }
+
+    #[test]
+    fn snapshots_fire_on_period_multiples() {
+        let r = Recorder::new(ObsConfig::new(2).with_snapshot_period(Some(1000)));
+        r.record_matrix_inc(0, 1, 5);
+        r.advance(999);
+        assert!(r.snapshots().is_empty());
+        r.advance(1001);
+        assert_eq!(r.snapshots().len(), 1);
+        r.record_matrix_inc(0, 1, 2);
+        // A big jump takes every snapshot that became due.
+        r.advance(4000);
+        let snaps = r.snapshots();
+        assert_eq!(snaps.len(), 4);
+        assert_eq!(snaps[0].cycle, 1000);
+        assert_eq!(snaps[0].cells, vec![0, 5, 5, 0]);
+        assert_eq!(snaps[3].cycle, 4000);
+        assert_eq!(snaps[3].cells, vec![0, 7, 7, 0]);
+        assert_eq!(r.counter(CounterId::SnapshotsTaken), 4);
+    }
+
+    #[test]
+    fn finish_tops_up_to_floor() {
+        let r = Recorder::new(ObsConfig::new(2).with_snapshot_period(Some(100)));
+        r.advance(250);
+        assert_eq!(r.snapshots().len(), 2);
+        r.finish(1050);
+        assert_eq!(r.snapshots().len(), 10, "floor(1050/100) snapshots");
+        assert_eq!(r.snapshots().last().unwrap().cycle, 1000);
+    }
+
+    #[test]
+    fn search_records_all_series() {
+        let r = Recorder::new(ObsConfig::new(8));
+        r.set_cycle(42);
+        r.record_search_start(Mechanism::Sm, 3);
+        r.record_search_end(Mechanism::Sm, 3, 28, 2, 231);
+        assert_eq!(r.counter(CounterId::DetectionSearches), 1);
+        assert_eq!(r.counter(CounterId::DetectionOverheadCycles), 231);
+        assert_eq!(r.counter(CounterId::SearchEntriesCompared), 28);
+        assert_eq!(r.hist_count(HistId::DetectionSearchCycles), 1);
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Event::SearchStart { cycle: 42, .. }));
+    }
+
+    #[test]
+    fn jsonl_has_meta_line_and_one_line_per_event() {
+        let r = Recorder::new(ObsConfig::new(2));
+        r.record_barrier(0, 500);
+        r.record_migration(1, 0, 3);
+        let mut out = Vec::new();
+        r.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // meta + barrier + migration + 2 flushes
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains("\"ev\":\"meta\""));
+        for line in &lines {
+            assert!(Json::parse(line).is_ok(), "invalid JSONL line: {line}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let r = Recorder::new(ObsConfig::new(2));
+        r.set_cycle(10);
+        r.record_search_end(Mechanism::Hm, 0, 7168, 12, 84_297);
+        r.record_tlb_miss(1, 1, 99, true);
+        let mut out = Vec::new();
+        r.write_chrome_trace(&mut out).unwrap();
+        let doc = Json::parse(std::str::from_utf8(&out).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[0].get("dur").unwrap().as_u64(), Some(84_297));
+    }
+
+    #[test]
+    fn ring_overflow_counts_drops() {
+        let r = Recorder::new(ObsConfig::new(2).with_ring_capacity(3));
+        for i in 0..10 {
+            r.record_barrier(i, i * 100);
+        }
+        assert_eq!(r.events().len(), 3);
+        assert_eq!(r.counter(CounterId::EventsDropped), 7);
+        let mut out = Vec::new();
+        r.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.lines().next().unwrap().contains("\"dropped\":7"));
+    }
+
+    #[test]
+    fn metrics_json_names_every_series() {
+        let r = Recorder::new(ObsConfig::new(2).with_snapshot_period(Some(10)));
+        r.record_matrix_inc(0, 1, 3);
+        r.finish(25);
+        let m = r.metrics_json();
+        let counters = match m.get("counters").unwrap() {
+            Json::Obj(pairs) => pairs.len(),
+            _ => 0,
+        };
+        let hists = match m.get("histograms").unwrap() {
+            Json::Obj(pairs) => pairs.len(),
+            _ => 0,
+        };
+        assert!(counters + hists >= 8, "acceptance floor: 8 series");
+        assert_eq!(m.get("snapshots").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            m.get("counters")
+                .unwrap()
+                .get("matrix_increments")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Recorder::new(ObsConfig::new(2));
+        let clone = r.clone();
+        clone.inc(CounterId::MapperRounds);
+        assert_eq!(r.counter(CounterId::MapperRounds), 1);
+    }
+
+    #[test]
+    fn recorder_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Recorder>();
+    }
+}

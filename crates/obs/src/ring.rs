@@ -1,0 +1,115 @@
+//! A fixed-capacity ring buffer for trace events.
+//!
+//! Long runs emit far more events than anyone wants on disk; the ring keeps
+//! the most recent `capacity` events and counts what it had to drop, so the
+//! exported trace is bounded and the drop count is an honest part of the
+//! artifact (no silent truncation).
+
+/// Fixed-capacity overwrite-oldest buffer.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Index of the oldest element once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// A ring holding at most `capacity` elements.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingBuffer {
+            buf: Vec::new(),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append, overwriting the oldest element when full. Returns `true` if
+    /// an element was dropped to make room.
+    pub fn push(&mut self, value: T) -> bool {
+        if self.buf.len() < self.capacity {
+            self.buf.push(value);
+            false
+        } else {
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+            true
+        }
+    }
+
+    /// Elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many elements were overwritten since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (newer, older) = self.buf.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_in_order() {
+        let mut r = RingBuffer::new(3);
+        assert!(r.is_empty());
+        assert!(!r.push(1));
+        assert!(!r.push(2));
+        assert!(!r.push(3));
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(r.dropped(), 0);
+
+        assert!(r.push(4)); // overwrites 1
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert!(r.push(5));
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn wraps_through_multiple_generations() {
+        let mut r = RingBuffer::new(4);
+        for i in 0..23 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![19, 20, 21, 22]);
+        assert_eq!(r.dropped(), 19);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut r = RingBuffer::new(1);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!["b"]);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        RingBuffer::<u8>::new(0);
+    }
+}

@@ -3,12 +3,11 @@
 use crate::jitter::JitterConfig;
 use crate::numa::{NumaConfig, NumaPolicy};
 use crate::topology::Topology;
-use serde::{Deserialize, Serialize};
 use tlbmap_cache::HierarchyConfig;
 use tlbmap_mem::{MmuConfig, PageGeometry};
 
 /// Everything the engine needs besides the traces and the mapping.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Page geometry shared by page table, TLBs and detectors.
     pub geometry: PageGeometry,

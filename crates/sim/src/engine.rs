@@ -20,8 +20,9 @@ use crate::numa::PageHomes;
 use crate::stats::RunStats;
 use crate::topology::Topology;
 use crate::trace::{barriers_consistent, ThreadTrace, TraceEvent};
-use tlbmap_cache::MemoryHierarchy;
+use tlbmap_cache::{AccessKind, MemoryHierarchy};
 use tlbmap_mem::{Mmu, PageTable};
+use tlbmap_obs::{CounterId, Recorder};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ThreadState {
@@ -43,6 +44,42 @@ pub fn simulate(
     traces: &[ThreadTrace],
     mapping: &Mapping,
     hooks: &mut dyn SimHooks,
+) -> RunStats {
+    simulate_observed(cfg, topo, traces, mapping, hooks, &Recorder::disabled())
+}
+
+/// [`simulate`], additionally feeding engine-level events (TLB misses,
+/// barriers, migrations, ticks) and periodic snapshots into `rec`. Pass
+/// [`Recorder::disabled`] to observe nothing; every probe then collapses
+/// to a single branch.
+///
+/// # Panics
+/// Same conditions as [`simulate`].
+pub fn simulate_observed(
+    cfg: &SimConfig,
+    topo: &Topology,
+    traces: &[ThreadTrace],
+    mapping: &Mapping,
+    hooks: &mut dyn SimHooks,
+    rec: &Recorder,
+) -> RunStats {
+    // Monomorphize so the unobserved engine contains no probe code at all:
+    // the per-event `advance` call would otherwise cost a branch in the
+    // hottest loop of the simulator.
+    if rec.is_enabled() {
+        run::<true>(cfg, topo, traces, mapping, hooks, rec)
+    } else {
+        run::<false>(cfg, topo, traces, mapping, hooks, rec)
+    }
+}
+
+fn run<const OBSERVED: bool>(
+    cfg: &SimConfig,
+    topo: &Topology,
+    traces: &[ThreadTrace],
+    mapping: &Mapping,
+    hooks: &mut dyn SimHooks,
+    rec: &Recorder,
 ) -> RunStats {
     let n_threads = traces.len();
     let n_cores = topo.num_cores();
@@ -136,6 +173,9 @@ pub fn simulate(
                     }
                 }
                 barriers_crossed += 1;
+                if OBSERVED {
+                    rec.record_barrier(barriers_crossed - 1, release_at);
+                }
 
                 // Barrier release is the safe migration point: every live
                 // thread is parked at the same cycle.
@@ -164,6 +204,9 @@ pub fn simulate(
                         }
                         if oc != nc {
                             migrations += 1;
+                            if OBSERVED {
+                                rec.record_migration(t, oc, nc);
+                            }
                             // The thread's translations stay behind on the
                             // old core and are useless to whoever arrives
                             // there; both TLBs start cold.
@@ -191,6 +234,11 @@ pub fn simulate(
             }
             let event = traces[t][pos[t]];
             pos[t] += 1;
+            // The running core's clock is the global minimum, so it is the
+            // best cycle estimate for events and snapshot scheduling.
+            if OBSERVED {
+                rec.advance(clocks[core]);
+            }
             match event {
                 TraceEvent::Compute(c) => {
                     clocks[core] += jitter.scale(t, c);
@@ -206,6 +254,9 @@ pub fn simulate(
                         Some(tr) => tr,
                         None => {
                             let vpn = vaddr.vpn(cfg.geometry);
+                            if OBSERVED {
+                                rec.record_tlb_miss(core, t, vpn.0, kind == AccessKind::Data);
+                            }
                             let overhead = {
                                 let view = TlbView::new(&mmus, &thread_on_core);
                                 hooks.on_tlb_miss(core, t, vpn, kind, &view)
@@ -239,6 +290,10 @@ pub fn simulate(
                 // fire every interrupt that became due.
                 let mut tick_at = next_tick.expect("next_tick set when period set");
                 while clocks[core] >= tick_at {
+                    if OBSERVED {
+                        rec.set_cycle(tick_at);
+                        rec.inc(CounterId::Ticks);
+                    }
                     let overhead = {
                         let view = TlbView::new(&mmus, &thread_on_core);
                         hooks.on_tick(tick_at, &view)
@@ -255,8 +310,14 @@ pub fn simulate(
         }
     }
 
+    let total_cycles = clocks.iter().copied().max().unwrap_or(0);
+    if OBSERVED {
+        rec.add(CounterId::Accesses, accesses);
+        rec.finish(total_cycles);
+    }
+
     RunStats {
-        total_cycles: clocks.iter().copied().max().unwrap_or(0),
+        total_cycles,
         core_cycles: clocks,
         tlb: mmus.iter().map(|m| m.tlb_stats()).collect(),
         cache: *hierarchy.stats(),

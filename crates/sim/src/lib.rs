@@ -32,7 +32,7 @@ pub mod trace;
 
 pub use codec::{decode_traces, encode_traces, CodecError};
 pub use config::SimConfig;
-pub use engine::simulate;
+pub use engine::{simulate, simulate_observed};
 pub use hooks::{NoHooks, SimHooks, TlbView};
 pub use jitter::JitterConfig;
 pub use mapping::Mapping;
@@ -44,3 +44,4 @@ pub use trace::{ThreadTrace, TraceEvent};
 // Re-export the types that appear in this crate's public API.
 pub use tlbmap_cache::{AccessKind, AccessOutcome, MemOp};
 pub use tlbmap_mem::{PageGeometry, VirtAddr};
+pub use tlbmap_obs::{ObsConfig, Recorder};

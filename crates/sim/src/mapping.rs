@@ -4,10 +4,8 @@
 //! distinct core for the whole run ("the number of threads is equal to the
 //! number of cores, and each thread gets mapped to a different core", §V).
 
-use serde::{Deserialize, Serialize};
-
 /// An injective thread→core assignment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mapping {
     thread_to_core: Vec<usize>,
 }

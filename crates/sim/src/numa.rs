@@ -13,12 +13,11 @@
 //! * **Interleave**: pages round-robin across nodes; placement-neutral,
 //!   used as the policy baseline.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use tlbmap_mem::Vpn;
 
 /// Page-to-node placement policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NumaPolicy {
     /// Home each page on the chip that first touches it.
     FirstTouch,
@@ -28,7 +27,7 @@ pub enum NumaPolicy {
 
 /// NUMA model configuration (the penalty itself lives in
 /// [`tlbmap_cache::HierarchyConfig::numa_remote_penalty`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NumaConfig {
     /// Placement policy.
     pub policy: NumaPolicy,

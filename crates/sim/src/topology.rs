@@ -5,11 +5,10 @@
 //! each other cheaply; threads on different chips pay the inter-chip
 //! interconnect.
 
-use serde::{Deserialize, Serialize};
 use tlbmap_cache::L2Group;
 
 /// A regular three-level machine topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Topology {
     /// Number of chips (packages).
     pub chips: usize,
@@ -20,7 +19,7 @@ pub struct Topology {
 }
 
 /// How far apart two cores are in the hierarchy. Lower is closer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Proximity {
     /// Same core (distance 0).
     SameCore,

@@ -5,12 +5,11 @@
 //! these events. Barriers mark the phase structure (OpenMP parallel regions
 //! in the original benchmarks) so the engine interleaves threads faithfully.
 
-use serde::{Deserialize, Serialize};
 use tlbmap_cache::{AccessKind, MemOp};
 use tlbmap_mem::VirtAddr;
 
 /// One event in a thread's trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A memory access.
     Access {

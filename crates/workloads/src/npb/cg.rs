@@ -65,7 +65,7 @@ pub fn generate(params: &NpbParams) -> Workload {
                 current_far_page = rng.gen_range(0..pages);
             }
             while cols.len() < nnz_per_row {
-                cols.push(current_far_page * 512 + rng.gen_range(0..512));
+                cols.push(current_far_page * 512 + rng.gen_range(0..512u64));
             }
             cols
         })

@@ -22,10 +22,9 @@ pub mod ua;
 use crate::address_space::{AddressSpace, ArrayHandle};
 use crate::builder::WorkloadBuilder;
 use crate::workload::{PatternClass, Workload};
-use serde::{Deserialize, Serialize};
 
 /// Problem size selector — the analogue of NPB's class letters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProblemScale {
     /// Minutes-long unit tests: a few thousand events.
     Test,
@@ -38,7 +37,7 @@ pub enum ProblemScale {
 }
 
 /// Parameters shared by every kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NpbParams {
     /// Number of threads (== cores in the paper's setup).
     pub n_threads: usize,
@@ -61,7 +60,7 @@ impl NpbParams {
 
 /// The nine evaluated applications (all of NPB except DC, exactly as the
 /// paper: "We ran all the benchmarks except DC").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NpbApp {
     /// Block tri-diagonal solver.
     Bt,

@@ -52,7 +52,10 @@ impl TraceStats {
     /// as a 64-bit mask; every modelled machine is far smaller).
     pub fn analyze_traces(traces: &[ThreadTrace]) -> TraceStats {
         let n_threads = traces.len();
-        assert!(n_threads <= 64, "sharing analysis supports at most 64 threads");
+        assert!(
+            n_threads <= 64,
+            "sharing analysis supports at most 64 threads"
+        );
         let mut accesses = 0u64;
         let mut writes = 0u64;
         let mut compute = 0u64;

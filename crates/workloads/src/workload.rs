@@ -1,11 +1,10 @@
 //! The packaged result of a workload generator.
 
-use serde::{Deserialize, Serialize};
 use tlbmap_sim::ThreadTrace;
 
 /// The qualitative communication structure a workload is expected to show —
 /// the categories the paper uses when discussing Figures 4–5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PatternClass {
     /// Neighbouring threads communicate (domain decomposition): BT, IS,
     /// MG, SP, UA.

@@ -12,7 +12,8 @@
 //! * [`sim`] — the trace-driven multicore simulator,
 //! * [`detect`] — the paper's contribution: SM/HM communication detectors,
 //! * [`mapping`] — maximum-weight matching and hierarchical thread mapping,
-//! * [`workloads`] — NPB-inspired kernels and synthetic pattern generators.
+//! * [`workloads`] — NPB-inspired kernels and synthetic pattern generators,
+//! * [`obs`] — structured event tracing, metrics, and run-artifact export.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@ pub use tlbmap_cache as cache;
 pub use tlbmap_core as detect;
 pub use tlbmap_mapping as mapping;
 pub use tlbmap_mem as mem;
+pub use tlbmap_obs as obs;
 pub use tlbmap_sim as sim;
 pub use tlbmap_workloads as workloads;
 
@@ -50,6 +52,9 @@ pub mod prelude {
     };
     pub use tlbmap_mapping::{mapping_cost, HierarchicalMapper, Mapping};
     pub use tlbmap_mem::{MmuConfig, PageGeometry, TlbConfig, TlbMode};
-    pub use tlbmap_sim::{simulate, RunStats, SimConfig, ThreadTrace, Topology, TraceEvent};
+    pub use tlbmap_obs::{ObsConfig, Recorder};
+    pub use tlbmap_sim::{
+        simulate, simulate_observed, RunStats, SimConfig, ThreadTrace, Topology, TraceEvent,
+    };
     pub use tlbmap_workloads::Workload;
 }

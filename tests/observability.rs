@@ -1,0 +1,137 @@
+//! Cross-crate observability guarantees: the recorder must be deterministic
+//! (identical runs produce byte-identical traces) and its periodic snapshots
+//! must fire exactly `floor(total_cycles / period)` times.
+
+use tlbmap::detect::{SmConfig, SmDetector};
+use tlbmap::obs::{CounterId, Event, Json, ObsConfig, Recorder};
+use tlbmap::sim::{simulate_observed, Mapping, SimConfig, Topology};
+use tlbmap::workloads::synthetic;
+
+/// One observed SM run of a seeded synthetic workload.
+fn observed_run(snapshot_period: Option<u64>) -> (Recorder, tlbmap::sim::RunStats) {
+    let w = synthetic::ring_neighbors(8, 80, 4);
+    let topo = Topology::harpertown();
+    let cfg = SimConfig::paper_software_managed(&topo);
+    let rec = Recorder::new(ObsConfig::new(8).with_snapshot_period(snapshot_period));
+    let mut det = SmDetector::new(8, SmConfig::every_miss()).with_recorder(rec.clone());
+    let stats = simulate_observed(
+        &cfg,
+        &topo,
+        &w.traces,
+        &Mapping::identity(8),
+        &mut det,
+        &rec,
+    );
+    (rec, stats)
+}
+
+#[test]
+fn identical_runs_produce_byte_identical_jsonl() {
+    let (rec_a, stats_a) = observed_run(Some(100_000));
+    let (rec_b, stats_b) = observed_run(Some(100_000));
+    assert_eq!(
+        stats_a, stats_b,
+        "the simulator itself must be deterministic"
+    );
+
+    let mut jsonl_a = Vec::new();
+    let mut jsonl_b = Vec::new();
+    rec_a.write_jsonl(&mut jsonl_a).unwrap();
+    rec_b.write_jsonl(&mut jsonl_b).unwrap();
+    assert!(!jsonl_a.is_empty());
+    assert_eq!(
+        jsonl_a, jsonl_b,
+        "traces of identical runs must match byte-for-byte"
+    );
+
+    let mut chrome_a = Vec::new();
+    let mut chrome_b = Vec::new();
+    rec_a.write_chrome_trace(&mut chrome_a).unwrap();
+    rec_b.write_chrome_trace(&mut chrome_b).unwrap();
+    assert_eq!(chrome_a, chrome_b);
+
+    assert_eq!(
+        rec_a.metrics_json().render(),
+        rec_b.metrics_json().render(),
+        "metrics exports must match too"
+    );
+}
+
+#[test]
+fn trace_lines_are_valid_json_and_cycle_monotone() {
+    let (rec, _) = observed_run(None);
+    let mut out = Vec::new();
+    rec.write_jsonl(&mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    let mut lines = text.lines();
+    let meta = Json::parse(lines.next().expect("meta line")).unwrap();
+    assert_eq!(meta.get("ev").and_then(Json::as_str), Some("meta"));
+    let mut parsed = 0u64;
+    let mut prev_cycle = 0u64;
+    for line in lines {
+        let j = Json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e:?}"));
+        let cycle = j.get("cycle").and_then(Json::as_u64).expect("cycle field");
+        assert!(cycle >= prev_cycle, "events must be emitted in cycle order");
+        prev_cycle = cycle;
+        parsed += 1;
+    }
+    assert_eq!(meta.get("events").and_then(Json::as_u64), Some(parsed));
+    assert!(parsed > 0, "an every-miss SM run must emit events");
+}
+
+#[test]
+fn snapshot_count_is_exactly_total_cycles_over_period() {
+    for period in [20_000u64, 50_000, 100_000] {
+        let (rec, stats) = observed_run(Some(period));
+        let expected = stats.total_cycles / period;
+        assert!(
+            expected >= 2,
+            "workload too short to exercise period {period}: {} cycles",
+            stats.total_cycles
+        );
+        let snaps = rec.snapshots();
+        assert_eq!(
+            snaps.len() as u64,
+            expected,
+            "period {period} over {} cycles",
+            stats.total_cycles
+        );
+        assert_eq!(rec.counter(CounterId::SnapshotsTaken), expected);
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.index, i as u64);
+            assert_eq!(s.cycle, (i as u64 + 1) * period);
+            assert_eq!(s.n, 8);
+        }
+        // Snapshots are cumulative: total communication never decreases.
+        let totals: Vec<u64> = snaps.iter().map(|s| s.cells.iter().sum()).collect();
+        assert!(totals.windows(2).all(|w| w[0] <= w[1]));
+        assert!(
+            *totals.last().unwrap() > 0,
+            "ring workload must accumulate communication"
+        );
+        // The Snapshot events in the trace agree with the stored snapshots.
+        let event_snaps = rec
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, Event::Snapshot { .. }))
+            .count();
+        assert_eq!(event_snaps as u64, expected);
+    }
+}
+
+#[test]
+fn disabled_recorder_changes_nothing() {
+    let w = synthetic::ring_neighbors(8, 80, 4);
+    let topo = Topology::harpertown();
+    let cfg = SimConfig::paper_software_managed(&topo);
+    let run = |rec: &Recorder| {
+        let mut det = SmDetector::new(8, SmConfig::every_miss()).with_recorder(rec.clone());
+        simulate_observed(&cfg, &topo, &w.traces, &Mapping::identity(8), &mut det, rec)
+    };
+    let off = run(&Recorder::disabled());
+    let on = run(&Recorder::new(ObsConfig::new(8)));
+    assert_eq!(off, on, "recording must not perturb simulation results");
+    let mut out = Vec::new();
+    Recorder::disabled().write_jsonl(&mut out).unwrap();
+    assert!(out.is_empty(), "a disabled recorder exports nothing");
+}
