@@ -4,7 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use tlbmap_core::{HmConfig, HmDetector, SmConfig, SmDetector};
-use tlbmap_sim::{simulate, Mapping, NoHooks, SimConfig, Topology};
+use tlbmap_obs::Recorder;
+use tlbmap_sim::{simulate, simulate_observed, Mapping, NoHooks, SimConfig, Topology};
 use tlbmap_workloads::synthetic;
 
 fn bench_engine(c: &mut Criterion) {
@@ -27,6 +28,24 @@ fn bench_engine(c: &mut Criterion) {
                 &workload.traces,
                 &mapping,
                 &mut NoHooks,
+            ))
+        });
+    });
+
+    // The self-profiler's zero-cost claim: a disabled recorder must run
+    // the same monomorphized no-probe engine as `no_hooks` — compare the
+    // two entries, they should be statistically indistinguishable.
+    g.bench_function("no_hooks_disabled_recorder", |b| {
+        let cfg = SimConfig::paper_hardware_managed(&topo).with_tick_period(None);
+        let rec = Recorder::disabled();
+        b.iter(|| {
+            black_box(simulate_observed(
+                &cfg,
+                &topo,
+                &workload.traces,
+                &mapping,
+                &mut NoHooks,
+                &rec,
             ))
         });
     });

@@ -69,7 +69,9 @@ impl Table {
 /// A horizontal ASCII bar of `value` against `scale` (value mapped to at
 /// most `width` characters). Used for the normalized Figures 6–9.
 pub fn bar(value: f64, scale: f64, width: usize) -> String {
-    if scale <= 0.0 || value <= 0.0 {
+    // NaN fails every comparison, so test finiteness explicitly: a NaN or
+    // infinite value/scale must render as empty, not panic or overflow.
+    if !value.is_finite() || !scale.is_finite() || scale <= 0.0 || value <= 0.0 {
         return String::new();
     }
     let n = ((value / scale) * width as f64).round() as usize;
@@ -105,5 +107,34 @@ mod tests {
         assert_eq!(bar(0.0, 1.0, 10), "");
         // Overshoot is visible but capped.
         assert!(bar(5.0, 1.0, 10).len() <= 20);
+    }
+
+    #[test]
+    fn bars_clamp_degenerate_inputs() {
+        assert_eq!(bar(f64::NAN, 1.0, 10), "");
+        assert_eq!(bar(1.0, f64::NAN, 10), "");
+        assert_eq!(bar(-0.5, 1.0, 10), "");
+        assert_eq!(bar(1.0, -1.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+        assert_eq!(bar(f64::INFINITY, 1.0, 10), "");
+        assert_eq!(bar(1.0, f64::INFINITY, 10), "");
+        assert_eq!(bar(f64::NEG_INFINITY, 1.0, 10), "");
+    }
+
+    #[test]
+    fn table_columns_align() {
+        let mut t = Table::new(vec!["name", "count", "share"]);
+        t.row(vec!["a", "1", "0.5"]);
+        t.row(vec!["longer", "12345", "100.0"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        // Every line is equally wide (trailing pad on left-aligned col 0).
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "ragged table:\n{r}");
+        // Numeric columns are right-aligned: the short value ends where
+        // the long one does.
+        let col = |line: &str, s: &str| line.find(s).unwrap() + s.len();
+        assert_eq!(col(lines[2], "1"), col(lines[3], "12345"));
+        assert_eq!(col(lines[2], "0.5"), col(lines[3], "100.0"));
     }
 }

@@ -10,6 +10,7 @@ use tlbmap_mapping::{
     RecursiveBisectionMapper,
 };
 use tlbmap_obs::{Json, ObsConfig, Recorder, COUNTERS, HISTS};
+use tlbmap_prof::{compute_timeline, Timeline, DEFAULT_PHASE_THRESHOLD};
 use tlbmap_sim::{simulate, simulate_observed, NoHooks, RunStats, SimConfig, Topology};
 
 fn topology() -> Topology {
@@ -26,8 +27,50 @@ fn recorder_for(o: &Options, n_threads: usize) -> Recorder {
     }
 }
 
-/// Write every artifact the options asked for.
-fn write_artifacts(o: &Options, rec: &Recorder) -> Result<(), String> {
+/// The ground-truth communication matrix of the options' workload: a
+/// separate unobserved run under the exact detector (every access, no
+/// sampling, no simulated overhead).
+fn ground_truth_matrix(o: &Options) -> Result<CommMatrix, String> {
+    let topo = topology();
+    let n = topo.num_cores();
+    let workload = o.workload()?;
+    let mapping = Mapping::identity(n);
+    let sim = SimConfig::paper_software_managed(&topo);
+    let mut det = GroundTruthDetector::new(n, GroundTruthConfig::default());
+    simulate_observed(
+        &sim,
+        &topo,
+        &workload.traces,
+        &mapping,
+        &mut det,
+        &Recorder::disabled(),
+    );
+    Ok(det.matrix().clone())
+}
+
+/// Compute the accuracy timeline of a recorded run: each matrix snapshot
+/// scored against a ground-truth run of the same workload. `None` when
+/// nothing was recorded or no metrics artifact was requested (the
+/// ground-truth run is not free).
+fn accuracy_timeline(o: &Options, rec: &Recorder) -> Result<Option<Timeline>, String> {
+    if o.metrics_out.is_none() || !rec.is_enabled() {
+        return Ok(None);
+    }
+    let snaps = rec.snapshots();
+    if snaps.is_empty() {
+        return Ok(None);
+    }
+    let truth = ground_truth_matrix(o)?;
+    Ok(Some(compute_timeline(
+        &snaps,
+        &truth,
+        DEFAULT_PHASE_THRESHOLD,
+    )))
+}
+
+/// Write every artifact the options asked for. `timeline` (when present)
+/// is appended to the metrics document as its `timeline` section.
+fn write_artifacts(o: &Options, rec: &Recorder, timeline: Option<&Timeline>) -> Result<(), String> {
     if !rec.is_enabled() {
         return Ok(());
     }
@@ -44,7 +87,11 @@ fn write_artifacts(o: &Options, rec: &Recorder) -> Result<(), String> {
         eprintln!("# chrome trace written to {path} (open in chrome://tracing)");
     }
     if let Some(path) = &o.metrics_out {
-        let mut text = rec.metrics_json().render();
+        let mut doc = rec.metrics_json();
+        if let (Some(tl), Json::Obj(pairs)) = (timeline, &mut doc) {
+            pairs.push(("timeline".to_string(), tl.to_json()));
+        }
+        let mut text = doc.render();
         text.push('\n');
         std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("# metrics written to {path}");
@@ -131,7 +178,8 @@ pub fn detect(o: Options) -> Result<(), String> {
         OutputFormat::Csv => print!("{}", matrix.to_csv()),
         OutputFormat::Json => println!("{}", matrix.to_json().render()),
     }
-    write_artifacts(&o, &rec)
+    let tl = accuracy_timeline(&o, &rec)?;
+    write_artifacts(&o, &rec, tl.as_ref())
 }
 
 fn build_mapping(
@@ -170,7 +218,8 @@ pub fn map(o: Options) -> Result<(), String> {
         mapping_cost(&matrix, &mapping, &topo),
         mapping_cost(&matrix, &Mapping::identity(matrix.num_threads()), &topo)
     );
-    write_artifacts(&o, &rec)
+    let tl = accuracy_timeline(&o, &rec)?;
+    write_artifacts(&o, &rec, tl.as_ref())
 }
 
 fn parse_mapping(o: &Options, topo: &Topology) -> Result<Mapping, String> {
@@ -222,7 +271,9 @@ pub fn simulate_cmd(o: Options) -> Result<(), String> {
     let sim = SimConfig::paper_hardware_managed(&topo).with_tick_period(None);
     let stats = simulate_observed(&sim, &topo, &workload.traces, &mapping, &mut NoHooks, &rec);
     print_stats(&stats);
-    write_artifacts(&o, &rec)
+    // No detector ran, so there is no detected matrix to score: the
+    // metrics document carries no timeline.
+    write_artifacts(&o, &rec, None)
 }
 
 /// `tlbmap stats`
@@ -283,7 +334,8 @@ pub fn report(o: Options) -> Result<(), String> {
     print_stats(&after);
     let dt = 100.0 * (1.0 - after.total_cycles as f64 / before.total_cycles.max(1) as f64);
     println!("\nexecution time improvement: {dt:.1}%");
-    write_artifacts(&o, &rec)
+    let tl = accuracy_timeline(&o, &rec)?;
+    write_artifacts(&o, &rec, tl.as_ref())
 }
 
 /// `tlbmap report --from <metrics.json>`: pretty-print a recorded run.
@@ -505,6 +557,16 @@ mod tests {
                 > 0
         );
         assert!(!doc.get("snapshots").unwrap().as_array().unwrap().is_empty());
+        // Schema 2 extras: the self-profile and the accuracy timeline.
+        assert_eq!(doc.get("schema").unwrap().as_u64(), Some(2));
+        assert!(!doc.get("profile").unwrap().as_array().unwrap().is_empty());
+        let timeline = doc.get("timeline").expect("timeline section");
+        assert!(!timeline
+            .get("entries")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
         let mut from = opts(&[]);
         from.from = Some(metrics.to_string_lossy().into_owned());
         report(from).unwrap();

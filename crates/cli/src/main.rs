@@ -7,11 +7,15 @@
 //! tlbmap map <APP> [opts]              detect, map, print thread->core
 //! tlbmap simulate <APP> [opts]         run under a mapping, print hardware events
 //! tlbmap report <APP> [opts]           full pipeline: detect, map, before/after
+//! tlbmap analyze --from <metrics.json> accuracy timeline + cycle profile of a run
+//! tlbmap diff <a.json> <b.json>        compare two runs, optionally gate regressions
+//! tlbmap bench <APP> [opts]            timed run, write a BENCH_<name>.json record
 //! ```
 //!
 //! `<APP>` is one of BT CG EP FT IS LU MG SP UA, or a synthetic pattern:
 //! ring, pairs, pipeline, uniform, private.
 
+mod analysis;
 mod commands;
 mod opts;
 
@@ -31,6 +35,9 @@ fn main() -> ExitCode {
         "report" => opts::Options::parse(&args[2..]).and_then(commands::report),
         "stats" => opts::Options::parse(&args[2..]).and_then(commands::stats),
         "export" => opts::Options::parse(&args[2..]).and_then(commands::export),
+        "analyze" => opts::Options::parse(&args[2..]).and_then(analysis::analyze),
+        "diff" => opts::DiffOptions::parse(&args[2..]).and_then(analysis::diff),
+        "bench" => opts::Options::parse(&args[2..]).and_then(analysis::bench),
         "help" | "--help" | "-h" => {
             println!("{}", opts::USAGE);
             Ok(())

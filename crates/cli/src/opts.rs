@@ -15,6 +15,9 @@ USAGE:
   tlbmap simulate [APP] [--mapping identity|scatter|random=<seed>|auto] [OBS] [COMMON]
   tlbmap report   [APP] [OBS] [COMMON]
   tlbmap report   --from <metrics.json>
+  tlbmap analyze  --from <metrics.json>
+  tlbmap diff     [--fail-above <pct>] <a.json> <b.json>
+  tlbmap bench    [APP] [--out BENCH_<name>.json] [COMMON]
   tlbmap stats    [APP] [COMMON]
   tlbmap export   [APP] --out <FILE> [COMMON]
 
@@ -33,7 +36,17 @@ COMMON:
   --scale test|small|workshop   problem size              [workshop]
   --seed <u64>                  workload seed             [1819]
   --sm-threshold <u32>          SM sampling threshold     [100]
-  --hm-period <u64>             HM tick period (cycles)   [250000]";
+  --hm-period <u64>             HM tick period (cycles)   [250000]
+
+ANALYSIS:
+  analyze   accuracy timeline, phase boundaries and cycle profile of a
+            recorded metrics file (detect/map/report with --metrics-out
+            and --snapshot-every fill in the timeline)
+  diff      per-stat comparison of two metrics/bench JSON files; with
+            --fail-above <pct> acts as a regression gate (non-zero exit
+            when any gated stat regresses by more than <pct> percent)
+  bench     run a seeded workload under full observation and write a
+            machine-readable BENCH_<name>.json performance record";
 
 /// How `detect` prints the communication matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -259,12 +272,88 @@ impl Options {
     }
 }
 
+/// Options of `tlbmap diff` (two positional files, unlike [`Options`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOptions {
+    /// Baseline document path.
+    pub baseline: String,
+    /// Candidate document path.
+    pub candidate: String,
+    /// Regression-gate threshold in percent (`None` = report only).
+    pub fail_above: Option<f64>,
+}
+
+impl DiffOptions {
+    /// Parse `args` (everything after `diff`).
+    pub fn parse(args: &[String]) -> Result<DiffOptions, String> {
+        let mut files: Vec<String> = Vec::new();
+        let mut fail_above = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--fail-above" => {
+                    let raw = args
+                        .get(i + 1)
+                        .ok_or_else(|| "--fail-above needs a value".to_string())?;
+                    let pct: f64 = raw.parse().map_err(|e| format!("--fail-above: {e}"))?;
+                    if !pct.is_finite() || pct < 0.0 {
+                        return Err("--fail-above must be a non-negative percentage".into());
+                    }
+                    fail_above = Some(pct);
+                    i += 2;
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag `{flag}`"));
+                }
+                file => {
+                    files.push(file.to_string());
+                    i += 1;
+                }
+            }
+        }
+        match files.len() {
+            2 => Ok(DiffOptions {
+                baseline: files.remove(0),
+                candidate: files.remove(0),
+                fail_above,
+            }),
+            n => Err(format!("diff needs exactly two files, got {n}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn parse(words: &[&str]) -> Result<Options, String> {
         Options::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn parse_diff(words: &[&str]) -> Result<DiffOptions, String> {
+        DiffOptions::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_diff_options() {
+        let d = parse_diff(&["a.json", "b.json"]).unwrap();
+        assert_eq!(d.baseline, "a.json");
+        assert_eq!(d.candidate, "b.json");
+        assert_eq!(d.fail_above, None);
+        let d = parse_diff(&["--fail-above", "5", "a.json", "b.json"]).unwrap();
+        assert_eq!(d.fail_above, Some(5.0));
+        let d = parse_diff(&["a.json", "b.json", "--fail-above", "2.5"]).unwrap();
+        assert_eq!(d.fail_above, Some(2.5));
+    }
+
+    #[test]
+    fn rejects_bad_diff_options() {
+        assert!(parse_diff(&["a.json"]).is_err());
+        assert!(parse_diff(&["a.json", "b.json", "c.json"]).is_err());
+        assert!(parse_diff(&["a.json", "b.json", "--fail-above"]).is_err());
+        assert!(parse_diff(&["a.json", "b.json", "--fail-above", "-1"]).is_err());
+        assert!(parse_diff(&["a.json", "b.json", "--fail-above", "NaN"]).is_err());
+        assert!(parse_diff(&["a.json", "b.json", "--bogus"]).is_err());
     }
 
     #[test]

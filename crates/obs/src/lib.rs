@@ -5,7 +5,7 @@
 //! JSON encoding/decoding, the histogram machinery, and the trace formats
 //! all live here.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * **Events** ([`Event`]) — discrete occurrences (TLB misses, detection
 //!   searches, matrix increments, barriers, migrations, phase changes)
@@ -16,6 +16,10 @@
 //! * **Snapshots** ([`MatrixSnapshot`]) — periodic copies of the
 //!   communication matrix keyed by cycle and barrier count, showing how
 //!   the detected pattern converges over a run.
+//! * **Self-profiling** ([`ProfId`], [`Profile`]) — scoped accounting of
+//!   where *simulated* cycles go (compute, TLB, cache, detection scans,
+//!   barriers, migrations, mapper), rendered as inclusive/exclusive
+//!   totals and collapsed-stack/flamegraph text.
 //!
 //! The entry point is [`Recorder`]: a cheap cloneable handle threaded
 //! through the engine, detectors, and mapper. [`Recorder::disabled`]
@@ -39,6 +43,7 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod ring;
 
@@ -47,5 +52,6 @@ pub use json::{Json, JsonError};
 pub use metrics::{
     bucket_index, bucket_lo, CounterId, HistId, Histogram, COUNTERS, HISTS, N_BUCKETS,
 };
+pub use profile::{ProfId, Profile, PROF_NODES};
 pub use recorder::{MatrixSnapshot, ObsConfig, Recorder};
 pub use ring::RingBuffer;

@@ -289,6 +289,57 @@ mod tests {
     }
 
     #[test]
+    fn bucket_round_trip_at_extremes() {
+        // u64::MAX lands in the last bucket, whose lower bound maps back
+        // into the same bucket — the round-trip property at the top edge.
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_lo(N_BUCKETS - 1), 1u64 << 63);
+        assert_eq!(bucket_index(bucket_lo(N_BUCKETS - 1)), N_BUCKETS - 1);
+        // And at the bottom edge: bucket 0 holds exactly 0.
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_index(bucket_lo(0)), 0);
+        // Every bucket's lower bound maps back into that bucket.
+        for k in 0..N_BUCKETS {
+            assert_eq!(bucket_index(bucket_lo(k)), k, "bucket {k}");
+        }
+    }
+
+    #[test]
+    fn observe_zero_and_max_are_tracked() {
+        let h = Histogram::default();
+        h.observe(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(0));
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.bucket(0), 1);
+        h.observe(u64::MAX);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.bucket(N_BUCKETS - 1), 1);
+        // JSON keeps both extreme buckets.
+        let j = h.to_json();
+        let buckets = j.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].get("lo").unwrap().as_u64(), Some(0));
+        assert_eq!(buckets[1].get("lo").unwrap().as_u64(), Some(1u64 << 63));
+    }
+
+    #[test]
+    fn empty_histogram_stats_are_well_defined() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        let j = h.to_json();
+        assert_eq!(j.get("min").unwrap(), &Json::Null);
+        assert_eq!(j.get("max").unwrap(), &Json::Null);
+        assert!(j.get("buckets").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
     fn names_are_distinct() {
         let mut counter_names: Vec<_> = COUNTERS.iter().map(|c| c.as_str()).collect();
         counter_names.sort_unstable();

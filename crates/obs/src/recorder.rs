@@ -11,6 +11,7 @@
 use crate::event::Event;
 use crate::json::Json;
 use crate::metrics::{CounterId, HistId, Histogram, COUNTERS, HISTS};
+use crate::profile::{ProfId, Profile};
 use crate::ring::RingBuffer;
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,6 +48,14 @@ impl ObsConfig {
     pub fn with_snapshot_period(mut self, period: Option<u64>) -> Self {
         self.snapshot_period = period;
         self
+    }
+
+    /// The snapshot period with the zero hazard removed: a period of 0
+    /// would never advance the snapshot scheduler (`due += 0` forever), so
+    /// it is treated as "no snapshots". The CLI rejects `--snapshot-every
+    /// 0` up front; this guards library callers.
+    fn effective_snapshot_period(&self) -> Option<u64> {
+        self.snapshot_period.filter(|&p| p > 0)
     }
 }
 
@@ -124,6 +133,7 @@ struct Inner {
     next_snap: AtomicU64,
     ring: Mutex<RingBuffer<Event>>,
     snap: Mutex<SnapState>,
+    prof: Profile,
 }
 
 /// Cloneable observability handle. `Recorder::disabled()` is the no-op.
@@ -148,21 +158,23 @@ impl Recorder {
 
     /// An enabled recorder.
     pub fn new(cfg: ObsConfig) -> Recorder {
+        let period = cfg.effective_snapshot_period();
         Recorder {
             inner: Some(Arc::new(Inner {
                 counters: std::array::from_fn(|_| AtomicU64::new(0)),
                 hists: std::array::from_fn(|_| Histogram::default()),
                 now: AtomicU64::new(0),
                 last_miss: AtomicU64::new(u64::MAX),
-                next_snap: AtomicU64::new(cfg.snapshot_period.unwrap_or(u64::MAX)),
+                next_snap: AtomicU64::new(period.unwrap_or(u64::MAX)),
                 ring: Mutex::new(RingBuffer::new(cfg.ring_capacity)),
                 snap: Mutex::new(SnapState {
                     n: cfg.n_threads,
                     cells: vec![0; cfg.n_threads * cfg.n_threads],
-                    period: cfg.snapshot_period,
+                    period,
                     barrier: 0,
                     snaps: Vec::new(),
                 }),
+                prof: Profile::default(),
             })),
         }
     }
@@ -440,6 +452,9 @@ impl Recorder {
         if let Some(inner) = &self.inner {
             inner.counters[CounterId::MapperRounds as usize].fetch_add(1, Ordering::Relaxed);
             inner.hists[HistId::MapperLevelWeight as usize].observe(weight);
+            // The mapper runs off the simulated clock; profile call counts
+            // only (zero cycles charged).
+            inner.prof.charge(ProfId::MapperLevel, 0);
             self.push_event(
                 inner,
                 Event::MapperRound {
@@ -450,6 +465,49 @@ impl Recorder {
                 },
             );
         }
+    }
+
+    // ----- self-profiling -----
+
+    /// Charge `cycles` of simulated time (and one call) to a profile
+    /// component. The engine is the main caller; see [`ProfId`] for the
+    /// component tree.
+    #[inline]
+    pub fn prof_charge(&self, id: ProfId, cycles: u64) {
+        if let Some(inner) = &self.inner {
+            inner.prof.charge(id, cycles);
+        }
+    }
+
+    /// Exclusive cycles charged to a profile component.
+    pub fn prof_exclusive_cycles(&self, id: ProfId) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.prof.exclusive_cycles(id))
+    }
+
+    /// Inclusive cycles (own + descendants) of a profile component.
+    pub fn prof_inclusive_cycles(&self, id: ProfId) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.prof.inclusive_cycles(id))
+    }
+
+    /// Calls charged to a profile component.
+    pub fn prof_calls(&self, id: ProfId) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.prof.calls(id))
+    }
+
+    /// Sum of all cycles the profiler accounted for.
+    pub fn prof_total_cycles(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.prof.total_cycles())
+    }
+
+    /// The profile as collapsed-stack text (`path cycles` lines).
+    pub fn profile_collapsed(&self) -> String {
+        self.inner
+            .as_ref()
+            .map_or_else(String::new, |i| i.prof.collapsed())
     }
 
     // ----- export -----
@@ -541,10 +599,15 @@ impl Recorder {
                 .map(MatrixSnapshot::to_json)
                 .collect(),
         );
+        let profile = self
+            .inner
+            .as_ref()
+            .map_or(Json::Arr(Vec::new()), |i| i.prof.to_json());
         Json::obj(vec![
-            ("schema", Json::U64(1)),
+            ("schema", Json::U64(2)),
             ("counters", counters),
             ("histograms", hists),
+            ("profile", profile),
             ("snapshots", snapshots),
         ])
     }
@@ -713,6 +776,44 @@ mod tests {
                 .as_u64(),
             Some(1)
         );
+    }
+
+    #[test]
+    fn zero_snapshot_period_disables_snapshots() {
+        // Period 0 would never advance the scheduler (`due += 0`); the
+        // config treats it as "no snapshots" instead of looping forever.
+        let r = Recorder::new(ObsConfig::new(2).with_snapshot_period(Some(0)));
+        r.record_matrix_inc(0, 1, 3);
+        r.advance(10_000);
+        r.finish(1_000_000);
+        assert!(r.snapshots().is_empty());
+        assert_eq!(r.counter(CounterId::SnapshotsTaken), 0);
+    }
+
+    #[test]
+    fn profiler_accumulates_and_exports() {
+        use crate::profile::ProfId;
+        let r = Recorder::new(ObsConfig::new(2));
+        r.prof_charge(ProfId::EngineCompute, 100);
+        r.prof_charge(ProfId::TlbLookup, 420);
+        r.prof_charge(ProfId::CacheAccess, 210);
+        assert_eq!(r.prof_exclusive_cycles(ProfId::TlbLookup), 420);
+        assert_eq!(r.prof_inclusive_cycles(ProfId::Engine), 730);
+        assert_eq!(r.prof_total_cycles(), 730);
+        assert_eq!(r.prof_calls(ProfId::EngineCompute), 1);
+        assert!(r.profile_collapsed().contains("engine;access;tlb 420"));
+        let m = r.metrics_json();
+        assert_eq!(m.get("schema").unwrap().as_u64(), Some(2));
+        assert!(!m.get("profile").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn disabled_recorder_profiles_nothing() {
+        use crate::profile::ProfId;
+        let r = Recorder::disabled();
+        r.prof_charge(ProfId::EngineCompute, 1_000);
+        assert_eq!(r.prof_total_cycles(), 0);
+        assert_eq!(r.profile_collapsed(), "");
     }
 
     #[test]

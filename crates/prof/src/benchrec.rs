@@ -1,0 +1,192 @@
+//! Machine-readable benchmark records (`BENCH_*.json`).
+//!
+//! `tlbmap bench` runs a seeded workload under full observation, times it
+//! on the host clock, and writes one of these records. Committed records
+//! form the benchmark trajectory: `tlbmap diff --fail-above <pct>
+//! BENCH_old.json BENCH_new.json` gates a change on throughput.
+//!
+//! The schema separates deterministic fields (`workload`, `counters`,
+//! `cycle_shares` — identical for identical seeds, safe to gate at 0%)
+//! from wall-clock fields (`stats.*_per_sec`, `stats.wall_nanos` — noisy,
+//! gate with slack).
+
+use tlbmap_obs::Json;
+
+/// One benchmark trajectory point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Record name (conventionally the `BENCH_<name>.json` stem).
+    pub name: String,
+    /// Workload/application identifier.
+    pub app: String,
+    /// Problem scale the workload was generated at.
+    pub scale: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Trace events executed.
+    pub events: u64,
+    /// Memory accesses executed.
+    pub accesses: u64,
+    /// TLB misses observed.
+    pub tlb_misses: u64,
+    /// Simulated cycles of the run.
+    pub total_cycles: u64,
+    /// Host wall-clock time of the simulation, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Trace events simulated per host second.
+    pub events_per_sec: f64,
+    /// TLB misses simulated per host second.
+    pub misses_per_sec: f64,
+    /// Per-component shares of charged simulated cycles, as
+    /// `(collapsed-stack path, fraction in [0,1])`, in profile tree order.
+    pub cycle_shares: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// JSON export. Field order is fixed — records diff cleanly.
+    pub fn to_json(&self) -> Json {
+        let shares = Json::Obj(
+            self.cycle_shares
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::F64(*v)))
+                .collect(),
+        );
+        Json::obj(vec![
+            ("schema", Json::U64(1)),
+            ("kind", Json::Str("bench".into())),
+            ("name", Json::Str(self.name.clone())),
+            (
+                "workload",
+                Json::obj(vec![
+                    ("app", Json::Str(self.app.clone())),
+                    ("scale", Json::Str(self.scale.clone())),
+                    ("seed", Json::U64(self.seed)),
+                ]),
+            ),
+            (
+                "counters",
+                Json::obj(vec![
+                    ("events", Json::U64(self.events)),
+                    ("accesses", Json::U64(self.accesses)),
+                    ("tlb_misses", Json::U64(self.tlb_misses)),
+                    ("total_cycles", Json::U64(self.total_cycles)),
+                ]),
+            ),
+            (
+                "stats",
+                Json::obj(vec![
+                    ("wall_nanos", Json::U64(self.wall_nanos)),
+                    ("events_per_sec", Json::F64(self.events_per_sec)),
+                    ("misses_per_sec", Json::F64(self.misses_per_sec)),
+                ]),
+            ),
+            ("cycle_shares", shares),
+        ])
+    }
+
+    /// Rebuild from JSON (accepts only `kind: "bench"` documents).
+    pub fn from_json(json: &Json) -> Result<BenchRecord, String> {
+        if json.get("kind").and_then(Json::as_str) != Some("bench") {
+            return Err("not a bench record (missing `kind\":\"bench\"`)".into());
+        }
+        let str_field = |obj: &Json, k: &str| -> Result<String, String> {
+            obj.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("bench record: missing string `{k}`"))
+        };
+        let u64_field = |obj: &Json, k: &str| -> Result<u64, String> {
+            obj.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("bench record: missing integer `{k}`"))
+        };
+        let f64_field = |obj: &Json, k: &str| -> Result<f64, String> {
+            obj.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("bench record: missing number `{k}`"))
+        };
+        let workload = json.get("workload").ok_or("bench record: no `workload`")?;
+        let counters = json.get("counters").ok_or("bench record: no `counters`")?;
+        let stats = json.get("stats").ok_or("bench record: no `stats`")?;
+        let cycle_shares = match json.get("cycle_shares") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    v.as_f64()
+                        .map(|f| (k.clone(), f))
+                        .ok_or_else(|| format!("bench record: non-numeric share `{k}`"))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("bench record: no `cycle_shares` object".into()),
+        };
+        Ok(BenchRecord {
+            name: str_field(json, "name")?,
+            app: str_field(workload, "app")?,
+            scale: str_field(workload, "scale")?,
+            seed: u64_field(workload, "seed")?,
+            events: u64_field(counters, "events")?,
+            accesses: u64_field(counters, "accesses")?,
+            tlb_misses: u64_field(counters, "tlb_misses")?,
+            total_cycles: u64_field(counters, "total_cycles")?,
+            wall_nanos: u64_field(stats, "wall_nanos")?,
+            events_per_sec: f64_field(stats, "events_per_sec")?,
+            misses_per_sec: f64_field(stats, "misses_per_sec")?,
+            cycle_shares,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> BenchRecord {
+        BenchRecord {
+            name: "ring".into(),
+            app: "ring".into(),
+            scale: "test".into(),
+            seed: 1819,
+            events: 1000,
+            accesses: 800,
+            tlb_misses: 32,
+            total_cycles: 123_456,
+            wall_nanos: 2_000_000,
+            events_per_sec: 500_000.0,
+            misses_per_sec: 16_000.0,
+            cycle_shares: vec![
+                ("engine;compute".into(), 0.25),
+                ("engine;access;tlb".into(), 0.5),
+                ("engine;access;cache".into(), 0.25),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = record();
+        let parsed = BenchRecord::from_json(&Json::parse(&r.to_json().render()).unwrap()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn rejects_non_bench_documents() {
+        let metrics = Json::parse(r#"{"schema":2,"counters":{}}"#).unwrap();
+        assert!(BenchRecord::from_json(&metrics).is_err());
+    }
+
+    #[test]
+    fn diffing_bench_records_gates_throughput() {
+        use crate::diff::diff_docs;
+        let a = record();
+        let mut b = record();
+        b.events_per_sec = 400_000.0; // 20% slower
+        let r = diff_docs(&a.to_json(), &b.to_json(), Some(5.0));
+        assert!(!r.passed());
+        assert!(r
+            .regressions()
+            .iter()
+            .any(|e| e.key == "stats.events_per_sec"));
+        // Same record: passes even a 0% gate (wall fields identical here).
+        assert!(diff_docs(&a.to_json(), &a.to_json(), Some(0.0)).passed());
+    }
+}

@@ -1,0 +1,31 @@
+//! # tlbmap-prof — answering questions with run artifacts
+//!
+//! PR 1's observability layer (`tlbmap-obs`) *emits* artifacts: event
+//! traces, a metrics registry and periodic communication-matrix snapshots.
+//! This crate *consumes* them:
+//!
+//! * [`timeline`] — how detection accuracy evolves over a run: at every
+//!   snapshot window, SM/HM-vs-ground-truth similarity scores, both
+//!   cumulative and windowed (delta matrices), with phase boundaries
+//!   flagged where the windowed pattern shifts. This quantifies the
+//!   paper's core claim that the detected matrices converge to the true
+//!   communication pattern, per application phase.
+//! * [`diff`] — compare two runs' metrics documents stat by stat, with a
+//!   configurable regression gate (`--fail-above`) suitable for CI.
+//! * [`benchrec`] — a stable machine-readable performance record
+//!   (events/sec, misses/sec, per-component cycle shares) seeding the
+//!   benchmark trajectory in `BENCH_*.json` files.
+//!
+//! Everything here is deterministic given deterministic inputs: two
+//! identical seeded runs produce byte-identical timelines and an empty
+//! diff. Only the wall-clock fields of a [`benchrec::BenchRecord`] vary.
+
+#![warn(missing_docs)]
+
+pub mod benchrec;
+pub mod diff;
+pub mod timeline;
+
+pub use benchrec::BenchRecord;
+pub use diff::{diff_docs, DiffEntry, DiffReport, Direction};
+pub use timeline::{compute_timeline, Scores, Timeline, TimelineEntry, DEFAULT_PHASE_THRESHOLD};

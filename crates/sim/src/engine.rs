@@ -22,7 +22,7 @@ use crate::topology::Topology;
 use crate::trace::{barriers_consistent, ThreadTrace, TraceEvent};
 use tlbmap_cache::{AccessKind, MemoryHierarchy};
 use tlbmap_mem::{Mmu, PageTable};
-use tlbmap_obs::{CounterId, Recorder};
+use tlbmap_obs::{CounterId, ProfId, Recorder};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ThreadState {
@@ -175,6 +175,7 @@ fn run<const OBSERVED: bool>(
                 barriers_crossed += 1;
                 if OBSERVED {
                     rec.record_barrier(barriers_crossed - 1, release_at);
+                    rec.prof_charge(ProfId::Barrier, cfg.barrier_cost);
                 }
 
                 // Barrier release is the safe migration point: every live
@@ -206,6 +207,7 @@ fn run<const OBSERVED: bool>(
                             migrations += 1;
                             if OBSERVED {
                                 rec.record_migration(t, oc, nc);
+                                rec.prof_charge(ProfId::Migration, cfg.migration_cost);
                             }
                             // The thread's translations stay behind on the
                             // old core and are useless to whoever arrives
@@ -241,7 +243,11 @@ fn run<const OBSERVED: bool>(
             }
             match event {
                 TraceEvent::Compute(c) => {
-                    clocks[core] += jitter.scale(t, c);
+                    let scaled = jitter.scale(t, c);
+                    if OBSERVED {
+                        rec.prof_charge(ProfId::EngineCompute, scaled);
+                    }
+                    clocks[core] += scaled;
                 }
                 TraceEvent::Barrier => {
                     state[t] = ThreadState::AtBarrier;
@@ -265,6 +271,9 @@ fn run<const OBSERVED: bool>(
                                 detection_overhead += overhead;
                                 detection_searches += 1;
                                 cycles += overhead;
+                                if OBSERVED {
+                                    rec.prof_charge(ProfId::MissDetectScan, overhead);
+                                }
                             }
                             mmus[core].fill(vaddr, &mut page_table)
                         }
@@ -276,6 +285,11 @@ fn run<const OBSERVED: bool>(
                     let out = hierarchy.access_numa(core, translation.paddr.0, op, kind, home_chip);
                     hooks.on_access_outcome(core, t, &out);
                     cycles += out.cycles;
+                    if OBSERVED {
+                        rec.prof_charge(ProfId::EngineAccess, 0);
+                        rec.prof_charge(ProfId::TlbLookup, translation.cycles);
+                        rec.prof_charge(ProfId::CacheAccess, out.cycles);
+                    }
                     clocks[core] += cycles;
                 }
             }
@@ -298,6 +312,9 @@ fn run<const OBSERVED: bool>(
                         let view = TlbView::new(&mmus, &thread_on_core);
                         hooks.on_tick(tick_at, &view)
                     };
+                    if OBSERVED {
+                        rec.prof_charge(ProfId::TickDetectScan, overhead);
+                    }
                     if overhead > 0 {
                         detection_overhead += overhead;
                         detection_searches += 1;
@@ -379,6 +396,38 @@ mod tests {
         assert_eq!(stats.total_cycles, 100 + 420 + 210 + 2);
         assert_eq!(stats.tlb_misses(), 1);
         assert_eq!(stats.accesses, 2);
+    }
+
+    #[test]
+    fn profiler_accounts_every_simulated_cycle() {
+        use tlbmap_obs::ObsConfig;
+        // Same workload as `single_thread_sequential_costs`: the known
+        // breakdown is 100 compute + 420 TLB (trap + walk) + 212 cache.
+        let traces = vec![vec![
+            TraceEvent::Compute(100),
+            TraceEvent::read(page(1)),
+            TraceEvent::read(page(1)),
+        ]];
+        let mut cfg8 = cfg();
+        cfg8.barrier_cost = 0;
+        let rec = Recorder::new(ObsConfig::new(1));
+        let stats = simulate_observed(
+            &cfg8,
+            &topo(),
+            &traces,
+            &Mapping::new(vec![0]),
+            &mut NoHooks,
+            &rec,
+        );
+        assert_eq!(rec.prof_exclusive_cycles(ProfId::EngineCompute), 100);
+        assert_eq!(rec.prof_exclusive_cycles(ProfId::TlbLookup), 420);
+        assert_eq!(rec.prof_exclusive_cycles(ProfId::CacheAccess), 212);
+        assert_eq!(rec.prof_calls(ProfId::EngineAccess), 2);
+        assert_eq!(rec.prof_total_cycles(), stats.total_cycles);
+        assert_eq!(
+            rec.prof_inclusive_cycles(ProfId::Engine),
+            stats.total_cycles
+        );
     }
 
     #[test]

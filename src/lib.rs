@@ -13,7 +13,10 @@
 //! * [`detect`] — the paper's contribution: SM/HM communication detectors,
 //! * [`mapping`] — maximum-weight matching and hierarchical thread mapping,
 //! * [`workloads`] — NPB-inspired kernels and synthetic pattern generators,
-//! * [`obs`] — structured event tracing, metrics, and run-artifact export.
+//! * [`obs`] — structured event tracing, metrics, run-artifact export, and
+//!   the in-engine cycle profiler,
+//! * [`prof`] — run analysis: accuracy timelines, run diffing/regression
+//!   gates, and benchmark records.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@ pub use tlbmap_core as detect;
 pub use tlbmap_mapping as mapping;
 pub use tlbmap_mem as mem;
 pub use tlbmap_obs as obs;
+pub use tlbmap_prof as prof;
 pub use tlbmap_sim as sim;
 pub use tlbmap_workloads as workloads;
 
