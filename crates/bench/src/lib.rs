@@ -13,4 +13,4 @@ pub use campaign::{
     detect_matrices, run_performance, CampaignConfig, DetectedMatrices, PerfResult,
 };
 pub use report::{bar, Table};
-pub use stats::{mean, mean_std, stddev_pct};
+pub use stats::{mean, mean_std, percentile, stddev_pct};

@@ -10,6 +10,9 @@
 //! tlbmap analyze --from <metrics.json> accuracy timeline + cycle profile of a run
 //! tlbmap diff <a.json> <b.json>        compare two runs, optionally gate regressions
 //! tlbmap bench <APP> [opts]            timed run, write a BENCH_<name>.json record
+//! tlbmap serve [opts]                  run the mapping service over TCP
+//! tlbmap client <action> [opts]        one request against a running service
+//! tlbmap loadgen [opts]                drive a service with N connections x M requests
 //! ```
 //!
 //! `<APP>` is one of BT CG EP FT IS LU MG SP UA, or a synthetic pattern:
@@ -18,6 +21,7 @@
 mod analysis;
 mod commands;
 mod opts;
+mod serve_cmd;
 
 use std::process::ExitCode;
 
@@ -38,6 +42,11 @@ fn main() -> ExitCode {
         "analyze" => opts::Options::parse(&args[2..]).and_then(analysis::analyze),
         "diff" => opts::DiffOptions::parse(&args[2..]).and_then(analysis::diff),
         "bench" => opts::Options::parse(&args[2..]).and_then(analysis::bench),
+        "serve" => serve_cmd::ServeOptions::parse(&args[2..]).and_then(serve_cmd::serve),
+        "client" => serve_cmd::ClientOptions::parse(&args[2..], true).and_then(serve_cmd::client),
+        "loadgen" => {
+            serve_cmd::ClientOptions::parse(&args[2..], false).and_then(serve_cmd::loadgen)
+        }
         "help" | "--help" | "-h" => {
             println!("{}", opts::USAGE);
             Ok(())

@@ -20,6 +20,12 @@ USAGE:
   tlbmap bench    [APP] [--out BENCH_<name>.json] [COMMON]
   tlbmap stats    [APP] [COMMON]
   tlbmap export   [APP] --out <FILE> [COMMON]
+  tlbmap serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+                  [--deadline-ms D] [--metrics-out <FILE>]
+  tlbmap client   map|health|stats|shutdown [--addr HOST:PORT]
+                  [--matrix <FILE>] [--topo CxLxK] [--deadline-ms D]
+  tlbmap loadgen  [--addr HOST:PORT] [--connections N] [--requests M]
+                  [--matrix <FILE>] [--delay-ms D] [--out <FILE>]
 
 APP defaults to CG. It may also be `trace=<FILE>` (a file written by
 `tlbmap export`) in detect/map/simulate/report/stats.
@@ -46,7 +52,17 @@ ANALYSIS:
             --fail-above <pct> acts as a regression gate (non-zero exit
             when any gated stat regresses by more than <pct> percent)
   bench     run a seeded workload under full observation and write a
-            machine-readable BENCH_<name>.json performance record";
+            machine-readable BENCH_<name>.json performance record
+
+SERVICE:
+  serve     run the mapping service: a TCP server with a bounded work
+            queue, worker pool, and LRU result cache (shut it down with
+            `tlbmap client shutdown`)
+  client    one request against a running service; `map` needs a matrix
+            JSON file as written by `tlbmap detect --format json`
+  loadgen   N connections x M requests against a running service;
+            reports p50/p90/p99 latency and throughput, exits non-zero
+            if any request failed";
 
 /// How `detect` prints the communication matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

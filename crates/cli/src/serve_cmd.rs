@@ -1,0 +1,372 @@
+//! The service-side subcommands: `serve`, `client`, `loadgen`.
+//!
+//! These have their own option grammar (address/connection flags rather
+//! than workload flags), so they parse separately from [`crate::opts`].
+
+use tlbmap_core::CommMatrix;
+use tlbmap_obs::{Json, ObsConfig, Recorder};
+use tlbmap_serve::{run_loadgen, Client, LoadgenConfig, ServeConfig, Server};
+use tlbmap_sim::Topology;
+
+/// Default service address.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7411";
+
+fn parse_u64(flag: &str, raw: &str) -> Result<u64, String> {
+    raw.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+/// Parse a `CxLxK` topology spec (e.g. `2x2x2`).
+fn parse_topo(raw: &str) -> Result<Topology, String> {
+    let parts: Vec<&str> = raw.split('x').collect();
+    if parts.len() != 3 {
+        return Err(format!(
+            "--topo expects CHIPSxL2xCORES (e.g. 2x2x2), got `{raw}`"
+        ));
+    }
+    let mut dims = [0usize; 3];
+    for (slot, part) in dims.iter_mut().zip(&parts) {
+        *slot = part
+            .parse()
+            .map_err(|e| format!("--topo component `{part}`: {e}"))?;
+        if *slot == 0 {
+            return Err("--topo components must be positive".into());
+        }
+    }
+    Ok(Topology {
+        chips: dims[0],
+        l2_per_chip: dims[1],
+        cores_per_l2: dims[2],
+    })
+}
+
+/// Load a communication matrix from a JSON file (the format written by
+/// `tlbmap detect --format json`).
+fn load_matrix(path: &str) -> Result<CommMatrix, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    CommMatrix::from_json(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Options of `tlbmap serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Listen address.
+    pub addr: String,
+    /// Server sizing.
+    pub cfg: ServeConfig,
+    /// Write the recorder's metrics JSON here after shutdown.
+    pub metrics_out: Option<String>,
+}
+
+impl ServeOptions {
+    /// Parse everything after `serve`.
+    pub fn parse(args: &[String]) -> Result<ServeOptions, String> {
+        let mut o = ServeOptions {
+            addr: DEFAULT_ADDR.to_string(),
+            cfg: ServeConfig::new(),
+            metrics_out: None,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let value = |name: &str| -> Result<String, String> {
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match args[i].as_str() {
+                "--addr" => o.addr = value("--addr")?,
+                "--workers" => {
+                    o.cfg.workers = parse_u64("--workers", &value("--workers")?)? as usize
+                }
+                "--queue" => {
+                    o.cfg.queue_capacity = parse_u64("--queue", &value("--queue")?)? as usize
+                }
+                "--cache" => {
+                    o.cfg.cache_capacity = parse_u64("--cache", &value("--cache")?)? as usize
+                }
+                "--deadline-ms" => {
+                    o.cfg.default_deadline_ms =
+                        parse_u64("--deadline-ms", &value("--deadline-ms")?)?
+                }
+                "--metrics-out" => o.metrics_out = Some(value("--metrics-out")?),
+                flag => return Err(format!("unknown flag `{flag}`")),
+            }
+            i += 2;
+        }
+        Ok(o)
+    }
+}
+
+/// `tlbmap serve` — run the mapping service until a client asks it to
+/// shut down, then optionally export metrics.
+pub fn serve(o: ServeOptions) -> Result<(), String> {
+    let rec = Recorder::new(ObsConfig::new(0).with_ring_capacity(64));
+    let handle = Server::start(&o.addr, o.cfg, rec).map_err(|e| format!("bind {}: {e}", o.addr))?;
+    eprintln!(
+        "# tlbmap serve listening on {} ({} workers, queue {}, cache {})",
+        handle.addr(),
+        o.cfg.effective_workers(),
+        o.cfg.effective_queue_capacity(),
+        o.cfg.effective_cache_capacity().unwrap_or(0),
+    );
+    let rec = handle.recorder().clone();
+    handle.join();
+    if let Some(path) = &o.metrics_out {
+        let mut text = rec.metrics_json().render();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("# metrics written to {path}");
+    }
+    eprintln!("# tlbmap serve: shut down cleanly");
+    Ok(())
+}
+
+/// Options of `tlbmap client` and `tlbmap loadgen`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientOptions {
+    /// `map`, `health`, `stats` or `shutdown` (client only).
+    pub action: String,
+    /// Server address.
+    pub addr: String,
+    /// Matrix JSON file (`map`/loadgen; loadgen falls back to a ring).
+    pub matrix: Option<String>,
+    /// Target topology.
+    pub topo: Topology,
+    /// Per-request deadline in ms (0 = server default).
+    pub deadline_ms: u64,
+    /// Artificial worker delay per request in ms.
+    pub delay_ms: u64,
+    /// Loadgen: concurrent connections.
+    pub connections: usize,
+    /// Loadgen: requests per connection.
+    pub requests: usize,
+    /// Loadgen: write the report JSON here.
+    pub out: Option<String>,
+}
+
+impl ClientOptions {
+    /// Parse args. With `positional_action`, the first bare word is the
+    /// client action (`tlbmap client <action>`); loadgen has none.
+    pub fn parse(args: &[String], positional_action: bool) -> Result<ClientOptions, String> {
+        let mut o = ClientOptions {
+            action: String::new(),
+            addr: DEFAULT_ADDR.to_string(),
+            matrix: None,
+            topo: Topology::harpertown(),
+            deadline_ms: 0,
+            delay_ms: 0,
+            connections: 4,
+            requests: 25,
+            out: None,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let value = |name: &str| -> Result<String, String> {
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match args[i].as_str() {
+                "--addr" => o.addr = value("--addr")?,
+                "--matrix" => o.matrix = Some(value("--matrix")?),
+                "--topo" => o.topo = parse_topo(&value("--topo")?)?,
+                "--deadline-ms" => {
+                    o.deadline_ms = parse_u64("--deadline-ms", &value("--deadline-ms")?)?
+                }
+                "--delay-ms" => o.delay_ms = parse_u64("--delay-ms", &value("--delay-ms")?)?,
+                "--connections" => {
+                    o.connections = parse_u64("--connections", &value("--connections")?)? as usize
+                }
+                "--requests" => {
+                    o.requests = parse_u64("--requests", &value("--requests")?)? as usize
+                }
+                "--out" => o.out = Some(value("--out")?),
+                flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+                word if positional_action && o.action.is_empty() => {
+                    o.action = word.to_string();
+                    i += 1;
+                    continue;
+                }
+                word => return Err(format!("unexpected argument `{word}`")),
+            }
+            i += 2;
+        }
+        if positional_action && o.action.is_empty() {
+            return Err("client needs an action: map | health | stats | shutdown".into());
+        }
+        Ok(o)
+    }
+}
+
+/// `tlbmap client <action>` — one request against a running server.
+pub fn client(o: ClientOptions) -> Result<(), String> {
+    let mut client = Client::connect(&o.addr).map_err(|e| e.to_string())?;
+    match o.action.as_str() {
+        "map" => {
+            let path = o
+                .matrix
+                .as_deref()
+                .ok_or_else(|| "client map needs --matrix <FILE>".to_string())?;
+            let matrix = load_matrix(path)?;
+            let deadline = if o.deadline_ms > 0 {
+                Some(o.deadline_ms)
+            } else {
+                None
+            };
+            let reply = client
+                .map(&matrix, &o.topo, deadline, o.delay_ms)
+                .map_err(|e| e.to_string())?;
+            for (thread, core) in reply.mapping.iter().enumerate() {
+                println!("thread {thread} -> core {core}");
+            }
+            eprintln!(
+                "# {} ({})",
+                o.addr,
+                if reply.cached {
+                    "cache hit"
+                } else {
+                    "computed"
+                }
+            );
+            Ok(())
+        }
+        "health" => {
+            client.health().map_err(|e| e.to_string())?;
+            println!("ok");
+            Ok(())
+        }
+        "stats" => {
+            let doc = client.stats().map_err(|e| e.to_string())?;
+            println!("{}", doc.render());
+            Ok(())
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("shutdown acknowledged");
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown client action `{other}` (map | health | stats | shutdown)"
+        )),
+    }
+}
+
+/// `tlbmap loadgen` — drive a running server with N connections × M
+/// requests and print a latency/throughput report. Exits non-zero if any
+/// request failed.
+pub fn loadgen(o: ClientOptions) -> Result<(), String> {
+    let matrix = match &o.matrix {
+        Some(path) => load_matrix(path)?,
+        None => LoadgenConfig::new().matrix,
+    };
+    let cfg = LoadgenConfig {
+        connections: o.connections,
+        requests: o.requests,
+        deadline_ms: o.deadline_ms,
+        delay_ms: o.delay_ms,
+        matrix,
+        topo: o.topo,
+    };
+    let report = run_loadgen(&o.addr, &cfg)?;
+    print!("{}", report.render());
+    if let Some(path) = &o.out {
+        let mut text = report.to_json(cfg.connections, cfg.requests).render();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("# loadgen report written to {path}");
+    }
+    if report.total_errors() > 0 {
+        return Err(format!(
+            "{} of {} requests failed: {:?}",
+            report.total_errors(),
+            report.sent,
+            report.errors
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_serve_options() {
+        let o = ServeOptions::parse(&words(&[
+            "--addr",
+            "127.0.0.1:9000",
+            "--workers",
+            "2",
+            "--queue",
+            "8",
+            "--cache",
+            "16",
+            "--deadline-ms",
+            "250",
+            "--metrics-out",
+            "m.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.addr, "127.0.0.1:9000");
+        assert_eq!(o.cfg.workers, 2);
+        assert_eq!(o.cfg.queue_capacity, 8);
+        assert_eq!(o.cfg.cache_capacity, 16);
+        assert_eq!(o.cfg.default_deadline_ms, 250);
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(ServeOptions::parse(&[]).unwrap().addr, DEFAULT_ADDR);
+    }
+
+    #[test]
+    fn rejects_bad_serve_options() {
+        assert!(ServeOptions::parse(&words(&["--workers"])).is_err());
+        assert!(ServeOptions::parse(&words(&["--workers", "two"])).is_err());
+        assert!(ServeOptions::parse(&words(&["--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn parses_client_options() {
+        let o = ClientOptions::parse(
+            &words(&["map", "--matrix", "m.json", "--topo", "2x4x2"]),
+            true,
+        )
+        .unwrap();
+        assert_eq!(o.action, "map");
+        assert_eq!(o.matrix.as_deref(), Some("m.json"));
+        assert_eq!(o.topo, Topology::new(2, 4, 2));
+        assert!(ClientOptions::parse(&[], true).is_err(), "action required");
+    }
+
+    #[test]
+    fn parses_loadgen_options() {
+        let o = ClientOptions::parse(
+            &words(&["--connections", "8", "--requests", "50", "--delay-ms", "1"]),
+            false,
+        )
+        .unwrap();
+        assert_eq!(o.connections, 8);
+        assert_eq!(o.requests, 50);
+        assert_eq!(o.delay_ms, 1);
+        assert!(
+            ClientOptions::parse(&words(&["stray"]), false).is_err(),
+            "loadgen takes no positional argument"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_topo_specs() {
+        assert!(parse_topo("2x2").is_err());
+        assert!(parse_topo("2x0x2").is_err());
+        assert!(parse_topo("axbxc").is_err());
+        assert_eq!(parse_topo("1x2x4").unwrap(), Topology::new(1, 2, 4));
+    }
+
+    #[test]
+    fn missing_matrix_file_is_a_display_error() {
+        let err = load_matrix("/nonexistent/matrix.json").unwrap_err();
+        assert!(err.contains("/nonexistent/matrix.json"));
+    }
+}

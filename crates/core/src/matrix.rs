@@ -223,6 +223,53 @@ impl CommMatrix {
         Ok(m)
     }
 
+    /// A stable 64-bit fingerprint of the communication *pattern*.
+    ///
+    /// Two properties make it a usable cache key for mapping decisions:
+    ///
+    /// * **Order-independent** — the fingerprint depends only on the final
+    ///   cell values, never on the order in which communication was
+    ///   accumulated (`add`/`record`/`merge` in any interleaving).
+    /// * **Normalization-stable** — uniformly scaling every cell leaves the
+    ///   fingerprint unchanged: cells are divided by their collective GCD
+    ///   before hashing, so `M` and `3·M` fingerprint identically. Mapping
+    ///   algorithms only consume *relative* weights, so such matrices
+    ///   yield the same placement.
+    ///
+    /// The hash is FNV-1a over the thread count and the reduced
+    /// upper-triangle cells in row-major order, giving a deterministic
+    /// value across runs and platforms (useful for run diffing too).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        fn gcd(mut a: u64, mut b: u64) -> u64 {
+            while b != 0 {
+                (a, b) = (b, a % b);
+            }
+            a
+        }
+        let mut g = 0u64;
+        for (_, _, v) in self.pairs() {
+            g = gcd(g, v);
+            if g == 1 {
+                break;
+            }
+        }
+        let g = g.max(1);
+        let mut hash = FNV_OFFSET;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.n as u64);
+        for (_, _, v) in self.pairs() {
+            mix(v / g);
+        }
+        hash
+    }
+
     /// Render the matrix as a binary PPM (P6) image like the paper's
     /// Figures 4–5: one `cell` × `cell` pixel block per matrix entry,
     /// darker = more communication, 1-pixel grid lines.
@@ -408,6 +455,59 @@ mod tests {
             let json = Json::parse(text).unwrap();
             assert!(CommMatrix::from_json(&json).is_err(), "accepted: {text}");
         }
+    }
+
+    #[test]
+    fn fingerprint_is_accumulation_order_independent() {
+        let mut a = CommMatrix::new(4);
+        a.add(0, 1, 5);
+        a.add(2, 3, 9);
+        a.record(1, 2);
+        let mut b = CommMatrix::new(4);
+        b.record(2, 1);
+        b.add(3, 2, 4);
+        b.add(1, 0, 5);
+        b.add(2, 3, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_scale_invariant() {
+        let mut a = CommMatrix::new(4);
+        a.add(0, 1, 2);
+        a.add(1, 3, 6);
+        let mut b = CommMatrix::new(4);
+        b.add(0, 1, 14);
+        b.add(1, 3, 42);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "7·M fingerprints as M");
+        // But a genuinely different relative pattern differs.
+        let mut c = CommMatrix::new(4);
+        c.add(0, 1, 2);
+        c.add(1, 3, 7);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_sizes_and_patterns() {
+        assert_ne!(
+            CommMatrix::new(2).fingerprint(),
+            CommMatrix::new(3).fingerprint(),
+            "thread count is part of the pattern"
+        );
+        assert_eq!(
+            CommMatrix::new(4).fingerprint(),
+            CommMatrix::new(4).fingerprint()
+        );
+        let mut a = CommMatrix::new(4);
+        a.add(0, 1, 1);
+        let mut b = CommMatrix::new(4);
+        b.add(0, 2, 1);
+        assert_ne!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "same weight, different pair"
+        );
     }
 
     #[test]

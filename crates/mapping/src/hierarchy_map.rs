@@ -51,16 +51,40 @@ impl HierarchicalMapper {
     /// # Panics
     /// Same conditions as [`map`](HierarchicalMapper::map).
     pub fn map_observed(&self, matrix: &CommMatrix, topo: &Topology, rec: &Recorder) -> Mapping {
+        match self.try_map_observed(matrix, topo, rec) {
+            Ok(mapping) => mapping,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`map`](HierarchicalMapper::map) without the panics: invalid input
+    /// (thread/core mismatch, non-power-of-two level arities) comes back
+    /// as a `Display`able error. This is the entry point for callers that
+    /// receive the matrix and topology from outside the process — the
+    /// mapping service must answer a malformed request with an error
+    /// frame, not die.
+    pub fn try_map(&self, matrix: &CommMatrix, topo: &Topology) -> Result<Mapping, String> {
+        self.try_map_observed(matrix, topo, &Recorder::disabled())
+    }
+
+    /// [`try_map`](HierarchicalMapper::try_map), reporting each matching
+    /// level to `rec`.
+    pub fn try_map_observed(
+        &self,
+        matrix: &CommMatrix,
+        topo: &Topology,
+        rec: &Recorder,
+    ) -> Result<Mapping, String> {
         let n = matrix.num_threads();
-        assert_eq!(
-            n,
-            topo.num_cores(),
-            "hierarchical mapper expects one thread per core ({} threads, {} cores)",
-            n,
-            topo.num_cores()
-        );
+        if n != topo.num_cores() {
+            return Err(format!(
+                "hierarchical mapper expects one thread per core ({} threads, {} cores)",
+                n,
+                topo.num_cores()
+            ));
+        }
         if n == 1 {
-            return Mapping::identity(1);
+            return Ok(Mapping::identity(1));
         }
 
         // groups[g] = ordered list of member threads.
@@ -69,10 +93,11 @@ impl HierarchicalMapper {
         let mut level = 0u32;
 
         for target in topo.level_group_sizes() {
-            assert!(
-                target % size == 0 && (target / size).is_power_of_two(),
-                "level size {target} not a power-of-two multiple of current group size {size}"
-            );
+            if target % size != 0 || !(target / size).is_power_of_two() {
+                return Err(format!(
+                    "level size {target} not a power-of-two multiple of current group size {size}"
+                ));
+            }
             while size < target {
                 let before = groups.len() as u32;
                 groups = merge_by_matching(&groups, matrix);
@@ -96,7 +121,7 @@ impl HierarchicalMapper {
         for (core, &thread) in order.iter().enumerate() {
             thread_to_core[thread] = core;
         }
-        Mapping::new(thread_to_core)
+        Ok(Mapping::new(thread_to_core))
     }
 }
 
@@ -269,6 +294,23 @@ mod tests {
     #[should_panic(expected = "one thread per core")]
     fn thread_core_mismatch_rejected() {
         HierarchicalMapper::new().map(&CommMatrix::new(4), &Topology::harpertown());
+    }
+
+    #[test]
+    fn try_map_reports_errors_instead_of_panicking() {
+        let mapper = HierarchicalMapper::new();
+        let err = mapper
+            .try_map(&CommMatrix::new(4), &Topology::harpertown())
+            .unwrap_err();
+        assert!(err.contains("one thread per core"), "{err}");
+        // Three cores per L2 is not a power-of-two multiple of 1.
+        let topo = Topology::new(1, 1, 3);
+        let err = mapper.try_map(&CommMatrix::new(3), &topo).unwrap_err();
+        assert!(err.contains("power-of-two"), "{err}");
+        // And valid input agrees with the panicking path.
+        let topo = Topology::harpertown();
+        let ok = mapper.try_map(&structured(), &topo).unwrap();
+        assert_eq!(ok, mapper.map(&structured(), &topo));
     }
 
     #[test]

@@ -39,10 +39,20 @@ pub enum CounterId {
     MapperRounds,
     /// Phase changes flagged by windowed detection.
     PhaseChanges,
+    /// Mapping-service requests received (all request kinds).
+    ServeRequests,
+    /// Mapping-service requests rejected because the work queue was full.
+    ServeOverloaded,
+    /// Mapping-service requests that exceeded their deadline.
+    ServeTimeouts,
+    /// Mapping-service result-cache hits (including coalesced waiters).
+    ServeCacheHits,
+    /// Mapping-service result-cache misses (leader computations).
+    ServeCacheMisses,
 }
 
 /// All counters, in registry order.
-pub const COUNTERS: [CounterId; 13] = [
+pub const COUNTERS: [CounterId; 18] = [
     CounterId::Accesses,
     CounterId::TlbMisses,
     CounterId::DetectionSearches,
@@ -56,6 +66,11 @@ pub const COUNTERS: [CounterId; 13] = [
     CounterId::EventsDropped,
     CounterId::MapperRounds,
     CounterId::PhaseChanges,
+    CounterId::ServeRequests,
+    CounterId::ServeOverloaded,
+    CounterId::ServeTimeouts,
+    CounterId::ServeCacheHits,
+    CounterId::ServeCacheMisses,
 ];
 
 impl CounterId {
@@ -75,6 +90,11 @@ impl CounterId {
             CounterId::EventsDropped => "events_dropped",
             CounterId::MapperRounds => "mapper_rounds",
             CounterId::PhaseChanges => "phase_changes",
+            CounterId::ServeRequests => "serve_requests",
+            CounterId::ServeOverloaded => "serve_overloaded",
+            CounterId::ServeTimeouts => "serve_timeouts",
+            CounterId::ServeCacheHits => "serve_cache_hits",
+            CounterId::ServeCacheMisses => "serve_cache_misses",
         }
     }
 }
@@ -91,14 +111,21 @@ pub enum HistId {
     MatrixIncrementAmount,
     /// Matched-pair weight captured per hierarchical-mapper level.
     MapperLevelWeight,
+    /// Mapping-service request latency in host microseconds (frame
+    /// received to response ready).
+    ServeRequestLatencyUs,
+    /// Work-queue depth observed at each mapping-service enqueue.
+    ServeQueueDepth,
 }
 
 /// All histograms, in registry order.
-pub const HISTS: [HistId; 4] = [
+pub const HISTS: [HistId; 6] = [
     HistId::DetectionSearchCycles,
     HistId::TlbMissInterArrival,
     HistId::MatrixIncrementAmount,
     HistId::MapperLevelWeight,
+    HistId::ServeRequestLatencyUs,
+    HistId::ServeQueueDepth,
 ];
 
 impl HistId {
@@ -109,6 +136,8 @@ impl HistId {
             HistId::TlbMissInterArrival => "tlb_miss_inter_arrival_cycles",
             HistId::MatrixIncrementAmount => "matrix_increment_amount",
             HistId::MapperLevelWeight => "mapper_level_weight",
+            HistId::ServeRequestLatencyUs => "serve_request_latency_us",
+            HistId::ServeQueueDepth => "serve_queue_depth",
         }
     }
 }

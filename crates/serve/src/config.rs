@@ -1,0 +1,167 @@
+//! Server construction parameters, with the zero hazards guarded.
+//!
+//! Mirrors the `ObsConfig` snapshot-period-0 precedent: a nonsensical zero
+//! is defused at the point of use instead of hanging or panicking deep in
+//! the server. Zero workers or a zero-capacity queue would deadlock every
+//! request, so both clamp to 1; a zero-capacity cache simply disables
+//! caching (every request computes).
+
+/// Mapping-server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads computing mappings.
+    pub workers: usize,
+    /// Maximum requests waiting in the work queue; a full queue answers
+    /// `overloaded` instead of blocking the connection.
+    pub queue_capacity: usize,
+    /// Maximum mappings retained in the LRU result cache.
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that do not carry their own, in
+    /// milliseconds. 0 = no default deadline.
+    pub default_deadline_ms: u64,
+    /// Largest accepted frame payload in bytes; oversized frames are
+    /// answered with a `bad_frame` error and the connection is closed
+    /// (framing cannot be resynchronized).
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::new()
+    }
+}
+
+impl ServeConfig {
+    /// Defaults: 4 workers, 64 queued requests, 128 cached mappings, no
+    /// default deadline, 1 MiB frames.
+    pub fn new() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            default_deadline_ms: 0,
+            max_frame_bytes: 1 << 20,
+        }
+    }
+
+    /// Override the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Override the queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Override the cache capacity (0 disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Override the default deadline (0 = none).
+    pub fn with_default_deadline_ms(mut self, ms: u64) -> Self {
+        self.default_deadline_ms = ms;
+        self
+    }
+
+    /// Worker count with the zero hazard removed: zero workers would leave
+    /// every queued request unanswered forever, so it is treated as 1.
+    pub fn effective_workers(&self) -> usize {
+        self.workers.max(1)
+    }
+
+    /// Queue capacity with the zero hazard removed: a zero-capacity queue
+    /// would reject every request as `overloaded`, making the server
+    /// unable to do any work at all, so it is treated as 1.
+    pub fn effective_queue_capacity(&self) -> usize {
+        self.queue_capacity.max(1)
+    }
+
+    /// Cache capacity as an option: 0 means "no caching" (the meaningful
+    /// reading), never "insert then instantly evict" — evicting a
+    /// single-flight leader's pending slot would strand its followers.
+    pub fn effective_cache_capacity(&self) -> Option<usize> {
+        if self.cache_capacity == 0 {
+            None
+        } else {
+            Some(self.cache_capacity)
+        }
+    }
+
+    /// The default deadline as an option (0 = none).
+    pub fn effective_default_deadline_ms(&self) -> Option<u64> {
+        if self.default_deadline_ms == 0 {
+            None
+        } else {
+            Some(self.default_deadline_ms)
+        }
+    }
+
+    /// Frame-size cap with the zero hazard removed: a cap below the
+    /// smallest well-formed request would reject everything, so anything
+    /// under 64 bytes is treated as 64.
+    pub fn effective_max_frame_bytes(&self) -> usize {
+        self.max_frame_bytes.max(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_workers_and_queue_clamp_to_one() {
+        let cfg = ServeConfig::new().with_workers(0).with_queue_capacity(0);
+        assert_eq!(cfg.effective_workers(), 1);
+        assert_eq!(cfg.effective_queue_capacity(), 1);
+    }
+
+    #[test]
+    fn zero_cache_capacity_disables_caching() {
+        assert_eq!(
+            ServeConfig::new()
+                .with_cache_capacity(0)
+                .effective_cache_capacity(),
+            None
+        );
+        assert_eq!(
+            ServeConfig::new()
+                .with_cache_capacity(9)
+                .effective_cache_capacity(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn zero_deadline_means_none() {
+        assert_eq!(ServeConfig::new().effective_default_deadline_ms(), None);
+        assert_eq!(
+            ServeConfig::new()
+                .with_default_deadline_ms(250)
+                .effective_default_deadline_ms(),
+            Some(250)
+        );
+    }
+
+    #[test]
+    fn tiny_frame_cap_is_floored() {
+        let mut cfg = ServeConfig::new();
+        cfg.max_frame_bytes = 0;
+        assert_eq!(cfg.effective_max_frame_bytes(), 64);
+    }
+
+    #[test]
+    fn nonzero_values_pass_through() {
+        let cfg = ServeConfig::new()
+            .with_workers(7)
+            .with_queue_capacity(3)
+            .with_cache_capacity(11);
+        assert_eq!(cfg.effective_workers(), 7);
+        assert_eq!(cfg.effective_queue_capacity(), 3);
+        assert_eq!(cfg.effective_cache_capacity(), Some(11));
+    }
+}

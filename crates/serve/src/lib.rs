@@ -1,0 +1,65 @@
+//! # tlbmap-serve — mapping as a service
+//!
+//! The paper's end product is a *mapping decision*: a communication matrix
+//! goes in, a hierarchical thread placement comes out (§V). This crate
+//! turns that decision into a long-running **service** so the placement can
+//! be consulted repeatedly at runtime (the online-mapping setting of the
+//! STM thread-mapping line of work) instead of re-running the whole
+//! in-process pipeline per decision.
+//!
+//! Everything is built on `std` only (`std::net` + hand-rolled threading
+//! primitives) — consistent with the workspace's vendored-deps policy.
+//! The pieces:
+//!
+//! * [`protocol`] — length-prefixed JSON frames, versioned request and
+//!   response schemas, stable error codes.
+//! * [`ServeConfig`] — worker/queue/cache sizing with the zero hazards
+//!   guarded (mirroring `ObsConfig`'s snapshot-period-0 precedent).
+//! * [`MapCache`] — an LRU result cache keyed by the matrix
+//!   [fingerprint](tlbmap_core::CommMatrix::fingerprint) + topology, with
+//!   single-flight coalescing of identical concurrent requests.
+//! * [`Server`]/[`ServerHandle`] — the TCP server: a handwritten worker
+//!   pool behind a **bounded** queue (overload answers an `overloaded`
+//!   error frame instead of hanging), per-request deadlines, and graceful
+//!   shutdown that drains in-flight work.
+//! * [`Client`] — a blocking client speaking the same frames.
+//! * [`loadgen`] — N connections × M requests, reporting p50/p90/p99
+//!   latency and throughput.
+//!
+//! The server records everything through `tlbmap-obs` (request counters,
+//! latency histogram, queue-depth histogram, cache hit/miss counters), so
+//! a service run exports through the exact same metrics-JSON schema as a
+//! simulation run.
+//!
+//! ```
+//! use tlbmap_core::CommMatrix;
+//! use tlbmap_obs::{ObsConfig, Recorder};
+//! use tlbmap_serve::{Client, ServeConfig, Server};
+//! use tlbmap_sim::Topology;
+//!
+//! let rec = Recorder::new(ObsConfig::new(0).with_ring_capacity(64));
+//! let handle = Server::start("127.0.0.1:0", ServeConfig::new(), rec).unwrap();
+//! let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+//! let mut m = CommMatrix::new(8);
+//! m.add(0, 7, 100);
+//! let reply = client.map(&m, &Topology::harpertown(), None, 0).unwrap();
+//! assert_eq!(reply.mapping.len(), 8);
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod config;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheKey, CacheOutcome, MapCache};
+pub use client::{Client, MapReply, ServeError};
+pub use config::ServeConfig;
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use protocol::{ErrorCode, Request, Response, PROTOCOL_VERSION};
+pub use server::{Server, ServerHandle};

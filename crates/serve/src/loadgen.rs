@@ -1,0 +1,280 @@
+//! Closed-loop load generator: N connections × M requests each.
+//!
+//! Each connection is a thread running a closed loop (send, wait, send),
+//! so the offered load is `connections` in-flight requests at all times.
+//! Latencies are merged across connections and summarized with the
+//! nearest-rank percentiles from `tlbmap-bench`, putting service latency
+//! in the same statistical vocabulary as the simulator's benchmarks.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use tlbmap_bench::{percentile, Table};
+use tlbmap_core::CommMatrix;
+use tlbmap_obs::Json;
+use tlbmap_sim::Topology;
+
+use crate::client::{Client, ServeError};
+
+/// What the load generator sends.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent connections (threads).
+    pub connections: usize,
+    /// Requests per connection.
+    pub requests: usize,
+    /// Per-request deadline in milliseconds (0 = server default).
+    pub deadline_ms: u64,
+    /// Artificial worker delay per request in milliseconds.
+    pub delay_ms: u64,
+    /// The matrix every request carries.
+    pub matrix: CommMatrix,
+    /// The topology every request targets.
+    pub topo: Topology,
+}
+
+impl LoadgenConfig {
+    /// A small default campaign: 4 connections × 25 requests over an
+    /// 8-thread ring matrix on the paper's 2×2×2 machine.
+    pub fn new() -> Self {
+        let mut matrix = CommMatrix::new(8);
+        for t in 0..8 {
+            matrix.add(t, (t + 1) % 8, 100);
+        }
+        LoadgenConfig {
+            connections: 4,
+            requests: 25,
+            deadline_ms: 0,
+            delay_ms: 0,
+            matrix,
+            topo: Topology::harpertown(),
+        }
+    }
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig::new()
+    }
+}
+
+/// Aggregated result of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests attempted.
+    pub sent: usize,
+    /// Requests answered with a mapping.
+    pub ok: usize,
+    /// Of the `ok` answers, how many the server served from cache.
+    pub cached: usize,
+    /// Failures by error label (`overloaded`, `timeout`, `transport`, …).
+    pub errors: BTreeMap<String, usize>,
+    /// Median request latency in microseconds.
+    pub p50_us: f64,
+    /// 90th-percentile latency in microseconds.
+    pub p90_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+    /// Successful requests per second over the whole run.
+    pub throughput_rps: f64,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl LoadgenReport {
+    /// Total failed requests.
+    pub fn total_errors(&self) -> usize {
+        self.errors.values().sum()
+    }
+
+    /// The report as a benchmark-artifact JSON document (kind
+    /// `"loadgen"`), shaped like the other `results/BENCH_*.json` files.
+    pub fn to_json(&self, connections: usize, requests: usize) -> Json {
+        Json::obj(vec![
+            ("kind", Json::Str("loadgen".into())),
+            ("connections", Json::U64(connections as u64)),
+            ("requests_per_connection", Json::U64(requests as u64)),
+            ("sent", Json::U64(self.sent as u64)),
+            ("ok", Json::U64(self.ok as u64)),
+            ("cached", Json::U64(self.cached as u64)),
+            (
+                "errors",
+                Json::Obj(
+                    self.errors
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::U64(*v as u64)))
+                        .collect(),
+                ),
+            ),
+            ("p50_us", Json::F64(self.p50_us)),
+            ("p90_us", Json::F64(self.p90_us)),
+            ("p99_us", Json::F64(self.p99_us)),
+            ("throughput_rps", Json::F64(self.throughput_rps)),
+            ("wall_ms", Json::F64(self.wall_ms)),
+        ])
+    }
+
+    /// Render the report as a plain-text table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec!["metric", "value"]);
+        table.row(vec!["sent".to_string(), self.sent.to_string()]);
+        table.row(vec!["ok".to_string(), self.ok.to_string()]);
+        table.row(vec!["cached".to_string(), self.cached.to_string()]);
+        table.row(vec!["errors".to_string(), self.total_errors().to_string()]);
+        table.row(vec!["p50 (us)".to_string(), format!("{:.1}", self.p50_us)]);
+        table.row(vec!["p90 (us)".to_string(), format!("{:.1}", self.p90_us)]);
+        table.row(vec!["p99 (us)".to_string(), format!("{:.1}", self.p99_us)]);
+        table.row(vec![
+            "throughput (req/s)".to_string(),
+            format!("{:.1}", self.throughput_rps),
+        ]);
+        table.row(vec![
+            "wall time (ms)".to_string(),
+            format!("{:.1}", self.wall_ms),
+        ]);
+        let mut out = table.render();
+        for (label, count) in &self.errors {
+            out.push_str(&format!("  error[{label}] = {count}\n"));
+        }
+        out
+    }
+}
+
+struct ConnOutcome {
+    latencies_us: Vec<f64>,
+    ok: usize,
+    cached: usize,
+    errors: BTreeMap<String, usize>,
+}
+
+fn error_label(e: &ServeError) -> String {
+    match e {
+        ServeError::Remote { code, .. } => code.as_str().to_string(),
+        ServeError::Transport(_) => "transport".to_string(),
+    }
+}
+
+fn run_connection(addr: &str, cfg: &LoadgenConfig) -> Result<ConnOutcome, String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut outcome = ConnOutcome {
+        latencies_us: Vec::with_capacity(cfg.requests),
+        ok: 0,
+        cached: 0,
+        errors: BTreeMap::new(),
+    };
+    let deadline = if cfg.deadline_ms > 0 {
+        Some(cfg.deadline_ms)
+    } else {
+        None
+    };
+    for _ in 0..cfg.requests {
+        let start = Instant::now();
+        match client.map(&cfg.matrix, &cfg.topo, deadline, cfg.delay_ms) {
+            Ok(reply) => {
+                outcome
+                    .latencies_us
+                    .push(start.elapsed().as_secs_f64() * 1e6);
+                outcome.ok += 1;
+                if reply.cached {
+                    outcome.cached += 1;
+                }
+            }
+            Err(e) => {
+                *outcome.errors.entry(error_label(&e)).or_insert(0) += 1;
+                // A transport error means the connection is unusable.
+                if matches!(e, ServeError::Transport(_)) {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// Run the campaign against a live server at `addr`.
+pub fn run_loadgen(addr: &str, cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    if cfg.connections == 0 || cfg.requests == 0 {
+        return Err("loadgen needs at least 1 connection and 1 request".to_string());
+    }
+    let start = Instant::now();
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections)
+            .map(|_| scope.spawn(|| run_connection(addr, cfg)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| "connection thread panicked".to_string())?
+            })
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+    let wall = start.elapsed();
+
+    let mut latencies = Vec::new();
+    let mut ok = 0;
+    let mut cached = 0;
+    let mut errors: BTreeMap<String, usize> = BTreeMap::new();
+    for outcome in outcomes {
+        latencies.extend(outcome.latencies_us);
+        ok += outcome.ok;
+        cached += outcome.cached;
+        for (label, count) in outcome.errors {
+            *errors.entry(label).or_insert(0) += count;
+        }
+    }
+    let failed: usize = errors.values().sum();
+    Ok(LoadgenReport {
+        sent: ok + failed,
+        ok,
+        cached,
+        errors,
+        p50_us: percentile(&latencies, 50.0),
+        p90_us: percentile(&latencies, 90.0),
+        p99_us: percentile(&latencies, 99.0),
+        throughput_rps: if wall.as_secs_f64() > 0.0 {
+            ok as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        wall_ms: wall.as_secs_f64() * 1e3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_has_the_benchmark_shape() {
+        let report = LoadgenReport {
+            sent: 100,
+            ok: 98,
+            cached: 90,
+            errors: BTreeMap::from([("overloaded".to_string(), 2)]),
+            p50_us: 120.0,
+            p90_us: 300.0,
+            p99_us: 900.0,
+            throughput_rps: 4500.0,
+            wall_ms: 22.0,
+        };
+        let json = report.to_json(4, 25);
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("loadgen"));
+        assert_eq!(json.get("ok").and_then(Json::as_u64), Some(98));
+        assert_eq!(
+            json.get("errors")
+                .and_then(|e| e.get("overloaded"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert!(report.render().contains("throughput"));
+        assert_eq!(report.total_errors(), 2);
+    }
+
+    #[test]
+    fn zero_sized_campaigns_are_rejected() {
+        let mut cfg = LoadgenConfig::new();
+        cfg.connections = 0;
+        assert!(run_loadgen("127.0.0.1:1", &cfg).is_err());
+    }
+}

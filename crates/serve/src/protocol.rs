@@ -1,0 +1,535 @@
+//! The wire protocol: length-prefixed JSON frames, versioned schemas.
+//!
+//! ## Frame layout
+//!
+//! Every message — in both directions — is one *frame*:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | length: u32 BE | payload: JSON bytes |
+//! +----------------+---------------------+
+//! ```
+//!
+//! The length counts payload bytes only. Payloads are UTF-8 JSON objects
+//! carrying a `"v"` protocol-version field; peers reject frames whose
+//! version they do not speak, so the protocol can evolve without silent
+//! misparses.
+//!
+//! ## Requests (client → server)
+//!
+//! | `req`      | fields                                                            |
+//! |------------|-------------------------------------------------------------------|
+//! | `map`      | `matrix` (CommMatrix JSON), `topology` (optional, default 2×2×2), `deadline_ms` (optional), `delay_ms` (optional, testing/loadgen) |
+//! | `health`   | —                                                                 |
+//! | `stats`    | —                                                                 |
+//! | `shutdown` | —                                                                 |
+//!
+//! ## Responses (server → client)
+//!
+//! Success: `{"v":1,"ok":true,"resp":...}` with per-kind fields (`map`
+//! carries `mapping` + `cached`; `stats` carries the counters document).
+//! Failure: `{"v":1,"ok":false,"code":<ErrorCode>,"message":...}`.
+//! The error codes are stable API — clients branch on them.
+
+use std::io::{self, Read, Write};
+use tlbmap_core::CommMatrix;
+use tlbmap_obs::Json;
+use tlbmap_sim::Topology;
+
+/// Protocol version spoken by this crate.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Stable error codes carried by error frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame could not be decoded (bad length, non-JSON payload,
+    /// wrong protocol version).
+    BadFrame,
+    /// The frame decoded but the request is invalid (unknown kind,
+    /// malformed matrix, impossible topology).
+    BadRequest,
+    /// The work queue is full; retry later.
+    Overloaded,
+    /// The request's deadline passed before a worker got to it.
+    Timeout,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+    /// The request was accepted but its response was lost server-side.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parse a wire name back into a code.
+    pub fn from_wire(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad_frame" => ErrorCode::BadFrame,
+            "bad_request" => ErrorCode::BadRequest,
+            "overloaded" => ErrorCode::Overloaded,
+            "timeout" => ErrorCode::Timeout,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Compute (or fetch from cache) the hierarchical mapping of a
+    /// communication matrix on a topology.
+    Map {
+        /// The detected communication matrix.
+        matrix: CommMatrix,
+        /// The machine to map onto.
+        topo: Topology,
+        /// Per-request deadline in milliseconds (overrides the server
+        /// default; 0/absent = server default).
+        deadline_ms: Option<u64>,
+        /// Artificial worker delay in milliseconds, for load generation
+        /// and deterministic overload/deadline testing.
+        delay_ms: u64,
+    },
+    /// Liveness probe.
+    Health,
+    /// Counter/queue snapshot.
+    Stats,
+    /// Begin graceful shutdown: drain queued work, then exit.
+    Shutdown,
+}
+
+/// Serialize a topology for the wire.
+pub fn topology_to_json(topo: &Topology) -> Json {
+    Json::obj(vec![
+        ("chips", Json::U64(topo.chips as u64)),
+        ("l2_per_chip", Json::U64(topo.l2_per_chip as u64)),
+        ("cores_per_l2", Json::U64(topo.cores_per_l2 as u64)),
+    ])
+}
+
+/// Parse a wire topology, rejecting zero arities (which `Topology::new`
+/// would panic on).
+pub fn topology_from_json(json: &Json) -> Result<Topology, String> {
+    let field = |name: &str| -> Result<usize, String> {
+        let v = json
+            .get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("topology: missing or mistyped field `{name}`"))?;
+        if v == 0 || v > 1 << 16 {
+            return Err(format!("topology: `{name}` must be in 1..=65536, got {v}"));
+        }
+        Ok(v as usize)
+    };
+    Ok(Topology {
+        chips: field("chips")?,
+        l2_per_chip: field("l2_per_chip")?,
+        cores_per_l2: field("cores_per_l2")?,
+    })
+}
+
+impl Request {
+    /// Wire encoding.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("v", Json::U64(PROTOCOL_VERSION))];
+        match self {
+            Request::Map {
+                matrix,
+                topo,
+                deadline_ms,
+                delay_ms,
+            } => {
+                pairs.push(("req", Json::Str("map".into())));
+                pairs.push(("matrix", matrix.to_json()));
+                pairs.push(("topology", topology_to_json(topo)));
+                if let Some(d) = deadline_ms {
+                    pairs.push(("deadline_ms", Json::U64(*d)));
+                }
+                if *delay_ms > 0 {
+                    pairs.push(("delay_ms", Json::U64(*delay_ms)));
+                }
+            }
+            Request::Health => pairs.push(("req", Json::Str("health".into()))),
+            Request::Stats => pairs.push(("req", Json::Str("stats".into()))),
+            Request::Shutdown => pairs.push(("req", Json::Str("shutdown".into()))),
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decode a request payload. The version must already have been
+    /// checked by [`check_version`].
+    pub fn from_json(json: &Json) -> Result<Request, String> {
+        match json.get("req").and_then(Json::as_str) {
+            Some("map") => {
+                let matrix_json = json
+                    .get("matrix")
+                    .ok_or_else(|| "map request: missing `matrix`".to_string())?;
+                let matrix = CommMatrix::from_json(matrix_json)
+                    .map_err(|e| format!("map request: bad matrix: {}", e.message))?;
+                let topo = match json.get("topology") {
+                    Some(t) => topology_from_json(t)?,
+                    None => Topology::harpertown(),
+                };
+                let deadline_ms = json
+                    .get("deadline_ms")
+                    .and_then(Json::as_u64)
+                    .filter(|&d| d > 0);
+                let delay_ms = json.get("delay_ms").and_then(Json::as_u64).unwrap_or(0);
+                Ok(Request::Map {
+                    matrix,
+                    topo,
+                    deadline_ms,
+                    delay_ms,
+                })
+            }
+            Some("health") => Ok(Request::Health),
+            Some("stats") => Ok(Request::Stats),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some(other) => Err(format!("unknown request kind `{other}`")),
+            None => Err("missing or mistyped field `req`".to_string()),
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A computed (or cached) mapping: `mapping[thread] = core`.
+    Map {
+        /// The thread→core assignment.
+        mapping: Vec<usize>,
+        /// Whether the result came from the cache (hit or coalesced).
+        cached: bool,
+    },
+    /// Liveness answer.
+    Health,
+    /// Counter/queue snapshot (opaque JSON document).
+    Stats(Json),
+    /// Shutdown acknowledged; the server drains and exits.
+    Shutdown,
+    /// The request failed.
+    Error {
+        /// Stable machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Wire encoding.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("v", Json::U64(PROTOCOL_VERSION))];
+        match self {
+            Response::Map { mapping, cached } => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("resp", Json::Str("map".into())));
+                pairs.push((
+                    "mapping",
+                    Json::Arr(mapping.iter().map(|&c| Json::U64(c as u64)).collect()),
+                ));
+                pairs.push(("cached", Json::Bool(*cached)));
+            }
+            Response::Health => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("resp", Json::Str("health".into())));
+            }
+            Response::Stats(doc) => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("resp", Json::Str("stats".into())));
+                pairs.push(("stats", doc.clone()));
+            }
+            Response::Shutdown => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("resp", Json::Str("shutdown".into())));
+            }
+            Response::Error { code, message } => {
+                pairs.push(("ok", Json::Bool(false)));
+                pairs.push(("code", Json::Str(code.as_str().into())));
+                pairs.push(("message", Json::Str(message.clone())));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decode a response payload.
+    pub fn from_json(json: &Json) -> Result<Response, String> {
+        match json.get("ok").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => {
+                let code = json
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .and_then(ErrorCode::from_wire)
+                    .ok_or_else(|| "error response: missing or unknown `code`".to_string())?;
+                let message = json
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                return Ok(Response::Error { code, message });
+            }
+            None => return Err("response: missing `ok`".to_string()),
+        }
+        match json.get("resp").and_then(Json::as_str) {
+            Some("map") => {
+                let mapping = json
+                    .get("mapping")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| "map response: missing `mapping`".to_string())?
+                    .iter()
+                    .map(|v| v.as_u64().map(|c| c as usize))
+                    .collect::<Option<Vec<usize>>>()
+                    .ok_or_else(|| "map response: non-integer core".to_string())?;
+                let cached = json.get("cached").and_then(Json::as_bool).unwrap_or(false);
+                Ok(Response::Map { mapping, cached })
+            }
+            Some("health") => Ok(Response::Health),
+            Some("stats") => Ok(Response::Stats(
+                json.get("stats").cloned().unwrap_or(Json::Null),
+            )),
+            Some("shutdown") => Ok(Response::Shutdown),
+            Some(other) => Err(format!("unknown response kind `{other}`")),
+            None => Err("response: missing `resp`".to_string()),
+        }
+    }
+}
+
+/// Check a decoded payload's protocol version.
+pub fn check_version(json: &Json) -> Result<(), String> {
+    match json.get("v").and_then(Json::as_u64) {
+        Some(PROTOCOL_VERSION) => Ok(()),
+        Some(v) => Err(format!(
+            "unsupported protocol version {v} (this peer speaks {PROTOCOL_VERSION})"
+        )),
+        None => Err("missing protocol version field `v`".to_string()),
+    }
+}
+
+/// Why a frame read failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// Transport error (includes mid-frame EOF).
+    Io(io::Error),
+    /// The announced length exceeds the configured cap.
+    TooLarge(usize),
+    /// The payload is not valid JSON.
+    Parse(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds the size cap"),
+            FrameError::Parse(e) => write!(f, "payload is not valid JSON: {e}"),
+        }
+    }
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut dyn Write, payload: &Json) -> io::Result<()> {
+    let body = payload.render().into_bytes();
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large for u32"))?;
+    // One write for header + payload: two small writes would trip the
+    // Nagle/delayed-ACK interaction and cost ~40 ms per frame.
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(&body);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one frame, capping the payload at `max_bytes`.
+///
+/// A clean EOF before any length byte is [`FrameError::Closed`]; EOF in
+/// the middle of a frame is an I/O error (truncated stream).
+pub fn read_frame(r: &mut dyn Read, max_bytes: usize) -> Result<Json, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max_bytes {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame payload",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let text =
+        std::str::from_utf8(&payload).map_err(|e| FrameError::Parse(format!("not UTF-8: {e}")))?;
+    Json::parse(text).map_err(|e| FrameError::Parse(e.message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> CommMatrix {
+        let mut m = CommMatrix::new(4);
+        m.add(0, 1, 10);
+        m.add(2, 3, 7);
+        m
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = [
+            Request::Map {
+                matrix: sample_matrix(),
+                topo: Topology::harpertown(),
+                deadline_ms: Some(250),
+                delay_ms: 5,
+            },
+            Request::Health,
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let json = req.to_json();
+            check_version(&json).unwrap();
+            assert_eq!(Request::from_json(&json).unwrap(), req, "{:?}", req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resps = [
+            Response::Map {
+                mapping: vec![3, 1, 0, 2],
+                cached: true,
+            },
+            Response::Health,
+            Response::Stats(Json::obj(vec![("queue_depth", Json::U64(3))])),
+            Response::Shutdown,
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+            },
+        ];
+        for resp in resps {
+            let json = resp.to_json();
+            check_version(&json).unwrap();
+            assert_eq!(Response::from_json(&json).unwrap(), resp, "{:?}", resp);
+        }
+    }
+
+    #[test]
+    fn version_is_enforced() {
+        let mut json = Request::Health.to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs[0].1 = Json::U64(99);
+        }
+        assert!(check_version(&json).unwrap_err().contains("version 99"));
+        assert!(check_version(&Json::obj(vec![])).is_err());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_display_errors() {
+        for text in [
+            r#"{"v":1}"#,
+            r#"{"v":1,"req":"warp"}"#,
+            r#"{"v":1,"req":"map"}"#,
+            r#"{"v":1,"req":"map","matrix":{"n":2,"rows":[[0,1],[2,0]]}}"#,
+            r#"{"v":1,"req":"map","matrix":{"n":2,"rows":[[0,1],[1,0]]},"topology":{"chips":0,"l2_per_chip":1,"cores_per_l2":2}}"#,
+        ] {
+            let json = Json::parse(text).unwrap();
+            let err = Request::from_json(&json).unwrap_err();
+            assert!(!err.is_empty(), "{text}");
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let payload = Request::Map {
+            matrix: sample_matrix(),
+            topo: Topology::harpertown(),
+            deadline_ms: None,
+            delay_ms: 0,
+        }
+        .to_json();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, &Request::Health.to_json()).unwrap();
+        let mut cursor = &buf[..];
+        let a = read_frame(&mut cursor, 1 << 20).unwrap();
+        let b = read_frame(&mut cursor, 1 << 20).unwrap();
+        assert_eq!(a, payload);
+        assert_eq!(b, Request::Health.to_json());
+        assert!(matches!(
+            read_frame(&mut cursor, 1 << 20),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Health.to_json()).unwrap();
+        assert!(matches!(
+            read_frame(&mut &buf[..], 4),
+            Err(FrameError::TooLarge(_))
+        ));
+        // Truncate mid-payload.
+        let cut = &buf[..buf.len() - 3];
+        assert!(matches!(
+            read_frame(&mut &cut[..], 1 << 20),
+            Err(FrameError::Io(_))
+        ));
+        // Garbage payload with a valid length prefix.
+        let mut garbage = Vec::new();
+        garbage.extend_from_slice(&5u32.to_be_bytes());
+        garbage.extend_from_slice(b"not{j");
+        assert!(matches!(
+            read_frame(&mut &garbage[..], 1 << 20),
+            Err(FrameError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn topology_wire_round_trip() {
+        let topo = Topology::new(2, 4, 2);
+        let back = topology_from_json(&topology_to_json(&topo)).unwrap();
+        assert_eq!(back, topo);
+        assert!(topology_from_json(&Json::obj(vec![])).is_err());
+    }
+}

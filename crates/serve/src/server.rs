@@ -1,0 +1,549 @@
+//! The mapping server: acceptor, bounded work queue, worker pool.
+//!
+//! ## Threading model
+//!
+//! ```text
+//! acceptor thread ──accept──▶ one thread per connection
+//!                                   │  (parses frames, answers
+//!                                   │   health/stats inline)
+//!                                   ▼
+//!                           bounded job queue ──▶ worker pool
+//!                                   │                 │
+//!                            full → `overloaded`      ▼
+//!                                            cache / mapper
+//! ```
+//!
+//! Backpressure is explicit: the queue is bounded and a full queue answers
+//! an `overloaded` error frame immediately instead of letting latency grow
+//! without bound. Deadlines are checked when a worker dequeues a job — a
+//! request that waited past its deadline is answered `timeout` without
+//! doing the work. Shutdown is graceful: the acceptor stops, connection
+//! threads finish their in-flight request, and workers drain every job
+//! already admitted to the queue before exiting.
+
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use tlbmap_core::CommMatrix;
+use tlbmap_mapping::HierarchicalMapper;
+use tlbmap_obs::{CounterId, HistId, Json, Recorder};
+use tlbmap_sim::Topology;
+
+use crate::cache::{CacheKey, CacheOutcome, MapCache};
+use crate::config::ServeConfig;
+use crate::protocol::{check_version, write_frame, ErrorCode, FrameError, Request, Response};
+
+/// How often blocked reads wake up to check the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// How often the non-blocking acceptor polls between connections.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+struct Job {
+    matrix: CommMatrix,
+    topo: Topology,
+    deadline: Option<Instant>,
+    delay_ms: u64,
+    reply: mpsc::Sender<Response>,
+}
+
+enum SubmitError {
+    Full,
+    Closed,
+}
+
+/// Bounded MPMC job queue: producers fail fast when full, consumers drain
+/// everything admitted before observing closure.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admit a job, or fail fast. On success returns the queue depth
+    /// *after* the push (for the queue-depth histogram).
+    fn try_push(&self, job: Job) -> Result<usize, SubmitError> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(SubmitError::Full);
+        }
+        state.jobs.push_back(job);
+        let depth = state.jobs.len();
+        drop(state);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Block for the next job. Returns `None` only once the queue is
+    /// closed **and** empty, so admitted work is always drained.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.state.lock().unwrap().jobs.len()
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: JobQueue,
+    cache: Option<MapCache>,
+    rec: Recorder,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The mapping server. Construct with [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:7411"`, or port 0 for an ephemeral
+    /// port) and start the acceptor and worker threads. All observability
+    /// flows through `rec`.
+    pub fn start(addr: &str, cfg: ServeConfig, rec: Recorder) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.effective_queue_capacity()),
+            cache: cfg.effective_cache_capacity().map(MapCache::new),
+            rec,
+            shutdown: AtomicBool::new(false),
+            cfg,
+        });
+
+        let workers = (0..cfg.effective_workers())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || acceptor_loop(listener, &shared, &conns))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            conns,
+        })
+    }
+}
+
+/// A running server: its address, its recorder, and the threads to join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The recorder the server reports into — read counters or export
+    /// metrics from here after (or during) a run.
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.rec
+    }
+
+    /// Whether shutdown has begun (via [`Self::shutdown`] or a client
+    /// `shutdown` request).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Begin graceful shutdown from the hosting process: stop accepting,
+    /// drain admitted work, then let every thread exit.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Wait for the server to finish. Only returns once shutdown has been
+    /// triggered (by [`Self::shutdown`] or a client request) and all
+    /// in-flight work has drained.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for conn in conns {
+            let _ = conn.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || connection_loop(stream, &shared))
+                    .expect("spawn connection thread");
+                conns.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.shutting_down() {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+/// Read one frame with periodic shutdown checks. `Ok(None)` means the
+/// server is shutting down and the connection should wind up.
+fn read_frame_polled(
+    stream: &mut TcpStream,
+    max_bytes: usize,
+    shared: &Shared,
+) -> Result<Option<Json>, FrameError> {
+    fn fill(
+        stream: &mut TcpStream,
+        buf: &mut [u8],
+        shared: &Shared,
+        frame_started: bool,
+    ) -> Result<bool, FrameError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match stream.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 && !frame_started => return Err(FrameError::Closed),
+                Ok(0) => {
+                    return Err(FrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof inside frame",
+                    )))
+                }
+                Ok(n) => filled += n,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if shared.shutting_down() {
+                        return Ok(false);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        Ok(true)
+    }
+
+    let mut len_buf = [0u8; 4];
+    if !fill(stream, &mut len_buf, shared, false)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max_bytes {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    if !fill(stream, &mut payload, shared, true)? {
+        return Ok(None);
+    }
+    let text =
+        std::str::from_utf8(&payload).map_err(|e| FrameError::Parse(format!("not UTF-8: {e}")))?;
+    Json::parse(text)
+        .map(Some)
+        .map_err(|e| FrameError::Parse(e.message))
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let max_bytes = shared.cfg.effective_max_frame_bytes();
+    loop {
+        let json = match read_frame_polled(&mut stream, max_bytes, shared) {
+            Ok(Some(json)) => json,
+            // Shutdown while idle: the connection winds up.
+            Ok(None) => return,
+            // Clean EOF at a frame boundary: client hung up.
+            Err(FrameError::Closed) => return,
+            // A bad payload leaves the framing intact (the length prefix
+            // was honoured), so answer and keep the connection alive.
+            Err(e @ FrameError::Parse(_)) => {
+                let resp = Response::Error {
+                    code: ErrorCode::BadFrame,
+                    message: e.to_string(),
+                };
+                if write_frame(&mut stream, &resp.to_json()).is_err() {
+                    return;
+                }
+                continue;
+            }
+            // Oversized frames cannot be resynchronized without reading
+            // (and discarding) the announced bytes; answer, then close.
+            Err(e @ FrameError::TooLarge(_)) => {
+                let resp = Response::Error {
+                    code: ErrorCode::BadFrame,
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &resp.to_json());
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let response = handle_payload(&json, shared);
+        if write_frame(&mut stream, &response.to_json()).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_payload(json: &Json, shared: &Arc<Shared>) -> Response {
+    if let Err(message) = check_version(json) {
+        return Response::Error {
+            code: ErrorCode::BadFrame,
+            message,
+        };
+    }
+    let request = match Request::from_json(json) {
+        Ok(request) => request,
+        Err(message) => {
+            return Response::Error {
+                code: ErrorCode::BadRequest,
+                message,
+            }
+        }
+    };
+    shared.rec.inc(CounterId::ServeRequests);
+    match request {
+        Request::Health => Response::Health,
+        Request::Stats => Response::Stats(stats_doc(shared)),
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            Response::Shutdown
+        }
+        Request::Map {
+            matrix,
+            topo,
+            deadline_ms,
+            delay_ms,
+        } => {
+            let start = Instant::now();
+            let response = submit_map(shared, matrix, topo, deadline_ms, delay_ms, start);
+            shared.rec.observe(
+                HistId::ServeRequestLatencyUs,
+                start.elapsed().as_micros() as u64,
+            );
+            response
+        }
+    }
+}
+
+fn submit_map(
+    shared: &Arc<Shared>,
+    matrix: CommMatrix,
+    topo: Topology,
+    deadline_ms: Option<u64>,
+    delay_ms: u64,
+    start: Instant,
+) -> Response {
+    if shared.shutting_down() {
+        return Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining for shutdown".to_string(),
+        };
+    }
+    let deadline = deadline_ms
+        .or(shared.cfg.effective_default_deadline_ms())
+        .map(|ms| start + Duration::from_millis(ms));
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        matrix,
+        topo,
+        deadline,
+        delay_ms,
+        reply: reply_tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => {
+            shared.rec.observe(HistId::ServeQueueDepth, depth as u64);
+            match reply_rx.recv() {
+                Ok(response) => response,
+                Err(_) => Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "worker dropped the request".to_string(),
+                },
+            }
+        }
+        Err(SubmitError::Full) => {
+            shared.rec.inc(CounterId::ServeOverloaded);
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: format!(
+                    "work queue is full ({} requests waiting)",
+                    shared.cfg.effective_queue_capacity()
+                ),
+            }
+        }
+        Err(SubmitError::Closed) => Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining for shutdown".to_string(),
+        },
+    }
+}
+
+fn stats_doc(shared: &Shared) -> Json {
+    let rec = &shared.rec;
+    Json::obj(vec![
+        ("requests", Json::U64(rec.counter(CounterId::ServeRequests))),
+        (
+            "overloaded",
+            Json::U64(rec.counter(CounterId::ServeOverloaded)),
+        ),
+        ("timeouts", Json::U64(rec.counter(CounterId::ServeTimeouts))),
+        (
+            "cache_hits",
+            Json::U64(rec.counter(CounterId::ServeCacheHits)),
+        ),
+        (
+            "cache_misses",
+            Json::U64(rec.counter(CounterId::ServeCacheMisses)),
+        ),
+        ("queue_depth", Json::U64(shared.queue.depth() as u64)),
+        (
+            "cache_entries",
+            Json::U64(shared.cache.as_ref().map_or(0, MapCache::len) as u64),
+        ),
+        ("workers", Json::U64(shared.cfg.effective_workers() as u64)),
+    ])
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let mapper = HierarchicalMapper::new();
+    while let Some(job) = shared.queue.pop() {
+        if job.delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(job.delay_ms));
+        }
+        if let Some(deadline) = job.deadline {
+            if Instant::now() > deadline {
+                shared.rec.inc(CounterId::ServeTimeouts);
+                let _ = job.reply.send(Response::Error {
+                    code: ErrorCode::Timeout,
+                    message: "deadline passed before a worker reached the request".to_string(),
+                });
+                continue;
+            }
+        }
+        let response = compute_map(shared, &mapper, &job.matrix, &job.topo);
+        let _ = job.reply.send(response);
+    }
+}
+
+fn compute_map(
+    shared: &Arc<Shared>,
+    mapper: &HierarchicalMapper,
+    matrix: &CommMatrix,
+    topo: &Topology,
+) -> Response {
+    let compute = || mapper.try_map(matrix, topo).map(|m| m.as_slice().to_vec());
+    let (result, outcome) = match &shared.cache {
+        Some(cache) => {
+            let key = CacheKey {
+                fingerprint: matrix.fingerprint(),
+                chips: topo.chips,
+                l2_per_chip: topo.l2_per_chip,
+                cores_per_l2: topo.cores_per_l2,
+            };
+            cache.get_or_compute(key, compute)
+        }
+        None => (compute(), CacheOutcome::Miss),
+    };
+    match outcome {
+        CacheOutcome::Hit | CacheOutcome::Coalesced => shared.rec.inc(CounterId::ServeCacheHits),
+        CacheOutcome::Miss => shared.rec.inc(CounterId::ServeCacheMisses),
+    }
+    match result {
+        Ok(mapping) => Response::Map {
+            mapping,
+            cached: outcome != CacheOutcome::Miss,
+        },
+        Err(message) => Response::Error {
+            code: ErrorCode::BadRequest,
+            message,
+        },
+    }
+}

@@ -1,0 +1,262 @@
+//! End-to-end tests over a loopback TCP connection: a real server, real
+//! client, real frames — exercising correctness, error paths,
+//! backpressure, deadlines, and graceful shutdown.
+
+use std::time::Duration;
+
+use tlbmap_core::CommMatrix;
+use tlbmap_mapping::HierarchicalMapper;
+use tlbmap_obs::{CounterId, ObsConfig, Recorder};
+use tlbmap_serve::{Client, ErrorCode, ServeConfig, ServeError, Server, ServerHandle};
+use tlbmap_sim::Topology;
+
+fn ring_matrix(n: usize) -> CommMatrix {
+    let mut m = CommMatrix::new(n);
+    for t in 0..n {
+        m.add(t, (t + 1) % n, 50 + t as u64);
+    }
+    m
+}
+
+fn start(cfg: ServeConfig) -> ServerHandle {
+    let rec = Recorder::new(ObsConfig::new(0).with_ring_capacity(64));
+    Server::start("127.0.0.1:0", cfg, rec).expect("bind loopback server")
+}
+
+#[test]
+fn served_mapping_matches_the_direct_library_call() {
+    let handle = start(ServeConfig::new());
+    let addr = handle.addr().to_string();
+    let matrix = ring_matrix(8);
+    let topo = Topology::harpertown();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let reply = client.map(&matrix, &topo, None, 0).unwrap();
+    let direct = HierarchicalMapper::new().map(&matrix, &topo);
+    assert_eq!(reply.mapping, direct.as_slice().to_vec());
+    assert!(!reply.cached, "first request must be a cache miss");
+
+    // The identical request again: served from cache, same answer.
+    let again = client.map(&matrix, &topo, None, 0).unwrap();
+    assert_eq!(again.mapping, reply.mapping);
+    assert!(again.cached, "second identical request must hit the cache");
+
+    // A uniformly scaled matrix shares the fingerprint, so it hits too.
+    let mut scaled = CommMatrix::new(8);
+    for (a, b, v) in matrix.pairs() {
+        scaled.add(a, b, v * 3);
+    }
+    let scaled_reply = client.map(&scaled, &topo, None, 0).unwrap();
+    assert!(scaled_reply.cached);
+    assert_eq!(scaled_reply.mapping, reply.mapping);
+
+    assert!(handle.recorder().counter(CounterId::ServeCacheHits) >= 2);
+    assert_eq!(handle.recorder().counter(CounterId::ServeCacheMisses), 1);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn malformed_frame_gets_an_error_and_the_connection_survives() {
+    let handle = start(ServeConfig::new());
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // A well-formed frame wrapping a non-JSON payload.
+    let payload = b"this is not json";
+    let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(payload);
+    client.send_raw(&frame).unwrap();
+    match client.read_response().unwrap() {
+        tlbmap_serve::Response::Error { code, .. } => {
+            assert_eq!(code, ErrorCode::BadFrame)
+        }
+        other => panic!("expected a bad_frame error, got {other:?}"),
+    }
+
+    // Valid JSON but the wrong protocol version: also bad_frame.
+    let payload = br#"{"v":99,"req":"health"}"#;
+    let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(payload);
+    client.send_raw(&frame).unwrap();
+    match client.read_response().unwrap() {
+        tlbmap_serve::Response::Error { code, .. } => {
+            assert_eq!(code, ErrorCode::BadFrame)
+        }
+        other => panic!("expected a bad_frame error, got {other:?}"),
+    }
+
+    // Valid frame, unknown request kind: bad_request.
+    let payload = br#"{"v":1,"req":"warp"}"#;
+    let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(payload);
+    client.send_raw(&frame).unwrap();
+    match client.read_response().unwrap() {
+        tlbmap_serve::Response::Error { code, .. } => {
+            assert_eq!(code, ErrorCode::BadRequest)
+        }
+        other => panic!("expected a bad_request error, got {other:?}"),
+    }
+
+    // The same connection still serves real requests.
+    client.health().unwrap();
+    let reply = client
+        .map(&ring_matrix(8), &Topology::harpertown(), None, 0)
+        .unwrap();
+    assert_eq!(reply.mapping.len(), 8);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn queue_saturation_answers_overloaded() {
+    // One worker, one queue slot: a slow request occupies the worker, a
+    // second fills the queue, a third must bounce.
+    let handle = start(
+        ServeConfig::new()
+            .with_workers(1)
+            .with_queue_capacity(1)
+            .with_cache_capacity(0),
+    );
+    let addr = handle.addr().to_string();
+    let matrix = ring_matrix(8);
+    let topo = Topology::harpertown();
+
+    let slow = {
+        let addr = addr.clone();
+        let matrix = matrix.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.map(&matrix, &topo, None, 500).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    let queued = {
+        let addr = addr.clone();
+        let matrix = matrix.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.map(&matrix, &topo, None, 0).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut c = Client::connect(&addr).unwrap();
+    match c.map(&matrix, &topo, None, 0) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Overloaded),
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+    assert_eq!(handle.recorder().counter(CounterId::ServeOverloaded), 1);
+
+    // The slow and queued requests still complete normally.
+    assert_eq!(slow.join().unwrap().mapping.len(), 8);
+    assert_eq!(queued.join().unwrap().mapping.len(), 8);
+
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn expired_deadline_answers_timeout() {
+    let handle = start(ServeConfig::new().with_workers(1).with_cache_capacity(0));
+    let addr = handle.addr().to_string();
+    let matrix = ring_matrix(8);
+    let topo = Topology::harpertown();
+
+    // Occupy the single worker for 300 ms.
+    let slow = {
+        let addr = addr.clone();
+        let matrix = matrix.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.map(&matrix, &topo, None, 300).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    // This request can only be reached after ~300 ms but allows 50 ms.
+    let mut c = Client::connect(&addr).unwrap();
+    match c.map(&matrix, &topo, Some(50), 0) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Timeout),
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    assert_eq!(handle.recorder().counter(CounterId::ServeTimeouts), 1);
+    slow.join().unwrap();
+
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let handle = start(ServeConfig::new().with_workers(1));
+    let addr = handle.addr().to_string();
+    let topo = Topology::harpertown();
+
+    // An in-flight request that takes ~300 ms.
+    let in_flight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.map(&ring_matrix(8), &topo, None, 300)
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Shut down from a second connection while the first is in flight.
+    let mut c = Client::connect(&addr).unwrap();
+    c.shutdown().unwrap();
+
+    // New work is refused...
+    match c.map(&ring_matrix(8), &topo, None, 0) {
+        Err(ServeError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::ShuttingDown)
+        }
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+
+    // ...but the in-flight request still completes with a real answer.
+    let reply = in_flight
+        .join()
+        .unwrap()
+        .expect("in-flight request drained");
+    assert_eq!(reply.mapping.len(), 8);
+
+    // And the whole server winds down.
+    handle.join();
+}
+
+#[test]
+fn loadgen_completes_cleanly_below_the_queue_bound() {
+    let handle = start(ServeConfig::new().with_workers(4).with_queue_capacity(64));
+    let addr = handle.addr().to_string();
+
+    let mut cfg = tlbmap_serve::LoadgenConfig::new();
+    cfg.connections = 4;
+    cfg.requests = 25;
+    cfg.matrix = ring_matrix(8);
+    let report = tlbmap_serve::run_loadgen(&addr, &cfg).unwrap();
+
+    assert_eq!(report.sent, 100);
+    assert_eq!(report.ok, 100);
+    assert_eq!(report.total_errors(), 0, "errors: {:?}", report.errors);
+    assert!(report.cached >= 90, "identical requests should mostly hit");
+    assert!(report.p50_us > 0.0 && report.p99_us >= report.p50_us);
+    assert!(report.throughput_rps > 0.0);
+
+    let rec = handle.recorder();
+    assert!(rec.counter(CounterId::ServeCacheHits) > 0);
+    assert_eq!(rec.counter(CounterId::ServeRequests), 100);
+
+    let mut c = Client::connect(&addr).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(
+        stats.get("requests").and_then(tlbmap_obs::Json::as_u64),
+        Some(101),
+        "stats counts the stats request itself"
+    );
+    c.shutdown().unwrap();
+    handle.join();
+}

@@ -16,7 +16,9 @@
 //! * [`obs`] — structured event tracing, metrics, run-artifact export, and
 //!   the in-engine cycle profiler,
 //! * [`prof`] — run analysis: accuracy timelines, run diffing/regression
-//!   gates, and benchmark records.
+//!   gates, and benchmark records,
+//! * [`serve`] — mapping as a service: a std-only TCP server with a
+//!   bounded work queue, LRU result cache, client, and load generator.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use tlbmap_mapping as mapping;
 pub use tlbmap_mem as mem;
 pub use tlbmap_obs as obs;
 pub use tlbmap_prof as prof;
+pub use tlbmap_serve as serve;
 pub use tlbmap_sim as sim;
 pub use tlbmap_workloads as workloads;
 
