@@ -29,19 +29,84 @@ pub struct EvictedLine {
     pub state: MesiState,
 }
 
+/// One resident line, packed to 16 bytes: the MESI state lives in the low
+/// two bits of `meta`, the LRU stamp in the high bits. Whole-word `meta`
+/// comparison orders lines by recency (stamps are unique — every probe
+/// that stamps bumps the cache clock), which keeps the victim scan a bare
+/// `u64` minimum.
 #[derive(Debug, Clone)]
 struct Line {
-    addr: LineAddr,
-    state: MesiState,
-    last_use: u64,
+    addr: u64,
+    meta: u64,
+}
+
+impl Line {
+    #[inline]
+    fn new(addr: LineAddr, state: MesiState, stamp: u64) -> Self {
+        Line {
+            addr: addr.0,
+            meta: (stamp << 2) | encode_state(state),
+        }
+    }
+
+    #[inline]
+    fn state(&self) -> MesiState {
+        decode_state(self.meta)
+    }
+
+    #[inline]
+    fn stamp(&mut self, clock: u64) {
+        self.meta = (clock << 2) | (self.meta & 3);
+    }
+}
+
+#[inline]
+fn encode_state(state: MesiState) -> u64 {
+    match state {
+        MesiState::Modified => 0,
+        MesiState::Exclusive => 1,
+        MesiState::Shared => 2,
+        MesiState::Invalid => 3,
+    }
+}
+
+#[inline]
+fn decode_state(meta: u64) -> MesiState {
+    match meta & 3 {
+        0 => MesiState::Modified,
+        1 => MesiState::Exclusive,
+        2 => MesiState::Shared,
+        _ => MesiState::Invalid,
+    }
 }
 
 /// Set-associative cache of line metadata.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
+    /// Per-set line storage. Sets grow lazily, so constructing a large
+    /// cache (the paper's 12288-set L2) stays cheap — the engine builds a
+    /// fresh hierarchy per simulated run.
     sets: Vec<Vec<Line>>,
+    n_sets: usize,
+    /// `n_sets - 1` when the set count is a power of two, else `usize::MAX`.
+    /// Lets the per-access index computation use a mask instead of a
+    /// hardware divide.
+    set_mask: usize,
+    /// Lemire fastmod magic, `⌈2^64 / n_sets⌉`, for non-power-of-two set
+    /// counts (the paper's 12288-set L2): `addr % n_sets` becomes two
+    /// multiplies for any 32-bit line address.
+    modmul: u64,
     clock: u64,
+    /// Address of the most recently stamped line (`u64::MAX` when unset),
+    /// with its current state. Because this line holds the globally
+    /// maximal LRU stamp, a repeat probe may return its state without
+    /// re-stamping: bumping the maximum again cannot change the relative
+    /// stamp order that replacement decisions depend on. Back-to-back
+    /// probes of the same line — the common case under spatial locality —
+    /// then skip the set scan entirely.
+    hot_addr: u64,
+    hot_state: MesiState,
 }
 
 impl Cache {
@@ -51,10 +116,20 @@ impl Cache {
     /// Panics if the configuration is invalid (see [`CacheConfig::validate`]).
     pub fn new(config: CacheConfig) -> Self {
         config.validate();
+        let n_sets = config.sets();
         Cache {
             config,
-            sets: vec![Vec::new(); config.sets()],
+            sets: vec![Vec::new(); n_sets],
+            n_sets,
+            set_mask: if n_sets.is_power_of_two() {
+                n_sets - 1
+            } else {
+                usize::MAX
+            },
+            modmul: (u64::MAX / n_sets as u64).wrapping_add(1),
             clock: 0,
+            hot_addr: u64::MAX,
+            hot_state: MesiState::Invalid,
         }
     }
 
@@ -65,35 +140,60 @@ impl Cache {
 
     #[inline]
     fn set_index(&self, addr: LineAddr) -> usize {
-        (addr.0 as usize) % self.sets.len()
+        if self.set_mask != usize::MAX {
+            (addr.0 as usize) & self.set_mask
+        } else if addr.0 <= u32::MAX as u64 {
+            // Lemire's fastmod: exact `addr % n_sets` for 32-bit operands.
+            let low = self.modmul.wrapping_mul(addr.0);
+            ((low as u128 * self.n_sets as u128) >> 64) as usize
+        } else {
+            (addr.0 as usize) % self.n_sets
+        }
     }
 
     /// State of `addr` if resident, touching LRU.
+    #[inline]
     pub fn touch(&mut self, addr: LineAddr) -> Option<MesiState> {
+        if addr.0 == self.hot_addr {
+            return Some(self.hot_state);
+        }
         self.clock += 1;
         let clock = self.clock;
         let set = self.set_index(addr);
-        self.sets[set].iter_mut().find(|l| l.addr == addr).map(|l| {
-            l.last_use = clock;
-            l.state
-        })
+        self.sets[set]
+            .iter_mut()
+            .find(|l| l.addr == addr.0)
+            .map(|l| {
+                let state = l.state();
+                l.stamp(clock);
+                self.hot_addr = addr.0;
+                self.hot_state = state;
+                state
+            })
     }
 
     /// State of `addr` if resident, without touching LRU (snoop path).
+    #[inline]
     pub fn peek(&self, addr: LineAddr) -> Option<MesiState> {
+        if addr.0 == self.hot_addr {
+            return Some(self.hot_state);
+        }
         let set = self.set_index(addr);
         self.sets[set]
             .iter()
-            .find(|l| l.addr == addr)
-            .map(|l| l.state)
+            .find(|l| l.addr == addr.0)
+            .map(|l| l.state())
     }
 
     /// Change the state of a resident line. Returns `false` if absent.
     pub fn set_state(&mut self, addr: LineAddr, state: MesiState) -> bool {
         debug_assert_ne!(state, MesiState::Invalid, "use remove() to invalidate");
         let set = self.set_index(addr);
-        if let Some(l) = self.sets[set].iter_mut().find(|l| l.addr == addr) {
-            l.state = state;
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.addr == addr.0) {
+            l.meta = (l.meta & !3) | encode_state(state);
+            if addr.0 == self.hot_addr {
+                self.hot_state = state;
+            }
             true
         } else {
             false
@@ -113,40 +213,133 @@ impl Cache {
         let set_idx = self.set_index(addr);
         let set = &mut self.sets[set_idx];
         debug_assert!(
-            set.iter().all(|l| l.addr != addr),
+            set.iter().all(|l| l.addr != addr.0),
             "insert of already-resident line {addr:?}"
         );
         let evicted = if set.len() == ways {
             let (victim_idx, _) = set
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, l)| l.last_use)
+                .min_by_key(|(_, l)| l.meta)
                 .expect("full set is non-empty");
             let victim = set.swap_remove(victim_idx);
+            if victim.addr == self.hot_addr {
+                self.hot_addr = u64::MAX;
+            }
             Some(EvictedLine {
-                addr: victim.addr,
-                state: victim.state,
+                addr: LineAddr(victim.addr),
+                state: victim.state(),
             })
         } else {
             None
         };
-        set.push(Line {
-            addr,
-            state,
-            last_use: clock,
-        });
+        set.push(Line::new(addr, state, clock));
+        self.hot_addr = addr.0;
+        self.hot_state = state;
+        evicted
+    }
+
+    /// Write-allocate probe: stamp LRU if `addr` is resident, else install
+    /// it with `state` (evicting the set's LRU line if full). One set scan
+    /// instead of the touch-then-insert pair; the relative order of LRU
+    /// stamps — all that replacement decisions depend on — is identical.
+    /// Returns whether the line was already resident, plus any eviction.
+    #[inline]
+    pub fn touch_or_insert(
+        &mut self,
+        addr: LineAddr,
+        state: MesiState,
+    ) -> (bool, Option<EvictedLine>) {
+        if addr.0 == self.hot_addr {
+            return (true, None);
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.config.ways;
+        let set_idx = self.set_index(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(l) = set.iter_mut().find(|l| l.addr == addr.0) {
+            let resident = l.state();
+            l.stamp(clock);
+            self.hot_addr = addr.0;
+            self.hot_state = resident;
+            return (true, None);
+        }
+        let evicted = if set.len() == ways {
+            let (victim_idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.meta)
+                .expect("full set is non-empty");
+            let victim = set.swap_remove(victim_idx);
+            if victim.addr == self.hot_addr {
+                self.hot_addr = u64::MAX;
+            }
+            Some(EvictedLine {
+                addr: LineAddr(victim.addr),
+                state: victim.state(),
+            })
+        } else {
+            None
+        };
+        set.push(Line::new(addr, state, clock));
+        self.hot_addr = addr.0;
+        self.hot_state = state;
+        (false, evicted)
+    }
+
+    /// Install `addr` with `state` unless it is already resident; a
+    /// resident line is left untouched (no LRU stamp — the peek-then-insert
+    /// pair this replaces did not stamp either). Returns any eviction.
+    #[inline]
+    pub fn insert_if_absent(&mut self, addr: LineAddr, state: MesiState) -> Option<EvictedLine> {
+        if addr.0 == self.hot_addr {
+            return None;
+        }
+        let ways = self.config.ways;
+        let set_idx = self.set_index(addr);
+        if self.sets[set_idx].iter().any(|l| l.addr == addr.0) {
+            return None;
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+        let evicted = if set.len() == ways {
+            let (victim_idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.meta)
+                .expect("full set is non-empty");
+            let victim = set.swap_remove(victim_idx);
+            if victim.addr == self.hot_addr {
+                self.hot_addr = u64::MAX;
+            }
+            Some(EvictedLine {
+                addr: LineAddr(victim.addr),
+                state: victim.state(),
+            })
+        } else {
+            None
+        };
+        set.push(Line::new(addr, state, clock));
+        self.hot_addr = addr.0;
+        self.hot_state = state;
         evicted
     }
 
     /// Remove `addr` (coherence invalidation or back-invalidation). Returns
     /// the state it was in, if resident.
+    #[inline]
     pub fn remove(&mut self, addr: LineAddr) -> Option<MesiState> {
+        if addr.0 == self.hot_addr {
+            self.hot_addr = u64::MAX;
+        }
         let set = self.set_index(addr);
         let lines = &mut self.sets[set];
         lines
             .iter()
-            .position(|l| l.addr == addr)
-            .map(|i| lines.swap_remove(i).state)
+            .position(|l| l.addr == addr.0)
+            .map(|i| lines.swap_remove(i).state())
     }
 
     /// Number of resident lines.
@@ -156,7 +349,10 @@ impl Cache {
 
     /// Iterate over all resident lines as `(addr, state)`.
     pub fn lines(&self) -> impl Iterator<Item = (LineAddr, MesiState)> + '_ {
-        self.sets.iter().flatten().map(|l| (l.addr, l.state))
+        self.sets
+            .iter()
+            .flatten()
+            .map(|l| (LineAddr(l.addr), l.state()))
     }
 }
 
@@ -241,6 +437,51 @@ mod tests {
             }
         }
         assert!(c.occupancy() <= 8);
+    }
+
+    #[test]
+    fn fastmod_matches_modulo_for_non_pow2_sets() {
+        // The paper's L2 geometry: 12288 sets (3 · 4096) takes the Lemire
+        // fastmod path for 32-bit line addresses and `%` above that.
+        let c = Cache::new(CacheConfig {
+            size_bytes: 64 * 12288 * 8,
+            line_size: 64,
+            ways: 8,
+            latency: 15,
+        });
+        assert_eq!(c.n_sets, 12288);
+        let samples = [
+            0u64,
+            1,
+            12287,
+            12288,
+            12289,
+            0xDEAD_BEEF,
+            u32::MAX as u64 - 1,
+            u32::MAX as u64,
+            u32::MAX as u64 + 1,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for i in 0..10_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = if i % 2 == 0 { x >> 32 } else { x };
+            assert_eq!(
+                c.set_index(LineAddr(a)),
+                (a % 12288) as usize,
+                "addr {a:#x}"
+            );
+        }
+        for a in samples {
+            assert_eq!(
+                c.set_index(LineAddr(a)),
+                (a % 12288) as usize,
+                "addr {a:#x}"
+            );
+        }
     }
 
     #[test]

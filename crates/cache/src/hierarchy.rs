@@ -15,6 +15,7 @@
 
 use crate::cache::{Cache, LineAddr};
 use crate::config::HierarchyConfig;
+use crate::lineset::LineSet;
 use crate::mesi::MesiState;
 use crate::stats::{CacheStats, MissKind};
 use std::collections::HashSet;
@@ -64,9 +65,9 @@ pub struct MemoryHierarchy {
     /// event; kept out of `CacheStats::invalidations`).
     l1_sibling_invalidations: u64,
     /// Per-L2: lines lost to coherence invalidation (for miss taxonomy).
-    coherence_lost: Vec<HashSet<LineAddr>>,
+    coherence_lost: Vec<LineSet>,
     /// Per-L2: lines that were ever resident (cold vs capacity).
-    ever_resident: Vec<HashSet<LineAddr>>,
+    ever_resident: Vec<LineSet>,
 }
 
 impl MemoryHierarchy {
@@ -91,8 +92,8 @@ impl MemoryHierarchy {
             core_to_l2,
             stats: CacheStats::default(),
             l1_sibling_invalidations: 0,
-            coherence_lost: vec![HashSet::new(); n_l2],
-            ever_resident: vec![HashSet::new(); n_l2],
+            coherence_lost: vec![LineSet::new(); n_l2],
+            ever_resident: vec![LineSet::new(); n_l2],
             cfg,
         }
     }
@@ -124,6 +125,7 @@ impl MemoryHierarchy {
 
     /// Perform one memory access by `core` to physical address `paddr`
     /// on a UMA machine (no NUMA home-node accounting).
+    #[inline]
     pub fn access(
         &mut self,
         core: usize,
@@ -137,6 +139,7 @@ impl MemoryHierarchy {
     /// Perform one memory access with an optional NUMA home chip for the
     /// touched page: memory fetches from a different chip's node pay
     /// `numa_remote_penalty` extra cycles and are counted separately.
+    #[inline]
     pub fn access_numa(
         &mut self,
         core: usize,
@@ -275,10 +278,9 @@ impl MemoryHierarchy {
         self.invalidate_sibling_l1s(core, g, line);
 
         // Write-allocate into the local L1 (write-through to L2 is implied).
-        let hit = self.l1_mut(core, kind).touch(line).is_some();
-        if !hit {
-            self.l1_mut(core, kind).insert(line, MesiState::Shared);
-        }
+        let (hit, _) = self
+            .l1_mut(core, kind)
+            .touch_or_insert(line, MesiState::Shared);
         self.note_l1(kind, hit);
         AccessOutcome {
             cycles,
@@ -413,7 +415,7 @@ impl MemoryHierarchy {
                 let _ = state;
                 count += 1;
                 self.stats.invalidations += 1;
-                self.coherence_lost[other].insert(line);
+                self.coherence_lost[other].insert(line.0);
                 self.back_invalidate_l1s(other, line);
             }
         }
@@ -423,8 +425,7 @@ impl MemoryHierarchy {
     /// Drop `line` from the L1s of every core behind L2 `g` (inclusive
     /// back-invalidation).
     fn back_invalidate_l1s(&mut self, g: usize, line: LineAddr) {
-        let cores = self.cfg.groups[g].cores.clone();
-        for c in cores {
+        for &c in &self.cfg.groups[g].cores {
             self.l1d[c].remove(line);
             self.l1i[c].remove(line);
         }
@@ -432,8 +433,7 @@ impl MemoryHierarchy {
 
     /// Drop `line` from the L1s of `core`'s siblings under the same L2.
     fn invalidate_sibling_l1s(&mut self, core: usize, g: usize, line: LineAddr) {
-        let cores = self.cfg.groups[g].cores.clone();
-        for c in cores {
+        for &c in &self.cfg.groups[g].cores {
             if c != core && self.l1d[c].remove(line).is_some() {
                 self.l1_sibling_invalidations += 1;
             }
@@ -443,7 +443,7 @@ impl MemoryHierarchy {
     /// Install `line` into L2 `g`, recording residence and handling the
     /// evicted victim (writeback if dirty, back-invalidate L1s).
     fn install_l2(&mut self, g: usize, line: LineAddr, state: MesiState) {
-        self.ever_resident[g].insert(line);
+        self.ever_resident[g].insert(line.0);
         if let Some(ev) = self.l2[g].insert(line, state) {
             if ev.state.dirty() {
                 self.stats.writebacks += 1;
@@ -453,9 +453,9 @@ impl MemoryHierarchy {
     }
 
     fn classify_miss(&mut self, g: usize, line: LineAddr) {
-        let kind = if self.coherence_lost[g].remove(&line) {
+        let kind = if self.coherence_lost[g].remove(line.0) {
             MissKind::Coherence
-        } else if self.ever_resident[g].contains(&line) {
+        } else if self.ever_resident[g].contains(line.0) {
             MissKind::Capacity
         } else {
             MissKind::Cold
@@ -464,10 +464,8 @@ impl MemoryHierarchy {
     }
 
     fn fill_l1(&mut self, core: usize, kind: AccessKind, line: LineAddr) {
-        let l1 = self.l1_mut(core, kind);
-        if l1.peek(line).is_none() {
-            l1.insert(line, MesiState::Shared);
-        }
+        self.l1_mut(core, kind)
+            .insert_if_absent(line, MesiState::Shared);
     }
 
     /// Check the MESI exclusivity invariant for one line: if any L2 holds it

@@ -19,6 +19,7 @@
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
+mod lineset;
 pub mod mesi;
 pub mod stats;
 

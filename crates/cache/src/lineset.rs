@@ -1,0 +1,214 @@
+//! A small open-addressing hash set of line addresses.
+//!
+//! The coherence bookkeeping (`ever_resident`, `coherence_lost`) sits on
+//! the L2 miss path, where `std::collections::HashSet`'s SipHash is pure
+//! overhead: line addresses are already well-distributed integers and the
+//! sets are private to one hierarchy, so a multiplicative hash with linear
+//! probing is both safe and several times faster.
+
+const EMPTY: u64 = u64::MAX;
+const TOMBSTONE: u64 = u64::MAX - 1;
+
+/// Fibonacci-style multiplicative hash spreading low-entropy integer keys
+/// across the high bits (the probe start uses the top `log2(capacity)`).
+#[inline]
+fn spread(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// An open-addressing set of `u64` keys (line addresses).
+///
+/// Keys `u64::MAX` and `u64::MAX - 1` are reserved as slot markers; line
+/// addresses are physical addresses shifted right by the line size, so
+/// they can never reach them.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LineSet {
+    /// Power-of-two slot array, `EMPTY`/`TOMBSTONE` or a stored key.
+    slots: Vec<u64>,
+    /// Live keys.
+    len: usize,
+    /// Tombstones left by removals (cleared on rehash).
+    tombs: usize,
+}
+
+impl LineSet {
+    /// An empty set. Allocates nothing until the first insert.
+    pub fn new() -> Self {
+        LineSet::default()
+    }
+
+    /// Number of keys in the set.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether `key` is in the set.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        if self.slots.is_empty() {
+            return false;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (spread(key) >> (64 - self.slots.len().trailing_zeros())) as usize;
+        loop {
+            let s = self.slots[i & mask];
+            if s == key {
+                return true;
+            }
+            if s == EMPTY {
+                return false;
+            }
+            i += 1;
+        }
+    }
+
+    /// Insert `key`; returns `true` if it was not already present.
+    pub fn insert(&mut self, key: u64) -> bool {
+        debug_assert!(key < TOMBSTONE, "key collides with slot markers");
+        if (self.len + self.tombs + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (spread(key) >> (64 - self.slots.len().trailing_zeros())) as usize;
+        let mut free: Option<usize> = None;
+        loop {
+            let slot = i & mask;
+            let s = self.slots[slot];
+            if s == key {
+                return false;
+            }
+            if s == TOMBSTONE {
+                free.get_or_insert(slot);
+            } else if s == EMPTY {
+                let target = free.unwrap_or(slot);
+                if self.slots[target] == TOMBSTONE {
+                    self.tombs -= 1;
+                }
+                self.slots[target] = key;
+                self.len += 1;
+                return true;
+            }
+            i += 1;
+        }
+    }
+
+    /// Remove `key`; returns `true` if it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        if self.slots.is_empty() {
+            return false;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (spread(key) >> (64 - self.slots.len().trailing_zeros())) as usize;
+        loop {
+            let slot = i & mask;
+            let s = self.slots[slot];
+            if s == key {
+                self.slots[slot] = TOMBSTONE;
+                self.len -= 1;
+                self.tombs += 1;
+                return true;
+            }
+            if s == EMPTY {
+                return false;
+            }
+            i += 1;
+        }
+    }
+
+    /// Double the capacity (quadruple while small) and rehash, dropping
+    /// tombstones.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        self.tombs = 0;
+        let mask = new_cap - 1;
+        let shift = 64 - new_cap.trailing_zeros();
+        for key in old {
+            if key < TOMBSTONE {
+                let mut i = (spread(key) >> shift) as usize;
+                while self.slots[i & mask] != EMPTY {
+                    i += 1;
+                }
+                self.slots[i & mask] = key;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn empty_set_answers_without_allocating() {
+        let s = LineSet::new();
+        assert!(!s.contains(0));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut s = LineSet::new();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+        assert!(s.contains(42));
+        assert!(!s.contains(43));
+        assert!(s.remove(42));
+        assert!(!s.remove(42));
+        assert!(!s.contains(42));
+    }
+
+    #[test]
+    fn zero_is_a_valid_key() {
+        let mut s = LineSet::new();
+        assert!(s.insert(0));
+        assert!(s.contains(0));
+        assert!(s.remove(0));
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn tombstones_do_not_break_probe_chains() {
+        let mut s = LineSet::new();
+        // Fill enough to force probe chains, then delete alternating keys.
+        for k in 0..64u64 {
+            s.insert(k);
+        }
+        for k in (0..64u64).step_by(2) {
+            assert!(s.remove(k));
+        }
+        for k in 0..64u64 {
+            assert_eq!(s.contains(k), k % 2 == 1, "key {k}");
+        }
+        // Reinserting removed keys reuses tombstones.
+        for k in (0..64u64).step_by(2) {
+            assert!(s.insert(k));
+        }
+        assert_eq!(s.len(), 64);
+    }
+
+    #[test]
+    fn matches_std_hashset_on_random_traffic() {
+        let mut rng = SmallRng::seed_from_u64(0x11E5);
+        for _ in 0..20 {
+            let mut ours = LineSet::new();
+            let mut std_set: HashSet<u64> = HashSet::new();
+            for _ in 0..2000 {
+                let key = rng.gen_range(0u64..300);
+                match rng.gen_range(0u32..3) {
+                    0 => assert_eq!(ours.insert(key), std_set.insert(key)),
+                    1 => assert_eq!(ours.remove(key), std_set.remove(&key)),
+                    _ => assert_eq!(ours.contains(key), std_set.contains(&key)),
+                }
+            }
+            assert_eq!(ours.len(), std_set.len());
+            for key in 0..300 {
+                assert_eq!(ours.contains(key), std_set.contains(&key));
+            }
+        }
+    }
+}

@@ -13,6 +13,7 @@
 
 use crate::matrix::CommMatrix;
 use crate::overhead;
+use tlbmap_mem::{Tlb, Vpn};
 use tlbmap_obs::{Mechanism, Recorder};
 use tlbmap_sim::{SimHooks, TlbView};
 
@@ -79,6 +80,11 @@ pub struct HmDetector {
     searches_run: u64,
     matches_found: u64,
     recorder: Recorder,
+    /// Per-core scratch: sorted VPNs of each TLB set, rebuilt at the start
+    /// of every search and reused across searches to avoid reallocation.
+    /// Sorting once per core lets every pair comparison run as a linear
+    /// merge instead of a nested scan.
+    snaps: Vec<Vec<Vec<u64>>>,
 }
 
 impl HmDetector {
@@ -90,6 +96,7 @@ impl HmDetector {
             searches_run: 0,
             matches_found: 0,
             recorder: Recorder::disabled(),
+            snaps: Vec::new(),
         }
     }
 
@@ -128,8 +135,113 @@ impl HmDetector {
 
     /// Compare every pair of TLBs in `view`, recording matches. Public so
     /// tools can drive a search outside the engine. Returns the number of
-    /// entry comparisons performed.
+    /// entry comparisons the modelled routine performs — this feeds the
+    /// cycle cost and is *not* reduced by the shortcuts below, which only
+    /// cut the simulator's own work.
+    ///
+    /// Same geometry: matching pages live in the same set index, so sets
+    /// are compared pairwise — by 64-bit signature AND first (an O(1)
+    /// proof of disjointness), then a linear merge of the sorted
+    /// snapshots, Θ(w) instead of the nested Θ(w²) scan. Differing
+    /// geometries index the same VPN into *different* sets, so each of
+    /// A's entries probes the set it indexes in B.
     pub fn search_all_pairs(&mut self, view: &TlbView<'_>) -> u64 {
+        self.searches_run += 1;
+        let p = view.num_cores();
+        self.rebuild_snapshots(view);
+        let mut comparisons = 0u64;
+        for a in 0..p {
+            let ta = match view.thread_on(a) {
+                Some(t) => t,
+                None => continue,
+            };
+            for b in (a + 1)..p {
+                let tb = match view.thread_on(b) {
+                    Some(t) => t,
+                    None => continue,
+                };
+                let tlb_a = view.tlb(a);
+                let tlb_b = view.tlb(b);
+                if tlb_a.config().sets() == tlb_b.config().sets() {
+                    for set in 0..tlb_a.config().sets() {
+                        let na = tlb_a.set_len(set) as u64;
+                        let nb = tlb_b.set_len(set) as u64;
+                        // The routine compares every pair of valid entries.
+                        comparisons += na * nb;
+                        if na == 0 || nb == 0 {
+                            continue;
+                        }
+                        if tlb_a.set_signature(set) & tlb_b.set_signature(set) == 0 {
+                            continue;
+                        }
+                        let sa = &self.snaps[a][set];
+                        let sb = &self.snaps[b][set];
+                        let (mut i, mut j) = (0, 0);
+                        while i < sa.len() && j < sb.len() {
+                            match sa[i].cmp(&sb[j]) {
+                                std::cmp::Ordering::Less => i += 1,
+                                std::cmp::Ordering::Greater => j += 1,
+                                std::cmp::Ordering::Equal => {
+                                    self.matrix.record(ta, tb);
+                                    self.recorder.record_matrix_inc(ta, tb, 1);
+                                    self.matches_found += 1;
+                                    i += 1;
+                                    j += 1;
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    for set_vpns in &self.snaps[a] {
+                        for &vpn in set_vpns {
+                            let set_b = tlb_b.set_index(Vpn(vpn));
+                            comparisons += tlb_b.set_len(set_b) as u64;
+                            if tlb_b.set_signature(set_b) & Tlb::signature_bit(Vpn(vpn)) == 0 {
+                                continue;
+                            }
+                            if self.snaps[b][set_b].binary_search(&vpn).is_ok() {
+                                self.matrix.record(ta, tb);
+                                self.recorder.record_matrix_inc(ta, tb, 1);
+                                self.matches_found += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        comparisons
+    }
+
+    /// Rebuild the per-core sorted-VPN snapshots for the cores that
+    /// participate in this search.
+    fn rebuild_snapshots(&mut self, view: &TlbView<'_>) {
+        let p = view.num_cores();
+        if self.snaps.len() < p {
+            self.snaps.resize_with(p, Vec::new);
+        }
+        for c in 0..p {
+            if view.thread_on(c).is_none() {
+                continue;
+            }
+            let tlb = view.tlb(c);
+            let sets = tlb.config().sets();
+            let snap = &mut self.snaps[c];
+            snap.resize_with(sets, Vec::new);
+            for (set, buf) in snap.iter_mut().enumerate() {
+                buf.clear();
+                buf.extend(tlb.set_entries(set).map(|e| e.vpn.0));
+                buf.sort_unstable();
+            }
+        }
+    }
+
+    /// The pre-optimization search, kept as the oracle for the property
+    /// test: every entry of A probes the set it indexes in B, with plain
+    /// nested loops and no signatures. Must stay behaviourally identical
+    /// to [`HmDetector::search_all_pairs`] (matrix, match count, and
+    /// comparison count).
+    #[cfg(test)]
+    fn search_all_pairs_naive(&mut self, view: &TlbView<'_>) -> u64 {
         self.searches_run += 1;
         let p = view.num_cores();
         let mut comparisons = 0u64;
@@ -145,18 +257,14 @@ impl HmDetector {
                 };
                 let tlb_a = view.tlb(a);
                 let tlb_b = view.tlb(b);
-                // Same geometry ⇒ matching pages live in the same set
-                // index, so the comparison is per set (Θ(S·w) not Θ(S²)).
-                let sets = tlb_a.config().sets().min(tlb_b.config().sets());
-                for set in 0..sets {
-                    for ea in tlb_a.set_entries(set) {
-                        for eb in tlb_b.set_entries(set) {
-                            comparisons += 1;
-                            if ea.vpn == eb.vpn {
-                                self.matrix.record(ta, tb);
-                                self.recorder.record_matrix_inc(ta, tb, 1);
-                                self.matches_found += 1;
-                            }
+                for ea in tlb_a.entries() {
+                    let set_b = tlb_b.set_index(ea.vpn);
+                    for eb in tlb_b.set_entries(set_b) {
+                        comparisons += 1;
+                        if ea.vpn == eb.vpn {
+                            self.matrix.record(ta, tb);
+                            self.recorder.record_matrix_inc(ta, tb, 1);
+                            self.matches_found += 1;
                         }
                     }
                 }
@@ -191,6 +299,7 @@ impl SimHooks for HmDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use tlbmap_mem::{Mmu, MmuConfig, PageGeometry, PageTable, VirtAddr};
     use tlbmap_sim::TlbView;
 
@@ -271,6 +380,84 @@ mod tests {
         det.search_all_pairs(&view);
         assert!(det.matrix().invariants_hold());
         assert_eq!(det.matrix().get(0, 2), det.matrix().get(2, 0));
+    }
+
+    #[test]
+    fn mixed_geometries_still_find_shared_pages() {
+        use tlbmap_mem::TlbConfig;
+        let geo = PageGeometry::new_4k();
+        // Core 0: 64-entry 4-way (16 sets); core 1: 8-entry 4-way (2 sets).
+        // VPN 5 indexes set 5 on core 0 but set 1 on core 1 — the old
+        // min-sets loop never scanned set 5 of core 0 and dropped the match.
+        let mk = |entries, ways| {
+            Mmu::new(
+                MmuConfig {
+                    tlb: TlbConfig { entries, ways },
+                    ..MmuConfig::paper_hardware_managed()
+                },
+                geo,
+            )
+        };
+        let mut mmus = vec![mk(64, 4), mk(8, 4)];
+        let mut pt = PageTable::new(geo);
+        touch(&mut mmus, &mut pt, 0, 5);
+        touch(&mut mmus, &mut pt, 1, 5);
+        let threads = vec![Some(0), Some(1)];
+        let view = TlbView::new(&mmus, &threads);
+        let mut det = HmDetector::new(2, HmConfig::paper_default());
+        let comparisons = det.search_all_pairs(&view);
+        assert_eq!(det.matrix().get(0, 1), 1, "cross-geometry match dropped");
+        assert_eq!(det.matches_found(), 1);
+        // One entry in A probing a one-entry set in B.
+        assert_eq!(comparisons, 1);
+    }
+
+    proptest! {
+        /// The signature/merge search is behaviourally identical to the
+        /// naive probe oracle on random TLB states: mixed geometries,
+        /// partially-filled sets, and idle cores included.
+        #[test]
+        fn search_matches_naive_oracle_on_random_states(
+            cores in prop::collection::vec(
+                (0usize..5, prop::collection::vec(0u64..48, 0..40), prop::bool::weighted(0.2)),
+                2..6,
+            ),
+        ) {
+            use tlbmap_mem::TlbConfig;
+            let geo = PageGeometry::new_4k();
+            // (entries, ways) pairs with power-of-two set counts, mixed sizes.
+            let geometries = [(64usize, 4usize), (16, 4), (8, 4), (8, 2), (4, 4)];
+            let mut mmus = Vec::new();
+            let mut threads = Vec::new();
+            let mut pt = PageTable::new(geo);
+            for (i, (g, pages, idle)) in cores.iter().enumerate() {
+                let (entries, ways) = geometries[*g];
+                let mut mmu = Mmu::new(
+                    MmuConfig {
+                        tlb: TlbConfig { entries, ways },
+                        ..MmuConfig::paper_hardware_managed()
+                    },
+                    geo,
+                );
+                for &p in pages {
+                    mmu.translate(VirtAddr(p * 4096), &mut pt);
+                }
+                mmus.push(mmu);
+                threads.push(if *idle { None } else { Some(i) });
+            }
+            let view = TlbView::new(&mmus, &threads);
+            let n = mmus.len();
+            let mut fast = HmDetector::new(n, HmConfig::paper_default());
+            let mut naive = HmDetector::new(n, HmConfig::paper_default());
+            let c_fast = fast.search_all_pairs(&view);
+            let c_naive = naive.search_all_pairs_naive(&view);
+            prop_assert_eq!(c_fast, c_naive);
+            prop_assert_eq!(fast.matrix(), naive.matrix());
+            prop_assert_eq!(fast.matches_found(), naive.matches_found());
+            // Repeat on the same view: snapshot reuse must not go stale.
+            let c_fast2 = fast.search_all_pairs(&view);
+            prop_assert_eq!(c_fast2, c_naive);
+        }
     }
 
     #[test]

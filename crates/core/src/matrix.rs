@@ -75,13 +75,14 @@ impl CommMatrix {
 
     /// Sum of the upper triangle — total communication units detected.
     pub fn total(&self) -> u64 {
-        let mut sum = 0;
-        for i in 0..self.n {
-            for j in (i + 1)..self.n {
-                sum += self.get(i, j);
-            }
-        }
-        sum
+        // Each row's above-diagonal cells form one contiguous slice.
+        (0..self.n)
+            .map(|i| {
+                self.data[i * self.n + i + 1..(i + 1) * self.n]
+                    .iter()
+                    .sum::<u64>()
+            })
+            .sum()
     }
 
     /// Largest cell value.

@@ -152,7 +152,10 @@ impl SimHooks for SmDetector {
         self.recorder.record_search_start(Mechanism::Sm, core);
 
         // Search every *other* core's TLB for the missing page. Only the
-        // set the VPN indexes needs scanning (set-associative shortcut).
+        // set the VPN indexes needs scanning (set-associative shortcut);
+        // the modelled routine compares every valid entry of that set, so
+        // the cost counts the set's occupancy even though `contains` can
+        // answer from the set's signature without scanning.
         let mut entries_compared = 0u64;
         let mut matches_here = 0u64;
         for other in 0..view.num_cores() {
@@ -160,15 +163,12 @@ impl SimHooks for SmDetector {
                 continue;
             }
             let tlb = view.tlb(other);
-            let set = tlb.set_index(vpn);
-            for entry in tlb.set_entries(set) {
-                entries_compared += 1;
-                if entry.vpn == vpn {
-                    if let Some(other_thread) = view.thread_on(other) {
-                        self.matrix.record(thread, other_thread);
-                        self.recorder.record_matrix_inc(thread, other_thread, 1);
-                        matches_here += 1;
-                    }
+            entries_compared += tlb.set_len(tlb.set_index(vpn)) as u64;
+            if tlb.contains(vpn) {
+                if let Some(other_thread) = view.thread_on(other) {
+                    self.matrix.record(thread, other_thread);
+                    self.recorder.record_matrix_inc(thread, other_thread, 1);
+                    matches_here += 1;
                 }
             }
         }

@@ -57,10 +57,24 @@ pub struct Bencher {
 impl Bencher {
     /// Time `f`, collecting `sample_count` samples of auto-scaled batches.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warm up and size the batch so one sample takes a measurable time.
-        let start = Instant::now();
-        black_box(f());
-        let once = start.elapsed().max(Duration::from_nanos(1));
+        // Warm up before sizing anything: the first calls of the first
+        // benchmark in a process pay one-off costs (allocator growth, page
+        // faults, CPU frequency ramp) that would otherwise both skew the
+        // batch size and depress every sample of that entry. Spin for a
+        // fixed wall-clock budget, then size the batch from the fastest
+        // observed call.
+        let warmup_budget = Duration::from_millis(200);
+        let warmup_start = Instant::now();
+        let mut once = Duration::MAX;
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            once = once.min(start.elapsed());
+            if warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+        let once = once.max(Duration::from_nanos(1));
         let per_sample = self.target_sample_time.max(once);
         let batch = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
 

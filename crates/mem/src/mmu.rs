@@ -130,6 +130,7 @@ impl Mmu {
     /// — invisible to the SM mechanism); a full miss returns `None` and
     /// the caller must invoke [`Mmu::fill`] (after letting any detector
     /// observe the miss).
+    #[inline]
     pub fn lookup(&mut self, vaddr: VirtAddr) -> Option<Translation> {
         let vpn = vaddr.vpn(self.geo);
         match self.tlb.access(vpn) {

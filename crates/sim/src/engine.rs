@@ -17,6 +17,7 @@ use crate::hooks::{SimHooks, TlbView};
 use crate::jitter::Jitter;
 use crate::mapping::Mapping;
 use crate::numa::PageHomes;
+use crate::sched::RunQueue;
 use crate::stats::RunStats;
 use crate::topology::Topology;
 use crate::trace::{barriers_consistent, ThreadTrace, TraceEvent};
@@ -122,6 +123,21 @@ fn run<const OBSERVED: bool>(
         }
     }
 
+    // Run queue over runnable threads, keyed by core clock. Invariant: a
+    // thread is queued iff its state is `Running`, at its core's current
+    // clock. Keeps next-thread selection O(log T) instead of a full scan.
+    let mut runq = RunQueue::new(n_threads);
+    for t in 0..n_threads {
+        if state[t] == ThreadState::Running {
+            runq.push(t, clocks[core_of[t]]);
+        }
+    }
+
+    // An inert hook set (plain simulation) lets the engine skip the
+    // per-event dynamic dispatches entirely; the skipped bodies would
+    // observe nothing and charge zero cycles.
+    let inert = hooks.is_inert();
+
     let mut next_tick = cfg.tick_period;
     let mut detection_overhead = 0u64;
     let mut detection_searches = 0u64;
@@ -130,30 +146,12 @@ fn run<const OBSERVED: bool>(
     let mut migrations = 0u64;
 
     loop {
-        // Pick the running thread with the smallest core clock.
-        let mut current: Option<usize> = None;
-        let mut limit = u64::MAX; // second-smallest running clock
-        for t in 0..n_threads {
-            if state[t] != ThreadState::Running {
-                continue;
-            }
-            let c = clocks[core_of[t]];
-            match current {
-                None => current = Some(t),
-                Some(cur) => {
-                    let cur_c = clocks[core_of[cur]];
-                    if c < cur_c {
-                        limit = cur_c;
-                        current = Some(t);
-                    } else if c < limit {
-                        limit = c;
-                    }
-                }
-            }
-        }
-
-        let t = match current {
-            Some(t) => t,
+        // Pick the running thread with the smallest core clock; the batch
+        // limit is the second-smallest running clock. Ordering in the queue
+        // is (clock, thread id), matching the scan this replaced: lowest
+        // thread id wins clock ties.
+        let (t, limit) = match runq.peek() {
+            Some((t, _)) => (t, runq.second_min_clock()),
             None => {
                 // Nobody runnable: either everyone is done, or every live
                 // thread waits at the barrier — release it.
@@ -180,7 +178,9 @@ fn run<const OBSERVED: bool>(
 
                 // Barrier release is the safe migration point: every live
                 // thread is parked at the same cycle.
-                let requested = {
+                let requested = if inert {
+                    None
+                } else {
                     let view = TlbView::new(&mmus, &thread_on_core);
                     hooks.on_barrier(barriers_crossed - 1, &view)
                 };
@@ -221,25 +221,36 @@ fn run<const OBSERVED: bool>(
                     clocks = new_clocks;
                     thread_on_core = new_map.threads_on_cores(n_cores);
                 }
+                // The queue was empty (no thread was Running); requeue the
+                // released threads at their post-barrier/migration clocks.
+                for t in 0..n_threads {
+                    if state[t] == ThreadState::Running {
+                        runq.push(t, clocks[core_of[t]]);
+                    }
+                }
                 continue;
             }
         };
         let core = core_of[t];
 
         // Execute a batch: until this thread's clock passes the next
-        // runnable thread, or it blocks/finishes.
-        while state[t] == ThreadState::Running && clocks[core] <= limit {
-            if pos[t] == traces[t].len() {
+        // runnable thread, or it blocks/finishes. The trace position and
+        // core clock live in locals for the batch (written back on exit),
+        // keeping bounds-checked slice traffic out of the per-event loop.
+        let trace = &traces[t];
+        let mut p = pos[t];
+        let mut clk = clocks[core];
+        while state[t] == ThreadState::Running && clk <= limit {
+            let Some(&event) = trace.get(p) else {
                 // Trace ended on a barrier: nothing left after release.
                 state[t] = ThreadState::Done;
                 break;
-            }
-            let event = traces[t][pos[t]];
-            pos[t] += 1;
+            };
+            p += 1;
             // The running core's clock is the global minimum, so it is the
             // best cycle estimate for events and snapshot scheduling.
             if OBSERVED {
-                rec.advance(clocks[core]);
+                rec.advance(clk);
             }
             match event {
                 TraceEvent::Compute(c) => {
@@ -247,14 +258,16 @@ fn run<const OBSERVED: bool>(
                     if OBSERVED {
                         rec.prof_charge(ProfId::EngineCompute, scaled);
                     }
-                    clocks[core] += scaled;
+                    clk += scaled;
                 }
                 TraceEvent::Barrier => {
                     state[t] = ThreadState::AtBarrier;
                 }
                 TraceEvent::Access { vaddr, op, kind } => {
                     accesses += 1;
-                    hooks.on_access(core, t, vaddr, op);
+                    if !inert {
+                        hooks.on_access(core, t, vaddr, op);
+                    }
                     let mut cycles = 0u64;
                     let translation = match mmus[core].lookup(vaddr) {
                         Some(tr) => tr,
@@ -263,7 +276,9 @@ fn run<const OBSERVED: bool>(
                             if OBSERVED {
                                 rec.record_tlb_miss(core, t, vpn.0, kind == AccessKind::Data);
                             }
-                            let overhead = {
+                            let overhead = if inert {
+                                0
+                            } else {
                                 let view = TlbView::new(&mmus, &thread_on_core);
                                 hooks.on_tlb_miss(core, t, vpn, kind, &view)
                             };
@@ -283,17 +298,19 @@ fn run<const OBSERVED: bool>(
                         .as_mut()
                         .map(|ph| ph.home_of(vaddr.vpn(cfg.geometry), topo.chip_of(core)));
                     let out = hierarchy.access_numa(core, translation.paddr.0, op, kind, home_chip);
-                    hooks.on_access_outcome(core, t, &out);
+                    if !inert {
+                        hooks.on_access_outcome(core, t, &out);
+                    }
                     cycles += out.cycles;
                     if OBSERVED {
                         rec.prof_charge(ProfId::EngineAccess, 0);
                         rec.prof_charge(ProfId::TlbLookup, translation.cycles);
                         rec.prof_charge(ProfId::CacheAccess, out.cycles);
                     }
-                    clocks[core] += cycles;
+                    clk += cycles;
                 }
             }
-            if pos[t] == traces[t].len() && state[t] == ThreadState::Running {
+            if p == trace.len() && state[t] == ThreadState::Running {
                 state[t] = ThreadState::Done;
             }
 
@@ -303,12 +320,14 @@ fn run<const OBSERVED: bool>(
                 // A single large Compute event can jump several periods;
                 // fire every interrupt that became due.
                 let mut tick_at = next_tick.expect("next_tick set when period set");
-                while clocks[core] >= tick_at {
+                while clk >= tick_at {
                     if OBSERVED {
                         rec.set_cycle(tick_at);
                         rec.inc(CounterId::Ticks);
                     }
-                    let overhead = {
+                    let overhead = if inert {
+                        0
+                    } else {
                         let view = TlbView::new(&mmus, &thread_on_core);
                         hooks.on_tick(tick_at, &view)
                     };
@@ -318,12 +337,24 @@ fn run<const OBSERVED: bool>(
                     if overhead > 0 {
                         detection_overhead += overhead;
                         detection_searches += 1;
-                        clocks[core] += overhead;
+                        clk += overhead;
                     }
                     tick_at += period;
                 }
                 next_tick = Some(tick_at);
             }
+        }
+        pos[t] = p;
+        clocks[core] = clk;
+
+        // Reposition the thread at its new clock, or drop it from the queue
+        // if the batch ended at a barrier or end-of-trace. The batch thread
+        // was the queue minimum and its clock only advanced, so both are
+        // root-only heap operations.
+        if state[t] == ThreadState::Running {
+            runq.advance_min(clocks[core]);
+        } else {
+            runq.pop_min();
         }
     }
 

@@ -44,6 +44,16 @@ impl<'a> TlbView<'a> {
 /// detection *overhead* (Table III, §VI-C) becomes visible in execution
 /// time.
 pub trait SimHooks {
+    /// Declare that every callback is a no-op. When `true`, the engine may
+    /// skip the per-event calls entirely — behaviourally identical, since
+    /// the skipped bodies would observe nothing and charge zero cycles,
+    /// but it removes two dynamic dispatches from every simulated access.
+    /// Any implementation that observes events must return `false` (the
+    /// default).
+    fn is_inert(&self) -> bool {
+        false
+    }
+
     /// Every memory access, before translation. Ground-truth detectors use
     /// this; the paper's mechanisms cannot (that would be full tracing).
     fn on_access(&mut self, core: usize, thread: usize, vaddr: VirtAddr, op: MemOp) {
@@ -100,7 +110,11 @@ pub trait SimHooks {
 /// A hook that observes nothing — plain simulation.
 pub struct NoHooks;
 
-impl SimHooks for NoHooks {}
+impl SimHooks for NoHooks {
+    fn is_inert(&self) -> bool {
+        true
+    }
+}
 
 /// Run several hooks in sequence (e.g. a detector plus a tracer); overhead
 /// cycles are summed.
@@ -116,6 +130,10 @@ impl<'a> ChainedHooks<'a> {
 }
 
 impl SimHooks for ChainedHooks<'_> {
+    fn is_inert(&self) -> bool {
+        self.hooks.iter().all(|h| h.is_inert())
+    }
+
     fn on_access(&mut self, core: usize, thread: usize, vaddr: VirtAddr, op: MemOp) {
         for h in &mut self.hooks {
             h.on_access(core, thread, vaddr, op);

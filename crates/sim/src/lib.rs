@@ -26,6 +26,7 @@ pub mod hooks;
 pub mod jitter;
 pub mod mapping;
 pub mod numa;
+mod sched;
 pub mod stats;
 pub mod topology;
 pub mod trace;
