@@ -1,0 +1,64 @@
+//! A/B microbenchmark for the L2 set tag compare: the scalar
+//! `iter().position` scan the caches used before the hot-path overhaul
+//! versus the 4-wide unrolled compare (`scan4`) they run now.
+//!
+//! The 8-way L2 set is the interesting case — two unrolled iterations
+//! cover the whole set, and the OR-combined compares let the compiler
+//! keep four strided loads in flight before the first branch. Hit
+//! position is swept across the set because the scalar scan's cost is
+//! linear in it while the unrolled scan pays per block of four.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tlbmap_cache::cache::{way_scan_scalar, way_scan_unrolled};
+
+/// An 8-way set of `(tag, meta)` pairs mirroring the cache's line layout.
+fn set_with_hit_at(way: usize) -> Vec<(u64, u64)> {
+    (0..8)
+        .map(|i| {
+            let tag = if i == way { 0xDEAD } else { 0x1000 + i as u64 };
+            (tag, i as u64)
+        })
+        .collect()
+}
+
+fn bench_tag_compare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tag_compare");
+
+    for (name, way) in [("hit_way0", 0usize), ("hit_way3", 3), ("hit_way7", 7)] {
+        let set = set_with_hit_at(way);
+        g.bench_function(format!("scalar/{name}"), |b| {
+            b.iter(|| black_box(way_scan_scalar(black_box(&set), black_box(0xDEAD))))
+        });
+        g.bench_function(format!("unrolled/{name}"), |b| {
+            b.iter(|| black_box(way_scan_unrolled(black_box(&set), black_box(0xDEAD))))
+        });
+    }
+
+    // Miss: both variants walk the full set; the unrolled scan takes two
+    // branches instead of eight.
+    let set = set_with_hit_at(0);
+    g.bench_function("scalar/miss", |b| {
+        b.iter(|| black_box(way_scan_scalar(black_box(&set), black_box(0xBEEF))))
+    });
+    g.bench_function("unrolled/miss", |b| {
+        b.iter(|| black_box(way_scan_unrolled(black_box(&set), black_box(0xBEEF))))
+    });
+
+    g.finish();
+}
+
+fn sanity(c: &mut Criterion) {
+    // Keep the two scans honest against each other while the benchmark
+    // binary is the thing running them.
+    for way in 0..8 {
+        let set = set_with_hit_at(way);
+        assert_eq!(way_scan_scalar(&set, 0xDEAD), Some(way));
+        assert_eq!(way_scan_unrolled(&set, 0xDEAD), Some(way));
+        assert_eq!(way_scan_scalar(&set, 0xBEEF), None);
+        assert_eq!(way_scan_unrolled(&set, 0xBEEF), None);
+    }
+    let _ = c;
+}
+
+criterion_group!(benches, sanity, bench_tag_compare);
+criterion_main!(benches);

@@ -13,7 +13,10 @@
 //! * Table V — standard deviations in percent (with `--stddev`).
 //!
 //! Usage: `fig6_9_performance [--reps N] [--scale workshop] [--absolute]
-//!         [--stddev] [--sequential]`
+//!         [--stddev] [--workers N] [--sequential]`
+//!
+//! The per-app repetitions shard across `--workers` OS threads (default:
+//! one per core); results are identical at any worker count.
 
 use tlbmap_bench::{bar, mean, stddev_pct, CampaignConfig, PerfResult, Table};
 use tlbmap_sim::RunStats;

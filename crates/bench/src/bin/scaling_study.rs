@@ -8,9 +8,14 @@
 //! Harpertown successors) and measures how much a communication-aware
 //! mapping buys at each size.
 //!
-//! Usage: `scaling_study [--reps N] [--scale workshop] [--seed N]`
+//! Usage: `scaling_study [--reps N] [--scale workshop] [--seed N]
+//!         [--workers N] [--sequential]`
+//!
+//! Repetitions are independent (each gets its own placement and jitter
+//! seed), so they shard across `--workers` OS threads; results are
+//! identical at any worker count.
 
-use tlbmap_bench::{mean, CampaignConfig, Table};
+use tlbmap_bench::{mean, parallel_map, CampaignConfig, Table};
 use tlbmap_core::{SmConfig, SmDetector};
 use tlbmap_mapping::{baselines, HierarchicalMapper};
 use tlbmap_sim::{simulate, Mapping, NoHooks, SimConfig, Topology};
@@ -69,16 +74,23 @@ fn main() {
         );
         let mapping = HierarchicalMapper::new().map(det.matrix(), &topo);
 
-        // Measure.
+        // Measure. Each repetition is a pure function of its index, so the
+        // OS-baseline runs shard across worker threads.
         let perf = SimConfig::paper_hardware_managed(&topo).with_tick_period(None);
+        let os_runs = parallel_map(
+            (0..cfg.reps).collect::<Vec<_>>(),
+            cfg.worker_count(cfg.reps),
+            |rep| {
+                let os_map = baselines::random(n, &topo, cfg.seed + rep as u64);
+                let sim = perf.clone().with_jitter(rep as u64);
+                simulate(&sim, &topo, &workload.traces, &os_map, &mut NoHooks)
+            },
+        );
         let mut os_secs = Vec::new();
         let mut os_inval = Vec::new();
         let mut os_snoop = Vec::new();
         let mut os_xchip = Vec::new();
-        for rep in 0..cfg.reps {
-            let os_map = baselines::random(n, &topo, cfg.seed + rep as u64);
-            let sim = perf.clone().with_jitter(rep as u64);
-            let s = simulate(&sim, &topo, &workload.traces, &os_map, &mut NoHooks);
+        for s in &os_runs {
             os_secs.push(s.seconds());
             os_inval.push(s.cache.invalidations as f64);
             os_snoop.push(s.cache.snoop_transactions as f64);

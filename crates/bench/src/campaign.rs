@@ -36,6 +36,9 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Run repetitions on multiple OS threads.
     pub parallel: bool,
+    /// Worker-thread cap for repetition sharding (`--workers N`); `None`
+    /// means one worker per available core.
+    pub workers: Option<usize>,
 }
 
 impl Default for CampaignConfig {
@@ -55,6 +58,7 @@ impl Default for CampaignConfig {
             hm_period: 250_000,
             seed: 0x71B,
             parallel: true,
+            workers: None,
         }
     }
 }
@@ -62,7 +66,7 @@ impl Default for CampaignConfig {
 impl CampaignConfig {
     /// Parse overrides from command-line arguments:
     /// `--reps N --scale test|small|workshop --sm-threshold N
-    ///  --hm-period N --seed N --sequential`.
+    ///  --hm-period N --seed N --workers N --sequential`.
     ///
     /// # Panics
     /// Panics on malformed values, with a message naming the flag.
@@ -111,6 +115,10 @@ impl CampaignConfig {
                     cfg.seed = need_value(i).parse().expect("--seed takes an integer");
                     i += 2;
                 }
+                "--workers" => {
+                    cfg.workers = Some(need_value(i).parse().expect("--workers takes an integer"));
+                    i += 2;
+                }
                 "--sequential" => {
                     cfg.parallel = false;
                     i += 1;
@@ -132,6 +140,20 @@ impl CampaignConfig {
     /// The machine: the paper's 8-core Harpertown pair.
     pub fn topology(&self) -> Topology {
         Topology::harpertown()
+    }
+
+    /// Worker threads to shard `jobs` repetitions across: `--workers N`
+    /// wins, otherwise one per available core (or a single worker under
+    /// `--sequential`), always clamped to the job count.
+    pub fn worker_count(&self, jobs: usize) -> usize {
+        let n = match self.workers {
+            Some(n) => n.max(1),
+            None if self.parallel => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            None => 1,
+        };
+        n.min(jobs.max(1))
     }
 
     /// Workload parameters for an app under this config.
@@ -201,6 +223,49 @@ pub fn detect_matrices(app: NpbApp, cfg: &CampaignConfig) -> DetectedMatrices {
     }
 }
 
+/// Order-preserving parallel map over independent repetition jobs.
+///
+/// Items are strided round-robin across up to `workers` scoped threads (so
+/// structurally similar long jobs spread out instead of piling onto one
+/// shard), then reassembled in input order. With one worker it degenerates
+/// to a plain sequential map — results are identical either way because
+/// every job is a pure function of its input.
+pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut shards: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        shards[i % workers].push((i, item));
+    }
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                s.spawn(move || {
+                    shard
+                        .into_iter()
+                        .map(|(i, item)| (i, f(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Per-app performance campaign result.
 pub struct PerfResult {
     /// One run per repetition under a fresh random OS placement.
@@ -255,37 +320,9 @@ pub fn run_performance(app: NpbApp, cfg: &CampaignConfig) -> PerfResult {
     let jobs: Vec<(usize, u8)> = (0..cfg.reps)
         .flat_map(|rep| [0u8, 1, 2].map(|w| (rep, w)))
         .collect();
-    let mut results: Vec<(usize, u8, RunStats)> = if cfg.parallel {
-        std::thread::scope(|s| {
-            let workers = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(jobs.len().max(1));
-            let chunks: Vec<Vec<(usize, u8)>> = (0..workers)
-                .map(|w| jobs.iter().copied().skip(w).step_by(workers).collect())
-                .collect();
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    s.spawn(|| {
-                        chunk
-                            .into_iter()
-                            .map(|(rep, w)| (rep, w, run_one(rep, w)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-    } else {
-        jobs.into_iter()
-            .map(|(rep, w)| (rep, w, run_one(rep, w)))
-            .collect()
-    };
-    results.sort_by_key(|(rep, w, _)| (*rep, *w));
+    let workers = cfg.worker_count(jobs.len());
+    let results: Vec<(usize, u8, RunStats)> =
+        parallel_map(jobs, workers, |(rep, w)| (rep, w, run_one(rep, w)));
 
     let mut os = Vec::with_capacity(cfg.reps);
     let mut sm = Vec::with_capacity(cfg.reps);
@@ -321,6 +358,7 @@ mod tests {
             hm_period: 2_000,
             seed: 7,
             parallel: false,
+            workers: None,
         }
     }
 
@@ -364,5 +402,35 @@ mod tests {
                 "parallelism changed results"
             );
         }
+    }
+
+    #[test]
+    fn workers_flag_parses_and_clamps() {
+        let args: Vec<String> = ["prog", "--workers", "3", "--reps", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = CampaignConfig::parse(&args);
+        assert_eq!(cfg.workers, Some(3));
+        assert_eq!(cfg.worker_count(100), 3);
+        assert_eq!(cfg.worker_count(2), 2, "clamped to job count");
+        let mut one = cfg.clone();
+        one.workers = Some(0);
+        assert_eq!(one.worker_count(10), 1, "zero rounds up to one worker");
+        let mut auto = cfg;
+        auto.workers = None;
+        auto.parallel = false;
+        assert_eq!(auto.worker_count(10), 1, "--sequential means one worker");
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..37).collect();
+        for workers in [1, 2, 5, 64] {
+            let out = parallel_map(items.clone(), workers, |x| x * x);
+            let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+            assert_eq!(out, expect, "workers={workers}");
+        }
+        assert!(parallel_map(Vec::<u64>::new(), 4, |x| x).is_empty());
     }
 }

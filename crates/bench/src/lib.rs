@@ -10,7 +10,7 @@ pub mod report;
 pub mod stats;
 
 pub use campaign::{
-    detect_matrices, run_performance, CampaignConfig, DetectedMatrices, PerfResult,
+    detect_matrices, parallel_map, run_performance, CampaignConfig, DetectedMatrices, PerfResult,
 };
 pub use report::{bar, Table};
 pub use stats::{mean, mean_std, percentile, stddev_pct};

@@ -80,6 +80,68 @@ fn decode_state(meta: u64) -> MesiState {
     }
 }
 
+/// Position of the first index `i < n` with `tag(i) == addr`, scanning
+/// four tags per iteration.
+///
+/// The four compares are evaluated unconditionally and OR-combined before
+/// the single branch, u64x4-style: the compiler keeps all four (strided)
+/// tag loads in flight instead of chaining a load→compare→branch per way,
+/// which measurably beats the scalar scan on the paper's 8-way L2 (see the
+/// `tag_compare` benchmark). Tag order inside a set is unrelated to
+/// recency (LRU lives in `meta`), so returning the first match preserves
+/// behaviour exactly.
+#[inline(always)]
+fn scan4(n: usize, addr: u64, tag: impl Fn(usize) -> u64) -> Option<usize> {
+    let mut i = 0;
+    while i + 4 <= n {
+        let h0 = tag(i) == addr;
+        let h1 = tag(i + 1) == addr;
+        let h2 = tag(i + 2) == addr;
+        let h3 = tag(i + 3) == addr;
+        if h0 | h1 | h2 | h3 {
+            let off = if h0 {
+                0
+            } else if h1 {
+                1
+            } else if h2 {
+                2
+            } else {
+                3
+            };
+            return Some(i + off);
+        }
+        i += 4;
+    }
+    while i < n {
+        if tag(i) == addr {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Way index of `addr` within `set`, if resident (4-wide unrolled scan).
+#[inline(always)]
+fn find_way(set: &[Line], addr: u64) -> Option<usize> {
+    scan4(set.len(), addr, |i| set[i].addr)
+}
+
+/// Scalar way scan over `(tag, meta)` pairs — the pre-unroll baseline,
+/// exposed only so the `tag_compare` benchmark can A/B it against
+/// [`way_scan_unrolled`] on the exact 16-byte line layout the caches use.
+#[doc(hidden)]
+pub fn way_scan_scalar(set: &[(u64, u64)], addr: u64) -> Option<usize> {
+    set.iter().position(|&(tag, _)| tag == addr)
+}
+
+/// Unrolled way scan over `(tag, meta)` pairs — the same 4-wide compare
+/// the caches run internally, exposed for the `tag_compare` benchmark.
+#[doc(hidden)]
+pub fn way_scan_unrolled(set: &[(u64, u64)], addr: u64) -> Option<usize> {
+    scan4(set.len(), addr, |i| set[i].0)
+}
+
 /// Set-associative cache of line metadata.
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -160,16 +222,15 @@ impl Cache {
         self.clock += 1;
         let clock = self.clock;
         let set = self.set_index(addr);
-        self.sets[set]
-            .iter_mut()
-            .find(|l| l.addr == addr.0)
-            .map(|l| {
-                let state = l.state();
-                l.stamp(clock);
-                self.hot_addr = addr.0;
-                self.hot_state = state;
-                state
-            })
+        let lines = &mut self.sets[set];
+        find_way(lines, addr.0).map(|i| {
+            let l = &mut lines[i];
+            let state = l.state();
+            l.stamp(clock);
+            self.hot_addr = addr.0;
+            self.hot_state = state;
+            state
+        })
     }
 
     /// State of `addr` if resident, without touching LRU (snoop path).
@@ -179,17 +240,17 @@ impl Cache {
             return Some(self.hot_state);
         }
         let set = self.set_index(addr);
-        self.sets[set]
-            .iter()
-            .find(|l| l.addr == addr.0)
-            .map(|l| l.state())
+        let lines = &self.sets[set];
+        find_way(lines, addr.0).map(|i| lines[i].state())
     }
 
     /// Change the state of a resident line. Returns `false` if absent.
     pub fn set_state(&mut self, addr: LineAddr, state: MesiState) -> bool {
         debug_assert_ne!(state, MesiState::Invalid, "use remove() to invalidate");
         let set = self.set_index(addr);
-        if let Some(l) = self.sets[set].iter_mut().find(|l| l.addr == addr.0) {
+        let lines = &mut self.sets[set];
+        if let Some(i) = find_way(lines, addr.0) {
+            let l = &mut lines[i];
             l.meta = (l.meta & !3) | encode_state(state);
             if addr.0 == self.hot_addr {
                 self.hot_state = state;
@@ -198,6 +259,25 @@ impl Cache {
         } else {
             false
         }
+    }
+
+    /// Change the state of a resident line, returning its previous state
+    /// (`None` if absent). One set scan where a `peek` + [`Cache::set_state`]
+    /// pair would take two — the coherence miss paths read the old state and
+    /// write the new one for every holder the owner directory names.
+    #[inline]
+    pub fn replace_state(&mut self, addr: LineAddr, state: MesiState) -> Option<MesiState> {
+        debug_assert_ne!(state, MesiState::Invalid, "use remove() to invalidate");
+        let set = self.set_index(addr);
+        let lines = &mut self.sets[set];
+        let i = find_way(lines, addr.0)?;
+        let l = &mut lines[i];
+        let old = l.state();
+        l.meta = (l.meta & !3) | encode_state(state);
+        if addr.0 == self.hot_addr {
+            self.hot_state = state;
+        }
+        Some(old)
     }
 
     /// Install `addr` with `state`, evicting the LRU line of the set if it
@@ -258,7 +338,8 @@ impl Cache {
         let ways = self.config.ways;
         let set_idx = self.set_index(addr);
         let set = &mut self.sets[set_idx];
-        if let Some(l) = set.iter_mut().find(|l| l.addr == addr.0) {
+        if let Some(i) = find_way(set, addr.0) {
+            let l = &mut set[i];
             let resident = l.state();
             l.stamp(clock);
             self.hot_addr = addr.0;
@@ -298,7 +379,7 @@ impl Cache {
         }
         let ways = self.config.ways;
         let set_idx = self.set_index(addr);
-        if self.sets[set_idx].iter().any(|l| l.addr == addr.0) {
+        if find_way(&self.sets[set_idx], addr.0).is_some() {
             return None;
         }
         self.clock += 1;
@@ -336,10 +417,7 @@ impl Cache {
         }
         let set = self.set_index(addr);
         let lines = &mut self.sets[set];
-        lines
-            .iter()
-            .position(|l| l.addr == addr.0)
-            .map(|i| lines.swap_remove(i).state())
+        find_way(lines, addr.0).map(|i| lines.swap_remove(i).state())
     }
 
     /// Number of resident lines.

@@ -15,10 +15,17 @@
 
 use crate::cache::{Cache, LineAddr};
 use crate::config::HierarchyConfig;
-use crate::lineset::LineSet;
+use crate::lineset::LineMap;
 use crate::mesi::MesiState;
 use crate::stats::{CacheStats, MissKind};
 use std::collections::HashSet;
+
+/// [`MemoryHierarchy::history`] flag bit: the line was resident in this L2
+/// at some point (distinguishes capacity from cold misses).
+const HIST_EVER: u32 = 0;
+/// [`MemoryHierarchy::history`] flag bit: the line's copy in this L2 was
+/// destroyed by a coherence invalidation and has not re-missed yet.
+const HIST_LOST: u32 = 1;
 
 /// Load or store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,10 +71,20 @@ pub struct MemoryHierarchy {
     /// Sibling-L1 copies invalidated under the same L2 (not an interconnect
     /// event; kept out of `CacheStats::invalidations`).
     l1_sibling_invalidations: u64,
-    /// Per-L2: lines lost to coherence invalidation (for miss taxonomy).
-    coherence_lost: Vec<LineSet>,
-    /// Per-L2: lines that were ever resident (cold vs capacity).
-    ever_resident: Vec<LineSet>,
+    /// Per-L2 miss-taxonomy history, one [`LineMap`] entry per line with
+    /// [`HIST_EVER`] (ever resident: cold vs capacity) and [`HIST_LOST`]
+    /// (lost to coherence invalidation) flag bits — one probe classifies a
+    /// miss where two separate sets took two.
+    history: Vec<LineMap>,
+    /// Sparse owner directory: line → bitmap of L2s currently holding it.
+    /// Maintained by the only two places L2 residency changes
+    /// ([`Self::install_l2`] and [`Self::invalidate_remote_copies`]), so
+    /// holder search, sharer invalidation and MESI audits iterate the
+    /// popcount of actual sharers instead of scanning every L2. The
+    /// directory changes *where* the protocol looks, never *what* it
+    /// charges: all modeled latencies and counters are identical to the
+    /// full-snoop scan it replaced.
+    directory: LineMap,
 }
 
 impl MemoryHierarchy {
@@ -79,6 +96,10 @@ impl MemoryHierarchy {
         cfg.validate();
         let n_cores = cfg.num_cores();
         let n_l2 = cfg.num_l2();
+        assert!(
+            n_l2 <= 64,
+            "owner directory packs holders into a u64 bitmap; got {n_l2} L2 groups"
+        );
         let mut core_to_l2 = vec![usize::MAX; n_cores];
         for (g, group) in cfg.groups.iter().enumerate() {
             for &c in &group.cores {
@@ -92,8 +113,8 @@ impl MemoryHierarchy {
             core_to_l2,
             stats: CacheStats::default(),
             l1_sibling_invalidations: 0,
-            coherence_lost: vec![LineSet::new(); n_l2],
-            ever_resident: vec![LineSet::new(); n_l2],
+            history: vec![LineMap::new(); n_l2],
+            directory: LineMap::new(),
             cfg,
         }
     }
@@ -300,20 +321,48 @@ impl MemoryHierarchy {
         line: LineAddr,
         home_chip: Option<usize>,
     ) -> (u64, bool) {
-        let holder = self.find_holder(g, line);
-        let (extra, state, snooped) = match holder {
+        #[cfg(debug_assertions)]
+        let expected = self.find_holder_scan(g, line);
+        // One pass over the owner directory's holder mask: every holder is
+        // demoted to Shared (BusRd seen) while its old state picks the
+        // supplier by the same rule, in the same ascending order, as the
+        // snoop scan this replaces — first Modified (it must supply and
+        // write back), else the first holder, preferring intra-chip.
+        let my_chip = self.cfg.groups[g].chip;
+        let mut holders = self.directory.get(line.0) & !(1u64 << g);
+        let mut supplier: Option<usize> = None;
+        let mut supplier_modified = false;
+        while holders != 0 {
+            let other = holders.trailing_zeros() as usize;
+            holders &= holders - 1;
+            let old = self.l2[other].replace_state(line, MesiState::Shared);
+            debug_assert!(old.is_some(), "directory bit set for non-resident line");
+            let Some(old) = old else { continue };
+            if supplier_modified {
+                continue;
+            }
+            if old == MesiState::Modified {
+                supplier = Some(other);
+                supplier_modified = true;
+            } else {
+                let better = match supplier {
+                    None => true,
+                    Some(b) => {
+                        self.cfg.groups[other].chip == my_chip && self.cfg.groups[b].chip != my_chip
+                    }
+                };
+                if better {
+                    supplier = Some(other);
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(supplier, expected);
+        let (extra, state, snooped) = match supplier {
             Some(h) => {
-                let holder_state = self.l2[h].peek(line).expect("holder has line");
-                if holder_state == MesiState::Modified {
+                if supplier_modified {
                     // Dirty supplier writes back and both end Shared.
                     self.stats.writebacks += 1;
-                }
-                self.l2[h].set_state(line, MesiState::Shared);
-                // Demote every other holder to Shared as well (BusRd seen).
-                for other in 0..self.l2.len() {
-                    if other != g && other != h && self.l2[other].peek(line).is_some() {
-                        self.l2[other].set_state(line, MesiState::Shared);
-                    }
                 }
                 self.record_snoop(g, h);
                 (self.c2c_latency(g, h), MesiState::Shared, true)
@@ -336,15 +385,56 @@ impl MemoryHierarchy {
         line: LineAddr,
         home_chip: Option<usize>,
     ) -> (u64, bool) {
-        let holder = self.find_holder(g, line);
-        let (extra, snooped) = match holder {
+        #[cfg(debug_assertions)]
+        let expected = self.find_holder_scan(g, line);
+        // One pass over the owner directory's holder mask: every remote copy
+        // is destroyed (`BusRdX`), and the state each `remove` returns picks
+        // the data supplier by the same rule, in the same ascending order,
+        // as the snoop scan this replaces. A remote Modified copy hands its
+        // data to the requester without a memory writeback.
+        let my_chip = self.cfg.groups[g].chip;
+        let mut remote = self.directory.get(line.0) & !(1u64 << g);
+        let mut supplier: Option<usize> = None;
+        let mut supplier_modified = false;
+        let mut invalidated = 0u64;
+        while remote != 0 {
+            let other = remote.trailing_zeros() as usize;
+            remote &= remote - 1;
+            let state = self.l2[other].remove(line);
+            debug_assert!(state.is_some(), "directory bit set for non-resident line");
+            let Some(state) = state else { continue };
+            if !supplier_modified {
+                if state == MesiState::Modified {
+                    supplier = Some(other);
+                    supplier_modified = true;
+                } else {
+                    let better = match supplier {
+                        None => true,
+                        Some(b) => {
+                            self.cfg.groups[other].chip == my_chip
+                                && self.cfg.groups[b].chip != my_chip
+                        }
+                    };
+                    if better {
+                        supplier = Some(other);
+                    }
+                }
+            }
+            invalidated += 1;
+            self.stats.invalidations += 1;
+            self.history[other].set_bit(line.0, HIST_LOST);
+            self.directory.clear_bit(line.0, other as u32);
+            self.back_invalidate_l1s(other, line);
+        }
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(supplier, expected);
+        let (extra, snooped) = match supplier {
             Some(h) => {
                 self.record_snoop(g, h);
                 (self.c2c_latency(g, h), true)
             }
             None => (self.memory_fetch(g, home_chip), false),
         };
-        let invalidated = self.invalidate_remote_copies(g, line);
         let penalty = if invalidated > 0 {
             self.cfg.write_invalidate_penalty
         } else {
@@ -356,7 +446,44 @@ impl MemoryHierarchy {
 
     /// First remote L2 holding `line`, preferring the Modified holder (it
     /// must supply the data), then an intra-chip holder (cheapest transfer).
+    ///
+    /// Walks the owner directory's holder bitmap in ascending L2 order —
+    /// the same visit order as the full-snoop scan it replaced, so the
+    /// chosen supplier (and thus every latency and snoop counter downstream)
+    /// is identical; only O(popcount) L2s are probed instead of all of them.
     fn find_holder(&self, g: usize, line: LineAddr) -> Option<usize> {
+        let my_chip = self.cfg.groups[g].chip;
+        let mut best: Option<usize> = None;
+        let mut holders = self.directory.get(line.0) & !(1u64 << g);
+        while holders != 0 {
+            let other = holders.trailing_zeros() as usize;
+            holders &= holders - 1;
+            match self.l2[other].peek(line) {
+                Some(MesiState::Modified) => return Some(other),
+                Some(_) => {
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            self.cfg.groups[other].chip == my_chip
+                                && self.cfg.groups[b].chip != my_chip
+                        }
+                    };
+                    if better {
+                        best = Some(other);
+                    }
+                }
+                None => debug_assert!(false, "directory bit set for non-resident line"),
+            }
+        }
+        debug_assert_eq!(best, self.find_holder_scan(g, line));
+        best
+    }
+
+    /// The pre-directory holder search: peek every other L2 in ascending
+    /// order. Kept as the oracle the directory-backed [`Self::find_holder`]
+    /// is property-tested (and debug-asserted) against.
+    #[doc(hidden)]
+    pub fn find_holder_scan(&self, g: usize, line: LineAddr) -> Option<usize> {
         let my_chip = self.cfg.groups[g].chip;
         let mut best: Option<usize> = None;
         for other in 0..self.l2.len() {
@@ -383,6 +510,32 @@ impl MemoryHierarchy {
         best
     }
 
+    /// Directory-backed holder search (test hook; same routine the miss
+    /// paths use).
+    #[doc(hidden)]
+    pub fn find_holder_directory(&self, g: usize, line: LineAddr) -> Option<usize> {
+        self.find_holder(g, line)
+    }
+
+    /// The owner directory's holder bitmap for `line` (test hook).
+    #[doc(hidden)]
+    pub fn directory_mask(&self, line: LineAddr) -> u64 {
+        self.directory.get(line.0)
+    }
+
+    /// Residency bitmap rebuilt by peeking every L2 (test oracle for
+    /// [`Self::directory_mask`]).
+    #[doc(hidden)]
+    pub fn residency_mask_scan(&self, line: LineAddr) -> u64 {
+        let mut mask = 0u64;
+        for (g, l2) in self.l2.iter().enumerate() {
+            if l2.peek(line).is_some() {
+                mask |= 1 << g;
+            }
+        }
+        mask
+    }
+
     fn c2c_latency(&self, a: usize, b: usize) -> u64 {
         if self.cfg.groups[a].chip == self.cfg.groups[b].chip {
             self.cfg.c2c_intra_chip
@@ -404,20 +557,21 @@ impl MemoryHierarchy {
     /// the cores behind them). Returns how many L2 copies were destroyed.
     fn invalidate_remote_copies(&mut self, g: usize, line: LineAddr) -> u64 {
         let mut count = 0;
-        for other in 0..self.l2.len() {
-            if other == g {
-                continue;
-            }
-            if let Some(state) = self.l2[other].remove(line) {
-                // A remote Modified copy being invalidated by BusRdX hands
-                // its data to the requester; no memory writeback. (A remote
-                // M copy can only exist here on the write-miss path.)
-                let _ = state;
-                count += 1;
-                self.stats.invalidations += 1;
-                self.coherence_lost[other].insert(line.0);
-                self.back_invalidate_l1s(other, line);
-            }
+        let mut remote = self.directory.get(line.0) & !(1u64 << g);
+        while remote != 0 {
+            let other = remote.trailing_zeros() as usize;
+            remote &= remote - 1;
+            // The directory says `other` holds the line, so the remove must
+            // succeed; a remote Modified copy being invalidated by BusRdX
+            // hands its data to the requester; no memory writeback. (A
+            // remote M copy can only exist here on the write-miss path.)
+            let state = self.l2[other].remove(line);
+            debug_assert!(state.is_some(), "directory bit set for non-resident line");
+            count += 1;
+            self.stats.invalidations += 1;
+            self.history[other].set_bit(line.0, HIST_LOST);
+            self.directory.clear_bit(line.0, other as u32);
+            self.back_invalidate_l1s(other, line);
         }
         count
     }
@@ -443,8 +597,10 @@ impl MemoryHierarchy {
     /// Install `line` into L2 `g`, recording residence and handling the
     /// evicted victim (writeback if dirty, back-invalidate L1s).
     fn install_l2(&mut self, g: usize, line: LineAddr, state: MesiState) {
-        self.ever_resident[g].insert(line.0);
+        self.history[g].set_bit(line.0, HIST_EVER);
+        self.directory.set_bit(line.0, g as u32);
         if let Some(ev) = self.l2[g].insert(line, state) {
+            self.directory.clear_bit(ev.addr.0, g as u32);
             if ev.state.dirty() {
                 self.stats.writebacks += 1;
             }
@@ -453,9 +609,11 @@ impl MemoryHierarchy {
     }
 
     fn classify_miss(&mut self, g: usize, line: LineAddr) {
-        let kind = if self.coherence_lost[g].remove(line.0) {
+        let flags = self.history[g].get(line.0);
+        let kind = if flags & (1 << HIST_LOST) != 0 {
+            self.history[g].clear_bit(line.0, HIST_LOST);
             MissKind::Coherence
-        } else if self.ever_resident[g].contains(line.0) {
+        } else if flags & (1 << HIST_EVER) != 0 {
             MissKind::Capacity
         } else {
             MissKind::Cold
@@ -470,14 +628,22 @@ impl MemoryHierarchy {
 
     /// Check the MESI exclusivity invariant for one line: if any L2 holds it
     /// Modified or Exclusive, no other L2 may hold it at all. Used by
-    /// property tests.
+    /// property tests. Audits only the L2s the owner directory names, so
+    /// the check is O(popcount) rather than O(groups).
     pub fn mesi_invariant_holds(&self, line: LineAddr) -> bool {
-        let holders: Vec<MesiState> = self.l2.iter().filter_map(|c| c.peek(line)).collect();
-        let exclusive_holders = holders
-            .iter()
-            .filter(|s| matches!(s, MesiState::Modified | MesiState::Exclusive))
-            .count();
-        exclusive_holders == 0 || holders.len() == 1
+        let mut holders = self.directory.get(line.0);
+        let n_holders = holders.count_ones() as usize;
+        let mut exclusive_holders = 0usize;
+        while holders != 0 {
+            let g = holders.trailing_zeros() as usize;
+            holders &= holders - 1;
+            match self.l2[g].peek(line) {
+                Some(MesiState::Modified) | Some(MesiState::Exclusive) => exclusive_holders += 1,
+                Some(_) => {}
+                None => return false, // directory bit for a non-resident line
+            }
+        }
+        exclusive_holders == 0 || n_holders == 1
     }
 
     /// Check the inclusion invariant: every line resident in a core's L1

@@ -1,10 +1,13 @@
-//! A small open-addressing hash set of line addresses.
+//! A small open-addressing hash map from line addresses to bitmaps.
 //!
-//! The coherence bookkeeping (`ever_resident`, `coherence_lost`) sits on
-//! the L2 miss path, where `std::collections::HashSet`'s SipHash is pure
-//! overhead: line addresses are already well-distributed integers and the
-//! sets are private to one hierarchy, so a multiplicative hash with linear
-//! probing is both safe and several times faster.
+//! Both the coherence miss-taxonomy bookkeeping and the sparse MESI owner
+//! directory sit on the L2 miss path, where `std::collections::HashMap`'s
+//! SipHash is pure overhead: line addresses are already well-distributed
+//! integers and the tables are private to one hierarchy, so a
+//! multiplicative hash with linear probing is both safe and several times
+//! faster. (This structure generalizes the `LineSet` hash *set* the miss
+//! path used before the owner directory: a set is the degenerate map whose
+//! values carry one bit.)
 
 const EMPTY: u64 = u64::MAX;
 const TOMBSTONE: u64 = u64::MAX - 1;
@@ -16,101 +19,117 @@ fn spread(key: u64) -> u64 {
     key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-/// An open-addressing set of `u64` keys (line addresses).
+/// An open-addressing map from `u64` keys (line addresses) to `u64`
+/// bitmaps (holder masks over L2 indices).
 ///
-/// Keys `u64::MAX` and `u64::MAX - 1` are reserved as slot markers; line
-/// addresses are physical addresses shifted right by the line size, so
-/// they can never reach them.
+/// Backs the sparse MESI owner directory (one entry per line resident in
+/// *any* L2, so holder lookup, invalidation and state audits iterate the
+/// popcount of actual sharers instead of scanning every L2) and the per-L2
+/// miss-taxonomy history (flag bits per line). Keys `u64::MAX` and
+/// `u64::MAX - 1` are reserved as slot markers; line addresses are
+/// physical addresses shifted right by the line size, so they can never
+/// reach them. An entry whose mask drains to zero is removed, keeping the
+/// table proportional to the lines actually tracked.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct LineSet {
-    /// Power-of-two slot array, `EMPTY`/`TOMBSTONE` or a stored key.
-    slots: Vec<u64>,
-    /// Live keys.
+pub(crate) struct LineMap {
+    /// Power-of-two key array, `EMPTY`/`TOMBSTONE` or a stored key.
+    keys: Vec<u64>,
+    /// Holder mask for the key in the matching `keys` slot.
+    vals: Vec<u64>,
+    /// Live entries.
     len: usize,
     /// Tombstones left by removals (cleared on rehash).
     tombs: usize,
 }
 
-impl LineSet {
-    /// An empty set. Allocates nothing until the first insert.
+impl LineMap {
+    /// An empty map. Allocates nothing until the first insert.
     pub fn new() -> Self {
-        LineSet::default()
+        LineMap::default()
     }
 
-    /// Number of keys in the set.
+    /// Number of keys with a non-empty mask.
     #[cfg(test)]
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// Whether `key` is in the set.
+    /// The mask stored for `key`, or `0` if absent.
     #[inline]
-    pub fn contains(&self, key: u64) -> bool {
-        if self.slots.is_empty() {
-            return false;
+    pub fn get(&self, key: u64) -> u64 {
+        if self.keys.is_empty() {
+            return 0;
         }
-        let mask = self.slots.len() - 1;
-        let mut i = (spread(key) >> (64 - self.slots.len().trailing_zeros())) as usize;
+        let mask = self.keys.len() - 1;
+        let mut i = (spread(key) >> (64 - self.keys.len().trailing_zeros())) as usize;
         loop {
-            let s = self.slots[i & mask];
+            let slot = i & mask;
+            let s = self.keys[slot];
             if s == key {
-                return true;
+                return self.vals[slot];
             }
             if s == EMPTY {
-                return false;
+                return 0;
             }
             i += 1;
         }
     }
 
-    /// Insert `key`; returns `true` if it was not already present.
-    pub fn insert(&mut self, key: u64) -> bool {
+    /// Set bit `bit` in the mask for `key`, inserting the entry if absent.
+    pub fn set_bit(&mut self, key: u64, bit: u32) {
         debug_assert!(key < TOMBSTONE, "key collides with slot markers");
-        if (self.len + self.tombs + 1) * 2 > self.slots.len() {
+        debug_assert!(bit < 64, "holder index exceeds mask width");
+        if (self.len + self.tombs + 1) * 2 > self.keys.len() {
             self.grow();
         }
-        let mask = self.slots.len() - 1;
-        let mut i = (spread(key) >> (64 - self.slots.len().trailing_zeros())) as usize;
+        let mask = self.keys.len() - 1;
+        let mut i = (spread(key) >> (64 - self.keys.len().trailing_zeros())) as usize;
         let mut free: Option<usize> = None;
         loop {
             let slot = i & mask;
-            let s = self.slots[slot];
+            let s = self.keys[slot];
             if s == key {
-                return false;
+                self.vals[slot] |= 1 << bit;
+                return;
             }
             if s == TOMBSTONE {
                 free.get_or_insert(slot);
             } else if s == EMPTY {
                 let target = free.unwrap_or(slot);
-                if self.slots[target] == TOMBSTONE {
+                if self.keys[target] == TOMBSTONE {
                     self.tombs -= 1;
                 }
-                self.slots[target] = key;
+                self.keys[target] = key;
+                self.vals[target] = 1 << bit;
                 self.len += 1;
-                return true;
+                return;
             }
             i += 1;
         }
     }
 
-    /// Remove `key`; returns `true` if it was present.
-    pub fn remove(&mut self, key: u64) -> bool {
-        if self.slots.is_empty() {
-            return false;
+    /// Clear bit `bit` in the mask for `key`; the entry is removed when its
+    /// mask drains to zero. No-op if the key (or bit) is absent.
+    pub fn clear_bit(&mut self, key: u64, bit: u32) {
+        if self.keys.is_empty() {
+            return;
         }
-        let mask = self.slots.len() - 1;
-        let mut i = (spread(key) >> (64 - self.slots.len().trailing_zeros())) as usize;
+        let mask = self.keys.len() - 1;
+        let mut i = (spread(key) >> (64 - self.keys.len().trailing_zeros())) as usize;
         loop {
             let slot = i & mask;
-            let s = self.slots[slot];
+            let s = self.keys[slot];
             if s == key {
-                self.slots[slot] = TOMBSTONE;
-                self.len -= 1;
-                self.tombs += 1;
-                return true;
+                self.vals[slot] &= !(1u64 << bit);
+                if self.vals[slot] == 0 {
+                    self.keys[slot] = TOMBSTONE;
+                    self.len -= 1;
+                    self.tombs += 1;
+                }
+                return;
             }
             if s == EMPTY {
-                return false;
+                return;
             }
             i += 1;
         }
@@ -119,18 +138,20 @@ impl LineSet {
     /// Double the capacity (quadruple while small) and rehash, dropping
     /// tombstones.
     fn grow(&mut self) {
-        let new_cap = (self.slots.len() * 2).max(16);
-        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        let new_cap = (self.keys.len() * 2).max(16);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_cap]);
         self.tombs = 0;
         let mask = new_cap - 1;
         let shift = 64 - new_cap.trailing_zeros();
-        for key in old {
+        for (key, val) in old_keys.into_iter().zip(old_vals) {
             if key < TOMBSTONE {
                 let mut i = (spread(key) >> shift) as usize;
-                while self.slots[i & mask] != EMPTY {
+                while self.keys[i & mask] != EMPTY {
                     i += 1;
                 }
-                self.slots[i & mask] = key;
+                self.keys[i & mask] = key;
+                self.vals[i & mask] = val;
             }
         }
     }
@@ -141,73 +162,114 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
-    use std::collections::HashSet;
-
-    #[test]
-    fn empty_set_answers_without_allocating() {
-        let s = LineSet::new();
-        assert!(!s.contains(0));
-        assert_eq!(s.len(), 0);
-    }
-
-    #[test]
-    fn insert_contains_remove_roundtrip() {
-        let mut s = LineSet::new();
-        assert!(s.insert(42));
-        assert!(!s.insert(42));
-        assert!(s.contains(42));
-        assert!(!s.contains(43));
-        assert!(s.remove(42));
-        assert!(!s.remove(42));
-        assert!(!s.contains(42));
-    }
+    use std::collections::HashMap;
 
     #[test]
     fn zero_is_a_valid_key() {
-        let mut s = LineSet::new();
-        assert!(s.insert(0));
-        assert!(s.contains(0));
-        assert!(s.remove(0));
-        assert!(!s.contains(0));
+        let mut m = LineMap::new();
+        m.set_bit(0, 7);
+        assert_eq!(m.get(0), 1 << 7);
+        m.clear_bit(0, 7);
+        assert_eq!(m.get(0), 0);
     }
 
     #[test]
     fn tombstones_do_not_break_probe_chains() {
-        let mut s = LineSet::new();
-        // Fill enough to force probe chains, then delete alternating keys.
+        let mut m = LineMap::new();
+        // Fill enough to force probe chains, then drain alternating keys.
         for k in 0..64u64 {
-            s.insert(k);
+            m.set_bit(k, 1);
         }
         for k in (0..64u64).step_by(2) {
-            assert!(s.remove(k));
+            m.clear_bit(k, 1);
         }
         for k in 0..64u64 {
-            assert_eq!(s.contains(k), k % 2 == 1, "key {k}");
+            let expect = if k % 2 == 1 { 1u64 << 1 } else { 0 };
+            assert_eq!(m.get(k), expect, "key {k}");
         }
-        // Reinserting removed keys reuses tombstones.
+        // Re-adding drained keys reuses tombstones.
         for k in (0..64u64).step_by(2) {
-            assert!(s.insert(k));
+            m.set_bit(k, 1);
         }
-        assert_eq!(s.len(), 64);
+        assert_eq!(m.len(), 64);
     }
 
     #[test]
-    fn matches_std_hashset_on_random_traffic() {
-        let mut rng = SmallRng::seed_from_u64(0x11E5);
+    fn empty_map_answers_without_allocating() {
+        let m = LineMap::new();
+        assert_eq!(m.get(0), 0);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut m = LineMap::new();
+        m.set_bit(42, 3);
+        assert_eq!(m.get(42), 1 << 3);
+        m.set_bit(42, 0);
+        assert_eq!(m.get(42), (1 << 3) | 1);
+        m.clear_bit(42, 3);
+        assert_eq!(m.get(42), 1);
+        m.clear_bit(42, 0);
+        assert_eq!(m.get(42), 0);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn clearing_absent_key_or_bit_is_a_noop() {
+        let mut m = LineMap::new();
+        m.clear_bit(7, 2); // empty map
+        m.set_bit(7, 1);
+        m.clear_bit(7, 2); // bit not set
+        assert_eq!(m.get(7), 1 << 1);
+        m.clear_bit(8, 1); // key not present
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn drained_entries_leave_reusable_tombstones() {
+        let mut m = LineMap::new();
+        for k in 0..64u64 {
+            m.set_bit(k, (k % 64) as u32);
+        }
+        for k in (0..64u64).step_by(2) {
+            m.clear_bit(k, (k % 64) as u32);
+        }
+        for k in 0..64u64 {
+            let expect = if k % 2 == 1 { 1u64 << (k % 64) } else { 0 };
+            assert_eq!(m.get(k), expect, "key {k}");
+        }
+        for k in (0..64u64).step_by(2) {
+            m.set_bit(k, 5);
+        }
+        assert_eq!(m.len(), 64);
+    }
+
+    #[test]
+    fn matches_std_hashmap_on_random_traffic() {
+        let mut rng = SmallRng::seed_from_u64(0xD1_8EC7);
         for _ in 0..20 {
-            let mut ours = LineSet::new();
-            let mut std_set: HashSet<u64> = HashSet::new();
-            for _ in 0..2000 {
+            let mut ours = LineMap::new();
+            let mut std_map: HashMap<u64, u64> = HashMap::new();
+            for _ in 0..3000 {
                 let key = rng.gen_range(0u64..300);
-                match rng.gen_range(0u32..3) {
-                    0 => assert_eq!(ours.insert(key), std_set.insert(key)),
-                    1 => assert_eq!(ours.remove(key), std_set.remove(&key)),
-                    _ => assert_eq!(ours.contains(key), std_set.contains(&key)),
+                let bit = rng.gen_range(0u32..64);
+                if rng.gen_bool(0.5) {
+                    ours.set_bit(key, bit);
+                    *std_map.entry(key).or_insert(0) |= 1 << bit;
+                } else {
+                    ours.clear_bit(key, bit);
+                    if let Some(v) = std_map.get_mut(&key) {
+                        *v &= !(1u64 << bit);
+                        if *v == 0 {
+                            std_map.remove(&key);
+                        }
+                    }
                 }
             }
-            assert_eq!(ours.len(), std_set.len());
+            assert_eq!(ours.len(), std_map.len());
             for key in 0..300 {
-                assert_eq!(ours.contains(key), std_set.contains(&key));
+                assert_eq!(ours.get(key), std_map.get(&key).copied().unwrap_or(0));
             }
         }
     }

@@ -157,3 +157,79 @@ proptest! {
         prop_assert!(far_inv >= near.stats().invalidations);
     }
 }
+
+/// A hierarchy with `groups` L2 groups of two cores each, split across
+/// `chips` chips. Tiny caches force evictions so the directory sees the
+/// full install/evict/invalidate lifecycle, not just installs.
+fn mixed_hierarchy(groups: usize, chips: usize) -> MemoryHierarchy {
+    let l1 = CacheConfig {
+        size_bytes: 64 * 8,
+        line_size: 64,
+        ways: 2,
+        latency: 2,
+    };
+    let l2 = CacheConfig {
+        size_bytes: 64 * 16,
+        line_size: 64,
+        ways: 4,
+        latency: 8,
+    };
+    MemoryHierarchy::new(HierarchyConfig {
+        l1i: l1,
+        l1d: l1,
+        l2,
+        mem_latency: 200,
+        c2c_intra_chip: 40,
+        c2c_inter_chip: 120,
+        write_invalidate_penalty: 20,
+        numa_remote_penalty: 0,
+        groups: (0..groups)
+            .map(|g| L2Group {
+                cores: vec![2 * g, 2 * g + 1],
+                chip: g * chips / groups,
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sparse owner directory must agree with a full snoop scan —
+    /// both on who holds a line and on which supplier the miss path would
+    /// pick — after every step of a random access sequence, across
+    /// topologies from a single chip to eight L2 groups on four chips.
+    #[test]
+    fn directory_matches_full_snoop_scan(
+        shape in prop::sample::select(vec![(2usize, 1usize), (2, 2), (4, 2), (8, 4)]),
+        accesses in prop::collection::vec((0usize..16, 0u64..24, any::<bool>()), 1..250),
+    ) {
+        let (groups, chips) = shape;
+        let cores = groups * 2;
+        let mut h = mixed_hierarchy(groups, chips);
+        let mut lines = std::collections::HashSet::new();
+        for &(core, line, write) in &accesses {
+            let op = if write { MemOp::Write } else { MemOp::Read };
+            h.access(core % cores, line * 64, op, AccessKind::Data);
+            lines.insert(LineAddr::of(line * 64, 6));
+            for &l in &lines {
+                prop_assert_eq!(
+                    h.directory_mask(l),
+                    h.residency_mask_scan(l),
+                    "directory out of sync for {:?} after touching line {}",
+                    l,
+                    line
+                );
+                for g in 0..groups {
+                    prop_assert_eq!(
+                        h.find_holder_directory(g, l),
+                        h.find_holder_scan(g, l),
+                        "supplier choice diverged for {:?} from group {}",
+                        l,
+                        g
+                    );
+                }
+            }
+        }
+    }
+}

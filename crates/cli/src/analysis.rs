@@ -17,7 +17,7 @@ use tlbmap_core::{SmConfig, SmDetector};
 use tlbmap_mapping::Mapping;
 use tlbmap_obs::{Json, ObsConfig, ProfId, Recorder, COUNTERS, PROF_NODES};
 use tlbmap_prof::{diff_docs, BenchRecord, DiffReport, Timeline};
-use tlbmap_sim::{simulate_observed, SimConfig, Topology};
+use tlbmap_sim::{simulate_observed, SimConfig};
 
 /// Width of the sparkline bars in `analyze` tables.
 const BAR_WIDTH: usize = 20;
@@ -286,7 +286,7 @@ pub(crate) fn diff_to_string(report: &DiffReport, a_name: &str, b_name: &str) ->
 /// The record's `workload`/`counters`/`cycle_shares` sections are
 /// deterministic for a given seed; only the wall-clock stats vary.
 pub fn bench(o: Options) -> Result<(), String> {
-    let topo = Topology::harpertown();
+    let topo = o.topology();
     let n = topo.num_cores();
     let workload = o.workload()?;
     let mapping = Mapping::identity(n);
@@ -395,6 +395,27 @@ mod tests {
         let mut o = opts(&[]);
         o.from = Some(path);
         analyze(o).unwrap();
+    }
+
+    #[test]
+    fn regenerated_metrics_match_committed_golden_byte_for_byte() {
+        // The counters-unchanged invariant behind the owner directory and
+        // the packed trace encoding: regenerating the analysis-gate
+        // artifact (`detect ring --scale test --sm-threshold 1
+        // --snapshot-every 2000`) must reproduce the committed
+        // results/golden_metrics.json exactly — not merely within a diff
+        // tolerance. Any drift in modeled snoops, invalidations, miss
+        // taxonomy or cycle charging shows up here first.
+        let golden = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../results/golden_metrics.json");
+        let committed = std::fs::read_to_string(&golden)
+            .unwrap_or_else(|e| panic!("{}: {e}", golden.display()));
+        let fresh = std::fs::read_to_string(recorded_run("metrics_golden_check.json")).unwrap();
+        assert_eq!(
+            fresh, committed,
+            "regenerated metrics drifted from results/golden_metrics.json — \
+             a hot-path change altered modeled behavior"
+        );
     }
 
     #[test]

@@ -13,8 +13,8 @@ use tlbmap_obs::{Json, ObsConfig, Recorder, COUNTERS, HISTS};
 use tlbmap_prof::{compute_timeline, Timeline, DEFAULT_PHASE_THRESHOLD};
 use tlbmap_sim::{simulate, simulate_observed, NoHooks, RunStats, SimConfig, Topology};
 
-fn topology() -> Topology {
-    Topology::harpertown()
+fn topology(o: &Options) -> Topology {
+    o.topology()
 }
 
 /// A recorder sized for this run — enabled only when the options request
@@ -31,7 +31,7 @@ fn recorder_for(o: &Options, n_threads: usize) -> Recorder {
 /// separate unobserved run under the exact detector (every access, no
 /// sampling, no simulated overhead).
 fn ground_truth_matrix(o: &Options) -> Result<CommMatrix, String> {
-    let topo = topology();
+    let topo = topology(o);
     let n = topo.num_cores();
     let workload = o.workload()?;
     let mapping = Mapping::identity(n);
@@ -101,7 +101,7 @@ fn write_artifacts(o: &Options, rec: &Recorder, timeline: Option<&Timeline>) -> 
 
 /// `tlbmap topo`
 pub fn topo() -> Result<(), String> {
-    let t = topology();
+    let t = Topology::harpertown();
     println!(
         "machine: {} chips x {} L2 groups x {} cores = {} cores (Harpertown-like, Figure 3)",
         t.chips,
@@ -126,7 +126,7 @@ pub fn topo() -> Result<(), String> {
 /// Detect a matrix with the mechanism named in the options, reporting
 /// engine and detector events to `rec`.
 fn detect_matrix(o: &Options, rec: &Recorder) -> Result<(CommMatrix, RunStats), String> {
-    let topo = topology();
+    let topo = topology(o);
     let n = topo.num_cores();
     let workload = o.workload()?;
     let mapping = Mapping::identity(n);
@@ -163,7 +163,7 @@ fn detect_matrix(o: &Options, rec: &Recorder) -> Result<(CommMatrix, RunStats), 
 
 /// `tlbmap detect`
 pub fn detect(o: Options) -> Result<(), String> {
-    let rec = recorder_for(&o, topology().num_cores());
+    let rec = recorder_for(&o, topology(&o).num_cores());
     let (matrix, stats) = detect_matrix(&o, &rec)?;
     eprintln!(
         "# {} via {}: {} communication units, TLB miss rate {:.3}%, detection overhead {:.3}%",
@@ -208,7 +208,7 @@ fn build_mapping(
 
 /// `tlbmap map`
 pub fn map(o: Options) -> Result<(), String> {
-    let topo = topology();
+    let topo = topology(&o);
     let rec = recorder_for(&o, topo.num_cores());
     let (matrix, _) = detect_matrix(&o, &rec)?;
     let mapping = build_mapping(&o, &matrix, &topo, &rec)?;
@@ -263,7 +263,7 @@ fn print_stats(stats: &RunStats) {
 
 /// `tlbmap simulate`
 pub fn simulate_cmd(o: Options) -> Result<(), String> {
-    let topo = topology();
+    let topo = topology(&o);
     let rec = recorder_for(&o, topo.num_cores());
     let workload = o.workload()?;
     let mapping = parse_mapping(&o, &topo)?;
@@ -309,7 +309,7 @@ pub fn report(o: Options) -> Result<(), String> {
     if let Some(path) = &o.from {
         return report_from(path);
     }
-    let topo = topology();
+    let topo = topology(&o);
     let rec = recorder_for(&o, topo.num_cores());
     let workload = o.workload()?;
     let (matrix, det_stats) = detect_matrix(&o, &rec)?;

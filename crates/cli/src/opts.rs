@@ -17,7 +17,7 @@ USAGE:
   tlbmap report   --from <metrics.json>
   tlbmap analyze  --from <metrics.json>
   tlbmap diff     [--fail-above <pct>] <a.json> <b.json>
-  tlbmap bench    [APP] [--out BENCH_<name>.json] [COMMON]
+  tlbmap bench    [APP] [--out BENCH_<name>.json] [--cores 4|8|16|32] [COMMON]
   tlbmap stats    [APP] [COMMON]
   tlbmap export   [APP] --out <FILE> [COMMON]
   tlbmap serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
@@ -40,6 +40,8 @@ OBS (run-artifact export; any of these enables recording):
 
 COMMON:
   --scale test|small|workshop   problem size              [workshop]
+  --cores 4|8|16|32             machine size (scaling-study topologies;
+                                8 = the paper's Harpertown)  [8]
   --seed <u64>                  workload seed             [1819]
   --sm-threshold <u32>          SM sampling threshold     [100]
   --hm-period <u64>             HM tick period (cycles)   [250000]
@@ -97,6 +99,8 @@ pub struct Options {
     pub snapshot_every: Option<u64>,
     /// Recorded metrics file for `report --from`.
     pub from: Option<String>,
+    /// Machine size: 4, 8 (Harpertown), 16, or 32 cores.
+    pub cores: usize,
     /// Problem scale.
     pub scale: ProblemScale,
     /// Workload seed.
@@ -124,6 +128,7 @@ impl Options {
             snapshot_every: None,
             from: None,
             out: None,
+            cores: 8,
             scale: ProblemScale::Workshop,
             seed: 1819,
             sm_threshold: 100,
@@ -189,6 +194,18 @@ impl Options {
                     o.out = Some(value("--out")?);
                     i += 2;
                 }
+                "--cores" => {
+                    o.cores = value("--cores")?
+                        .parse()
+                        .map_err(|e| format!("--cores: {e}"))?;
+                    if !matches!(o.cores, 4 | 8 | 16 | 32) {
+                        return Err(format!(
+                            "--cores must be one of 4, 8, 16, 32 (got {})",
+                            o.cores
+                        ));
+                    }
+                    i += 2;
+                }
                 "--scale" => {
                     o.scale = match value("--scale")?.as_str() {
                         "test" => ProblemScale::Test,
@@ -248,10 +265,21 @@ impl Options {
             || self.snapshot_every.is_some()
     }
 
-    /// Generate the requested workload for 8 threads, or load it from a
-    /// `trace=<file>` argument.
+    /// The simulated machine for `--cores`: the four scaling-study
+    /// topologies, with 8 cores being the paper's Harpertown.
+    pub fn topology(&self) -> tlbmap_sim::Topology {
+        match self.cores {
+            4 => tlbmap_sim::Topology::new(1, 2, 2),
+            16 => tlbmap_sim::Topology::new(2, 4, 2),
+            32 => tlbmap_sim::Topology::new(4, 4, 2),
+            _ => tlbmap_sim::Topology::harpertown(),
+        }
+    }
+
+    /// Generate the requested workload (one thread per `--cores` core),
+    /// or load it from a `trace=<file>` argument.
     pub fn workload(&self) -> Result<Workload, String> {
-        let n = 8;
+        let n = self.cores;
         if let Some(path) = self.app.strip_prefix("trace=") {
             let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
             let traces = tlbmap_sim::decode_traces(&bytes).map_err(|e| format!("{path}: {e}"))?;
@@ -437,6 +465,19 @@ mod tests {
         assert!(parse(&["SP", "--snapshot-every", "0"]).is_err());
         assert!(parse(&["SP", "--trace-out"]).is_err(), "needs a value");
         assert!(parse(&["SP", "extra"]).is_err());
+    }
+
+    #[test]
+    fn parses_cores_and_picks_the_scaling_topology() {
+        let o = parse(&["ring", "--cores", "32", "--scale", "test"]).unwrap();
+        assert_eq!(o.cores, 32);
+        assert_eq!(o.topology().num_cores(), 32);
+        assert_eq!(o.workload().unwrap().traces.len(), 32);
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.cores, 8);
+        assert_eq!(o.topology().num_cores(), 8);
+        assert!(parse(&["ring", "--cores", "7"]).is_err());
+        assert!(parse(&["ring", "--cores", "abc"]).is_err());
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! ships a minimal wall-clock benchmarking harness with the criterion API
 //! surface its benches use: `Criterion::benchmark_group`, `bench_function`
 //! / `bench_with_input`, `Throughput`, `BenchmarkId`, `black_box` and the
-//! `criterion_group!` / `criterion_main!` macros. There is no statistical
-//! analysis beyond median-of-samples, and no HTML reports.
+//! `criterion_group!` / `criterion_main!` macros. Reported times are the
+//! median of the samples that survive MAD-based outlier rejection (see
+//! [`Bencher::robust_median`]); there are no HTML reports.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -97,6 +98,45 @@ impl Bencher {
         s.sort_unstable();
         s[s.len() / 2]
     }
+
+    /// Median after MAD-based outlier rejection, plus the rejected count.
+    ///
+    /// A sample is an outlier when it sits more than 3 scaled MADs from
+    /// the sample median (the scale factor 1.4826 makes the MAD a
+    /// consistent estimator of the standard deviation under normal noise,
+    /// so the cut is the robust analogue of a 3-sigma filter). Shared CI
+    /// runners produce occasional 2-10x samples from scheduler
+    /// preemption; clipping them is what lets the perf-gate threshold sit
+    /// well below the worst-case single-sample spike. When the MAD is
+    /// zero (a majority of samples quantized to the same value) every
+    /// sample is kept — a zero-width cut would reject legitimate jitter.
+    fn robust_median(&self) -> (Duration, usize) {
+        let med = self.median();
+        if self.samples.is_empty() {
+            return (Duration::ZERO, 0);
+        }
+        let med_ns = med.as_nanos() as f64;
+        let mut dev: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|s| (s.as_nanos() as f64 - med_ns).abs())
+            .collect();
+        dev.sort_unstable_by(|a, b| a.total_cmp(b));
+        let mad = dev[dev.len() / 2];
+        if mad == 0.0 {
+            return (med, 0);
+        }
+        let cut = 3.0 * 1.4826 * mad;
+        let mut kept: Vec<Duration> = self
+            .samples
+            .iter()
+            .copied()
+            .filter(|s| (s.as_nanos() as f64 - med_ns).abs() <= cut)
+            .collect();
+        let rejected = self.samples.len() - kept.len();
+        kept.sort_unstable();
+        (kept[kept.len() / 2], rejected)
+    }
 }
 
 /// A named set of related benchmarks.
@@ -150,7 +190,7 @@ impl BenchmarkGroup<'_> {
     }
 
     fn report(&self, id: &str, b: &Bencher) {
-        let med = b.median();
+        let (med, rejected) = b.robust_median();
         let ns = med.as_nanos() as f64;
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) if ns > 0.0 => {
@@ -161,7 +201,15 @@ impl BenchmarkGroup<'_> {
             }
             _ => String::new(),
         };
-        println!("{}/{:<28} {:>12.1} ns/iter{}", self.name, id, ns, rate);
+        let note = if rejected > 0 {
+            format!("  ({rejected} outlier(s) clipped)")
+        } else {
+            String::new()
+        };
+        println!(
+            "{}/{:<28} {:>12.1} ns/iter{}{}",
+            self.name, id, ns, rate, note
+        );
     }
 
     /// Finish the group (printing is incremental; this is a no-op).
@@ -231,6 +279,49 @@ mod tests {
         });
         g.finish();
         assert!(runs > 0, "benchmark closure never executed");
+    }
+
+    fn bencher_with(samples_ns: &[u64]) -> Bencher {
+        Bencher {
+            samples: samples_ns
+                .iter()
+                .map(|&n| Duration::from_nanos(n))
+                .collect(),
+            target_sample_time: Duration::from_millis(10),
+            sample_count: samples_ns.len(),
+        }
+    }
+
+    #[test]
+    fn mad_filter_clips_preemption_spikes() {
+        // Nine tight samples plus one 10x scheduler spike: the plain
+        // median already resists it, but the filter must flag and drop it
+        // so downstream trend-watching sees a clean sample set.
+        let b = bencher_with(&[100, 101, 99, 102, 100, 98, 101, 100, 99, 1000]);
+        let (med, rejected) = b.robust_median();
+        assert_eq!(rejected, 1, "the 1000ns spike is an outlier");
+        assert!((98..=102).contains(&(med.as_nanos() as u64)));
+    }
+
+    #[test]
+    fn mad_zero_keeps_all_samples() {
+        // Quantized clocks collapse most samples onto one value; a
+        // zero-width cut must not reject the rest.
+        let b = bencher_with(&[50, 50, 50, 50, 50, 50, 50, 53, 47, 50]);
+        let (med, rejected) = b.robust_median();
+        assert_eq!(rejected, 0);
+        assert_eq!(med.as_nanos(), 50);
+    }
+
+    #[test]
+    fn clean_samples_pass_through_unchanged() {
+        let b = bencher_with(&[10, 12, 11, 13, 9, 11, 12, 10, 11, 12]);
+        let (med, rejected) = b.robust_median();
+        assert_eq!(rejected, 0);
+        assert_eq!(med, b.median());
+        let (empty_med, empty_rej) = bencher_with(&[]).robust_median();
+        assert_eq!(empty_med, Duration::ZERO);
+        assert_eq!(empty_rej, 0);
     }
 
     #[test]

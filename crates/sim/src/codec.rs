@@ -15,7 +15,7 @@
 //! The format is self-describing (`TLBT` magic + version) and fully
 //! round-trips: `decode(encode(t)) == t` is property-tested.
 
-use crate::trace::{ThreadTrace, TraceEvent};
+use crate::trace::{ThreadTrace, TraceEvent, MAX_COMPUTE, MAX_VADDR};
 use tlbmap_cache::{AccessKind, MemOp};
 use tlbmap_mem::VirtAddr;
 
@@ -39,6 +39,8 @@ pub enum CodecError {
     Truncated,
     /// Unknown event tag.
     BadTag(u8),
+    /// A decoded payload exceeds what a trace can hold (hostile stream).
+    OutOfRange,
 }
 
 impl std::fmt::Display for CodecError {
@@ -48,6 +50,7 @@ impl std::fmt::Display for CodecError {
             CodecError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             CodecError::Truncated => write!(f, "trace file truncated"),
             CodecError::BadTag(t) => write!(f, "unknown event tag {t}"),
+            CodecError::OutOfRange => write!(f, "event payload out of range"),
         }
     }
 }
@@ -102,8 +105,8 @@ pub fn encode_traces(traces: &[ThreadTrace]) -> Vec<u8> {
     for trace in traces {
         put_varint(&mut out, trace.len() as u64);
         let mut prev_addr: u64 = 0;
-        for event in trace {
-            match *event {
+        for event in trace.iter() {
+            match event {
                 TraceEvent::Access { vaddr, op, kind } => {
                     let tag = match (op, kind) {
                         (MemOp::Read, AccessKind::Data) => TAG_READ,
@@ -141,7 +144,7 @@ pub fn decode_traces(data: &[u8]) -> Result<Vec<ThreadTrace>, CodecError> {
     let mut traces = Vec::with_capacity(n_threads.min(1024));
     for _ in 0..n_threads {
         let len = get_varint(data, &mut pos)? as usize;
-        let mut trace = Vec::with_capacity(len.min(1 << 16));
+        let mut trace = ThreadTrace::with_capacity(len.min(1 << 16));
         let mut prev_addr: u64 = 0;
         for _ in 0..len {
             let &tag = data.get(pos).ok_or(CodecError::Truncated)?;
@@ -150,6 +153,9 @@ pub fn decode_traces(data: &[u8]) -> Result<Vec<ThreadTrace>, CodecError> {
                 TAG_READ | TAG_WRITE | TAG_FETCH => {
                     let delta = unzigzag(get_varint(data, &mut pos)?);
                     let addr = prev_addr.wrapping_add(delta as u64);
+                    if addr > MAX_VADDR {
+                        return Err(CodecError::OutOfRange);
+                    }
                     prev_addr = addr;
                     let (op, kind) = match tag {
                         TAG_READ => (MemOp::Read, AccessKind::Data),
@@ -162,7 +168,13 @@ pub fn decode_traces(data: &[u8]) -> Result<Vec<ThreadTrace>, CodecError> {
                         kind,
                     }
                 }
-                TAG_COMPUTE => TraceEvent::Compute(get_varint(data, &mut pos)?),
+                TAG_COMPUTE => {
+                    let c = get_varint(data, &mut pos)?;
+                    if c > MAX_COMPUTE {
+                        return Err(CodecError::OutOfRange);
+                    }
+                    TraceEvent::Compute(c)
+                }
                 TAG_BARRIER => TraceEvent::Barrier,
                 other => return Err(CodecError::BadTag(other)),
             };
@@ -195,9 +207,10 @@ mod tests {
                 TraceEvent::Compute(12345),
                 TraceEvent::Barrier,
                 TraceEvent::fetch(VirtAddr(0xFFFF_0000)),
-            ],
-            vec![TraceEvent::Barrier],
-            vec![],
+            ]
+            .into(),
+            vec![TraceEvent::Barrier].into(),
+            ThreadTrace::new(),
         ]
     }
 
@@ -235,7 +248,7 @@ mod tests {
         bytes.truncate(bytes.len() - 2);
         assert_eq!(decode_traces(&bytes), Err(CodecError::Truncated));
         // Corrupt a tag (first event byte after header + 2 length varints).
-        let mut bad = encode_traces(&[vec![TraceEvent::Barrier]]);
+        let mut bad = encode_traces(&[vec![TraceEvent::Barrier].into()]);
         let last = bad.len() - 1;
         bad[last] = 99;
         assert_eq!(decode_traces(&bad), Err(CodecError::BadTag(99)));

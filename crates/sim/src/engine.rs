@@ -237,11 +237,13 @@ fn run<const OBSERVED: bool>(
         // runnable thread, or it blocks/finishes. The trace position and
         // core clock live in locals for the batch (written back on exit),
         // keeping bounds-checked slice traffic out of the per-event loop.
-        let trace = &traces[t];
+        // The batch streams packed 8-byte words and decodes inline; the
+        // enum never materializes in memory.
+        let trace = traces[t].words();
         let mut p = pos[t];
         let mut clk = clocks[core];
         while state[t] == ThreadState::Running && clk <= limit {
-            let Some(&event) = trace.get(p) else {
+            let Some(&word) = trace.get(p) else {
                 // Trace ended on a barrier: nothing left after release.
                 state[t] = ThreadState::Done;
                 break;
@@ -252,7 +254,7 @@ fn run<const OBSERVED: bool>(
             if OBSERVED {
                 rec.advance(clk);
             }
-            match event {
+            match word.unpack() {
                 TraceEvent::Compute(c) => {
                     let scaled = jitter.scale(t, c);
                     if OBSERVED {
@@ -398,7 +400,7 @@ mod tests {
 
     #[test]
     fn empty_traces_finish_immediately() {
-        let traces: Vec<ThreadTrace> = vec![vec![]; 8];
+        let traces: Vec<ThreadTrace> = vec![ThreadTrace::new(); 8];
         let stats = simulate(
             &cfg(),
             &topo(),
@@ -412,11 +414,12 @@ mod tests {
 
     #[test]
     fn single_thread_sequential_costs() {
-        let traces = vec![vec![
+        let traces: Vec<ThreadTrace> = vec![vec![
             TraceEvent::Compute(100),
             TraceEvent::read(page(1)),
             TraceEvent::read(page(1)),
-        ]];
+        ]
+        .into()];
         // Machine still has 8 cores; one thread on core 0.
         let mut cfg8 = cfg();
         cfg8.barrier_cost = 0;
@@ -434,11 +437,12 @@ mod tests {
         use tlbmap_obs::ObsConfig;
         // Same workload as `single_thread_sequential_costs`: the known
         // breakdown is 100 compute + 420 TLB (trap + walk) + 212 cache.
-        let traces = vec![vec![
+        let traces: Vec<ThreadTrace> = vec![vec![
             TraceEvent::Compute(100),
             TraceEvent::read(page(1)),
             TraceEvent::read(page(1)),
-        ]];
+        ]
+        .into()];
         let mut cfg8 = cfg();
         cfg8.barrier_cost = 0;
         let rec = Recorder::new(ObsConfig::new(1));
@@ -465,17 +469,19 @@ mod tests {
     fn barrier_synchronizes_clocks() {
         // Thread 0 computes 1000 cycles, thread 1 computes 10; both then
         // read their own page. After the barrier both clocks align.
-        let traces = vec![
+        let traces: Vec<ThreadTrace> = vec![
             vec![
                 TraceEvent::Compute(1000),
                 TraceEvent::Barrier,
                 TraceEvent::Compute(1),
-            ],
+            ]
+            .into(),
             vec![
                 TraceEvent::Compute(10),
                 TraceEvent::Barrier,
                 TraceEvent::Compute(1),
-            ],
+            ]
+            .into(),
         ];
         let mut c = cfg();
         c.barrier_cost = 500;
@@ -494,7 +500,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "deadlock")]
     fn inconsistent_barriers_rejected() {
-        let traces = vec![vec![TraceEvent::Barrier], vec![]];
+        let traces: Vec<ThreadTrace> = vec![vec![TraceEvent::Barrier].into(), ThreadTrace::new()];
         simulate(
             &cfg(),
             &topo(),
@@ -530,9 +536,9 @@ mod tests {
         }
         // Thread 0 touches page 7 first; after the barrier thread 1 touches
         // it too and must observe thread 0's TLB entry.
-        let traces = vec![
-            vec![TraceEvent::read(page(7)), TraceEvent::Barrier],
-            vec![TraceEvent::Barrier, TraceEvent::read(page(7))],
+        let traces: Vec<ThreadTrace> = vec![
+            vec![TraceEvent::read(page(7)), TraceEvent::Barrier].into(),
+            vec![TraceEvent::Barrier, TraceEvent::read(page(7))].into(),
         ];
         let mut hook = MissCounter {
             misses: 0,
@@ -558,7 +564,7 @@ mod tests {
                 1 // nonzero so the engine counts the search
             }
         }
-        let traces = vec![vec![TraceEvent::Compute(100); 100]]; // 10k cycles
+        let traces: Vec<ThreadTrace> = vec![vec![TraceEvent::Compute(100); 100].into()]; // 10k cycles
         let mut c = cfg().with_tick_period(Some(1000));
         c.barrier_cost = 0;
         let mut hook = TickCounter(0);
@@ -583,7 +589,7 @@ mod tests {
                 10_000
             }
         }
-        let traces = vec![vec![TraceEvent::read(page(1))]];
+        let traces: Vec<ThreadTrace> = vec![vec![TraceEvent::read(page(1))].into()];
         let m = Mapping::new(vec![0]);
         let base = simulate(&cfg(), &topo(), &traces, &m, &mut NoHooks);
         let slowed = simulate(&cfg(), &topo(), &traces, &m, &mut Expensive);
@@ -593,9 +599,9 @@ mod tests {
 
     #[test]
     fn mapping_changes_which_cores_work() {
-        let traces = vec![
-            vec![TraceEvent::read(page(1))],
-            vec![TraceEvent::read(page(2))],
+        let traces: Vec<ThreadTrace> = vec![
+            vec![TraceEvent::read(page(1))].into(),
+            vec![TraceEvent::read(page(2))].into(),
         ];
         let stats = simulate(
             &cfg(),
@@ -613,8 +619,8 @@ mod tests {
     fn sharing_mapping_affects_snoops() {
         // Threads ping-pong writes on one page. On the same L2 there are no
         // interconnect snoops; on different chips every re-read snoops.
-        let mut a = Vec::new();
-        let mut b = Vec::new();
+        let mut a = ThreadTrace::new();
+        let mut b = ThreadTrace::new();
         for _ in 0..50 {
             a.push(TraceEvent::write(page(3)));
             a.push(TraceEvent::Barrier);
@@ -672,13 +678,14 @@ mod tests {
             }
         }
         // Two phases; thread 0 touches page 9 in both.
-        let traces = vec![
+        let traces: Vec<ThreadTrace> = vec![
             vec![
                 TraceEvent::read(page(9)),
                 TraceEvent::Barrier,
                 TraceEvent::read(page(9)),
-            ],
-            vec![TraceEvent::Barrier, TraceEvent::Compute(1)],
+            ]
+            .into(),
+            vec![TraceEvent::Barrier, TraceEvent::Compute(1)].into(),
         ];
         let mut c = cfg();
         c.barrier_cost = 0;
@@ -710,13 +717,14 @@ mod tests {
                 Some(Mapping::new(vec![0, 1]))
             }
         }
-        let traces = vec![
+        let traces: Vec<ThreadTrace> = vec![
             vec![
                 TraceEvent::read(page(1)),
                 TraceEvent::Barrier,
                 TraceEvent::read(page(1)),
-            ],
-            vec![TraceEvent::Barrier, TraceEvent::Compute(1)],
+            ]
+            .into(),
+            vec![TraceEvent::Barrier, TraceEvent::Compute(1)].into(),
         ];
         let stats = simulate(
             &cfg(),
@@ -778,8 +786,9 @@ mod tests {
 
         // Producer (thread 0) writes 64 lines; consumer (thread 1) reads
         // them after a barrier.
-        let mut producer = Vec::new();
-        let mut consumer = vec![TraceEvent::Barrier];
+        let mut producer = ThreadTrace::new();
+        let mut consumer = ThreadTrace::new();
+        consumer.push(TraceEvent::Barrier);
         for i in 0..64u64 {
             producer.push(TraceEvent::write(VirtAddr(i * 64)));
             consumer.push(TraceEvent::read(VirtAddr(i * 64)));
@@ -806,7 +815,7 @@ mod tests {
 
     #[test]
     fn jitter_varies_total_cycles() {
-        let traces = vec![vec![TraceEvent::Compute(10_000); 50]];
+        let traces: Vec<ThreadTrace> = vec![vec![TraceEvent::Compute(10_000); 50].into()];
         let m = Mapping::new(vec![0]);
         let a = simulate(&cfg().with_jitter(1), &topo(), &traces, &m, &mut NoHooks);
         let b = simulate(&cfg().with_jitter(2), &topo(), &traces, &m, &mut NoHooks);

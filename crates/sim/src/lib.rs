@@ -40,7 +40,7 @@ pub use mapping::Mapping;
 pub use numa::{NumaConfig, NumaPolicy};
 pub use stats::RunStats;
 pub use topology::Topology;
-pub use trace::{ThreadTrace, TraceEvent};
+pub use trace::{PackedEvent, ThreadTrace, TraceEvent};
 
 // Re-export the types that appear in this crate's public API.
 pub use tlbmap_cache::{AccessKind, AccessOutcome, MemOp};

@@ -16,7 +16,7 @@ fn traces(n_threads: usize) -> impl Strategy<Value = Vec<ThreadTrace>> {
         threads
             .into_iter()
             .map(|thread_phases| {
-                let mut trace = Vec::new();
+                let mut trace = ThreadTrace::new();
                 for k in 0..phases {
                     if let Some(events) = thread_phases.get(k) {
                         for &(page, write, compute) in events {

@@ -18,7 +18,7 @@ impl WorkloadBuilder {
     pub fn new(n_threads: usize) -> Self {
         assert!(n_threads > 0, "need at least one thread");
         WorkloadBuilder {
-            traces: vec![Vec::new(); n_threads],
+            traces: vec![ThreadTrace::new(); n_threads],
         }
     }
 
@@ -115,7 +115,7 @@ mod tests {
         let h = a.alloc_f64(600);
         b.write(0, h, 512);
         let traces = b.build();
-        match traces[0][0] {
+        match traces[0].get(0).unwrap() {
             TraceEvent::Access { vaddr, .. } => assert_eq!(vaddr.0, h.base.0 + 4096),
             _ => panic!("expected access"),
         }

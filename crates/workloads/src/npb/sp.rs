@@ -38,7 +38,7 @@ mod tests {
                 .iter()
                 .flatten()
                 .map(|e| match e {
-                    TraceEvent::Compute(c) => *c,
+                    TraceEvent::Compute(c) => c,
                     _ => 0,
                 })
                 .sum()

@@ -70,7 +70,7 @@ impl TraceStats {
                 match e {
                     TraceEvent::Access { vaddr, op, .. } => {
                         accesses += 1;
-                        if *op == MemOp::Write {
+                        if op == MemOp::Write {
                             writes += 1;
                         }
                         let page = vaddr.0 >> 12;
@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn empty_traces_are_safe() {
-        let s = TraceStats::analyze_traces(&[vec![], vec![]]);
+        let s = TraceStats::analyze_traces(&[ThreadTrace::new(), ThreadTrace::new()]);
         assert_eq!(s.accesses, 0);
         assert_eq!(s.distinct_pages, 0);
         assert_eq!(s.write_fraction(), 0.0);

@@ -51,7 +51,7 @@ mod tests {
     fn accessors() {
         let w = Workload {
             name: "x".into(),
-            traces: vec![vec![TraceEvent::Compute(1)], vec![]],
+            traces: vec![vec![TraceEvent::Compute(1)].into(), Default::default()],
             expected_pattern: PatternClass::None,
             footprint_bytes: 4096,
         };

@@ -5,7 +5,7 @@ use tlbmap::detect::{
 };
 use tlbmap::mapping::{mapping_cost, HierarchicalMapper, Mapping};
 use tlbmap::mem::{PageGeometry, TlbConfig};
-use tlbmap::sim::{simulate, NoHooks, SimConfig, Topology, TraceEvent, VirtAddr};
+use tlbmap::sim::{simulate, NoHooks, SimConfig, ThreadTrace, Topology, TraceEvent, VirtAddr};
 use tlbmap::workloads::synthetic;
 
 fn topo() -> Topology {
@@ -14,7 +14,7 @@ fn topo() -> Topology {
 
 #[test]
 fn empty_workload_detects_nothing_everywhere() {
-    let traces = vec![vec![]; 8];
+    let traces = vec![ThreadTrace::new(); 8];
     let cfg = SimConfig::paper_software_managed(&topo());
     let mut sm = SmDetector::new(8, SmConfig::every_miss());
     let s = simulate(&cfg, &topo(), &traces, &Mapping::identity(8), &mut sm);
@@ -31,7 +31,7 @@ fn empty_workload_detects_nothing_everywhere() {
 fn single_thread_has_no_communication() {
     let traces = vec![(0..500u64)
         .map(|i| TraceEvent::read(VirtAddr((i % 90) * 4096)))
-        .collect::<Vec<_>>()];
+        .collect::<ThreadTrace>()];
     let cfg = SimConfig::paper_software_managed(&topo());
     let mut sm = SmDetector::new(1, SmConfig::every_miss());
     let s = simulate(&cfg, &topo(), &traces, &Mapping::new(vec![3]), &mut sm);
@@ -158,11 +158,13 @@ fn zero_cost_knobs_are_tolerated() {
 
 #[test]
 fn detectors_survive_address_space_extremes() {
-    // Addresses near u64::MAX (top of the canonical space).
-    let top = u64::MAX - 8 * 4096;
-    let traces = vec![
-        vec![TraceEvent::read(VirtAddr(top)), TraceEvent::Barrier],
-        vec![TraceEvent::Barrier, TraceEvent::read(VirtAddr(top))],
+    // Addresses at the top of the encodable space — the packed 8-byte
+    // trace encoding carries 62 address bits, far beyond any canonical
+    // virtual address (x86-64 tops out at 57).
+    let top = tlbmap::sim::trace::MAX_VADDR - 8 * 4096;
+    let traces: Vec<ThreadTrace> = vec![
+        vec![TraceEvent::read(VirtAddr(top)), TraceEvent::Barrier].into(),
+        vec![TraceEvent::Barrier, TraceEvent::read(VirtAddr(top))].into(),
     ];
     let cfg = SimConfig::paper_software_managed(&topo());
     let mut det = SmDetector::new(2, SmConfig::every_miss());
@@ -180,9 +182,9 @@ fn shared_code_pages_do_not_pollute_the_matrix() {
     // reads private data. The paper's SM mechanism only searches on data
     // misses, so the ubiquitous code sharing must not register.
     let code_base = 0x100_0000u64;
-    let traces: Vec<Vec<TraceEvent>> = (0..4u64)
+    let traces: Vec<ThreadTrace> = (0..4u64)
         .map(|t| {
-            let mut tr = Vec::new();
+            let mut tr = ThreadTrace::new();
             for i in 0..200u64 {
                 // Instruction fetches walk a 16-page shared code segment.
                 tr.push(TraceEvent::fetch(VirtAddr(code_base + (i % 16) * 4096)));

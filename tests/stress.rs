@@ -12,13 +12,15 @@ use tlbmap::detect::{
 use tlbmap::mapping::{baselines, HierarchicalMapper};
 use tlbmap::mem::TlbConfig;
 use tlbmap::sim::hooks::ChainedHooks;
-use tlbmap::sim::{simulate, Mapping, NumaPolicy, SimConfig, Topology, TraceEvent, VirtAddr};
+use tlbmap::sim::{
+    simulate, Mapping, NumaPolicy, SimConfig, ThreadTrace, Topology, TraceEvent, VirtAddr,
+};
 
-fn random_traces(rng: &mut SmallRng, n_threads: usize) -> Vec<Vec<TraceEvent>> {
+fn random_traces(rng: &mut SmallRng, n_threads: usize) -> Vec<ThreadTrace> {
     let phases = rng.gen_range(1..4);
     (0..n_threads)
         .map(|t| {
-            let mut trace = Vec::new();
+            let mut trace = ThreadTrace::new();
             for _ in 0..phases {
                 let events = rng.gen_range(0..300);
                 for _ in 0..events {
