@@ -12,5 +12,5 @@ pub mod stats;
 pub use campaign::{
     detect_matrices, parallel_map, run_performance, CampaignConfig, DetectedMatrices, PerfResult,
 };
-pub use report::{bar, Table};
+pub use report::{bar, sparkline, Table};
 pub use stats::{mean, mean_std, percentile, stddev_pct};

@@ -78,6 +78,35 @@ pub fn bar(value: f64, scale: f64, width: usize) -> String {
     "#".repeat(n.min(width * 2)) // allow mild overshoot beyond the scale
 }
 
+/// The eight block glyphs a sparkline is built from, shortest first.
+const SPARK_GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// A one-line sparkline of `values`, each mapped to one of eight block
+/// glyphs scaled against the series maximum. Non-finite values render as
+/// spaces; an all-zero (or empty) series renders as all-minimum glyphs,
+/// so a flat idle series still has visible width. Used by `tlbmap top`
+/// and the loadgen timeline.
+pub fn sparkline(values: &[f64]) -> String {
+    let max = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if max <= 0.0 || v <= 0.0 {
+                SPARK_GLYPHS[0]
+            } else {
+                let idx = ((v / max) * 7.0).round() as usize;
+                SPARK_GLYPHS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +148,26 @@ mod tests {
         assert_eq!(bar(f64::INFINITY, 1.0, 10), "");
         assert_eq!(bar(1.0, f64::INFINITY, 10), "");
         assert_eq!(bar(f64::NEG_INFINITY, 1.0, 10), "");
+    }
+
+    #[test]
+    fn sparklines_scale_to_the_series_max() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 4.0]);
+        let glyphs: Vec<char> = s.chars().collect();
+        assert_eq!(glyphs.len(), 4);
+        assert_eq!(glyphs[0], '▁');
+        assert_eq!(glyphs[3], '█');
+        // Half the max lands mid-ladder, strictly between the extremes.
+        assert!(glyphs[2] > glyphs[0] && glyphs[2] < glyphs[3]);
+    }
+
+    #[test]
+    fn sparklines_survive_degenerate_series() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        assert_eq!(sparkline(&[f64::NAN, 1.0]), " █");
+        assert_eq!(sparkline(&[f64::INFINITY, 1.0]), " █");
+        assert_eq!(sparkline(&[-3.0, 6.0]), "▁█");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! tlbmap serve [opts]                  run the mapping service over TCP
 //! tlbmap client <action> [opts]        one request against a running service
 //! tlbmap loadgen [opts]                drive a service with N connections x M requests
+//! tlbmap top [opts]                    live dashboard over a running service
 //! ```
 //!
 //! `<APP>` is one of BT CG EP FT IS LU MG SP UA, or a synthetic pattern:
@@ -22,6 +23,7 @@ mod analysis;
 mod commands;
 mod opts;
 mod serve_cmd;
+mod top;
 
 use std::process::ExitCode;
 
@@ -47,6 +49,7 @@ fn main() -> ExitCode {
         "loadgen" => {
             serve_cmd::ClientOptions::parse(&args[2..], false).and_then(serve_cmd::loadgen)
         }
+        "top" => top::TopOptions::parse(&args[2..]).and_then(top::top),
         "help" | "--help" | "-h" => {
             println!("{}", opts::USAGE);
             Ok(())

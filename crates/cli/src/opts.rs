@@ -21,11 +21,14 @@ USAGE:
   tlbmap stats    [APP] [COMMON]
   tlbmap export   [APP] --out <FILE> [COMMON]
   tlbmap serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-                  [--deadline-ms D] [--metrics-out <FILE>]
-  tlbmap client   map|health|stats|shutdown [--addr HOST:PORT]
+                  [--deadline-ms D] [--metrics-out <FILE>] [--window-ms W]
+                  [--window-buckets B] [--slow-threshold-us T]
+                  [--slow-log <FILE>] [--no-http]
+  tlbmap client   map|health|stats|live|trace|shutdown [--addr HOST:PORT]
                   [--matrix <FILE>] [--topo CxLxK] [--deadline-ms D]
   tlbmap loadgen  [--addr HOST:PORT] [--connections N] [--requests M]
-                  [--matrix <FILE>] [--delay-ms D] [--out <FILE>]
+                  [--matrix <FILE>] [--delay-ms D] [--sample-ms S] [--out <FILE>]
+  tlbmap top      [--addr HOST:PORT] [--interval-ms I] [--iterations N] [--raw]
 
 APP defaults to CG. It may also be `trace=<FILE>` (a file written by
 `tlbmap export`) in detect/map/simulate/report/stats.
@@ -64,7 +67,12 @@ SERVICE:
             JSON file as written by `tlbmap detect --format json`
   loadgen   N connections x M requests against a running service;
             reports p50/p90/p99 latency and throughput, exits non-zero
-            if any request failed";
+            if any request failed; `--sample-ms` adds a per-second
+            timeline and before/after server scrapes to the report
+  top       poll the admin endpoint and render a live dashboard with
+            rolling-window latency sparklines (`--raw` for CI logs;
+            the server also answers plain HTTP GET on its port with a
+            text exposition unless started with `--no-http`)";
 
 /// How `detect` prints the communication matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -5,7 +5,7 @@
 
 use tlbmap_core::CommMatrix;
 use tlbmap_obs::{Json, ObsConfig, Recorder};
-use tlbmap_serve::{run_loadgen, Client, LoadgenConfig, ServeConfig, Server};
+use tlbmap_serve::{run_loadgen, AdminKind, Client, LoadgenConfig, ServeConfig, Server};
 use tlbmap_sim::Topology;
 
 /// Default service address.
@@ -56,6 +56,8 @@ pub struct ServeOptions {
     pub cfg: ServeConfig,
     /// Write the recorder's metrics JSON here after shutdown.
     pub metrics_out: Option<String>,
+    /// Append slow requests (over `--slow-threshold-us`) as JSONL here.
+    pub slow_log: Option<String>,
 }
 
 impl ServeOptions {
@@ -65,6 +67,7 @@ impl ServeOptions {
             addr: DEFAULT_ADDR.to_string(),
             cfg: ServeConfig::new(),
             metrics_out: None,
+            slow_log: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -89,6 +92,24 @@ impl ServeOptions {
                         parse_u64("--deadline-ms", &value("--deadline-ms")?)?
                 }
                 "--metrics-out" => o.metrics_out = Some(value("--metrics-out")?),
+                "--window-ms" => {
+                    o.cfg.telemetry_window_ms = parse_u64("--window-ms", &value("--window-ms")?)?
+                }
+                "--window-buckets" => {
+                    o.cfg.telemetry_slots =
+                        parse_u64("--window-buckets", &value("--window-buckets")?)? as usize
+                }
+                "--slow-threshold-us" => {
+                    o.cfg.slow_threshold_us =
+                        parse_u64("--slow-threshold-us", &value("--slow-threshold-us")?)?
+                }
+                "--slow-log" => o.slow_log = Some(value("--slow-log")?),
+                "--no-http" => {
+                    // Valueless flag: disable the plain-text GET exposition.
+                    o.cfg.http_stats = false;
+                    i += 1;
+                    continue;
+                }
                 flag => return Err(format!("unknown flag `{flag}`")),
             }
             i += 2;
@@ -101,13 +122,22 @@ impl ServeOptions {
 /// shut down, then optionally export metrics.
 pub fn serve(o: ServeOptions) -> Result<(), String> {
     let rec = Recorder::new(ObsConfig::new(0).with_ring_capacity(64));
-    let handle = Server::start(&o.addr, o.cfg, rec).map_err(|e| format!("bind {}: {e}", o.addr))?;
+    let slow_log: Option<Box<dyn std::io::Write + Send>> = match &o.slow_log {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(Box::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let handle = Server::start_with_slow_log(&o.addr, o.cfg, rec, slow_log)
+        .map_err(|e| format!("bind {}: {e}", o.addr))?;
     eprintln!(
-        "# tlbmap serve listening on {} ({} workers, queue {}, cache {})",
+        "# tlbmap serve listening on {} ({} workers, queue {}, cache {}, window {} ms)",
         handle.addr(),
         o.cfg.effective_workers(),
         o.cfg.effective_queue_capacity(),
         o.cfg.effective_cache_capacity().unwrap_or(0),
+        o.cfg.effective_telemetry().window_ms,
     );
     let rec = handle.recorder().clone();
     handle.join();
@@ -140,6 +170,9 @@ pub struct ClientOptions {
     pub connections: usize,
     /// Loadgen: requests per connection.
     pub requests: usize,
+    /// Loadgen: scrape `admin stats` every this many ms during the run
+    /// (0 = off).
+    pub sample_ms: u64,
     /// Loadgen: write the report JSON here.
     pub out: Option<String>,
 }
@@ -157,6 +190,7 @@ impl ClientOptions {
             delay_ms: 0,
             connections: 4,
             requests: 25,
+            sample_ms: 250,
             out: None,
         };
         let mut i = 0;
@@ -180,6 +214,7 @@ impl ClientOptions {
                 "--requests" => {
                     o.requests = parse_u64("--requests", &value("--requests")?)? as usize
                 }
+                "--sample-ms" => o.sample_ms = parse_u64("--sample-ms", &value("--sample-ms")?)?,
                 "--out" => o.out = Some(value("--out")?),
                 flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
                 word if positional_action && o.action.is_empty() => {
@@ -192,7 +227,9 @@ impl ClientOptions {
             i += 2;
         }
         if positional_action && o.action.is_empty() {
-            return Err("client needs an action: map | health | stats | shutdown".into());
+            return Err(
+                "client needs an action: map | health | stats | live | trace | shutdown".into(),
+            );
         }
         Ok(o)
     }
@@ -240,13 +277,32 @@ pub fn client(o: ClientOptions) -> Result<(), String> {
             println!("{}", doc.render());
             Ok(())
         }
+        "live" => {
+            // The rolling-window admin snapshot (versus the legacy
+            // since-boot `stats`).
+            let doc = client.admin(AdminKind::Stats).map_err(|e| e.to_string())?;
+            println!("{}", doc.render());
+            Ok(())
+        }
+        "trace" => {
+            let doc = client.admin(AdminKind::Trace).map_err(|e| e.to_string())?;
+            match doc.as_array() {
+                Some(entries) if !entries.is_empty() => {
+                    for entry in entries {
+                        println!("{}", entry.render());
+                    }
+                }
+                _ => eprintln!("# slow-request log is empty"),
+            }
+            Ok(())
+        }
         "shutdown" => {
             client.shutdown().map_err(|e| e.to_string())?;
             println!("shutdown acknowledged");
             Ok(())
         }
         other => Err(format!(
-            "unknown client action `{other}` (map | health | stats | shutdown)"
+            "unknown client action `{other}` (map | health | stats | live | trace | shutdown)"
         )),
     }
 }
@@ -264,6 +320,7 @@ pub fn loadgen(o: ClientOptions) -> Result<(), String> {
         requests: o.requests,
         deadline_ms: o.deadline_ms,
         delay_ms: o.delay_ms,
+        sample_period_ms: o.sample_ms,
         matrix,
         topo: o.topo,
     };
@@ -321,6 +378,31 @@ mod tests {
     }
 
     #[test]
+    fn parses_telemetry_serve_options() {
+        let o = ServeOptions::parse(&words(&[
+            "--window-ms",
+            "5000",
+            "--window-buckets",
+            "5",
+            "--slow-threshold-us",
+            "250000",
+            "--slow-log",
+            "slow.jsonl",
+            "--no-http",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(o.cfg.telemetry_window_ms, 5000);
+        assert_eq!(o.cfg.telemetry_slots, 5);
+        assert_eq!(o.cfg.slow_threshold_us, 250_000);
+        assert_eq!(o.slow_log.as_deref(), Some("slow.jsonl"));
+        assert!(!o.cfg.http_stats);
+        // --no-http is valueless: the flag after it still parses.
+        assert_eq!(o.cfg.workers, 2);
+    }
+
+    #[test]
     fn rejects_bad_serve_options() {
         assert!(ServeOptions::parse(&words(&["--workers"])).is_err());
         assert!(ServeOptions::parse(&words(&["--workers", "two"])).is_err());
@@ -350,6 +432,9 @@ mod tests {
         assert_eq!(o.connections, 8);
         assert_eq!(o.requests, 50);
         assert_eq!(o.delay_ms, 1);
+        assert_eq!(o.sample_ms, 250, "sampling defaults on for the CLI");
+        let o = ClientOptions::parse(&words(&["--sample-ms", "0"]), false).unwrap();
+        assert_eq!(o.sample_ms, 0);
         assert!(
             ClientOptions::parse(&words(&["stray"]), false).is_err(),
             "loadgen takes no positional argument"

@@ -137,6 +137,29 @@ pub enum Event {
         /// Total communication weight captured by the matched pairs.
         weight: u64,
     },
+    /// One mapping-service request completed, with its span timings.
+    /// Times are host microseconds (the service runs off the wall clock,
+    /// not the simulated one — `cycle()` reports 0 like `MapperRound`).
+    ServeRequest {
+        /// Request ID minted at accept: connection ID in the high bits,
+        /// per-connection sequence number in the low 32.
+        req_id: u64,
+        /// Stable request-kind name (`map`, `health`, `stats`, `admin`,
+        /// `shutdown`).
+        kind: &'static str,
+        /// Time from frame arrival to request parsed.
+        parse_us: u64,
+        /// Time spent waiting in the work queue (0 for inline requests).
+        queue_us: u64,
+        /// Time a worker spent computing (cache probe + mapper).
+        compute_us: u64,
+        /// Frame arrival to response ready.
+        total_us: u64,
+        /// Whether the result came from the cache.
+        cached: bool,
+        /// `"ok"` or the stable error-code name.
+        outcome: &'static str,
+    },
 }
 
 impl Event {
@@ -153,6 +176,7 @@ impl Event {
             Event::PhaseChange { .. } => "phase_change",
             Event::Snapshot { .. } => "snapshot",
             Event::MapperRound { .. } => "mapper_round",
+            Event::ServeRequest { .. } => "serve_request",
         }
     }
 
@@ -168,7 +192,7 @@ impl Event {
             | Event::Migration { cycle, .. }
             | Event::PhaseChange { cycle, .. }
             | Event::Snapshot { cycle, .. } => cycle,
-            Event::MapperRound { .. } => 0,
+            Event::MapperRound { .. } | Event::ServeRequest { .. } => 0,
         }
     }
 
@@ -247,6 +271,25 @@ impl Event {
                 push("groups_after", Json::U64(groups_after.into()));
                 push("weight", Json::U64(weight));
             }
+            Event::ServeRequest {
+                req_id,
+                kind,
+                parse_us,
+                queue_us,
+                compute_us,
+                total_us,
+                cached,
+                outcome,
+            } => {
+                push("req_id", Json::U64(req_id));
+                push("kind", Json::Str(kind.to_string()));
+                push("parse_us", Json::U64(parse_us));
+                push("queue_us", Json::U64(queue_us));
+                push("compute_us", Json::U64(compute_us));
+                push("total_us", Json::U64(total_us));
+                push("cached", Json::Bool(cached));
+                push("outcome", Json::Str(outcome.to_string()));
+            }
         }
         Json::Obj(pairs)
     }
@@ -261,6 +304,9 @@ impl Event {
                 charged_cycles,
                 ..
             } => ("X", u64::from(core), Some(charged_cycles.max(1))),
+            // Service requests render as complete slices whose duration
+            // is the request's wall time in microseconds.
+            Event::ServeRequest { total_us, .. } => ("X", 0, Some(total_us.max(1))),
             Event::TlbMiss { core, .. }
             | Event::TlbFlush { core, .. }
             | Event::SearchStart { core, .. } => ("i", u64::from(core), None),
@@ -373,6 +419,16 @@ mod tests {
                 groups_before: 8,
                 groups_after: 4,
                 weight: 9,
+            },
+            Event::ServeRequest {
+                req_id: (7 << 32) | 3,
+                kind: "map",
+                parse_us: 12,
+                queue_us: 80,
+                compute_us: 150,
+                total_us: 260,
+                cached: false,
+                outcome: "ok",
             },
         ];
         let mut names: Vec<_> = events.iter().map(|e| e.name()).collect();

@@ -13,6 +13,10 @@
 //!   JSON.
 //! * **Metrics** ([`CounterId`], [`HistId`], [`Histogram`]) — monotonic
 //!   counters and log₂-bucketed histograms with a lock-free hot path.
+//! * **Live windows** ([`LiveRegistry`], [`WindowedHistogram`]) — rolling
+//!   wall-clock windows of N rotating log₂ slots, snapshotable by any
+//!   thread without stopping the writers, so a long-running server can
+//!   answer "what are p50/p99 *right now*" instead of since-boot.
 //! * **Snapshots** ([`MatrixSnapshot`]) — periodic copies of the
 //!   communication matrix keyed by cycle and barrier count, showing how
 //!   the detected pattern converges over a run.
@@ -42,6 +46,7 @@
 
 pub mod event;
 pub mod json;
+pub mod live;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
@@ -49,6 +54,7 @@ pub mod ring;
 
 pub use event::{Event, Mechanism};
 pub use json::{Json, JsonError};
+pub use live::{LiveConfig, LiveRegistry, WindowSnapshot, WindowedHistogram};
 pub use metrics::{
     bucket_index, bucket_lo, CounterId, HistId, Histogram, COUNTERS, HISTS, N_BUCKETS,
 };

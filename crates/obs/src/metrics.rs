@@ -49,10 +49,27 @@ pub enum CounterId {
     ServeCacheHits,
     /// Mapping-service result-cache misses (leader computations).
     ServeCacheMisses,
+    /// Mapping-service `map` requests admitted for parsing (a subset of
+    /// `ServeRequests`, which counts every request kind).
+    ServeMapRequests,
+    /// Mapping-service frames rejected before parsing (bad length, bad
+    /// JSON, wrong protocol version).
+    ServeBadFrames,
+    /// Mapping-service requests that parsed but were invalid.
+    ServeBadRequests,
+    /// Mapping-service requests refused because shutdown had begun.
+    ServeShuttingDown,
+    /// Mapping-service requests lost server-side (worker dropped them).
+    ServeInternalErrors,
+    /// Mapping-service cache waiters coalesced onto an in-flight leader
+    /// (a subset of `ServeCacheHits`).
+    ServeCacheCoalesced,
+    /// Mapping-service requests slower than the slow-log threshold.
+    ServeSlowRequests,
 }
 
 /// All counters, in registry order.
-pub const COUNTERS: [CounterId; 18] = [
+pub const COUNTERS: [CounterId; 25] = [
     CounterId::Accesses,
     CounterId::TlbMisses,
     CounterId::DetectionSearches,
@@ -71,6 +88,13 @@ pub const COUNTERS: [CounterId; 18] = [
     CounterId::ServeTimeouts,
     CounterId::ServeCacheHits,
     CounterId::ServeCacheMisses,
+    CounterId::ServeMapRequests,
+    CounterId::ServeBadFrames,
+    CounterId::ServeBadRequests,
+    CounterId::ServeShuttingDown,
+    CounterId::ServeInternalErrors,
+    CounterId::ServeCacheCoalesced,
+    CounterId::ServeSlowRequests,
 ];
 
 impl CounterId {
@@ -95,6 +119,13 @@ impl CounterId {
             CounterId::ServeTimeouts => "serve_timeouts",
             CounterId::ServeCacheHits => "serve_cache_hits",
             CounterId::ServeCacheMisses => "serve_cache_misses",
+            CounterId::ServeMapRequests => "serve_map_requests",
+            CounterId::ServeBadFrames => "serve_bad_frames",
+            CounterId::ServeBadRequests => "serve_bad_requests",
+            CounterId::ServeShuttingDown => "serve_shutting_down",
+            CounterId::ServeInternalErrors => "serve_internal_errors",
+            CounterId::ServeCacheCoalesced => "serve_cache_coalesced",
+            CounterId::ServeSlowRequests => "serve_slow_requests",
         }
     }
 }

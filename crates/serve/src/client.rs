@@ -7,7 +7,7 @@ use tlbmap_obs::Json;
 use tlbmap_sim::Topology;
 
 use crate::protocol::{
-    check_version, read_frame, write_frame, ErrorCode, FrameError, Request, Response,
+    check_version, read_frame, write_frame, AdminKind, ErrorCode, FrameError, Request, Response,
 };
 
 /// Largest response frame a client will accept.
@@ -134,6 +134,19 @@ impl Client {
             Response::Stats(doc) => Ok(doc),
             other => Err(ServeError::Transport(format!(
                 "expected a stats response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Query the live-telemetry admin surface: `stats` for the rolling
+    /// snapshot (queue depth, utilization, windowed quantiles), `health`
+    /// for liveness + uptime, `trace` for the slow-request log.
+    pub fn admin(&mut self, kind: AdminKind) -> Result<Json, ServeError> {
+        match self.round_trip(&Request::Admin { kind })? {
+            Response::Admin { kind: got, doc } if got == kind => Ok(doc),
+            other => Err(ServeError::Transport(format!(
+                "expected an admin {} response, got {other:?}",
+                kind.as_str()
             ))),
         }
     }

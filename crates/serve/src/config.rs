@@ -23,6 +23,19 @@ pub struct ServeConfig {
     /// answered with a `bad_frame` error and the connection is closed
     /// (framing cannot be resynchronized).
     pub max_frame_bytes: usize,
+    /// Rolling telemetry window the admin endpoint's live quantiles
+    /// cover, in milliseconds. 0 is defused to the 10 s default.
+    pub telemetry_window_ms: u64,
+    /// Rotating slots the telemetry window is divided into. 0 is defused
+    /// to 1 (a single coarse slot).
+    pub telemetry_slots: usize,
+    /// Requests slower than this (host microseconds) are appended to the
+    /// slow-request log. 0 disables slow logging.
+    pub slow_threshold_us: u64,
+    /// Answer plain-text `GET` requests on the service port with a
+    /// metrics exposition (so `curl`/scrapers work without speaking the
+    /// frame protocol).
+    pub http_stats: bool,
 }
 
 impl Default for ServeConfig {
@@ -33,7 +46,8 @@ impl Default for ServeConfig {
 
 impl ServeConfig {
     /// Defaults: 4 workers, 64 queued requests, 128 cached mappings, no
-    /// default deadline, 1 MiB frames.
+    /// default deadline, 1 MiB frames, a 10 s telemetry window in 10
+    /// slots, slow logging off, HTTP exposition on.
     pub fn new() -> Self {
         ServeConfig {
             workers: 4,
@@ -41,6 +55,10 @@ impl ServeConfig {
             cache_capacity: 128,
             default_deadline_ms: 0,
             max_frame_bytes: 1 << 20,
+            telemetry_window_ms: 10_000,
+            telemetry_slots: 10,
+            slow_threshold_us: 0,
+            http_stats: true,
         }
     }
 
@@ -65,6 +83,30 @@ impl ServeConfig {
     /// Override the default deadline (0 = none).
     pub fn with_default_deadline_ms(mut self, ms: u64) -> Self {
         self.default_deadline_ms = ms;
+        self
+    }
+
+    /// Override the telemetry window length (0 = the 10 s default).
+    pub fn with_telemetry_window_ms(mut self, ms: u64) -> Self {
+        self.telemetry_window_ms = ms;
+        self
+    }
+
+    /// Override the telemetry slot count (0 = one slot).
+    pub fn with_telemetry_slots(mut self, slots: usize) -> Self {
+        self.telemetry_slots = slots;
+        self
+    }
+
+    /// Override the slow-request threshold (0 disables slow logging).
+    pub fn with_slow_threshold_us(mut self, us: u64) -> Self {
+        self.slow_threshold_us = us;
+        self
+    }
+
+    /// Enable or disable the plain-text HTTP exposition path.
+    pub fn with_http_stats(mut self, enabled: bool) -> Self {
+        self.http_stats = enabled;
         self
     }
 
@@ -106,6 +148,32 @@ impl ServeConfig {
     /// under 64 bytes is treated as 64.
     pub fn effective_max_frame_bytes(&self) -> usize {
         self.max_frame_bytes.max(64)
+    }
+
+    /// Telemetry sizing with the zero hazards removed (mirroring the
+    /// `ObsConfig` snapshot-period-0 guard): a zero-length window could
+    /// never hold an observation — every admin snapshot would report empty
+    /// quantiles forever — so it is treated as the 10 s default; zero
+    /// slots would divide by zero on every observation, so it is treated
+    /// as one slot. The defusing itself lives in
+    /// [`LiveConfig`](tlbmap_obs::LiveConfig)'s own `effective_*` guards.
+    pub fn effective_telemetry(&self) -> tlbmap_obs::LiveConfig {
+        let cfg = tlbmap_obs::LiveConfig::new()
+            .with_window_ms(self.telemetry_window_ms)
+            .with_slots(self.telemetry_slots);
+        tlbmap_obs::LiveConfig {
+            window_ms: cfg.effective_window_ms(),
+            slots: cfg.effective_slots(),
+        }
+    }
+
+    /// The slow-request threshold as an option (0 = slow logging off).
+    pub fn effective_slow_threshold_us(&self) -> Option<u64> {
+        if self.slow_threshold_us == 0 {
+            None
+        } else {
+            Some(self.slow_threshold_us)
+        }
     }
 }
 
@@ -152,6 +220,36 @@ mod tests {
         let mut cfg = ServeConfig::new();
         cfg.max_frame_bytes = 0;
         assert_eq!(cfg.effective_max_frame_bytes(), 64);
+    }
+
+    #[test]
+    fn zero_telemetry_window_and_slots_are_defused() {
+        // Satellite guard: a zero-length or zero-bucket telemetry window
+        // must be rejected at construction, not hand every admin snapshot
+        // an empty histogram (window 0) or a divide-by-zero (slots 0).
+        let cfg = ServeConfig::new()
+            .with_telemetry_window_ms(0)
+            .with_telemetry_slots(0);
+        let live = cfg.effective_telemetry();
+        assert_eq!(live.window_ms, 10_000);
+        assert_eq!(live.slots, 1);
+        let explicit = ServeConfig::new()
+            .with_telemetry_window_ms(5_000)
+            .with_telemetry_slots(5)
+            .effective_telemetry();
+        assert_eq!(explicit.window_ms, 5_000);
+        assert_eq!(explicit.slots, 5);
+    }
+
+    #[test]
+    fn zero_slow_threshold_disables_slow_logging() {
+        assert_eq!(ServeConfig::new().effective_slow_threshold_us(), None);
+        assert_eq!(
+            ServeConfig::new()
+                .with_slow_threshold_us(250_000)
+                .effective_slow_threshold_us(),
+            Some(250_000)
+        );
     }
 
     #[test]

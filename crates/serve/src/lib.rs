@@ -24,12 +24,23 @@
 //!   shutdown that drains in-flight work.
 //! * [`Client`] — a blocking client speaking the same frames.
 //! * [`loadgen`] — N connections × M requests, reporting p50/p90/p99
-//!   latency and throughput.
+//!   latency, throughput, and a per-second time series.
 //!
 //! The server records everything through `tlbmap-obs` (request counters,
 //! latency histogram, queue-depth histogram, cache hit/miss counters), so
 //! a service run exports through the exact same metrics-JSON schema as a
 //! simulation run.
+//!
+//! On top of the since-boot recorder sits a **live telemetry plane**:
+//! every request is tagged with an ID and span-timed through parse →
+//! queue wait → compute; latencies feed rolling-window histograms
+//! ([`tlbmap_obs::LiveRegistry`]) so the versioned `admin` frame kind
+//! ([`AdminKind`]: `stats` | `health` | `trace`) answers with *current*
+//! p50/p99, queue depth, worker utilization, cache rates, and per-error
+//! counts. Requests over a configurable threshold land in a slow-request
+//! ring (and optionally a JSONL log), and a plain `GET` on the service
+//! port returns a text exposition for `curl`/scrapers. `tlbmap top`
+//! renders the admin stats as a live dashboard.
 //!
 //! ```
 //! use tlbmap_core::CommMatrix;
@@ -60,6 +71,6 @@ pub mod server;
 pub use cache::{CacheKey, CacheOutcome, MapCache};
 pub use client::{Client, MapReply, ServeError};
 pub use config::ServeConfig;
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
-pub use protocol::{ErrorCode, Request, Response, PROTOCOL_VERSION};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, SecondStat};
+pub use protocol::{AdminKind, ErrorCode, Request, Response, PROTOCOL_VERSION};
 pub use server::{Server, ServerHandle};

@@ -5,16 +5,29 @@
 //! Latencies are merged across connections and summarized with the
 //! nearest-rank percentiles from `tlbmap-bench`, putting service latency
 //! in the same statistical vocabulary as the simulator's benchmarks.
+//!
+//! Two telemetry extras ride along:
+//!
+//! * a **per-second timeline** (requests sent, completions, p50/p99 per
+//!   wall-clock second of the run) so the report shows the run's shape,
+//!   not just its totals, and
+//! * an optional **admin sampler** ([`LoadgenConfig::sample_period_ms`])
+//!   that scrapes the server's `admin stats` frame before, during, and
+//!   after the run on its own connection — so the report can check the
+//!   server's own counters against the client-observed totals
+//!   ([`LoadgenReport::map_requests_delta`]).
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
-use tlbmap_bench::{percentile, Table};
+use tlbmap_bench::{percentile, sparkline, Table};
 use tlbmap_core::CommMatrix;
 use tlbmap_obs::Json;
 use tlbmap_sim::Topology;
 
 use crate::client::{Client, ServeError};
+use crate::protocol::AdminKind;
 
 /// What the load generator sends.
 #[derive(Debug, Clone)]
@@ -27,6 +40,12 @@ pub struct LoadgenConfig {
     pub deadline_ms: u64,
     /// Artificial worker delay per request in milliseconds.
     pub delay_ms: u64,
+    /// Scrape the server's `admin stats` frame every this many
+    /// milliseconds on a dedicated connection (plus one scrape before and
+    /// one after the run). 0 disables scraping entirely — the default, so
+    /// a plain campaign sends *exactly* `connections × requests` frames
+    /// and server-side counters stay exactly predictable.
+    pub sample_period_ms: u64,
     /// The matrix every request carries.
     pub matrix: CommMatrix,
     /// The topology every request targets.
@@ -35,7 +54,7 @@ pub struct LoadgenConfig {
 
 impl LoadgenConfig {
     /// A small default campaign: 4 connections × 25 requests over an
-    /// 8-thread ring matrix on the paper's 2×2×2 machine.
+    /// 8-thread ring matrix on the paper's 2×2×2 machine, no sampling.
     pub fn new() -> Self {
         let mut matrix = CommMatrix::new(8);
         for t in 0..8 {
@@ -46,15 +65,50 @@ impl LoadgenConfig {
             requests: 25,
             deadline_ms: 0,
             delay_ms: 0,
+            sample_period_ms: 0,
             matrix,
             topo: Topology::harpertown(),
         }
+    }
+
+    /// Override the admin-sampler period (0 = off).
+    pub fn with_sample_period_ms(mut self, ms: u64) -> Self {
+        self.sample_period_ms = ms;
+        self
     }
 }
 
 impl Default for LoadgenConfig {
     fn default() -> Self {
         LoadgenConfig::new()
+    }
+}
+
+/// One second of the run, client-side view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecondStat {
+    /// Seconds since the run started (0 = the first second).
+    pub sec: u64,
+    /// Requests that *completed* (ok or error) in this second.
+    pub sent: u64,
+    /// Of those, requests answered with a mapping.
+    pub ok: u64,
+    /// Median latency of this second's successful requests (0 if none).
+    pub p50_us: f64,
+    /// 99th-percentile latency of this second's successes (0 if none).
+    pub p99_us: f64,
+}
+
+impl SecondStat {
+    /// JSON shape used inside the report's `timeline` array.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("sec", Json::U64(self.sec)),
+            ("sent", Json::U64(self.sent)),
+            ("ok", Json::U64(self.ok)),
+            ("p50_us", Json::F64(self.p50_us)),
+            ("p99_us", Json::F64(self.p99_us)),
+        ])
     }
 }
 
@@ -79,6 +133,20 @@ pub struct LoadgenReport {
     pub throughput_rps: f64,
     /// Wall-clock duration of the run in milliseconds.
     pub wall_ms: f64,
+    /// Per-second time series of the run (empty for sub-second runs only
+    /// if nothing completed).
+    pub timeline: Vec<SecondStat>,
+    /// `admin stats` scraped just before the first request (sampler on).
+    pub server_before: Option<Json>,
+    /// `admin stats` scraped just after the last request (sampler on).
+    pub server_after: Option<Json>,
+    /// Periodic `admin stats` scrapes taken during the run (sampler on).
+    pub server_samples: Vec<Json>,
+}
+
+/// Pull a `u64` field out of an admin-stats document.
+fn stat_u64(doc: &Json, key: &str) -> Option<u64> {
+    doc.get(key).and_then(Json::as_u64)
 }
 
 impl LoadgenReport {
@@ -87,9 +155,20 @@ impl LoadgenReport {
         self.errors.values().sum()
     }
 
+    /// How many `map` requests the *server* says it saw between the
+    /// before/after scrapes. With no other traffic on the server this
+    /// equals [`LoadgenReport::sent`] — the consistency check the service
+    /// CI gate enforces. `None` when the sampler was off.
+    pub fn map_requests_delta(&self) -> Option<u64> {
+        let before = stat_u64(self.server_before.as_ref()?, "map_requests")?;
+        let after = stat_u64(self.server_after.as_ref()?, "map_requests")?;
+        Some(after.saturating_sub(before))
+    }
+
     /// The report as a benchmark-artifact JSON document (kind
     /// `"loadgen"`), shaped like the other `results/BENCH_*.json` files.
     pub fn to_json(&self, connections: usize, requests: usize) -> Json {
+        let opt = |doc: &Option<Json>| doc.clone().unwrap_or(Json::Null);
         Json::obj(vec![
             ("kind", Json::Str("loadgen".into())),
             ("connections", Json::U64(connections as u64)),
@@ -111,6 +190,22 @@ impl LoadgenReport {
             ("p99_us", Json::F64(self.p99_us)),
             ("throughput_rps", Json::F64(self.throughput_rps)),
             ("wall_ms", Json::F64(self.wall_ms)),
+            (
+                "timeline",
+                Json::Arr(self.timeline.iter().map(SecondStat::to_json).collect()),
+            ),
+            (
+                "server",
+                Json::obj(vec![
+                    ("before", opt(&self.server_before)),
+                    ("after", opt(&self.server_after)),
+                    (
+                        "map_requests_delta",
+                        self.map_requests_delta().map_or(Json::Null, Json::U64),
+                    ),
+                    ("samples", Json::Arr(self.server_samples.clone())),
+                ]),
+            ),
         ])
     }
 
@@ -136,12 +231,40 @@ impl LoadgenReport {
         for (label, count) in &self.errors {
             out.push_str(&format!("  error[{label}] = {count}\n"));
         }
+        if self.timeline.len() > 1 {
+            let rps: Vec<f64> = self.timeline.iter().map(|s| s.sent as f64).collect();
+            let p99: Vec<f64> = self.timeline.iter().map(|s| s.p99_us).collect();
+            let peak_rps = rps.iter().cloned().fold(0.0, f64::max);
+            let peak_p99 = p99.iter().cloned().fold(0.0, f64::max);
+            out.push_str(&format!(
+                "  rps/s  {} (peak {peak_rps:.0})\n",
+                sparkline(&rps)
+            ));
+            out.push_str(&format!(
+                "  p99/s  {} (peak {peak_p99:.0} us)\n",
+                sparkline(&p99)
+            ));
+        }
+        if let Some(delta) = self.map_requests_delta() {
+            out.push_str(&format!(
+                "  server map_requests delta = {delta} (client sent {})\n",
+                self.sent
+            ));
+        }
         out
     }
 }
 
+/// One completed request as a connection thread saw it.
+struct RequestSample {
+    /// Whole seconds since the run started when the request completed.
+    sec: u64,
+    latency_us: f64,
+    ok: bool,
+}
+
 struct ConnOutcome {
-    latencies_us: Vec<f64>,
+    samples: Vec<RequestSample>,
     ok: usize,
     cached: usize,
     errors: BTreeMap<String, usize>,
@@ -154,10 +277,14 @@ fn error_label(e: &ServeError) -> String {
     }
 }
 
-fn run_connection(addr: &str, cfg: &LoadgenConfig) -> Result<ConnOutcome, String> {
+fn run_connection(
+    addr: &str,
+    cfg: &LoadgenConfig,
+    run_start: Instant,
+) -> Result<ConnOutcome, String> {
     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
     let mut outcome = ConnOutcome {
-        latencies_us: Vec::with_capacity(cfg.requests),
+        samples: Vec::with_capacity(cfg.requests),
         ok: 0,
         cached: 0,
         errors: BTreeMap::new(),
@@ -169,17 +296,27 @@ fn run_connection(addr: &str, cfg: &LoadgenConfig) -> Result<ConnOutcome, String
     };
     for _ in 0..cfg.requests {
         let start = Instant::now();
-        match client.map(&cfg.matrix, &cfg.topo, deadline, cfg.delay_ms) {
+        let result = client.map(&cfg.matrix, &cfg.topo, deadline, cfg.delay_ms);
+        let latency_us = start.elapsed().as_secs_f64() * 1e6;
+        let sec = run_start.elapsed().as_secs();
+        match result {
             Ok(reply) => {
-                outcome
-                    .latencies_us
-                    .push(start.elapsed().as_secs_f64() * 1e6);
+                outcome.samples.push(RequestSample {
+                    sec,
+                    latency_us,
+                    ok: true,
+                });
                 outcome.ok += 1;
                 if reply.cached {
                     outcome.cached += 1;
                 }
             }
             Err(e) => {
+                outcome.samples.push(RequestSample {
+                    sec,
+                    latency_us,
+                    ok: false,
+                });
                 *outcome.errors.entry(error_label(&e)).or_insert(0) += 1;
                 // A transport error means the connection is unusable.
                 if matches!(e, ServeError::Transport(_)) {
@@ -191,32 +328,128 @@ fn run_connection(addr: &str, cfg: &LoadgenConfig) -> Result<ConnOutcome, String
     Ok(outcome)
 }
 
+/// Scrape `admin stats` every `period` until `stop` is raised; returns
+/// the scrapes in order. Runs on its own connection so it never perturbs
+/// the campaign connections' closed loops.
+fn sampler_loop(addr: &str, period: Duration, stop: &AtomicBool) -> Vec<Json> {
+    let mut samples = Vec::new();
+    let Ok(mut client) = Client::connect(addr) else {
+        return samples;
+    };
+    let quantum = period.min(Duration::from_millis(25));
+    let mut next = Instant::now() + period;
+    while !stop.load(Ordering::Relaxed) {
+        if Instant::now() >= next {
+            if let Ok(doc) = client.admin(AdminKind::Stats) {
+                samples.push(doc);
+            }
+            next += period;
+        }
+        std::thread::sleep(quantum);
+    }
+    samples
+}
+
+/// Bucket every request completion into whole seconds since run start.
+fn build_timeline(samples: &[RequestSample]) -> Vec<SecondStat> {
+    let mut by_sec: BTreeMap<u64, (u64, u64, Vec<f64>)> = BTreeMap::new();
+    for s in samples {
+        let entry = by_sec.entry(s.sec).or_insert((0, 0, Vec::new()));
+        entry.0 += 1;
+        if s.ok {
+            entry.1 += 1;
+            entry.2.push(s.latency_us);
+        }
+    }
+    let last = by_sec.keys().next_back().copied().unwrap_or(0);
+    // Fill gaps so idle seconds show as zeros instead of vanishing —
+    // a stall must be visible in the timeline.
+    (0..=last)
+        .map(|sec| match by_sec.get(&sec) {
+            Some((sent, ok, lats)) => SecondStat {
+                sec,
+                sent: *sent,
+                ok: *ok,
+                p50_us: if lats.is_empty() {
+                    0.0
+                } else {
+                    percentile(lats, 50.0)
+                },
+                p99_us: if lats.is_empty() {
+                    0.0
+                } else {
+                    percentile(lats, 99.0)
+                },
+            },
+            None => SecondStat {
+                sec,
+                sent: 0,
+                ok: 0,
+                p50_us: 0.0,
+                p99_us: 0.0,
+            },
+        })
+        .collect()
+}
+
 /// Run the campaign against a live server at `addr`.
 pub fn run_loadgen(addr: &str, cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     if cfg.connections == 0 || cfg.requests == 0 {
         return Err("loadgen needs at least 1 connection and 1 request".to_string());
     }
+    let sampling = cfg.sample_period_ms > 0;
+    let server_before = if sampling {
+        Client::connect(addr)
+            .and_then(|mut c| c.admin(AdminKind::Stats))
+            .ok()
+    } else {
+        None
+    };
+
     let start = Instant::now();
-    let outcomes = std::thread::scope(|scope| {
+    let stop = AtomicBool::new(false);
+    let (outcomes, server_samples) = std::thread::scope(|scope| {
+        let sampler = sampling.then(|| {
+            let period = Duration::from_millis(cfg.sample_period_ms);
+            let stop = &stop;
+            scope.spawn(move || sampler_loop(addr, period, stop))
+        });
         let handles: Vec<_> = (0..cfg.connections)
-            .map(|_| scope.spawn(|| run_connection(addr, cfg)))
+            .map(|_| scope.spawn(|| run_connection(addr, cfg, start)))
             .collect();
-        handles
+        let outcomes = handles
             .into_iter()
             .map(|h| {
                 h.join()
                     .map_err(|_| "connection thread panicked".to_string())?
             })
-            .collect::<Result<Vec<_>, String>>()
+            .collect::<Result<Vec<_>, String>>();
+        stop.store(true, Ordering::Relaxed);
+        let samples = sampler.and_then(|h| h.join().ok()).unwrap_or_default();
+        outcomes.map(|o| (o, samples))
     })?;
     let wall = start.elapsed();
 
+    let server_after = if sampling {
+        Client::connect(addr)
+            .and_then(|mut c| c.admin(AdminKind::Stats))
+            .ok()
+    } else {
+        None
+    };
+
+    let mut all_samples = Vec::new();
     let mut latencies = Vec::new();
     let mut ok = 0;
     let mut cached = 0;
     let mut errors: BTreeMap<String, usize> = BTreeMap::new();
     for outcome in outcomes {
-        latencies.extend(outcome.latencies_us);
+        for s in &outcome.samples {
+            if s.ok {
+                latencies.push(s.latency_us);
+            }
+        }
+        all_samples.extend(outcome.samples);
         ok += outcome.ok;
         cached += outcome.cached;
         for (label, count) in outcome.errors {
@@ -238,6 +471,10 @@ pub fn run_loadgen(addr: &str, cfg: &LoadgenConfig) -> Result<LoadgenReport, Str
             0.0
         },
         wall_ms: wall.as_secs_f64() * 1e3,
+        timeline: build_timeline(&all_samples),
+        server_before,
+        server_after,
+        server_samples,
     })
 }
 
@@ -245,9 +482,8 @@ pub fn run_loadgen(addr: &str, cfg: &LoadgenConfig) -> Result<LoadgenReport, Str
 mod tests {
     use super::*;
 
-    #[test]
-    fn report_json_has_the_benchmark_shape() {
-        let report = LoadgenReport {
+    fn sample_report() -> LoadgenReport {
+        LoadgenReport {
             sent: 100,
             ok: 98,
             cached: 90,
@@ -257,7 +493,31 @@ mod tests {
             p99_us: 900.0,
             throughput_rps: 4500.0,
             wall_ms: 22.0,
-        };
+            timeline: vec![
+                SecondStat {
+                    sec: 0,
+                    sent: 60,
+                    ok: 59,
+                    p50_us: 110.0,
+                    p99_us: 800.0,
+                },
+                SecondStat {
+                    sec: 1,
+                    sent: 40,
+                    ok: 39,
+                    p50_us: 130.0,
+                    p99_us: 950.0,
+                },
+            ],
+            server_before: Some(Json::obj(vec![("map_requests", Json::U64(10))])),
+            server_after: Some(Json::obj(vec![("map_requests", Json::U64(110))])),
+            server_samples: vec![Json::obj(vec![("map_requests", Json::U64(60))])],
+        }
+    }
+
+    #[test]
+    fn report_json_has_the_benchmark_shape() {
+        let report = sample_report();
         let json = report.to_json(4, 25);
         assert_eq!(json.get("kind").and_then(Json::as_str), Some("loadgen"));
         assert_eq!(json.get("ok").and_then(Json::as_u64), Some(98));
@@ -269,6 +529,70 @@ mod tests {
         );
         assert!(report.render().contains("throughput"));
         assert_eq!(report.total_errors(), 2);
+    }
+
+    #[test]
+    fn report_json_carries_the_timeline_and_server_scrapes() {
+        let report = sample_report();
+        let json = report.to_json(4, 25);
+        let timeline = json.get("timeline").and_then(Json::as_array).unwrap();
+        assert_eq!(timeline.len(), 2);
+        assert_eq!(timeline[0].get("sent").and_then(Json::as_u64), Some(60));
+        assert_eq!(timeline[1].get("sec").and_then(Json::as_u64), Some(1));
+        let server = json.get("server").unwrap();
+        assert_eq!(
+            server.get("map_requests_delta").and_then(Json::as_u64),
+            Some(100)
+        );
+        assert_eq!(
+            server
+                .get("samples")
+                .and_then(Json::as_array)
+                .map(|a| a.len()),
+            Some(1)
+        );
+        // The rendered report shows the consistency line + sparklines.
+        let text = report.render();
+        assert!(text.contains("map_requests delta = 100"), "{text}");
+        assert!(text.contains("rps/s"), "{text}");
+    }
+
+    #[test]
+    fn sampler_off_leaves_server_fields_null() {
+        let mut report = sample_report();
+        report.server_before = None;
+        report.server_after = None;
+        report.server_samples.clear();
+        assert_eq!(report.map_requests_delta(), None);
+        let json = report.to_json(4, 25);
+        let server = json.get("server").unwrap();
+        assert_eq!(server.get("before"), Some(&Json::Null));
+        assert_eq!(server.get("map_requests_delta"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn timelines_fill_idle_seconds() {
+        let samples = vec![
+            RequestSample {
+                sec: 0,
+                latency_us: 100.0,
+                ok: true,
+            },
+            RequestSample {
+                sec: 2,
+                latency_us: 300.0,
+                ok: false,
+            },
+        ];
+        let timeline = build_timeline(&samples);
+        assert_eq!(timeline.len(), 3);
+        assert_eq!(timeline[0].ok, 1);
+        assert_eq!(timeline[1].sent, 0);
+        // Second 2 saw one completion but no success: sent counts it,
+        // quantiles stay 0 rather than reporting an error's latency.
+        assert_eq!(timeline[2].sent, 1);
+        assert_eq!(timeline[2].ok, 0);
+        assert_eq!(timeline[2].p50_us, 0.0);
     }
 
     #[test]

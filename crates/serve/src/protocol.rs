@@ -22,6 +22,7 @@
 //! | `map`      | `matrix` (CommMatrix JSON), `topology` (optional, default 2×2×2), `deadline_ms` (optional), `delay_ms` (optional, testing/loadgen) |
 //! | `health`   | —                                                                 |
 //! | `stats`    | —                                                                 |
+//! | `admin`    | `kind`: `stats` (live telemetry snapshot), `health` (liveness + uptime), `trace` (slow-request log) |
 //! | `shutdown` | —                                                                 |
 //!
 //! ## Responses (server → client)
@@ -85,6 +86,39 @@ impl ErrorCode {
     }
 }
 
+/// What an `admin` frame asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminKind {
+    /// Live telemetry snapshot: uptime, queue depth, worker utilization,
+    /// cache rates, per-error-code counts, windowed latency quantiles.
+    Stats,
+    /// Liveness plus uptime and shutdown state.
+    Health,
+    /// The slow-request log (most recent entries, oldest first).
+    Trace,
+}
+
+impl AdminKind {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AdminKind::Stats => "stats",
+            AdminKind::Health => "health",
+            AdminKind::Trace => "trace",
+        }
+    }
+
+    /// Parse a wire name back into a kind.
+    pub fn from_wire(s: &str) -> Option<AdminKind> {
+        Some(match s {
+            "stats" => AdminKind::Stats,
+            "health" => AdminKind::Health,
+            "trace" => AdminKind::Trace,
+            _ => return None,
+        })
+    }
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -106,6 +140,12 @@ pub enum Request {
     Health,
     /// Counter/queue snapshot.
     Stats,
+    /// Live-telemetry admin query (stats, health, or the slow-request
+    /// trace) — the operator/scraper surface.
+    Admin {
+        /// What to snapshot.
+        kind: AdminKind,
+    },
     /// Begin graceful shutdown: drain queued work, then exit.
     Shutdown,
 }
@@ -162,6 +202,10 @@ impl Request {
             }
             Request::Health => pairs.push(("req", Json::Str("health".into()))),
             Request::Stats => pairs.push(("req", Json::Str("stats".into()))),
+            Request::Admin { kind } => {
+                pairs.push(("req", Json::Str("admin".into())));
+                pairs.push(("kind", Json::Str(kind.as_str().into())));
+            }
             Request::Shutdown => pairs.push(("req", Json::Str("shutdown".into()))),
         }
         Json::obj(pairs)
@@ -195,6 +239,12 @@ impl Request {
             }
             Some("health") => Ok(Request::Health),
             Some("stats") => Ok(Request::Stats),
+            Some("admin") => match json.get("kind").and_then(Json::as_str) {
+                Some(kind) => AdminKind::from_wire(kind)
+                    .map(|kind| Request::Admin { kind })
+                    .ok_or_else(|| format!("unknown admin kind `{kind}` (stats | health | trace)")),
+                None => Err("admin request: missing or mistyped field `kind`".to_string()),
+            },
             Some("shutdown") => Ok(Request::Shutdown),
             Some(other) => Err(format!("unknown request kind `{other}`")),
             None => Err("missing or mistyped field `req`".to_string()),
@@ -216,6 +266,14 @@ pub enum Response {
     Health,
     /// Counter/queue snapshot (opaque JSON document).
     Stats(Json),
+    /// Admin answer: which kind it is and its document (a flat object
+    /// for `stats`/`health`, an array of slow-log entries for `trace`).
+    Admin {
+        /// The queried kind.
+        kind: AdminKind,
+        /// The snapshot document.
+        doc: Json,
+    },
     /// Shutdown acknowledged; the server drains and exits.
     Shutdown,
     /// The request failed.
@@ -249,6 +307,12 @@ impl Response {
                 pairs.push(("ok", Json::Bool(true)));
                 pairs.push(("resp", Json::Str("stats".into())));
                 pairs.push(("stats", doc.clone()));
+            }
+            Response::Admin { kind, doc } => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("resp", Json::Str("admin".into())));
+                pairs.push(("kind", Json::Str(kind.as_str().into())));
+                pairs.push(("body", doc.clone()));
             }
             Response::Shutdown => {
                 pairs.push(("ok", Json::Bool(true)));
@@ -299,6 +363,17 @@ impl Response {
             Some("stats") => Ok(Response::Stats(
                 json.get("stats").cloned().unwrap_or(Json::Null),
             )),
+            Some("admin") => {
+                let kind = json
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .and_then(AdminKind::from_wire)
+                    .ok_or_else(|| "admin response: missing or unknown `kind`".to_string())?;
+                Ok(Response::Admin {
+                    kind,
+                    doc: json.get("body").cloned().unwrap_or(Json::Null),
+                })
+            }
             Some("shutdown") => Ok(Response::Shutdown),
             Some(other) => Err(format!("unknown response kind `{other}`")),
             None => Err("response: missing `resp`".to_string()),
@@ -422,6 +497,15 @@ mod tests {
             },
             Request::Health,
             Request::Stats,
+            Request::Admin {
+                kind: AdminKind::Stats,
+            },
+            Request::Admin {
+                kind: AdminKind::Health,
+            },
+            Request::Admin {
+                kind: AdminKind::Trace,
+            },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -440,6 +524,17 @@ mod tests {
             },
             Response::Health,
             Response::Stats(Json::obj(vec![("queue_depth", Json::U64(3))])),
+            Response::Admin {
+                kind: AdminKind::Stats,
+                doc: Json::obj(vec![
+                    ("requests", Json::U64(12)),
+                    ("window_p99_us", Json::U64(1536)),
+                ]),
+            },
+            Response::Admin {
+                kind: AdminKind::Trace,
+                doc: Json::Arr(vec![Json::obj(vec![("req_id", Json::U64(7))])]),
+            },
             Response::Shutdown,
             Response::Error {
                 code: ErrorCode::Overloaded,
@@ -476,6 +571,35 @@ mod tests {
             let err = Request::from_json(&json).unwrap_err();
             assert!(!err.is_empty(), "{text}");
         }
+    }
+
+    #[test]
+    fn unknown_admin_kind_is_a_bad_request() {
+        // Satellite 3: the unknown-frame-kind error path. An `admin` frame
+        // whose `kind` is unrecognized (or absent) must decode to a
+        // descriptive error, which the server surfaces as `bad_request`.
+        let json = Json::parse(r#"{"v":1,"req":"admin","kind":"flamegraph"}"#).unwrap();
+        let err = Request::from_json(&json).unwrap_err();
+        assert!(err.contains("flamegraph"), "{err}");
+        assert!(err.contains("stats | health | trace"), "{err}");
+
+        let missing = Json::parse(r#"{"v":1,"req":"admin"}"#).unwrap();
+        let err = Request::from_json(&missing).unwrap_err();
+        assert!(err.contains("kind"), "{err}");
+
+        // Same guard on the response side: a peer cannot hand back an
+        // admin document under a kind this version does not speak.
+        let resp =
+            Json::parse(r#"{"v":1,"ok":true,"resp":"admin","kind":"heap","body":{}}"#).unwrap();
+        assert!(Response::from_json(&resp).is_err());
+    }
+
+    #[test]
+    fn admin_kind_wire_names_are_stable() {
+        for kind in [AdminKind::Stats, AdminKind::Health, AdminKind::Trace] {
+            assert_eq!(AdminKind::from_wire(kind.as_str()), Some(kind));
+        }
+        assert_eq!(AdminKind::from_wire("metrics"), None);
     }
 
     #[test]

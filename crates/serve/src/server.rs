@@ -1,11 +1,12 @@
-//! The mapping server: acceptor, bounded work queue, worker pool.
+//! The mapping server: acceptor, bounded work queue, worker pool, and the
+//! live telemetry plane.
 //!
 //! ## Threading model
 //!
 //! ```text
 //! acceptor thread ──accept──▶ one thread per connection
 //!                                   │  (parses frames, answers
-//!                                   │   health/stats inline)
+//!                                   │   health/stats/admin inline)
 //!                                   ▼
 //!                           bounded job queue ──▶ worker pool
 //!                                   │                 │
@@ -20,34 +21,70 @@
 //! doing the work. Shutdown is graceful: the acceptor stops, connection
 //! threads finish their in-flight request, and workers drain every job
 //! already admitted to the queue before exiting.
+//!
+//! ## Telemetry plane
+//!
+//! Every request gets an ID at the connection (connection ID in the high
+//! 32 bits, per-connection sequence in the low 32) and is timed through
+//! parse → queue wait → compute. The spans land in three places:
+//!
+//! * the [`Recorder`] event ring as [`Event::ServeRequest`] entries,
+//! * a [`LiveRegistry`] of rolling-window histograms so the `admin stats`
+//!   frame answers "what is p99 *right now*" instead of since-boot,
+//! * a bounded slow-request ring (served by `admin trace`) plus an
+//!   optional JSONL writer, for requests over
+//!   [`ServeConfig::slow_threshold_us`].
+//!
+//! Per-error-code counting happens at the single response-send choke
+//! point, so every `bad_frame`/`overloaded`/`timeout`/… answer is counted
+//! exactly once no matter where it originated. A plain `GET` on the
+//! service port (detected by the 4 length-prefix bytes spelling `"GET "`)
+//! is answered with a plain-text metrics exposition so `curl` and scrapers
+//! work without speaking the frame protocol.
 
 use std::collections::VecDeque;
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use tlbmap_core::CommMatrix;
 use tlbmap_mapping::HierarchicalMapper;
-use tlbmap_obs::{CounterId, HistId, Json, Recorder};
+use tlbmap_obs::{CounterId, Event, HistId, Json, LiveRegistry, Recorder};
 use tlbmap_sim::Topology;
 
 use crate::cache::{CacheKey, CacheOutcome, MapCache};
 use crate::config::ServeConfig;
-use crate::protocol::{check_version, write_frame, ErrorCode, FrameError, Request, Response};
+use crate::protocol::{
+    check_version, write_frame, AdminKind, ErrorCode, FrameError, Request, Response,
+};
 
 /// How often blocked reads wake up to check the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(50);
 /// How often the non-blocking acceptor polls between connections.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Most recent slow-request entries retained for `admin trace`.
+const SLOW_RING_CAP: usize = 256;
+
+/// A connection thread's verdict plus the worker-side span timings, sent
+/// back over the job's reply channel.
+struct WorkerDone {
+    response: Response,
+    /// Time the job spent queued before a worker dequeued it.
+    queue_us: u64,
+    /// Worker time (artificial delay + cache probe + mapper).
+    compute_us: u64,
+}
 
 struct Job {
+    req_id: u64,
     matrix: CommMatrix,
     topo: Topology,
     deadline: Option<Instant>,
     delay_ms: u64,
-    reply: mpsc::Sender<Response>,
+    enqueued_at: Instant,
+    reply: mpsc::Sender<WorkerDone>,
 }
 
 enum SubmitError {
@@ -97,13 +134,16 @@ impl JobQueue {
         Ok(depth)
     }
 
-    /// Block for the next job. Returns `None` only once the queue is
-    /// closed **and** empty, so admitted work is always drained.
-    fn pop(&self) -> Option<Job> {
+    /// Block for the next job. Returns the job plus the queue depth
+    /// *after* the pop (so drain is visible in the depth histogram, not
+    /// just buildup). `None` only once the queue is closed **and** empty,
+    /// so admitted work is always drained.
+    fn pop(&self) -> Option<(Job, usize)> {
         let mut state = self.state.lock().unwrap();
         loop {
             if let Some(job) = state.jobs.pop_front() {
-                return Some(job);
+                let depth = state.jobs.len();
+                return Some((job, depth));
             }
             if state.closed {
                 return None;
@@ -127,6 +167,20 @@ struct Shared {
     queue: JobQueue,
     cache: Option<MapCache>,
     rec: Recorder,
+    /// Rolling-window live metrics behind the admin endpoint.
+    live: LiveRegistry,
+    /// Wall clock the uptime and utilization are measured against.
+    started: Instant,
+    /// Next connection ID (the high half of every request ID).
+    next_conn_id: AtomicU64,
+    /// Workers currently processing a job (gauge).
+    busy_workers: AtomicU64,
+    /// Cumulative worker busy time in microseconds (for utilization).
+    busy_us: AtomicU64,
+    /// Most recent slow requests, oldest first (`admin trace`).
+    slow_ring: Mutex<VecDeque<Json>>,
+    /// Optional JSONL sink for slow requests (one object per line).
+    slow_writer: Option<Mutex<Box<dyn Write + Send>>>,
     shutdown: AtomicBool,
 }
 
@@ -139,6 +193,10 @@ impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
+
+    fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
 }
 
 /// The mapping server. Construct with [`Server::start`].
@@ -149,6 +207,19 @@ impl Server {
     /// port) and start the acceptor and worker threads. All observability
     /// flows through `rec`.
     pub fn start(addr: &str, cfg: ServeConfig, rec: Recorder) -> io::Result<ServerHandle> {
+        Server::start_with_slow_log(addr, cfg, rec, None)
+    }
+
+    /// [`Server::start`] with a sink for the slow-request log: every
+    /// request slower than [`ServeConfig::slow_threshold_us`] is appended
+    /// to `slow_log` as one JSON object per line, in addition to the
+    /// in-memory ring `admin trace` serves.
+    pub fn start_with_slow_log(
+        addr: &str,
+        cfg: ServeConfig,
+        rec: Recorder,
+        slow_log: Option<Box<dyn Write + Send>>,
+    ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -157,6 +228,13 @@ impl Server {
             queue: JobQueue::new(cfg.effective_queue_capacity()),
             cache: cfg.effective_cache_capacity().map(MapCache::new),
             rec,
+            live: LiveRegistry::new(cfg.effective_telemetry()),
+            started: Instant::now(),
+            next_conn_id: AtomicU64::new(1),
+            busy_workers: AtomicU64::new(0),
+            busy_us: AtomicU64::new(0),
+            slow_ring: Mutex::new(VecDeque::new()),
+            slow_writer: slow_log.map(Mutex::new),
             shutdown: AtomicBool::new(false),
             cfg,
         });
@@ -210,6 +288,11 @@ impl ServerHandle {
     /// metrics from here after (or during) a run.
     pub fn recorder(&self) -> &Recorder {
         &self.shared.rec
+    }
+
+    /// The live rolling-window registry the admin endpoint snapshots.
+    pub fn live(&self) -> &LiveRegistry {
+        &self.shared.live
     }
 
     /// Whether shutdown has begun (via [`Self::shutdown`] or a client
@@ -273,13 +356,25 @@ fn acceptor_loop(
     }
 }
 
-/// Read one frame with periodic shutdown checks. `Ok(None)` means the
-/// server is shutting down and the connection should wind up.
+/// What arrived on the wire.
+enum Incoming {
+    /// A complete frame payload.
+    Frame(Json),
+    /// The server began shutting down while the read was blocked.
+    Shutdown,
+    /// The four length-prefix bytes spell `"GET "`: an HTTP scraper.
+    HttpGet,
+}
+
+/// Read one frame with periodic shutdown checks, detecting plain HTTP
+/// `GET`s by their signature in the length-prefix position (`"GET "` as a
+/// big-endian u32 would announce a ~1.2 GiB frame, so the two protocols
+/// cannot collide under any sane frame cap).
 fn read_frame_polled(
     stream: &mut TcpStream,
     max_bytes: usize,
     shared: &Shared,
-) -> Result<Option<Json>, FrameError> {
+) -> Result<Incoming, FrameError> {
     fn fill(
         stream: &mut TcpStream,
         buf: &mut [u8],
@@ -314,7 +409,10 @@ fn read_frame_polled(
 
     let mut len_buf = [0u8; 4];
     if !fill(stream, &mut len_buf, shared, false)? {
-        return Ok(None);
+        return Ok(Incoming::Shutdown);
+    }
+    if &len_buf == b"GET " {
+        return Ok(Incoming::HttpGet);
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > max_bytes {
@@ -322,23 +420,52 @@ fn read_frame_polled(
     }
     let mut payload = vec![0u8; len];
     if !fill(stream, &mut payload, shared, true)? {
-        return Ok(None);
+        return Ok(Incoming::Shutdown);
     }
     let text =
         std::str::from_utf8(&payload).map_err(|e| FrameError::Parse(format!("not UTF-8: {e}")))?;
     Json::parse(text)
-        .map(Some)
+        .map(Incoming::Frame)
         .map_err(|e| FrameError::Parse(e.message))
+}
+
+/// Count an outgoing error frame by its stable code, then write it. The
+/// single choke point: every error answer — from frame decoding, admission
+/// control, the workers — is counted exactly once, and the counters stay
+/// ahead of the client's view of the response.
+fn send_response(stream: &mut TcpStream, shared: &Shared, response: &Response) -> io::Result<()> {
+    if let Response::Error { code, .. } = response {
+        let counter = match code {
+            ErrorCode::BadFrame => CounterId::ServeBadFrames,
+            ErrorCode::BadRequest => CounterId::ServeBadRequests,
+            ErrorCode::Overloaded => CounterId::ServeOverloaded,
+            ErrorCode::Timeout => CounterId::ServeTimeouts,
+            ErrorCode::ShuttingDown => CounterId::ServeShuttingDown,
+            ErrorCode::Internal => CounterId::ServeInternalErrors,
+        };
+        shared.rec.inc(counter);
+    }
+    write_frame(stream, &response.to_json())
 }
 
 fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let max_bytes = shared.cfg.effective_max_frame_bytes();
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    let mut seq: u64 = 0;
     loop {
         let json = match read_frame_polled(&mut stream, max_bytes, shared) {
-            Ok(Some(json)) => json,
+            Ok(Incoming::Frame(json)) => json,
             // Shutdown while idle: the connection winds up.
-            Ok(None) => return,
+            Ok(Incoming::Shutdown) => return,
+            // An HTTP scraper: answer the plain-text exposition (if
+            // enabled) and close — HTTP/1.0 semantics, one shot.
+            Ok(Incoming::HttpGet) => {
+                if shared.cfg.http_stats {
+                    serve_http_exposition(&mut stream, shared);
+                }
+                return;
+            }
             // Clean EOF at a frame boundary: client hung up.
             Err(FrameError::Closed) => return,
             // A bad payload leaves the framing intact (the length prefix
@@ -348,7 +475,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                     code: ErrorCode::BadFrame,
                     message: e.to_string(),
                 };
-                if write_frame(&mut stream, &resp.to_json()).is_err() {
+                if send_response(&mut stream, shared, &resp).is_err() {
                     return;
                 }
                 continue;
@@ -360,41 +487,141 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                     code: ErrorCode::BadFrame,
                     message: e.to_string(),
                 };
-                let _ = write_frame(&mut stream, &resp.to_json());
+                let _ = send_response(&mut stream, shared, &resp);
                 return;
             }
             Err(FrameError::Io(_)) => return,
         };
-        let response = handle_payload(&json, shared);
-        if write_frame(&mut stream, &response.to_json()).is_err() {
+        let started = Instant::now();
+        seq += 1;
+        let req_id = (conn_id << 32) | (seq & 0xffff_ffff);
+        let done = handle_payload(&json, shared, req_id);
+        let total_us = started.elapsed().as_micros() as u64;
+        finish_request(shared, req_id, &done, total_us);
+        if send_response(&mut stream, shared, &done.response).is_err() {
             return;
         }
     }
 }
 
-fn handle_payload(json: &Json, shared: &Arc<Shared>) -> Response {
+/// A handled request: the answer plus everything the telemetry plane
+/// wants to know about how it went.
+struct Handled {
+    response: Response,
+    /// Stable request-kind name (`map`, `health`, … or `?` for frames
+    /// that failed validation).
+    kind: &'static str,
+    parse_us: u64,
+    queue_us: u64,
+    compute_us: u64,
+    cached: bool,
+}
+
+impl Handled {
+    fn inline(response: Response, kind: &'static str, parse_us: u64) -> Handled {
+        Handled {
+            response,
+            kind,
+            parse_us,
+            queue_us: 0,
+            compute_us: 0,
+            cached: false,
+        }
+    }
+}
+
+/// Post-response bookkeeping: span timings into the live windows and the
+/// event ring, plus the slow-request log.
+fn finish_request(shared: &Shared, req_id: u64, done: &Handled, total_us: u64) {
+    let outcome = match &done.response {
+        Response::Error { code, .. } => code.as_str(),
+        _ => "ok",
+    };
+    if done.kind == "map" {
+        shared.rec.observe(HistId::ServeRequestLatencyUs, total_us);
+        shared.live.observe(HistId::ServeRequestLatencyUs, total_us);
+    }
+    let kind = done.kind;
+    let (parse_us, queue_us, compute_us, cached) =
+        (done.parse_us, done.queue_us, done.compute_us, done.cached);
+    shared.rec.emit(|_| Event::ServeRequest {
+        req_id,
+        kind,
+        parse_us,
+        queue_us,
+        compute_us,
+        total_us,
+        cached,
+        outcome,
+    });
+    if let Some(threshold) = shared.cfg.effective_slow_threshold_us() {
+        if total_us >= threshold {
+            shared.rec.inc(CounterId::ServeSlowRequests);
+            let entry = Json::obj(vec![
+                ("req_id", Json::U64(req_id)),
+                ("kind", Json::Str(kind.into())),
+                ("parse_us", Json::U64(parse_us)),
+                ("queue_us", Json::U64(queue_us)),
+                ("compute_us", Json::U64(compute_us)),
+                ("total_us", Json::U64(total_us)),
+                ("cached", Json::Bool(cached)),
+                ("outcome", Json::Str(outcome.into())),
+            ]);
+            if let Some(writer) = &shared.slow_writer {
+                let mut w = writer.lock().unwrap();
+                let _ = writeln!(w, "{}", entry.render());
+                let _ = w.flush();
+            }
+            let mut ring = shared.slow_ring.lock().unwrap();
+            if ring.len() == SLOW_RING_CAP {
+                ring.pop_front();
+            }
+            ring.push_back(entry);
+        }
+    }
+}
+
+fn handle_payload(json: &Json, shared: &Arc<Shared>, req_id: u64) -> Handled {
+    let parse_start = Instant::now();
     if let Err(message) = check_version(json) {
-        return Response::Error {
-            code: ErrorCode::BadFrame,
-            message,
-        };
+        return Handled::inline(
+            Response::Error {
+                code: ErrorCode::BadFrame,
+                message,
+            },
+            "?",
+            parse_start.elapsed().as_micros() as u64,
+        );
     }
     let request = match Request::from_json(json) {
         Ok(request) => request,
         Err(message) => {
-            return Response::Error {
-                code: ErrorCode::BadRequest,
-                message,
-            }
+            return Handled::inline(
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message,
+                },
+                "?",
+                parse_start.elapsed().as_micros() as u64,
+            )
         }
     };
+    let parse_us = parse_start.elapsed().as_micros() as u64;
     shared.rec.inc(CounterId::ServeRequests);
     match request {
-        Request::Health => Response::Health,
-        Request::Stats => Response::Stats(stats_doc(shared)),
+        Request::Health => Handled::inline(Response::Health, "health", parse_us),
+        Request::Stats => Handled::inline(Response::Stats(stats_doc(shared)), "stats", parse_us),
+        Request::Admin { kind } => {
+            let doc = match kind {
+                AdminKind::Stats => admin_stats_doc(shared),
+                AdminKind::Health => admin_health_doc(shared),
+                AdminKind::Trace => admin_trace_doc(shared),
+            };
+            Handled::inline(Response::Admin { kind, doc }, "admin", parse_us)
+        }
         Request::Shutdown => {
             shared.begin_shutdown();
-            Response::Shutdown
+            Handled::inline(Response::Shutdown, "shutdown", parse_us)
         }
         Request::Map {
             matrix,
@@ -402,70 +629,83 @@ fn handle_payload(json: &Json, shared: &Arc<Shared>) -> Response {
             deadline_ms,
             delay_ms,
         } => {
+            shared.rec.inc(CounterId::ServeMapRequests);
             let start = Instant::now();
-            let response = submit_map(shared, matrix, topo, deadline_ms, delay_ms, start);
-            shared.rec.observe(
-                HistId::ServeRequestLatencyUs,
-                start.elapsed().as_micros() as u64,
-            );
-            response
+            let done = submit_map(shared, req_id, matrix, topo, deadline_ms, delay_ms, start);
+            let cached = matches!(done.response, Response::Map { cached: true, .. });
+            Handled {
+                response: done.response,
+                kind: "map",
+                parse_us,
+                queue_us: done.queue_us,
+                compute_us: done.compute_us,
+                cached,
+            }
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn submit_map(
     shared: &Arc<Shared>,
+    req_id: u64,
     matrix: CommMatrix,
     topo: Topology,
     deadline_ms: Option<u64>,
     delay_ms: u64,
     start: Instant,
-) -> Response {
+) -> WorkerDone {
+    let refused = |code: ErrorCode, message: String| WorkerDone {
+        response: Response::Error { code, message },
+        queue_us: 0,
+        compute_us: 0,
+    };
     if shared.shutting_down() {
-        return Response::Error {
-            code: ErrorCode::ShuttingDown,
-            message: "server is draining for shutdown".to_string(),
-        };
+        return refused(
+            ErrorCode::ShuttingDown,
+            "server is draining for shutdown".to_string(),
+        );
     }
     let deadline = deadline_ms
         .or(shared.cfg.effective_default_deadline_ms())
         .map(|ms| start + Duration::from_millis(ms));
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
+        req_id,
         matrix,
         topo,
         deadline,
         delay_ms,
+        enqueued_at: start,
         reply: reply_tx,
     };
     match shared.queue.try_push(job) {
         Ok(depth) => {
             shared.rec.observe(HistId::ServeQueueDepth, depth as u64);
+            shared.live.observe(HistId::ServeQueueDepth, depth as u64);
             match reply_rx.recv() {
-                Ok(response) => response,
-                Err(_) => Response::Error {
-                    code: ErrorCode::Internal,
-                    message: "worker dropped the request".to_string(),
-                },
-            }
-        }
-        Err(SubmitError::Full) => {
-            shared.rec.inc(CounterId::ServeOverloaded);
-            Response::Error {
-                code: ErrorCode::Overloaded,
-                message: format!(
-                    "work queue is full ({} requests waiting)",
-                    shared.cfg.effective_queue_capacity()
+                Ok(done) => done,
+                Err(_) => refused(
+                    ErrorCode::Internal,
+                    "worker dropped the request".to_string(),
                 ),
             }
         }
-        Err(SubmitError::Closed) => Response::Error {
-            code: ErrorCode::ShuttingDown,
-            message: "server is draining for shutdown".to_string(),
-        },
+        Err(SubmitError::Full) => refused(
+            ErrorCode::Overloaded,
+            format!(
+                "work queue is full ({} requests waiting)",
+                shared.cfg.effective_queue_capacity()
+            ),
+        ),
+        Err(SubmitError::Closed) => refused(
+            ErrorCode::ShuttingDown,
+            "server is draining for shutdown".to_string(),
+        ),
     }
 }
 
+/// The legacy `stats` document (stable keys — older clients parse these).
 fn stats_doc(shared: &Shared) -> Json {
     let rec = &shared.rec;
     Json::obj(vec![
@@ -492,24 +732,174 @@ fn stats_doc(shared: &Shared) -> Json {
     ])
 }
 
+/// The `admin stats` document: a flat object (easy to grep, easy for
+/// `tlbmap top` to tabulate) of counters, gauges, and the rolling-window
+/// latency quantiles. Quantile keys are `null` when the window is empty.
+fn admin_stats_doc(shared: &Shared) -> Json {
+    let rec = &shared.rec;
+    let c = |id: CounterId| Json::U64(rec.counter(id));
+    // Satellite fix: the queue depth histograms were only fed at enqueue,
+    // so an idle (or fully drained) queue was invisible. Sampling here
+    // makes every admin snapshot a depth observation too.
+    let depth = shared.queue.depth() as u64;
+    rec.observe(HistId::ServeQueueDepth, depth);
+    shared.live.observe(HistId::ServeQueueDepth, depth);
+
+    let uptime_ms = shared.uptime_ms();
+    let workers = shared.cfg.effective_workers() as u64;
+    let busy_us = shared.busy_us.load(Ordering::Relaxed);
+    let capacity_us = (uptime_ms * 1000).max(1) * workers;
+    let utilization = (busy_us as f64 / capacity_us as f64).min(1.0);
+
+    let window = shared.live.window(HistId::ServeRequestLatencyUs);
+    let lifetime = shared.live.lifetime(HistId::ServeRequestLatencyUs);
+    let window_ms = shared.live.window_ms();
+    let window_rps = window.count as f64 / (window_ms as f64 / 1000.0);
+    let q = |snap: Option<u64>| snap.map_or(Json::Null, Json::U64);
+
+    Json::obj(vec![
+        ("uptime_ms", Json::U64(uptime_ms)),
+        ("requests", c(CounterId::ServeRequests)),
+        ("map_requests", c(CounterId::ServeMapRequests)),
+        ("queue_depth", Json::U64(depth)),
+        (
+            "queue_capacity",
+            Json::U64(shared.cfg.effective_queue_capacity() as u64),
+        ),
+        ("workers", Json::U64(workers)),
+        (
+            "workers_busy",
+            Json::U64(shared.busy_workers.load(Ordering::Relaxed)),
+        ),
+        ("utilization", Json::F64(utilization)),
+        ("cache_hits", c(CounterId::ServeCacheHits)),
+        ("cache_misses", c(CounterId::ServeCacheMisses)),
+        ("cache_coalesced", c(CounterId::ServeCacheCoalesced)),
+        (
+            "cache_entries",
+            Json::U64(shared.cache.as_ref().map_or(0, MapCache::len) as u64),
+        ),
+        ("err_bad_frame", c(CounterId::ServeBadFrames)),
+        ("err_bad_request", c(CounterId::ServeBadRequests)),
+        ("err_overloaded", c(CounterId::ServeOverloaded)),
+        ("err_timeout", c(CounterId::ServeTimeouts)),
+        ("err_shutting_down", c(CounterId::ServeShuttingDown)),
+        ("err_internal", c(CounterId::ServeInternalErrors)),
+        ("window_ms", Json::U64(window_ms)),
+        ("window_count", Json::U64(window.count)),
+        ("window_rps", Json::F64(window_rps)),
+        ("window_p50_us", q(window.quantile(50.0))),
+        ("window_p90_us", q(window.quantile(90.0))),
+        ("window_p99_us", q(window.quantile(99.0))),
+        ("lifetime_p50_us", q(lifetime.quantile(50.0))),
+        ("lifetime_p99_us", q(lifetime.quantile(99.0))),
+        ("slow_threshold_us", Json::U64(shared.cfg.slow_threshold_us)),
+        ("slow_requests", c(CounterId::ServeSlowRequests)),
+    ])
+}
+
+/// The `admin health` document: liveness with uptime and drain state.
+fn admin_health_doc(shared: &Shared) -> Json {
+    let draining = shared.shutting_down();
+    Json::obj(vec![
+        (
+            "status",
+            Json::Str(if draining { "draining" } else { "ok" }.into()),
+        ),
+        ("uptime_ms", Json::U64(shared.uptime_ms())),
+        ("shutting_down", Json::Bool(draining)),
+    ])
+}
+
+/// The `admin trace` document: the slow-request ring, oldest first.
+fn admin_trace_doc(shared: &Shared) -> Json {
+    Json::Arr(shared.slow_ring.lock().unwrap().iter().cloned().collect())
+}
+
+/// Render the plain-text exposition: one `tlbmap_<key> <value>` line per
+/// numeric field of the admin stats document, in document order.
+fn exposition_text(shared: &Shared) -> String {
+    let doc = admin_stats_doc(shared);
+    let mut out = String::new();
+    if let Json::Obj(pairs) = &doc {
+        for (key, value) in pairs {
+            match value {
+                Json::U64(n) => out.push_str(&format!("tlbmap_{key} {n}\n")),
+                Json::F64(x) => out.push_str(&format!("tlbmap_{key} {x:.6}\n")),
+                // Null quantiles (empty window) are omitted rather than
+                // reported as 0 — a scraper must not graph "infinitely
+                // fast" out of "no traffic".
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Answer an HTTP `GET` with the exposition and close. The request line
+/// and headers are drained best-effort first so the peer does not see a
+/// reset before it finishes sending.
+fn serve_http_exposition(stream: &mut TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut drained = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    while drained.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                drained.extend_from_slice(&buf[..n]);
+                if drained.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = exposition_text(shared);
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     let mapper = HierarchicalMapper::new();
-    while let Some(job) = shared.queue.pop() {
+    while let Some((job, depth)) = shared.queue.pop() {
+        // Satellite fix: sample the depth at dequeue too, so the
+        // histograms see the queue draining, not only filling.
+        shared.rec.observe(HistId::ServeQueueDepth, depth as u64);
+        shared.live.observe(HistId::ServeQueueDepth, depth as u64);
+        let queue_us = job.enqueued_at.elapsed().as_micros() as u64;
+        shared.busy_workers.fetch_add(1, Ordering::Relaxed);
+        let busy_start = Instant::now();
         if job.delay_ms > 0 {
             std::thread::sleep(Duration::from_millis(job.delay_ms));
         }
-        if let Some(deadline) = job.deadline {
-            if Instant::now() > deadline {
-                shared.rec.inc(CounterId::ServeTimeouts);
-                let _ = job.reply.send(Response::Error {
-                    code: ErrorCode::Timeout,
-                    message: "deadline passed before a worker reached the request".to_string(),
-                });
-                continue;
+        let expired = job
+            .deadline
+            .is_some_and(|deadline| Instant::now() > deadline);
+        let response = if expired {
+            Response::Error {
+                code: ErrorCode::Timeout,
+                message: format!(
+                    "request {:#x}: deadline passed before a worker reached it",
+                    job.req_id
+                ),
             }
-        }
-        let response = compute_map(shared, &mapper, &job.matrix, &job.topo);
-        let _ = job.reply.send(response);
+        } else {
+            compute_map(shared, &mapper, &job.matrix, &job.topo)
+        };
+        let compute_us = busy_start.elapsed().as_micros() as u64;
+        shared.busy_us.fetch_add(compute_us, Ordering::Relaxed);
+        shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        let _ = job.reply.send(WorkerDone {
+            response,
+            queue_us,
+            compute_us,
+        });
     }
 }
 
@@ -533,7 +923,13 @@ fn compute_map(
         None => (compute(), CacheOutcome::Miss),
     };
     match outcome {
-        CacheOutcome::Hit | CacheOutcome::Coalesced => shared.rec.inc(CounterId::ServeCacheHits),
+        CacheOutcome::Hit => shared.rec.inc(CounterId::ServeCacheHits),
+        CacheOutcome::Coalesced => {
+            // A coalesced follower is a hit for rate purposes (stable
+            // `cache_hits` semantics), counted separately as well.
+            shared.rec.inc(CounterId::ServeCacheHits);
+            shared.rec.inc(CounterId::ServeCacheCoalesced);
+        }
         CacheOutcome::Miss => shared.rec.inc(CounterId::ServeCacheMisses),
     }
     match result {

@@ -6,8 +6,8 @@ use std::time::Duration;
 
 use tlbmap_core::CommMatrix;
 use tlbmap_mapping::HierarchicalMapper;
-use tlbmap_obs::{CounterId, ObsConfig, Recorder};
-use tlbmap_serve::{Client, ErrorCode, ServeConfig, ServeError, Server, ServerHandle};
+use tlbmap_obs::{CounterId, Json, ObsConfig, Recorder};
+use tlbmap_serve::{AdminKind, Client, ErrorCode, ServeConfig, ServeError, Server, ServerHandle};
 use tlbmap_sim::Topology;
 
 fn ring_matrix(n: usize) -> CommMatrix {
@@ -225,6 +225,203 @@ fn graceful_shutdown_drains_in_flight_work() {
     assert_eq!(reply.mapping.len(), 8);
 
     // And the whole server winds down.
+    handle.join();
+}
+
+#[test]
+fn admin_frames_answer_over_loopback() {
+    let handle = start(ServeConfig::new());
+    let addr = handle.addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+
+    // health: alive, not draining.
+    let health = c.admin(AdminKind::Health).unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        health.get("shutting_down").and_then(Json::as_bool),
+        Some(false)
+    );
+
+    // stats: the flat document, with the map traffic counted and a
+    // non-empty latency window.
+    c.map(&ring_matrix(8), &Topology::harpertown(), None, 0)
+        .unwrap();
+    let stats = c.admin(AdminKind::Stats).unwrap();
+    assert_eq!(stats.get("map_requests").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("cache_misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("queue_capacity").and_then(Json::as_u64), Some(64));
+    assert!(stats.get("window_p50_us").and_then(Json::as_u64).is_some());
+    assert!(stats.get("uptime_ms").and_then(Json::as_u64).is_some());
+    assert!(stats.get("utilization").and_then(Json::as_f64).is_some());
+
+    // trace: empty — slow logging is off by default.
+    let trace = c.admin(AdminKind::Trace).unwrap();
+    assert_eq!(trace.as_array().map(<[Json]>::len), Some(0));
+
+    // Unknown admin kind over the real wire: bad_request, with the
+    // connection intact afterwards.
+    let payload = br#"{"v":1,"req":"admin","kind":"flamegraph"}"#;
+    let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(payload);
+    client_send_expect_bad_request(&mut c, &frame);
+    c.health().unwrap();
+    assert_eq!(handle.recorder().counter(CounterId::ServeBadRequests), 1);
+
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+fn client_send_expect_bad_request(c: &mut Client, frame: &[u8]) {
+    c.send_raw(frame).unwrap();
+    match c.read_response().unwrap() {
+        tlbmap_serve::Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("flamegraph"), "{message}");
+        }
+        other => panic!("expected a bad_request error, got {other:?}"),
+    }
+}
+
+/// A `Write` sink backed by shared memory, standing in for the slow-log
+/// JSONL file.
+#[derive(Clone)]
+struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn slow_requests_land_in_the_trace_ring_and_the_jsonl_sink() {
+    let sink = SharedSink(std::sync::Arc::new(std::sync::Mutex::new(Vec::new())));
+    let rec = Recorder::new(ObsConfig::new(0).with_ring_capacity(64));
+    // Threshold 1 µs: every request qualifies as slow.
+    let handle = Server::start_with_slow_log(
+        "127.0.0.1:0",
+        ServeConfig::new().with_slow_threshold_us(1),
+        rec,
+        Some(Box::new(sink.clone())),
+    )
+    .expect("bind loopback server");
+    let addr = handle.addr().to_string();
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.map(&ring_matrix(8), &Topology::harpertown(), None, 2)
+        .unwrap();
+    let trace = c.admin(AdminKind::Trace).unwrap();
+    let entries = trace.as_array().expect("trace is an array");
+    assert!(!entries.is_empty(), "the map request must be in the ring");
+    let entry = &entries[0];
+    assert_eq!(entry.get("kind").and_then(Json::as_str), Some("map"));
+    assert_eq!(entry.get("outcome").and_then(Json::as_str), Some("ok"));
+    assert!(entry.get("req_id").and_then(Json::as_u64).unwrap() > 0);
+    assert!(entry.get("total_us").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(handle.recorder().counter(CounterId::ServeSlowRequests) >= 1);
+
+    // The JSONL sink got one parseable object per line.
+    let bytes = sink.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    let first = text.lines().next().expect("at least one slow-log line");
+    let parsed = Json::parse(first).expect("slow-log line is valid JSON");
+    assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("map"));
+
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn http_get_on_the_service_port_serves_the_exposition() {
+    use std::io::{Read as _, Write as _};
+
+    let handle = start(ServeConfig::new());
+    let addr = handle.addr().to_string();
+
+    // Prime a counter so the exposition has something non-zero.
+    let mut c = Client::connect(&addr).unwrap();
+    c.map(&ring_matrix(8), &Topology::harpertown(), None, 0)
+        .unwrap();
+
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    raw.write_all(b"GET / HTTP/1.0\r\nHost: localhost\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    raw.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+    assert!(response.contains("Content-Type: text/plain"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).expect("body");
+    assert!(body.contains("tlbmap_map_requests 1"), "{body}");
+    assert!(body.contains("tlbmap_uptime_ms "), "{body}");
+    // Empty-window quantiles are omitted, never zero; after one map the
+    // latency window is non-empty, so p50 must be present.
+    assert!(body.contains("tlbmap_window_p50_us "), "{body}");
+
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn http_get_is_refused_when_exposition_is_disabled() {
+    use std::io::{Read as _, Write as _};
+
+    let handle = start(ServeConfig::new().with_http_stats(false));
+    let addr = handle.addr().to_string();
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    raw.write_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+    // The server closes without answering; depending on timing the close
+    // lands as a clean EOF or a reset (unread bytes), but never as data.
+    let mut response = Vec::new();
+    let _ = raw.read_to_end(&mut response);
+    assert!(response.is_empty(), "disabled exposition must just close");
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn live_telemetry_agrees_with_a_thousand_request_loadgen() {
+    // The acceptance bar: ≥1000 requests through loadgen with the admin
+    // sampler on; the server's own live counters must agree with the
+    // client-observed totals, and the windowed quantiles must be present.
+    let handle = start(ServeConfig::new().with_workers(4).with_queue_capacity(64));
+    let addr = handle.addr().to_string();
+
+    let mut cfg = tlbmap_serve::LoadgenConfig::new().with_sample_period_ms(20);
+    cfg.connections = 8;
+    cfg.requests = 125;
+    cfg.matrix = ring_matrix(8);
+    let report = tlbmap_serve::run_loadgen(&addr, &cfg).unwrap();
+
+    assert_eq!(report.sent, 1000);
+    assert_eq!(report.ok, 1000);
+    assert_eq!(report.total_errors(), 0, "errors: {:?}", report.errors);
+
+    // Client-side timeline accounts for every request.
+    let timeline_sent: u64 = report.timeline.iter().map(|s| s.sent).sum();
+    assert_eq!(timeline_sent, 1000);
+
+    // Server-side delta agrees with the client's count.
+    assert_eq!(report.map_requests_delta(), Some(1000));
+    let after = report.server_after.as_ref().expect("after scrape");
+    assert_eq!(after.get("map_requests").and_then(Json::as_u64), Some(1000));
+    let hits = after.get("cache_hits").and_then(Json::as_u64).unwrap();
+    let misses = after.get("cache_misses").and_then(Json::as_u64).unwrap();
+    assert_eq!(hits + misses, 1000, "every map is a hit or a miss");
+
+    // The rolling window saw the traffic: non-empty quantiles, and the
+    // recorder's counters line up with the admin view.
+    assert!(after.get("window_count").and_then(Json::as_u64).unwrap() > 0);
+    assert!(after.get("window_p50_us").and_then(Json::as_u64).is_some());
+    assert!(after.get("window_p99_us").and_then(Json::as_u64).is_some());
+    assert_eq!(handle.recorder().counter(CounterId::ServeMapRequests), 1000);
+
+    Client::connect(&addr).unwrap().shutdown().unwrap();
     handle.join();
 }
 
