@@ -84,9 +84,19 @@ const SPARK_GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇'
 /// A one-line sparkline of `values`, each mapped to one of eight block
 /// glyphs scaled against the series maximum. Non-finite values render as
 /// spaces; an all-zero (or empty) series renders as all-minimum glyphs,
-/// so a flat idle series still has visible width. Used by `tlbmap top`
-/// and the loadgen timeline.
+/// so a flat idle series still has visible width. A single-sample series
+/// is flat by construction (there is no shape to scale against), so it
+/// also renders as the minimum glyph instead of a misleading full-height
+/// block. Used by `tlbmap top` and the loadgen timeline.
 pub fn sparkline(values: &[f64]) -> String {
+    // With fewer than two samples the series has no relative shape: every
+    // finite value is simultaneously the minimum and the maximum.
+    if values.len() < 2 {
+        return values
+            .iter()
+            .map(|v| if v.is_finite() { SPARK_GLYPHS[0] } else { ' ' })
+            .collect();
+    }
     let max = values
         .iter()
         .copied()
@@ -168,6 +178,16 @@ mod tests {
         assert_eq!(sparkline(&[f64::NAN, 1.0]), " █");
         assert_eq!(sparkline(&[f64::INFINITY, 1.0]), " █");
         assert_eq!(sparkline(&[-3.0, 6.0]), "▁█");
+    }
+
+    #[test]
+    fn single_sample_sparklines_are_flat() {
+        // One sample is its own max: rendering it '█' suggested a spike
+        // where there is no shape at all. Flat bar instead.
+        assert_eq!(sparkline(&[7.0]), "▁");
+        assert_eq!(sparkline(&[0.0]), "▁");
+        assert_eq!(sparkline(&[-2.0]), "▁");
+        assert_eq!(sparkline(&[f64::NAN]), " ");
     }
 
     #[test]

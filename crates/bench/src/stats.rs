@@ -33,18 +33,20 @@ pub fn stddev_pct(xs: &[f64]) -> f64 {
 }
 
 /// Nearest-rank percentile: the smallest sample such that at least `p`
-/// percent of the data is ≤ it. `p` is clamped to `[0, 100]`; 0 for an
-/// empty slice. NaN samples sort last and are never selected unless the
-/// slice holds nothing else.
-pub fn percentile(xs: &[f64], p: f64) -> f64 {
+/// percent of the data is ≤ it. `p` is clamped to `[0, 100]`; `None` for
+/// an empty slice — an empty sample has no percentiles, and faking `0.0`
+/// made idle-period latency reports indistinguishable from genuinely
+/// instant requests. NaN samples sort last and are never selected unless
+/// the slice holds nothing else.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     if xs.is_empty() {
-        return 0.0;
+        return None;
     }
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
     let p = p.clamp(0.0, 100.0);
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.max(1) - 1]
+    Some(sorted[rank.max(1) - 1])
 }
 
 #[cfg(test)]
@@ -77,18 +79,27 @@ mod tests {
     #[test]
     fn percentile_nearest_rank() {
         let xs: Vec<f64> = (1..=100).map(|v| v as f64).collect();
-        assert_eq!(percentile(&xs, 50.0), 50.0);
-        assert_eq!(percentile(&xs, 90.0), 90.0);
-        assert_eq!(percentile(&xs, 99.0), 99.0);
-        assert_eq!(percentile(&xs, 100.0), 100.0);
-        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), Some(50.0));
+        assert_eq!(percentile(&xs, 90.0), Some(90.0));
+        assert_eq!(percentile(&xs, 99.0), Some(99.0));
+        assert_eq!(percentile(&xs, 100.0), Some(100.0));
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
         // Unsorted input and small samples.
-        assert_eq!(percentile(&[9.0, 1.0, 5.0], 50.0), 5.0);
-        assert_eq!(percentile(&[9.0, 1.0, 5.0], 99.0), 9.0);
-        assert_eq!(percentile(&[42.0], 50.0), 42.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[9.0, 1.0, 5.0], 50.0), Some(5.0));
+        assert_eq!(percentile(&[9.0, 1.0, 5.0], 99.0), Some(9.0));
         // Out-of-range p clamps instead of panicking.
-        assert_eq!(percentile(&[1.0, 2.0], 150.0), 2.0);
-        assert_eq!(percentile(&[1.0, 2.0], -5.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 150.0), Some(2.0));
+        assert_eq!(percentile(&[1.0, 2.0], -5.0), Some(1.0));
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_honest() {
+        // Satellite: an empty sample has no percentiles — `None`, not a
+        // fabricated 0 — and a single sample is every percentile.
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[], 0.0), None);
+        assert_eq!(percentile(&[42.0], 0.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 50.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 100.0), Some(42.0));
     }
 }

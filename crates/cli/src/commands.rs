@@ -21,7 +21,12 @@ fn topology(o: &Options) -> Topology {
 /// an artifact, so unobserved runs pay nothing.
 fn recorder_for(o: &Options, n_threads: usize) -> Recorder {
     if o.observing() {
-        Recorder::new(ObsConfig::new(n_threads).with_snapshot_period(o.snapshot_every))
+        Recorder::new(
+            ObsConfig::new(n_threads)
+                .with_snapshot_period(o.snapshot_every)
+                .with_flight_window(o.effective_flight_window())
+                .with_flight_capacity(o.flight_capacity),
+        )
     } else {
         Recorder::disabled()
     }
@@ -558,7 +563,7 @@ mod tests {
         );
         assert!(!doc.get("snapshots").unwrap().as_array().unwrap().is_empty());
         // Schema 2 extras: the self-profile and the accuracy timeline.
-        assert_eq!(doc.get("schema").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("schema").unwrap().as_u64(), Some(3));
         assert!(!doc.get("profile").unwrap().as_array().unwrap().is_empty());
         let timeline = doc.get("timeline").expect("timeline section");
         assert!(!timeline
@@ -567,6 +572,10 @@ mod tests {
             .as_array()
             .unwrap()
             .is_empty());
+        // Schema 3: the flight recorder rides along whenever snapshots
+        // are on (the window defaults to the snapshot period).
+        let flight = doc.get("flight").expect("flight section");
+        assert!(flight.get("windows_closed").unwrap().as_u64().unwrap() > 0);
         let mut from = opts(&[]);
         from.from = Some(metrics.to_string_lossy().into_owned());
         report(from).unwrap();

@@ -8,6 +8,7 @@
 //! tlbmap simulate <APP> [opts]         run under a mapping, print hardware events
 //! tlbmap report <APP> [opts]           full pipeline: detect, map, before/after
 //! tlbmap analyze --from <metrics.json> accuracy timeline + cycle profile of a run
+//! tlbmap inspect --from <metrics.json> flight-recorder phase explorer of a run
 //! tlbmap diff <a.json> <b.json>        compare two runs, optionally gate regressions
 //! tlbmap bench <APP> [opts]            timed run, write a BENCH_<name>.json record
 //! tlbmap serve [opts]                  run the mapping service over TCP
@@ -21,6 +22,7 @@
 
 mod analysis;
 mod commands;
+mod inspect;
 mod opts;
 mod serve_cmd;
 mod top;
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
         "stats" => opts::Options::parse(&args[2..]).and_then(commands::stats),
         "export" => opts::Options::parse(&args[2..]).and_then(commands::export),
         "analyze" => opts::Options::parse(&args[2..]).and_then(analysis::analyze),
+        "inspect" => opts::Options::parse(&args[2..]).and_then(inspect::inspect),
         "diff" => opts::DiffOptions::parse(&args[2..]).and_then(analysis::diff),
         "bench" => opts::Options::parse(&args[2..]).and_then(analysis::bench),
         "serve" => serve_cmd::ServeOptions::parse(&args[2..]).and_then(serve_cmd::serve),

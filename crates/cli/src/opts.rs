@@ -16,6 +16,8 @@ USAGE:
   tlbmap report   [APP] [OBS] [COMMON]
   tlbmap report   --from <metrics.json>
   tlbmap analyze  --from <metrics.json>
+  tlbmap inspect  --from <metrics.json> [--html-out <FILE>]
+                  [--speedscope-out <FILE>]
   tlbmap diff     [--fail-above <pct>] <a.json> <b.json>
   tlbmap bench    [APP] [--out BENCH_<name>.json] [--cores 4|8|16|32] [COMMON]
   tlbmap stats    [APP] [COMMON]
@@ -24,8 +26,10 @@ USAGE:
                   [--deadline-ms D] [--metrics-out <FILE>] [--window-ms W]
                   [--window-buckets B] [--slow-threshold-us T]
                   [--slow-log <FILE>] [--no-http]
-  tlbmap client   map|health|stats|live|trace|shutdown [--addr HOST:PORT]
-                  [--matrix <FILE>] [--topo CxLxK] [--deadline-ms D]
+                  [--flight-window CYCLES] [--flight-capacity N]
+  tlbmap client   map|health|stats|live|trace|flight|shutdown
+                  [--addr HOST:PORT] [--matrix <FILE>] [--topo CxLxK]
+                  [--deadline-ms D]
   tlbmap loadgen  [--addr HOST:PORT] [--connections N] [--requests M]
                   [--matrix <FILE>] [--delay-ms D] [--sample-ms S] [--out <FILE>]
   tlbmap top      [--addr HOST:PORT] [--interval-ms I] [--iterations N] [--raw]
@@ -33,13 +37,16 @@ USAGE:
 APP defaults to CG. It may also be `trace=<FILE>` (a file written by
 `tlbmap export`) in detect/map/simulate/report/stats.
 
-APP: BT CG EP FT IS LU MG SP UA | ring pairs pipeline uniform private master_worker turns
+APP: BT CG EP FT IS LU MG SP UA | ring pairs pipeline uniform private master_worker turns phased
 
 OBS (run-artifact export; any of these enables recording):
   --trace-out <FILE>            event trace as JSONL
   --chrome-out <FILE>           event trace as Chrome trace_event JSON
   --metrics-out <FILE>          counters/histograms/snapshots as JSON
   --snapshot-every <CYCLES>     periodic communication-matrix snapshots
+  --flight-window <CYCLES>      flight-recorder window length (defaults
+                                to --snapshot-every when recording)
+  --flight-capacity <N>         retained flight windows        [64]
 
 COMMON:
   --scale test|small|workshop   problem size              [workshop]
@@ -53,6 +60,11 @@ ANALYSIS:
   analyze   accuracy timeline, phase boundaries and cycle profile of a
             recorded metrics file (detect/map/report with --metrics-out
             and --snapshot-every fill in the timeline)
+  inspect   flight-recorder run explorer: phase timeline with drift
+            sparklines, per-phase communication heatmaps, mapping
+            quality and cycle attribution; `--html-out` writes a
+            self-contained HTML report with SVG heatmaps,
+            `--speedscope-out` a speedscope-importable profile
   diff      per-stat comparison of two metrics/bench JSON files; with
             --fail-above <pct> acts as a regression gate (non-zero exit
             when any gated stat regresses by more than <pct> percent)
@@ -105,8 +117,17 @@ pub struct Options {
     pub metrics_out: Option<String>,
     /// Snapshot the communication matrix every this many cycles.
     pub snapshot_every: Option<u64>,
+    /// Flight-recorder window length in cycles (defaults to
+    /// `--snapshot-every` when any recording is active).
+    pub flight_window: Option<u64>,
+    /// Flight-recorder ring capacity (retained windows).
+    pub flight_capacity: usize,
     /// Recorded metrics file for `report --from`.
     pub from: Option<String>,
+    /// HTML report output path for `inspect`.
+    pub html_out: Option<String>,
+    /// Speedscope profile output path for `inspect`.
+    pub speedscope_out: Option<String>,
     /// Machine size: 4, 8 (Harpertown), 16, or 32 cores.
     pub cores: usize,
     /// Problem scale.
@@ -134,7 +155,11 @@ impl Options {
             chrome_out: None,
             metrics_out: None,
             snapshot_every: None,
+            flight_window: None,
+            flight_capacity: 64,
             from: None,
+            html_out: None,
+            speedscope_out: None,
             out: None,
             cores: 8,
             scale: ProblemScale::Workshop,
@@ -194,8 +219,35 @@ impl Options {
                     o.snapshot_every = Some(period);
                     i += 2;
                 }
+                "--flight-window" => {
+                    let window: u64 = value("--flight-window")?
+                        .parse()
+                        .map_err(|e| format!("--flight-window: {e}"))?;
+                    if window == 0 {
+                        return Err("--flight-window must be positive".into());
+                    }
+                    o.flight_window = Some(window);
+                    i += 2;
+                }
+                "--flight-capacity" => {
+                    o.flight_capacity = value("--flight-capacity")?
+                        .parse()
+                        .map_err(|e| format!("--flight-capacity: {e}"))?;
+                    if o.flight_capacity == 0 {
+                        return Err("--flight-capacity must be at least 1".into());
+                    }
+                    i += 2;
+                }
                 "--from" => {
                     o.from = Some(value("--from")?);
+                    i += 2;
+                }
+                "--html-out" => {
+                    o.html_out = Some(value("--html-out")?);
+                    i += 2;
+                }
+                "--speedscope-out" => {
+                    o.speedscope_out = Some(value("--speedscope-out")?);
                     i += 2;
                 }
                 "--out" => {
@@ -271,6 +323,14 @@ impl Options {
             || self.chrome_out.is_some()
             || self.metrics_out.is_some()
             || self.snapshot_every.is_some()
+            || self.flight_window.is_some()
+    }
+
+    /// The flight-recorder window for observed runs: an explicit
+    /// `--flight-window`, falling back to the snapshot period so any
+    /// snapshotted run gets a phase timeline for free.
+    pub fn effective_flight_window(&self) -> Option<u64> {
+        self.flight_window.or(self.snapshot_every)
     }
 
     /// The simulated machine for `--cores`: the four scaling-study
@@ -319,6 +379,7 @@ impl Options {
             "private" => Ok(synthetic::private_only(n, pages, iters)),
             "master_worker" => Ok(synthetic::master_worker(n, pages / 4, iters)),
             "turns" => Ok(synthetic::turn_taking(n, pages / 4, iters)),
+            "phased" => Ok(synthetic::phase_shift(n, pages / 2, iters)),
             other => Err(format!("unknown app `{other}`")),
         }
     }
@@ -457,6 +518,49 @@ mod tests {
         assert!(o.observing());
         let o = parse(&["--from", "metrics.json"]);
         assert_eq!(o.unwrap().from.as_deref(), Some("metrics.json"));
+    }
+
+    #[test]
+    fn parses_flight_flags() {
+        let o = parse(&["ring", "--flight-window", "5000", "--flight-capacity", "16"]).unwrap();
+        assert_eq!(o.flight_window, Some(5_000));
+        assert_eq!(o.flight_capacity, 16);
+        assert_eq!(o.effective_flight_window(), Some(5_000));
+        assert!(o.observing(), "--flight-window alone enables recording");
+        // The window defaults to the snapshot period...
+        let o = parse(&["ring", "--snapshot-every", "2000"]).unwrap();
+        assert_eq!(o.flight_window, None);
+        assert_eq!(o.effective_flight_window(), Some(2_000));
+        // ...and an explicit window wins over the snapshot period.
+        let o = parse(&["ring", "--snapshot-every", "2000", "--flight-window", "500"]).unwrap();
+        assert_eq!(o.effective_flight_window(), Some(500));
+        // Zero knobs are rejected at parse time, like --snapshot-every 0.
+        assert!(parse(&["ring", "--flight-window", "0"]).is_err());
+        assert!(parse(&["ring", "--flight-capacity", "0"]).is_err());
+    }
+
+    #[test]
+    fn parses_inspect_outputs() {
+        let o = parse(&[
+            "--from",
+            "m.json",
+            "--html-out",
+            "report.html",
+            "--speedscope-out",
+            "prof.speedscope.json",
+        ])
+        .unwrap();
+        assert_eq!(o.from.as_deref(), Some("m.json"));
+        assert_eq!(o.html_out.as_deref(), Some("report.html"));
+        assert_eq!(o.speedscope_out.as_deref(), Some("prof.speedscope.json"));
+    }
+
+    #[test]
+    fn phased_workload_exists() {
+        let mut o = parse(&["phased", "--scale", "test"]).unwrap();
+        assert_eq!(o.workload().unwrap().name, "phase_shift");
+        o.cores = 4;
+        assert_eq!(o.workload().unwrap().traces.len(), 4);
     }
 
     #[test]

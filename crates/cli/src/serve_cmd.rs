@@ -104,6 +104,13 @@ impl ServeOptions {
                         parse_u64("--slow-threshold-us", &value("--slow-threshold-us")?)?
                 }
                 "--slow-log" => o.slow_log = Some(value("--slow-log")?),
+                "--flight-window" => {
+                    o.cfg.flight_window = parse_u64("--flight-window", &value("--flight-window")?)?
+                }
+                "--flight-capacity" => {
+                    o.cfg.flight_capacity =
+                        parse_u64("--flight-capacity", &value("--flight-capacity")?)? as usize
+                }
                 "--no-http" => {
                     // Valueless flag: disable the plain-text GET exposition.
                     o.cfg.http_stats = false;
@@ -121,7 +128,12 @@ impl ServeOptions {
 /// `tlbmap serve` — run the mapping service until a client asks it to
 /// shut down, then optionally export metrics.
 pub fn serve(o: ServeOptions) -> Result<(), String> {
-    let rec = Recorder::new(ObsConfig::new(0).with_ring_capacity(64));
+    let rec = Recorder::new(
+        ObsConfig::new(0)
+            .with_ring_capacity(64)
+            .with_flight_window(o.cfg.effective_flight_window())
+            .with_flight_capacity(o.cfg.effective_flight_capacity()),
+    );
     let slow_log: Option<Box<dyn std::io::Write + Send>> = match &o.slow_log {
         Some(path) => {
             let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
@@ -228,7 +240,8 @@ impl ClientOptions {
         }
         if positional_action && o.action.is_empty() {
             return Err(
-                "client needs an action: map | health | stats | live | trace | shutdown".into(),
+                "client needs an action: map | health | stats | live | trace | flight | shutdown"
+                    .into(),
             );
         }
         Ok(o)
@@ -296,13 +309,22 @@ pub fn client(o: ClientOptions) -> Result<(), String> {
             }
             Ok(())
         }
+        "flight" => {
+            let doc = client.admin(AdminKind::Flight).map_err(|e| e.to_string())?;
+            if doc == Json::Null {
+                eprintln!("# flight recorder is disabled (start the server with --flight-window)");
+            } else {
+                println!("{}", doc.render());
+            }
+            Ok(())
+        }
         "shutdown" => {
             client.shutdown().map_err(|e| e.to_string())?;
             println!("shutdown acknowledged");
             Ok(())
         }
         other => Err(format!(
-            "unknown client action `{other}` (map | health | stats | live | trace | shutdown)"
+            "unknown client action `{other}` (map | health | stats | live | trace | flight | shutdown)"
         )),
     }
 }
@@ -400,6 +422,22 @@ mod tests {
         assert!(!o.cfg.http_stats);
         // --no-http is valueless: the flag after it still parses.
         assert_eq!(o.cfg.workers, 2);
+    }
+
+    #[test]
+    fn parses_flight_serve_options() {
+        let o = ServeOptions::parse(&words(&[
+            "--flight-window",
+            "5000",
+            "--flight-capacity",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(o.cfg.flight_window, 5000);
+        assert_eq!(o.cfg.flight_capacity, 16);
+        // Default: flight recorder off.
+        let d = ServeOptions::parse(&[]).unwrap();
+        assert_eq!(d.cfg.effective_flight_window(), None);
     }
 
     #[test]

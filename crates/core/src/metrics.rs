@@ -15,43 +15,22 @@ fn upper_triangle(m: &CommMatrix) -> Vec<f64> {
 
 /// Pearson correlation of the upper triangles; `1.0` for identical shapes,
 /// `0.0` when either matrix is constant (no pattern to correlate).
+///
+/// The arithmetic lives in [`tlbmap_obs::drift`] so the in-engine flight
+/// recorder's online phase detector and this offline metric share one
+/// kernel (the dependency chain runs obs ← core ← prof, so the shared
+/// code sits at the bottom).
 pub fn pearson_correlation(a: &CommMatrix, b: &CommMatrix) -> f64 {
     assert_eq!(a.num_threads(), b.num_threads(), "matrix sizes differ");
-    let xs = upper_triangle(a);
-    let ys = upper_triangle(b);
-    let n = xs.len() as f64;
-    if n < 2.0 {
-        return 0.0;
-    }
-    let mx = xs.iter().sum::<f64>() / n;
-    let my = ys.iter().sum::<f64>() / n;
-    let mut cov = 0.0;
-    let mut vx = 0.0;
-    let mut vy = 0.0;
-    for (x, y) in xs.iter().zip(&ys) {
-        cov += (x - mx) * (y - my);
-        vx += (x - mx).powi(2);
-        vy += (y - my).powi(2);
-    }
-    if vx == 0.0 || vy == 0.0 {
-        return 0.0;
-    }
-    cov / (vx.sqrt() * vy.sqrt())
+    tlbmap_obs::drift::pearson(&upper_triangle(a), &upper_triangle(b))
 }
 
 /// Cosine similarity of the upper triangles; scale-invariant, `0.0` when
-/// either matrix is empty.
+/// either matrix is empty. Shares its kernel with the flight recorder's
+/// phase detector via [`tlbmap_obs::drift`].
 pub fn cosine_similarity(a: &CommMatrix, b: &CommMatrix) -> f64 {
     assert_eq!(a.num_threads(), b.num_threads(), "matrix sizes differ");
-    let xs = upper_triangle(a);
-    let ys = upper_triangle(b);
-    let dot: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
-    let na: f64 = xs.iter().map(|x| x * x).sum::<f64>().sqrt();
-    let nb: f64 = ys.iter().map(|y| y * y).sum::<f64>().sqrt();
-    if na == 0.0 || nb == 0.0 {
-        return 0.0;
-    }
-    dot / (na * nb)
+    tlbmap_obs::drift::cosine(&upper_triangle(a), &upper_triangle(b))
 }
 
 /// Mean squared error between the *normalized* matrices (each scaled to

@@ -1,0 +1,100 @@
+//! Slice-level pattern-similarity math shared by the offline timeline and
+//! the online flight recorder.
+//!
+//! These are the pearson/cosine kernels behind
+//! `tlbmap_core::metrics::{pearson_correlation, cosine_similarity}` and
+//! the `tlbmap_prof` accuracy timeline. They live here — at the bottom of
+//! the dependency chain — so the in-engine phase detector
+//! ([`crate::flight`]) can reuse the exact same drift code the offline
+//! analysis gates on: `tlbmap-core` depends on `tlbmap-obs`, not the
+//! other way around.
+//!
+//! Conventions (identical to the matrix-level wrappers): empty or
+//! constant inputs score `0.0`, never `NaN` — a windowed detector must be
+//! able to compare degenerate windows without poisoning downstream
+//! arithmetic.
+
+/// Pearson correlation of two equal-length samples; `0.0` when either
+/// input has fewer than two elements or zero variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len(), "sample lengths differ");
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Cosine similarity of two equal-length vectors; scale-invariant, `0.0`
+/// when either vector is all zero.
+pub fn cosine(xs: &[f64], ys: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len(), "vector lengths differ");
+    let dot: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let na: f64 = xs.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = ys.iter().map(|y| y * y).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+/// [`cosine`] over integer cell vectors (the flight recorder's windowed
+/// matrix deltas are `u64` counts).
+pub fn cosine_u64(xs: &[u64], ys: &[u64]) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len(), "vector lengths differ");
+    let dot: f64 = xs.iter().zip(ys).map(|(&x, &y)| x as f64 * y as f64).sum();
+    let na: f64 = xs.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt();
+    let nb: f64 = ys.iter().map(|&y| (y as f64).powi(2)).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_shapes_score_one() {
+        let a = [10.0, 0.0, 10.0, 1.0];
+        let b = [70.0, 0.0, 70.0, 7.0]; // same shape, 7x the scale
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((cosine_u64(&[10, 0, 10, 1], &[70, 0, 70, 7]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_patterns_score_zero_cosine() {
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        assert_eq!(cosine_u64(&[5, 0, 0], &[0, 3, 0]), 0.0);
+    }
+
+    #[test]
+    fn opposite_trends_anticorrelate() {
+        assert!(pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) < -0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero_not_nan() {
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[5.0, 5.0], &[1.0, 2.0]), 0.0, "zero variance");
+        assert_eq!(cosine(&[], &[]), 0.0);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(cosine_u64(&[0, 0], &[0, 0]), 0.0);
+    }
+}

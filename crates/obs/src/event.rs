@@ -109,13 +109,16 @@ pub enum Event {
         /// New core.
         to_core: u32,
     },
-    /// A detection window diverged from its predecessor (phase change).
+    /// A detection window diverged from its phase's reference pattern
+    /// (phase change).
     PhaseChange {
         /// Global cycle.
         cycle: u64,
         /// Index of the window that closed.
         window: u64,
-        /// Cosine similarity to the previous window, scaled by 1e6
+        /// The phase id the run just entered (phase 0 never emits).
+        phase: u64,
+        /// Cosine similarity to the reference pattern, scaled by 1e6
         /// (kept integral so traces stay byte-stable).
         similarity_ppm: u64,
     },
@@ -253,10 +256,12 @@ impl Event {
             }
             Event::PhaseChange {
                 window,
+                phase,
                 similarity_ppm,
                 ..
             } => {
                 push("window", Json::U64(window));
+                push("phase", Json::U64(phase));
                 push("similarity_ppm", Json::U64(similarity_ppm));
             }
             Event::Snapshot { index, .. } => push("index", Json::U64(index)),
@@ -411,6 +416,7 @@ mod tests {
             Event::PhaseChange {
                 cycle: 0,
                 window: 0,
+                phase: 1,
                 similarity_ppm: 0,
             },
             Event::Snapshot { cycle: 0, index: 0 },

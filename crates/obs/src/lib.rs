@@ -20,6 +20,11 @@
 //! * **Snapshots** ([`MatrixSnapshot`]) — periodic copies of the
 //!   communication matrix keyed by cycle and barrier count, showing how
 //!   the detected pattern converges over a run.
+//! * **Flight recorder** ([`FlightWindow`], [`crate::flight`]) — a bounded
+//!   ring of windowed communication-matrix *deltas* plus per-core activity,
+//!   maintained on the detector hot path, with an online phase detector
+//!   that stamps a `phase_id` into events and splits the cycle profile
+//!   per phase (built on the shared [`drift`] kernels).
 //! * **Self-profiling** ([`ProfId`], [`Profile`]) — scoped accounting of
 //!   where *simulated* cycles go (compute, TLB, cache, detection scans,
 //!   barriers, migrations, mapper), rendered as inclusive/exclusive
@@ -44,7 +49,9 @@
 
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod live;
 pub mod metrics;
@@ -53,6 +60,7 @@ pub mod recorder;
 pub mod ring;
 
 pub use event::{Event, Mechanism};
+pub use flight::{FlightWindow, PHASE_SIMILARITY_THRESHOLD};
 pub use json::{Json, JsonError};
 pub use live::{LiveConfig, LiveRegistry, WindowSnapshot, WindowedHistogram};
 pub use metrics::{

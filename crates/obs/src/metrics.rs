@@ -66,10 +66,14 @@ pub enum CounterId {
     ServeCacheCoalesced,
     /// Mapping-service requests slower than the slow-log threshold.
     ServeSlowRequests,
+    /// Flight-recorder windows closed.
+    FlightWindows,
+    /// Flight-recorder windows dropped from the bounded ring.
+    FlightWindowsDropped,
 }
 
 /// All counters, in registry order.
-pub const COUNTERS: [CounterId; 25] = [
+pub const COUNTERS: [CounterId; 27] = [
     CounterId::Accesses,
     CounterId::TlbMisses,
     CounterId::DetectionSearches,
@@ -95,6 +99,8 @@ pub const COUNTERS: [CounterId; 25] = [
     CounterId::ServeInternalErrors,
     CounterId::ServeCacheCoalesced,
     CounterId::ServeSlowRequests,
+    CounterId::FlightWindows,
+    CounterId::FlightWindowsDropped,
 ];
 
 impl CounterId {
@@ -126,6 +132,8 @@ impl CounterId {
             CounterId::ServeInternalErrors => "serve_internal_errors",
             CounterId::ServeCacheCoalesced => "serve_cache_coalesced",
             CounterId::ServeSlowRequests => "serve_slow_requests",
+            CounterId::FlightWindows => "flight_windows",
+            CounterId::FlightWindowsDropped => "flight_windows_dropped",
         }
     }
 }

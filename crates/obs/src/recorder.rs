@@ -9,6 +9,7 @@
 //! a bounded ring buffer.
 
 use crate::event::Event;
+use crate::flight::FlightState;
 use crate::json::Json;
 use crate::metrics::{CounterId, HistId, Histogram, COUNTERS, HISTS};
 use crate::profile::{ProfId, Profile};
@@ -26,15 +27,23 @@ pub struct ObsConfig {
     pub ring_capacity: usize,
     /// Take a communication-matrix snapshot every this many cycles.
     pub snapshot_period: Option<u64>,
+    /// Flight-recorder window length in cycles (`None` disables the
+    /// flight recorder and the online phase detector).
+    pub flight_window: Option<u64>,
+    /// Closed flight windows retained in the bounded ring.
+    pub flight_capacity: usize,
 }
 
 impl ObsConfig {
-    /// Defaults: 1 Mi events, no periodic snapshots.
+    /// Defaults: 1 Mi events, no periodic snapshots, flight recorder off,
+    /// 64 retained flight windows once enabled.
     pub fn new(n_threads: usize) -> Self {
         ObsConfig {
             n_threads,
             ring_capacity: 1 << 20,
             snapshot_period: None,
+            flight_window: None,
+            flight_capacity: 64,
         }
     }
 
@@ -50,12 +59,41 @@ impl ObsConfig {
         self
     }
 
+    /// Close a flight-recorder window every `window` cycles (`None`
+    /// disables the flight recorder).
+    pub fn with_flight_window(mut self, window: Option<u64>) -> Self {
+        self.flight_window = window;
+        self
+    }
+
+    /// Override how many closed flight windows the ring retains.
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight_capacity = capacity;
+        self
+    }
+
     /// The snapshot period with the zero hazard removed: a period of 0
     /// would never advance the snapshot scheduler (`due += 0` forever), so
     /// it is treated as "no snapshots". The CLI rejects `--snapshot-every
     /// 0` up front; this guards library callers.
     fn effective_snapshot_period(&self) -> Option<u64> {
         self.snapshot_period.filter(|&p| p > 0)
+    }
+
+    /// The flight-window length with the zero hazard removed, mirroring
+    /// the snapshot-period-0 guard: a zero-length window would never
+    /// advance the window scheduler, so it is treated as "flight recorder
+    /// off". The CLI rejects `--flight-window 0` up front; this guards
+    /// library callers.
+    pub fn effective_flight_window(&self) -> Option<u64> {
+        self.flight_window.filter(|&w| w > 0)
+    }
+
+    /// The flight-ring capacity with the zero hazard removed: a
+    /// zero-capacity ring would drop every window the moment it closed,
+    /// so it is clamped to one retained window.
+    pub fn effective_flight_capacity(&self) -> usize {
+        self.flight_capacity.max(1)
     }
 }
 
@@ -131,8 +169,14 @@ struct Inner {
     last_miss: AtomicU64,
     /// Cycle at which the next snapshot is due (`u64::MAX` = never).
     next_snap: AtomicU64,
+    /// Cycle at which the next flight window closes (`u64::MAX` = never).
+    next_flight: AtomicU64,
+    /// Current phase id, minted by whichever online detector is active
+    /// (the flight recorder or an external windowed detector).
+    phase: AtomicU64,
     ring: Mutex<RingBuffer<Event>>,
     snap: Mutex<SnapState>,
+    flight: Option<Mutex<FlightState>>,
     prof: Profile,
 }
 
@@ -159,6 +203,7 @@ impl Recorder {
     /// An enabled recorder.
     pub fn new(cfg: ObsConfig) -> Recorder {
         let period = cfg.effective_snapshot_period();
+        let flight_window = cfg.effective_flight_window();
         Recorder {
             inner: Some(Arc::new(Inner {
                 counters: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -166,6 +211,8 @@ impl Recorder {
                 now: AtomicU64::new(0),
                 last_miss: AtomicU64::new(u64::MAX),
                 next_snap: AtomicU64::new(period.unwrap_or(u64::MAX)),
+                next_flight: AtomicU64::new(flight_window.unwrap_or(u64::MAX)),
+                phase: AtomicU64::new(0),
                 ring: Mutex::new(RingBuffer::new(cfg.ring_capacity)),
                 snap: Mutex::new(SnapState {
                     n: cfg.n_threads,
@@ -173,6 +220,13 @@ impl Recorder {
                     period,
                     barrier: 0,
                     snaps: Vec::new(),
+                }),
+                flight: flight_window.map(|w| {
+                    Mutex::new(FlightState::new(
+                        cfg.n_threads,
+                        w,
+                        cfg.effective_flight_capacity(),
+                    ))
                 }),
                 prof: Profile::default(),
             })),
@@ -237,14 +291,18 @@ impl Recorder {
             .map_or(0, |i| i.now.load(Ordering::Relaxed))
     }
 
-    /// Stamp the cycle and take any snapshots that became due. The engine
-    /// calls this once per executed trace event.
+    /// Stamp the cycle and take any snapshots / close any flight windows
+    /// that became due. The engine calls this once per executed trace
+    /// event; with neither scheduler armed the cost is two relaxed loads.
     #[inline]
     pub fn advance(&self, cycle: u64) {
         if let Some(inner) = &self.inner {
             inner.now.store(cycle, Ordering::Relaxed);
             if cycle >= inner.next_snap.load(Ordering::Relaxed) {
                 self.take_due_snapshots(inner, cycle);
+            }
+            if cycle >= inner.next_flight.load(Ordering::Relaxed) {
+                self.close_due_flight_windows(inner, cycle);
             }
         }
     }
@@ -266,12 +324,65 @@ impl Recorder {
         inner.next_snap.store(due, Ordering::Relaxed);
     }
 
+    #[cold]
+    fn close_due_flight_windows(&self, inner: &Inner, cycle: u64) {
+        let flight = match &inner.flight {
+            Some(flight) => flight,
+            None => return,
+        };
+        let mut state = flight.lock().expect("flight state poisoned");
+        let window = state.window_cycles();
+        let mut due = inner.next_flight.load(Ordering::Relaxed);
+        while cycle >= due {
+            let close = state.close_window(due, &inner.prof);
+            self.apply_window_close(inner, close);
+            due += window;
+        }
+        inner.next_flight.store(due, Ordering::Relaxed);
+    }
+
+    /// Turn one [`FlightState`] window close into counters and events.
+    fn apply_window_close(&self, inner: &Inner, close: crate::flight::WindowClose) {
+        inner.counters[CounterId::FlightWindows as usize].fetch_add(1, Ordering::Relaxed);
+        if close.dropped {
+            inner.counters[CounterId::FlightWindowsDropped as usize]
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(phase) = close.phase_change {
+            inner.phase.store(phase, Ordering::Relaxed);
+            inner.counters[CounterId::PhaseChanges as usize].fetch_add(1, Ordering::Relaxed);
+            self.push_event(
+                inner,
+                Event::PhaseChange {
+                    cycle: close.end_cycle,
+                    window: close.index,
+                    phase,
+                    similarity_ppm: close.similarity_ppm.unwrap_or(0),
+                },
+            );
+        }
+    }
+
     /// Close the run: fill in any snapshots still due so that exactly
-    /// `floor(total_cycles / period)` exist, and stamp the final cycle.
+    /// `floor(total_cycles / period)` exist, close the partial flight
+    /// window (if any cycles remain in it), and stamp the final cycle.
     pub fn finish(&self, total_cycles: u64) {
         if let Some(inner) = &self.inner {
             inner.now.store(total_cycles, Ordering::Relaxed);
             self.take_due_snapshots(inner, total_cycles);
+            if inner.next_flight.load(Ordering::Relaxed) != u64::MAX {
+                self.close_due_flight_windows(inner, total_cycles);
+                if let Some(flight) = &inner.flight {
+                    let mut state = flight.lock().expect("flight state poisoned");
+                    if state.open_window_started_before(total_cycles) {
+                        let close = state.close_window(total_cycles, &inner.prof);
+                        self.apply_window_close(inner, close);
+                        inner
+                            .next_flight
+                            .store(total_cycles + state.window_cycles(), Ordering::Relaxed);
+                    }
+                }
+            }
         }
     }
 
@@ -293,7 +404,8 @@ impl Recorder {
 
     // ----- composite helpers (one call per observation point) -----
 
-    /// A TLB miss: event + counter + inter-arrival histogram.
+    /// A TLB miss: event + counter + inter-arrival histogram + the flight
+    /// recorder's per-core/per-window activity.
     #[inline]
     pub fn record_tlb_miss(&self, core: usize, thread: usize, vpn: u64, data: bool) {
         if let Some(inner) = &self.inner {
@@ -303,6 +415,12 @@ impl Recorder {
             if prev != u64::MAX {
                 inner.hists[HistId::TlbMissInterArrival as usize]
                     .observe(cycle.saturating_sub(prev));
+            }
+            if let Some(flight) = &inner.flight {
+                flight
+                    .lock()
+                    .expect("flight state poisoned")
+                    .record_miss(core);
             }
             self.push_event(
                 inner,
@@ -373,6 +491,12 @@ impl Recorder {
                     snap.cells[b * n + a] += amount;
                 }
             }
+            if let Some(flight) = &inner.flight {
+                flight
+                    .lock()
+                    .expect("flight state poisoned")
+                    .record_inc(a, b, amount);
+            }
             self.push_event(
                 inner,
                 Event::MatrixInc {
@@ -423,17 +547,21 @@ impl Recorder {
         }
     }
 
-    /// A phase change flagged by windowed detection.
+    /// A phase change flagged by an external windowed detector (the
+    /// in-engine flight recorder mints its own). Bumps the run's phase id
+    /// and stamps it into the event.
     #[inline]
     pub fn record_phase_change(&self, window: u64, similarity: f64) {
         if let Some(inner) = &self.inner {
             inner.counters[CounterId::PhaseChanges as usize].fetch_add(1, Ordering::Relaxed);
+            let phase = inner.phase.fetch_add(1, Ordering::Relaxed) + 1;
             let ppm = (similarity.clamp(0.0, 1.0) * 1e6).round() as u64;
             self.push_event(
                 inner,
                 Event::PhaseChange {
                     cycle: inner.now.load(Ordering::Relaxed),
                     window,
+                    phase,
                     similarity_ppm: ppm,
                 },
             );
@@ -508,6 +636,40 @@ impl Recorder {
         self.inner
             .as_ref()
             .map_or_else(String::new, |i| i.prof.collapsed())
+    }
+
+    // ----- flight recorder -----
+
+    /// Current phase id (0 until an online detector flags a change).
+    pub fn phase(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.phase.load(Ordering::Relaxed))
+    }
+
+    /// Whether the flight recorder is armed.
+    pub fn flight_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.flight.is_some())
+    }
+
+    /// Closed flight windows still retained in the ring, oldest first.
+    pub fn flight_windows(&self) -> Vec<crate::flight::FlightWindow> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.flight.as_ref().map_or_else(Vec::new, |f| {
+                f.lock().expect("flight state poisoned").retained()
+            })
+        })
+    }
+
+    /// The flight-recorder section of the metrics document: window ring,
+    /// per-phase aggregates, and per-phase profile attribution.
+    /// [`Json::Null`] when the flight recorder is disabled.
+    pub fn flight_json(&self) -> Json {
+        self.inner.as_ref().map_or(Json::Null, |i| {
+            i.flight.as_ref().map_or(Json::Null, |f| {
+                f.lock().expect("flight state poisoned").to_json(&i.prof)
+            })
+        })
     }
 
     // ----- export -----
@@ -604,11 +766,12 @@ impl Recorder {
             .as_ref()
             .map_or(Json::Arr(Vec::new()), |i| i.prof.to_json());
         Json::obj(vec![
-            ("schema", Json::U64(2)),
+            ("schema", Json::U64(3)),
             ("counters", counters),
             ("histograms", hists),
             ("profile", profile),
             ("snapshots", snapshots),
+            ("flight", self.flight_json()),
         ])
     }
 }
@@ -803,7 +966,7 @@ mod tests {
         assert_eq!(r.prof_calls(ProfId::EngineCompute), 1);
         assert!(r.profile_collapsed().contains("engine;access;tlb 420"));
         let m = r.metrics_json();
-        assert_eq!(m.get("schema").unwrap().as_u64(), Some(2));
+        assert_eq!(m.get("schema").unwrap().as_u64(), Some(3));
         assert!(!m.get("profile").unwrap().as_array().unwrap().is_empty());
     }
 
@@ -814,6 +977,161 @@ mod tests {
         r.prof_charge(ProfId::EngineCompute, 1_000);
         assert_eq!(r.prof_total_cycles(), 0);
         assert_eq!(r.profile_collapsed(), "");
+    }
+
+    #[test]
+    fn flight_windows_roll_with_the_clock() {
+        let r = Recorder::new(ObsConfig::new(4).with_flight_window(Some(1000)));
+        assert!(r.flight_enabled());
+        r.advance(10);
+        r.record_tlb_miss(2, 2, 0x10, true);
+        r.record_matrix_inc(0, 1, 3);
+        r.advance(999);
+        assert!(r.flight_windows().is_empty(), "window not due yet");
+        r.advance(1500);
+        let windows = r.flight_windows();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].start_cycle, 0);
+        assert_eq!(windows[0].end_cycle, 1000);
+        assert_eq!(windows[0].total(), 6, "symmetric cells: 3 + 3");
+        assert_eq!(windows[0].core_activity, vec![0, 0, 1]);
+        assert_eq!(r.counter(CounterId::FlightWindows), 1);
+        // A big jump closes every window that became due.
+        r.advance(4200);
+        assert_eq!(r.flight_windows().len(), 4);
+        assert_eq!(r.counter(CounterId::FlightWindows), 4);
+    }
+
+    #[test]
+    fn finish_closes_the_partial_flight_window() {
+        let r = Recorder::new(ObsConfig::new(2).with_flight_window(Some(1000)));
+        r.advance(100);
+        r.record_matrix_inc(0, 1, 2);
+        r.finish(1300);
+        let windows = r.flight_windows();
+        assert_eq!(windows.len(), 2, "one full window + the partial tail");
+        assert_eq!(windows[1].start_cycle, 1000);
+        assert_eq!(windows[1].end_cycle, 1300);
+        // Finishing exactly on a boundary leaves no degenerate window.
+        let r = Recorder::new(ObsConfig::new(2).with_flight_window(Some(1000)));
+        r.advance(10);
+        r.finish(2000);
+        assert_eq!(r.flight_windows().len(), 2);
+    }
+
+    #[test]
+    fn flight_phase_change_emits_a_stamped_event() {
+        let r = Recorder::new(ObsConfig::new(4).with_flight_window(Some(100)));
+        r.advance(1);
+        r.record_matrix_inc(0, 1, 10);
+        r.advance(101);
+        r.record_matrix_inc(0, 1, 10);
+        r.advance(201);
+        assert_eq!(r.phase(), 0, "stable pattern: still phase 0");
+        // Disjoint pair: cosine 0 against the reference.
+        r.record_matrix_inc(2, 3, 10);
+        r.advance(301);
+        assert_eq!(r.phase(), 1);
+        assert_eq!(r.counter(CounterId::PhaseChanges), 1);
+        let change = r
+            .events()
+            .into_iter()
+            .find(|e| matches!(e, Event::PhaseChange { .. }))
+            .expect("phase change event");
+        match change {
+            Event::PhaseChange {
+                cycle,
+                window,
+                phase,
+                similarity_ppm,
+            } => {
+                assert_eq!(cycle, 300);
+                assert_eq!(window, 2);
+                assert_eq!(phase, 1);
+                assert_eq!(similarity_ppm, 0);
+            }
+            _ => unreachable!(),
+        }
+        let windows = r.flight_windows();
+        assert_eq!(windows[2].phase, 1, "divergent window opens the phase");
+    }
+
+    #[test]
+    fn flight_ring_capacity_bounds_memory() {
+        let r = Recorder::new(
+            ObsConfig::new(2)
+                .with_flight_window(Some(10))
+                .with_flight_capacity(2),
+        );
+        for k in 1..=5u64 {
+            r.record_matrix_inc(0, 1, 1);
+            r.advance(k * 10);
+        }
+        assert_eq!(r.flight_windows().len(), 2);
+        assert_eq!(r.counter(CounterId::FlightWindows), 5);
+        assert_eq!(r.counter(CounterId::FlightWindowsDropped), 3);
+    }
+
+    #[test]
+    fn zero_flight_window_disables_the_flight_recorder() {
+        // Satellite guard: window length 0 mirrors snapshot-period-0 —
+        // it means "off", never a scheduler that can't advance.
+        let r = Recorder::new(ObsConfig::new(2).with_flight_window(Some(0)));
+        assert!(!r.flight_enabled());
+        r.record_matrix_inc(0, 1, 3);
+        r.advance(10_000);
+        r.finish(1_000_000);
+        assert!(r.flight_windows().is_empty());
+        assert_eq!(r.counter(CounterId::FlightWindows), 0);
+        assert_eq!(r.flight_json(), Json::Null);
+        assert_eq!(ObsConfig::new(2).effective_flight_window(), None);
+        assert_eq!(
+            ObsConfig::new(2)
+                .with_flight_window(Some(500))
+                .effective_flight_window(),
+            Some(500)
+        );
+    }
+
+    #[test]
+    fn zero_flight_capacity_clamps_to_one() {
+        // Satellite guard: a zero-capacity ring would drop every window
+        // as it closed; clamp to one retained window instead.
+        assert_eq!(
+            ObsConfig::new(2)
+                .with_flight_capacity(0)
+                .effective_flight_capacity(),
+            1
+        );
+        let r = Recorder::new(
+            ObsConfig::new(2)
+                .with_flight_window(Some(10))
+                .with_flight_capacity(0),
+        );
+        r.record_matrix_inc(0, 1, 1);
+        r.advance(25);
+        assert_eq!(r.flight_windows().len(), 1);
+    }
+
+    #[test]
+    fn metrics_flight_section_round_trips() {
+        let r = Recorder::new(ObsConfig::new(2).with_flight_window(Some(100)));
+        r.advance(5);
+        r.record_tlb_miss(0, 0, 1, true);
+        r.record_matrix_inc(0, 1, 4);
+        r.finish(250);
+        let m = r.metrics_json();
+        let flight = m.get("flight").unwrap();
+        assert_eq!(flight.get("window_cycles").unwrap().as_u64(), Some(100));
+        assert_eq!(flight.get("windows_closed").unwrap().as_u64(), Some(3));
+        assert_eq!(flight.get("phase").unwrap().as_u64(), Some(0));
+        let phases = flight.get("phases").unwrap().as_array().unwrap();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].get("volume").unwrap().as_u64(), Some(8));
+        // Disabled recorders export an explicit null, keeping the key set
+        // schema-stable.
+        let plain = Recorder::new(ObsConfig::new(2));
+        assert_eq!(plain.metrics_json().get("flight").unwrap(), &Json::Null);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   flagged where the windowed pattern shifts. This quantifies the
 //!   paper's core claim that the detected matrices converge to the true
 //!   communication pattern, per application phase.
+//! * [`phases`] — the flight recorder's phase timeline and per-phase
+//!   aggregates, parsed back from a metrics document's `flight` section
+//!   for `tlbmap inspect` and phase-level analysis.
 //! * [`diff`] — compare two runs' metrics documents stat by stat, with a
 //!   configurable regression gate (`--fail-above`) suitable for CI.
 //! * [`benchrec`] — a stable machine-readable performance record
@@ -24,8 +27,10 @@
 
 pub mod benchrec;
 pub mod diff;
+pub mod phases;
 pub mod timeline;
 
 pub use benchrec::BenchRecord;
 pub use diff::{diff_docs, DiffEntry, DiffReport, Direction};
+pub use phases::{FlightReport, PhaseComponent, PhaseSummary, PhaseWindow};
 pub use timeline::{compute_timeline, Scores, Timeline, TimelineEntry, DEFAULT_PHASE_THRESHOLD};

@@ -370,16 +370,8 @@ fn build_timeline(samples: &[RequestSample]) -> Vec<SecondStat> {
                 sec,
                 sent: *sent,
                 ok: *ok,
-                p50_us: if lats.is_empty() {
-                    0.0
-                } else {
-                    percentile(lats, 50.0)
-                },
-                p99_us: if lats.is_empty() {
-                    0.0
-                } else {
-                    percentile(lats, 99.0)
-                },
+                p50_us: percentile(lats, 50.0).unwrap_or(0.0),
+                p99_us: percentile(lats, 99.0).unwrap_or(0.0),
             },
             None => SecondStat {
                 sec,
@@ -462,9 +454,9 @@ pub fn run_loadgen(addr: &str, cfg: &LoadgenConfig) -> Result<LoadgenReport, Str
         ok,
         cached,
         errors,
-        p50_us: percentile(&latencies, 50.0),
-        p90_us: percentile(&latencies, 90.0),
-        p99_us: percentile(&latencies, 99.0),
+        p50_us: percentile(&latencies, 50.0).unwrap_or(0.0),
+        p90_us: percentile(&latencies, 90.0).unwrap_or(0.0),
+        p99_us: percentile(&latencies, 99.0).unwrap_or(0.0),
         throughput_rps: if wall.as_secs_f64() > 0.0 {
             ok as f64 / wall.as_secs_f64()
         } else {

@@ -22,7 +22,7 @@
 //! | `map`      | `matrix` (CommMatrix JSON), `topology` (optional, default 2×2×2), `deadline_ms` (optional), `delay_ms` (optional, testing/loadgen) |
 //! | `health`   | —                                                                 |
 //! | `stats`    | —                                                                 |
-//! | `admin`    | `kind`: `stats` (live telemetry snapshot), `health` (liveness + uptime), `trace` (slow-request log) |
+//! | `admin`    | `kind`: `stats` (live telemetry snapshot), `health` (liveness + uptime), `trace` (slow-request log), `flight` (flight-recorder windows + phases) |
 //! | `shutdown` | —                                                                 |
 //!
 //! ## Responses (server → client)
@@ -96,6 +96,9 @@ pub enum AdminKind {
     Health,
     /// The slow-request log (most recent entries, oldest first).
     Trace,
+    /// The flight recorder: retained windows, phase timeline, per-phase
+    /// aggregates (`null` when the recorder is disabled).
+    Flight,
 }
 
 impl AdminKind {
@@ -105,6 +108,7 @@ impl AdminKind {
             AdminKind::Stats => "stats",
             AdminKind::Health => "health",
             AdminKind::Trace => "trace",
+            AdminKind::Flight => "flight",
         }
     }
 
@@ -114,6 +118,7 @@ impl AdminKind {
             "stats" => AdminKind::Stats,
             "health" => AdminKind::Health,
             "trace" => AdminKind::Trace,
+            "flight" => AdminKind::Flight,
             _ => return None,
         })
     }
@@ -242,7 +247,9 @@ impl Request {
             Some("admin") => match json.get("kind").and_then(Json::as_str) {
                 Some(kind) => AdminKind::from_wire(kind)
                     .map(|kind| Request::Admin { kind })
-                    .ok_or_else(|| format!("unknown admin kind `{kind}` (stats | health | trace)")),
+                    .ok_or_else(|| {
+                        format!("unknown admin kind `{kind}` (stats | health | trace | flight)")
+                    }),
                 None => Err("admin request: missing or mistyped field `kind`".to_string()),
             },
             Some("shutdown") => Ok(Request::Shutdown),
@@ -506,6 +513,9 @@ mod tests {
             Request::Admin {
                 kind: AdminKind::Trace,
             },
+            Request::Admin {
+                kind: AdminKind::Flight,
+            },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -581,7 +591,7 @@ mod tests {
         let json = Json::parse(r#"{"v":1,"req":"admin","kind":"flamegraph"}"#).unwrap();
         let err = Request::from_json(&json).unwrap_err();
         assert!(err.contains("flamegraph"), "{err}");
-        assert!(err.contains("stats | health | trace"), "{err}");
+        assert!(err.contains("stats | health | trace | flight"), "{err}");
 
         let missing = Json::parse(r#"{"v":1,"req":"admin"}"#).unwrap();
         let err = Request::from_json(&missing).unwrap_err();
@@ -596,7 +606,12 @@ mod tests {
 
     #[test]
     fn admin_kind_wire_names_are_stable() {
-        for kind in [AdminKind::Stats, AdminKind::Health, AdminKind::Trace] {
+        for kind in [
+            AdminKind::Stats,
+            AdminKind::Health,
+            AdminKind::Trace,
+            AdminKind::Flight,
+        ] {
             assert_eq!(AdminKind::from_wire(kind.as_str()), Some(kind));
         }
         assert_eq!(AdminKind::from_wire("metrics"), None);

@@ -175,28 +175,34 @@ pub fn private_only(n_threads: usize, pages_per_thread: u64, iterations: usize) 
 /// Two-phase workload for dynamic-detection tests: the first half of the
 /// iterations communicates ring-wise with offset 1 (neighbours), the second
 /// half with offset `n/2` (distant pairs) — a clean phase change.
+///
+/// The exchange is interleaved with the private sweep in page-granular
+/// rounds, so partner pages are touched continuously through the
+/// iteration rather than in one burst at its tail. Every detection
+/// window that overlaps an iteration then samples the *same* stationary
+/// communication signature, which is what lets a windowed phase detector
+/// (the flight recorder) place the boundary at the barrier where the
+/// offset flips instead of flagging sampling noise as phase changes.
 pub fn phase_shift(n_threads: usize, pages_per_thread: u64, iterations: usize) -> Workload {
     let geo = PageGeometry::new_4k();
     let mut space = AddressSpace::new(geo);
-    let slab_len = pages_per_thread * ELEMS_PER_PAGE;
+    let pages = pages_per_thread.max(1);
+    let slab_len = pages * ELEMS_PER_PAGE;
     let slabs: Vec<_> = (0..n_threads).map(|_| space.alloc_f64(slab_len)).collect();
     let mut b = WorkloadBuilder::new(n_threads);
+    // Each phase gets the same number of full iterations; an odd
+    // remainder goes to the first phase.
+    let first_phase = iterations.div_ceil(2);
     for it in 0..iterations {
-        let offset = if it < iterations / 2 {
-            1
-        } else {
-            n_threads / 2
-        };
+        let offset = if it < first_phase { 1 } else { n_threads / 2 };
         for t in 0..n_threads {
-            for i in (0..slab_len).step_by(64) {
-                b.write(t, slabs[t], i);
-            }
             let partner = (t + offset) % n_threads;
-            // A substantial exchange (up to 8 pages) so the phase
-            // structure dominates over private work.
-            let window = (ELEMS_PER_PAGE * 8).min(slab_len);
-            for i in (0..window).step_by(8) {
-                b.read(t, slabs[partner], i);
+            for round in 0..16u64 {
+                for p in 0..pages {
+                    let at = p * ELEMS_PER_PAGE + round * 8;
+                    b.write(t, slabs[t], at);
+                    b.read(t, slabs[partner], at);
+                }
             }
         }
         b.barrier();
