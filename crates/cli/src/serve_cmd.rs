@@ -5,7 +5,10 @@
 
 use tlbmap_core::CommMatrix;
 use tlbmap_obs::{Json, ObsConfig, Recorder};
-use tlbmap_serve::{run_loadgen, AdminKind, Client, LoadgenConfig, ServeConfig, Server};
+use tlbmap_serve::{
+    run_loadgen, run_stream_loadgen, AdminKind, Client, LoadgenConfig, ServeConfig, Server,
+    StreamConfig,
+};
 use tlbmap_sim::Topology;
 
 /// Default service address.
@@ -111,6 +114,26 @@ impl ServeOptions {
                     o.cfg.flight_capacity =
                         parse_u64("--flight-capacity", &value("--flight-capacity")?)? as usize
                 }
+                "--max-sessions" => {
+                    o.cfg.max_sessions =
+                        parse_u64("--max-sessions", &value("--max-sessions")?)? as usize
+                }
+                "--session-decay-shift" => {
+                    o.cfg.session_decay_shift =
+                        parse_u64("--session-decay-shift", &value("--session-decay-shift")?)? as u32
+                }
+                "--session-drift-ppm" => {
+                    o.cfg.session_drift_threshold_ppm =
+                        parse_u64("--session-drift-ppm", &value("--session-drift-ppm")?)?
+                }
+                "--session-cooldown" => {
+                    o.cfg.session_cooldown_deltas =
+                        parse_u64("--session-cooldown", &value("--session-cooldown")?)?
+                }
+                "--session-idle-ms" => {
+                    o.cfg.session_idle_ms =
+                        parse_u64("--session-idle-ms", &value("--session-idle-ms")?)?
+                }
                 "--no-http" => {
                     // Valueless flag: disable the plain-text GET exposition.
                     o.cfg.http_stats = false;
@@ -187,6 +210,20 @@ pub struct ClientOptions {
     pub sample_ms: u64,
     /// Loadgen: write the report JSON here.
     pub out: Option<String>,
+    /// Loadgen: drive streaming sessions (`--stream`) instead of one-shot
+    /// `map` requests.
+    pub stream: bool,
+    /// Stream loadgen: deltas per session.
+    pub deltas: usize,
+    /// Stream loadgen: flip the workload phase every this many deltas
+    /// (0 = stationary).
+    pub phase_every: usize,
+    /// `client session`: the JSONL event trace (from `--trace-out`) to
+    /// replay as deltas.
+    pub trace: Option<String>,
+    /// `client session`: flush a delta every this many `matrix_inc`
+    /// events (0 = flush on `barrier` events only).
+    pub batch: u64,
 }
 
 impl ClientOptions {
@@ -204,6 +241,11 @@ impl ClientOptions {
             requests: 25,
             sample_ms: 250,
             out: None,
+            stream: false,
+            deltas: 24,
+            phase_every: 8,
+            trace: None,
+            batch: 0,
         };
         let mut i = 0;
         while i < args.len() {
@@ -228,6 +270,18 @@ impl ClientOptions {
                 }
                 "--sample-ms" => o.sample_ms = parse_u64("--sample-ms", &value("--sample-ms")?)?,
                 "--out" => o.out = Some(value("--out")?),
+                "--stream" => {
+                    // Valueless flag: switch loadgen to streaming sessions.
+                    o.stream = true;
+                    i += 1;
+                    continue;
+                }
+                "--deltas" => o.deltas = parse_u64("--deltas", &value("--deltas")?)? as usize,
+                "--phase-every" => {
+                    o.phase_every = parse_u64("--phase-every", &value("--phase-every")?)? as usize
+                }
+                "--trace" => o.trace = Some(value("--trace")?),
+                "--batch" => o.batch = parse_u64("--batch", &value("--batch")?)?,
                 flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
                 word if positional_action && o.action.is_empty() => {
                     o.action = word.to_string();
@@ -240,7 +294,7 @@ impl ClientOptions {
         }
         if positional_action && o.action.is_empty() {
             return Err(
-                "client needs an action: map | health | stats | live | trace | flight | shutdown"
+                "client needs an action: map | session | health | stats | live | trace | flight | shutdown"
                     .into(),
             );
         }
@@ -279,6 +333,13 @@ pub fn client(o: ClientOptions) -> Result<(), String> {
                 }
             );
             Ok(())
+        }
+        "session" => {
+            let path = o
+                .trace
+                .as_deref()
+                .ok_or_else(|| "client session needs --trace <FILE> (a JSONL event trace from --trace-out)".to_string())?;
+            replay_session(&mut client, path, &o)
         }
         "health" => {
             client.health().map_err(|e| e.to_string())?;
@@ -324,15 +385,107 @@ pub fn client(o: ClientOptions) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown client action `{other}` (map | health | stats | live | trace | flight | shutdown)"
+            "unknown client action `{other}` (map | session | health | stats | live | trace | flight | shutdown)"
         )),
     }
 }
 
+/// `tlbmap client session` — replay a simulator event trace against a
+/// live server as a streaming session: `matrix_inc` events accumulate
+/// into deltas, each `barrier` (or every `--batch` increments) flushes
+/// one `delta` frame, and every control-loop decision is printed.
+fn replay_session(client: &mut Client, path: &str, o: &ClientOptions) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let n = o.topo.num_cores();
+    let (session, _) = client
+        .open_session(&o.topo, None, None, None)
+        .map_err(|e| e.to_string())?;
+    eprintln!("# session {session} open on {} ({n} threads)", o.addr);
+
+    let mut delta = CommMatrix::new(n);
+    let mut pending: u64 = 0;
+    let mut sent = 0u64;
+    let mut remaps = 0u64;
+    let flush = |delta: &mut CommMatrix, client: &mut Client, sent: &mut u64, remaps: &mut u64| {
+        if delta.total() == 0 {
+            return Ok(());
+        }
+        let reply = client
+            .delta(session, delta)
+            .map_err(|e: tlbmap_serve::ServeError| e.to_string())?;
+        *sent += 1;
+        let label = reply.decision.as_str();
+        let similarity = reply.similarity_ppm as f64 / 1e6;
+        match reply.mapping {
+            Some(mapping) => {
+                *remaps += 1;
+                println!(
+                    "delta {:>4}  similarity {similarity:.4}  {label}{}  mapping {mapping:?}",
+                    reply.seq,
+                    if reply.warm { " (warm)" } else { " (cold)" },
+                );
+            }
+            None => println!(
+                "delta {:>4}  similarity {similarity:.4}  {label}",
+                reply.seq
+            ),
+        }
+        *delta = CommMatrix::new(n);
+        Ok::<(), String>(())
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let json = Json::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        match json.get("ev").and_then(Json::as_str) {
+            Some("matrix_inc") => {
+                let field = |key: &str| {
+                    json.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("{path}:{}: matrix_inc lacks `{key}`", lineno + 1))
+                };
+                let (a, b) = (field("a")? as usize, field("b")? as usize);
+                let amount = field("amount")?;
+                if a >= n || b >= n {
+                    return Err(format!(
+                        "{path}:{}: pair ({a},{b}) exceeds the {n}-core topology (pass --topo)",
+                        lineno + 1
+                    ));
+                }
+                if a != b {
+                    delta.add(a.min(b), a.max(b), amount);
+                    pending += 1;
+                    if o.batch > 0 && pending >= o.batch {
+                        flush(&mut delta, client, &mut sent, &mut remaps)?;
+                        pending = 0;
+                    }
+                }
+            }
+            Some("barrier") if o.batch == 0 => {
+                flush(&mut delta, client, &mut sent, &mut remaps)?;
+                pending = 0;
+            }
+            _ => {}
+        }
+    }
+    flush(&mut delta, client, &mut sent, &mut remaps)?;
+    let (deltas, total_remaps) = client.close_session(session).map_err(|e| e.to_string())?;
+    eprintln!(
+        "# session {session} closed: {deltas} deltas, {total_remaps} remaps ({sent} sent, {remaps} remapped this replay)"
+    );
+    Ok(())
+}
+
 /// `tlbmap loadgen` — drive a running server with N connections × M
 /// requests and print a latency/throughput report. Exits non-zero if any
-/// request failed.
+/// request failed. With `--stream`, each connection opens a streaming
+/// session instead and the report shows remap decisions and latencies.
 pub fn loadgen(o: ClientOptions) -> Result<(), String> {
+    if o.stream {
+        return stream_loadgen(&o);
+    }
     let matrix = match &o.matrix {
         Some(path) => load_matrix(path)?,
         None => LoadgenConfig::new().matrix,
@@ -359,6 +512,33 @@ pub fn loadgen(o: ClientOptions) -> Result<(), String> {
             "{} of {} requests failed: {:?}",
             report.total_errors(),
             report.sent,
+            report.errors
+        ));
+    }
+    Ok(())
+}
+
+/// The `--stream` arm of `tlbmap loadgen`: sessions instead of one-shot
+/// maps.
+fn stream_loadgen(o: &ClientOptions) -> Result<(), String> {
+    let cfg = StreamConfig {
+        sessions: o.connections,
+        deltas: o.deltas,
+        phase_every: o.phase_every,
+        topo: o.topo,
+    };
+    let report = run_stream_loadgen(&o.addr, &cfg)?;
+    print!("{}", report.render());
+    if let Some(path) = &o.out {
+        let mut text = report.to_json(&cfg).render();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("# stream loadgen report written to {path}");
+    }
+    if report.total_errors() > 0 {
+        return Err(format!(
+            "{} streaming operations failed: {:?}",
+            report.total_errors(),
             report.errors
         ));
     }
@@ -477,6 +657,68 @@ mod tests {
             ClientOptions::parse(&words(&["stray"]), false).is_err(),
             "loadgen takes no positional argument"
         );
+    }
+
+    #[test]
+    fn parses_session_serve_options() {
+        let o = ServeOptions::parse(&words(&[
+            "--max-sessions",
+            "4",
+            "--session-decay-shift",
+            "3",
+            "--session-drift-ppm",
+            "700000",
+            "--session-cooldown",
+            "1",
+            "--session-idle-ms",
+            "5000",
+        ]))
+        .unwrap();
+        assert_eq!(o.cfg.max_sessions, 4);
+        assert_eq!(o.cfg.session_decay_shift, 3);
+        assert_eq!(o.cfg.session_drift_threshold_ppm, 700_000);
+        assert_eq!(o.cfg.session_cooldown_deltas, 1);
+        assert_eq!(o.cfg.session_idle_ms, 5000);
+    }
+
+    #[test]
+    fn parses_stream_loadgen_options() {
+        let o = ClientOptions::parse(
+            &words(&[
+                "--stream",
+                "--connections",
+                "3",
+                "--deltas",
+                "40",
+                "--phase-every",
+                "10",
+            ]),
+            false,
+        )
+        .unwrap();
+        assert!(o.stream);
+        assert_eq!(o.connections, 3);
+        assert_eq!(o.deltas, 40);
+        assert_eq!(o.phase_every, 10);
+        // --stream is valueless: defaults survive when it is the only flag.
+        let o = ClientOptions::parse(&words(&["--stream"]), false).unwrap();
+        assert!(o.stream);
+        assert_eq!(o.deltas, 24);
+    }
+
+    #[test]
+    fn parses_session_replay_options() {
+        let o = ClientOptions::parse(
+            &words(&["session", "--trace", "run.jsonl", "--batch", "64"]),
+            true,
+        )
+        .unwrap();
+        assert_eq!(o.action, "session");
+        assert_eq!(o.trace.as_deref(), Some("run.jsonl"));
+        assert_eq!(o.batch, 64);
+        // The action list in the missing-action error names `session`.
+        let err = ClientOptions::parse(&[], true).unwrap_err();
+        assert!(err.contains("session"), "{err}");
     }
 
     #[test]

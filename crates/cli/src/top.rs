@@ -87,8 +87,48 @@ fn quantile_cell(doc: &Json, key: &str) -> String {
     }
 }
 
-/// Render one poll of the admin stats document.
-pub fn render_frame(doc: &Json, rps_history: &[f64], p99_history: &[f64]) -> String {
+/// Render the streaming-sessions rows from an `admin sessions` document:
+/// open sessions, delta throughput, remap decisions, and the warm-start
+/// hit rate.
+pub fn render_sessions_rows(table: &mut Table, doc: &Json, deltas_per_s: f64) {
+    table.row(vec![
+        "sessions".to_string(),
+        format!(
+            "{}/{} open, {deltas_per_s:.1} deltas/s",
+            u64_of(doc, "open_sessions"),
+            u64_of(doc, "max_sessions"),
+        ),
+    ]);
+    table.row(vec![
+        "remaps".to_string(),
+        format!(
+            "{} triggered / {} suppressed",
+            u64_of(doc, "remaps_triggered"),
+            u64_of(doc, "remaps_suppressed"),
+        ),
+    ]);
+    let warm = u64_of(doc, "warm_start_hits");
+    let cold = u64_of(doc, "warm_start_fallbacks");
+    let warm_rate = if warm + cold > 0 {
+        warm as f64 / (warm + cold) as f64 * 100.0
+    } else {
+        0.0
+    };
+    table.row(vec![
+        "warm-start rate".to_string(),
+        format!("{warm_rate:.1}% ({warm}w/{cold}c)"),
+    ]);
+}
+
+/// Render one poll of the admin stats document (plus, when the scrape
+/// succeeded, the `admin sessions` rows).
+pub fn render_frame(
+    doc: &Json,
+    sessions: Option<&Json>,
+    deltas_per_s: f64,
+    rps_history: &[f64],
+    p99_history: &[f64],
+) -> String {
     let uptime_s = u64_of(doc, "uptime_ms") / 1000;
     let mut table = Table::new(vec!["metric", "value"]);
     table.row(vec!["uptime (s)".to_string(), uptime_s.to_string()]);
@@ -155,6 +195,9 @@ pub fn render_frame(doc: &Json, rps_history: &[f64], p99_history: &[f64]) -> Str
         "slow requests".to_string(),
         u64_of(doc, "slow_requests").to_string(),
     ]);
+    if let Some(sessions) = sessions {
+        render_sessions_rows(&mut table, sessions, deltas_per_s);
+    }
     let mut out = table.render();
     if rps_history.len() > 1 {
         out.push_str(&format!("  rps  {}\n", sparkline(rps_history)));
@@ -170,6 +213,7 @@ pub fn top(o: TopOptions) -> Result<(), String> {
     let mut rps_history: Vec<f64> = Vec::new();
     let mut p99_history: Vec<f64> = Vec::new();
     let mut iteration: u64 = 0;
+    let mut last_deltas: Option<u64> = None;
     loop {
         iteration += 1;
         // (Re)connect lazily so a restarting server only costs one poll.
@@ -183,6 +227,11 @@ pub fn top(o: TopOptions) -> Result<(), String> {
                 None
             }
         };
+        // The sessions scrape rides the same connection; an older server
+        // that rejects the kind just loses the sessions rows.
+        let sessions = client
+            .as_mut()
+            .and_then(|c| c.admin(AdminKind::Sessions).ok());
         match doc {
             Some(doc) => {
                 rps_history.push(f64_of(&doc, "window_rps"));
@@ -192,12 +241,31 @@ pub fn top(o: TopOptions) -> Result<(), String> {
                     rps_history.remove(0);
                     p99_history.remove(0);
                 }
+                let deltas_per_s = sessions
+                    .as_ref()
+                    .map(|s| u64_of(s, "session_deltas"))
+                    .map_or(0.0, |now| {
+                        let rate = last_deltas.map_or(0.0, |prev| {
+                            now.saturating_sub(prev) as f64 / (o.interval_ms as f64 / 1000.0)
+                        });
+                        last_deltas = Some(now);
+                        rate
+                    });
                 if !o.raw {
                     // Clear screen + home, like top(1).
                     print!("\x1b[2J\x1b[H");
                 }
                 println!("tlbmap top — {} (poll {iteration})", o.addr);
-                print!("{}", render_frame(&doc, &rps_history, &p99_history));
+                print!(
+                    "{}",
+                    render_frame(
+                        &doc,
+                        sessions.as_ref(),
+                        deltas_per_s,
+                        &rps_history,
+                        &p99_history
+                    )
+                );
             }
             None if o.iterations == 0 => {
                 println!("# {} unreachable, retrying", o.addr);
@@ -267,7 +335,13 @@ mod tests {
             ("err_timeout", Json::U64(2)),
             ("slow_requests", Json::U64(5)),
         ]);
-        let frame = render_frame(&doc, &[10.0, 50.0, 85.5], &[800.0, 1200.0, 1536.0]);
+        let frame = render_frame(
+            &doc,
+            None,
+            0.0,
+            &[10.0, 50.0, 85.5],
+            &[800.0, 1200.0, 1536.0],
+        );
         assert!(frame.contains("uptime (s)"), "{frame}");
         assert!(frame.contains("65"), "{frame}");
         assert!(frame.contains("3/64"), "{frame}");
@@ -278,6 +352,29 @@ mod tests {
         assert!(frame.contains('█'), "{frame}");
         // Error total sums the per-code counters.
         assert!(frame.contains("errors"), "{frame}");
+        // Without a sessions scrape the sessions rows stay out of the frame.
+        assert!(!frame.contains("sessions"), "{frame}");
+    }
+
+    #[test]
+    fn renders_session_rows_from_a_sessions_doc() {
+        let doc = Json::obj(vec![
+            ("uptime_ms", Json::U64(1000)),
+            ("window_rps", Json::F64(1.0)),
+        ]);
+        let sessions = Json::obj(vec![
+            ("open_sessions", Json::U64(2)),
+            ("max_sessions", Json::U64(32)),
+            ("session_deltas", Json::U64(480)),
+            ("remaps_triggered", Json::U64(5)),
+            ("remaps_suppressed", Json::U64(40)),
+            ("warm_start_hits", Json::U64(4)),
+            ("warm_start_fallbacks", Json::U64(1)),
+        ]);
+        let frame = render_frame(&doc, Some(&sessions), 12.5, &[1.0], &[1.0]);
+        assert!(frame.contains("2/32 open, 12.5 deltas/s"), "{frame}");
+        assert!(frame.contains("5 triggered / 40 suppressed"), "{frame}");
+        assert!(frame.contains("80.0% (4w/1c)"), "{frame}");
     }
 
     #[test]
@@ -287,7 +384,7 @@ mod tests {
             ("window_p50_us", Json::Null),
             ("window_p99_us", Json::Null),
         ]);
-        let frame = render_frame(&doc, &[], &[]);
+        let frame = render_frame(&doc, None, 0.0, &[], &[]);
         assert!(frame.contains("window p50 (us)"), "{frame}");
         assert!(frame.contains('-'), "{frame}");
         assert!(!frame.contains('█'), "single poll: no sparkline yet");

@@ -23,6 +23,7 @@
 //! phase-change detection for dynamic remapping.
 
 pub mod counters;
+pub mod decayed;
 pub mod dynamic;
 pub mod ground_truth;
 pub mod hm;
@@ -32,6 +33,7 @@ pub mod overhead;
 pub mod sm;
 
 pub use counters::{CounterConfig, CounterEstimator};
+pub use decayed::DecayedMatrix;
 pub use dynamic::{detect_phase_changes, OnlineRemapper, PhaseConfig, WindowedDetector};
 pub use ground_truth::{GroundTruthConfig, GroundTruthDetector};
 pub use hm::{HmConfig, HmDetector};

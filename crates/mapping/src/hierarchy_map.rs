@@ -18,7 +18,7 @@
 //! grouping beyond pairs — the pair matrix carries no information about
 //! groups larger than two — but it is a polynomial-time approximation.
 
-use crate::matching::perfect_matching_pairs;
+use crate::matching::{perfect_matching_pairs, perfect_matching_pairs_warm};
 use tlbmap_core::CommMatrix;
 use tlbmap_obs::Recorder;
 use tlbmap_sim::{Mapping, Topology};
@@ -27,6 +27,30 @@ use tlbmap_sim::{Mapping, Topology};
 #[derive(Debug, Clone, Default)]
 pub struct HierarchicalMapper {
     _private: (),
+}
+
+/// Result of a warm-started hierarchical map: the mapping itself plus the
+/// per-level group pairings to seed the *next* solve with, and how many
+/// levels the warm certificate actually carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmMapResult {
+    /// The thread-to-core mapping.
+    pub mapping: Mapping,
+    /// Group-index pairings chosen at each matching level, in level order.
+    /// Feed these back as the `seed` of the next warm solve.
+    pub pairings: Vec<Vec<(usize, usize)>>,
+    /// Levels where the warm seed was certified (no cold recompute).
+    pub warm_levels: u32,
+    /// Total matching levels run.
+    pub total_levels: u32,
+}
+
+impl WarmMapResult {
+    /// True when every matching level reused the seed without a cold
+    /// blossom recompute.
+    pub fn fully_warm(&self) -> bool {
+        self.warm_levels == self.total_levels
+    }
 }
 
 impl HierarchicalMapper {
@@ -75,6 +99,26 @@ impl HierarchicalMapper {
         topo: &Topology,
         rec: &Recorder,
     ) -> Result<Mapping, String> {
+        self.try_map_warm_observed(matrix, topo, None, rec)
+            .map(|r| r.mapping)
+    }
+
+    /// Warm-started variant for the streaming remap loop: `seed` carries
+    /// the per-level pairings of the previous solve (from
+    /// [`WarmMapResult::pairings`]). Each level tries
+    /// [`perfect_matching_pairs_warm`] with its seed slice — verified and
+    /// locally improved, falling back to a cold blossom solve when the
+    /// certificate fails — so near-identical back-to-back instances skip
+    /// the O(n³) recompute. With `seed = None` every level runs cold and
+    /// the mapping is bit-identical to
+    /// [`try_map_observed`](HierarchicalMapper::try_map_observed).
+    pub fn try_map_warm_observed(
+        &self,
+        matrix: &CommMatrix,
+        topo: &Topology,
+        seed: Option<&[Vec<(usize, usize)>]>,
+        rec: &Recorder,
+    ) -> Result<WarmMapResult, String> {
         let n = matrix.num_threads();
         if n != topo.num_cores() {
             return Err(format!(
@@ -84,13 +128,20 @@ impl HierarchicalMapper {
             ));
         }
         if n == 1 {
-            return Ok(Mapping::identity(1));
+            return Ok(WarmMapResult {
+                mapping: Mapping::identity(1),
+                pairings: Vec::new(),
+                warm_levels: 0,
+                total_levels: 0,
+            });
         }
 
         // groups[g] = ordered list of member threads.
         let mut groups: Vec<Vec<usize>> = (0..n).map(|t| vec![t]).collect();
         let mut size = 1usize;
         let mut level = 0u32;
+        let mut pairings: Vec<Vec<(usize, usize)>> = Vec::new();
+        let mut warm_levels = 0u32;
 
         for target in topo.level_group_sizes() {
             if target % size != 0 || !(target / size).is_power_of_two() {
@@ -100,7 +151,15 @@ impl HierarchicalMapper {
             }
             while size < target {
                 let before = groups.len() as u32;
-                groups = merge_by_matching(&groups, matrix);
+                let level_seed = seed
+                    .and_then(|s| s.get(level as usize))
+                    .map(|v| v.as_slice());
+                let (merged, pairs, warm) = merge_by_matching_warm(&groups, matrix, level_seed);
+                groups = merged;
+                if warm {
+                    warm_levels += 1;
+                }
+                pairings.push(pairs);
                 let weight: u64 = groups
                     .iter()
                     .map(|g| {
@@ -121,7 +180,12 @@ impl HierarchicalMapper {
         for (core, &thread) in order.iter().enumerate() {
             thread_to_core[thread] = core;
         }
-        Ok(Mapping::new(thread_to_core))
+        Ok(WarmMapResult {
+            mapping: Mapping::new(thread_to_core),
+            pairings,
+            warm_levels,
+            total_levels: level,
+        })
     }
 }
 
@@ -138,20 +202,32 @@ pub fn group_weight(a: &[usize], b: &[usize], matrix: &CommMatrix) -> u64 {
 }
 
 /// One matching level: pair up the groups and merge matched pairs.
-fn merge_by_matching(groups: &[Vec<usize>], matrix: &CommMatrix) -> Vec<Vec<usize>> {
+/// With a seed, the warm path verifies/improves it; without one, this is
+/// exactly the cold [`perfect_matching_pairs`] level. Returns the merged
+/// groups, the pairing chosen (the seed for the next solve's same level),
+/// and whether the warm certificate held.
+fn merge_by_matching_warm(
+    groups: &[Vec<usize>],
+    matrix: &CommMatrix,
+    seed: Option<&[(usize, usize)]>,
+) -> (Vec<Vec<usize>>, Vec<(usize, usize)>, bool) {
     let g = groups.len();
     debug_assert!(g.is_multiple_of(2));
     let weight =
         |a: usize, b: usize| -> i64 { group_weight(&groups[a], &groups[b], matrix) as i64 };
-    let pairs = perfect_matching_pairs(g, &weight);
-    pairs
-        .into_iter()
-        .map(|(a, b)| {
+    let (pairs, warm) = match seed {
+        Some(prev) => perfect_matching_pairs_warm(g, &weight, prev),
+        None => (perfect_matching_pairs(g, &weight), false),
+    };
+    let merged = pairs
+        .iter()
+        .map(|&(a, b)| {
             let mut merged = groups[a].clone();
             merged.extend_from_slice(&groups[b]);
             merged
         })
-        .collect()
+        .collect();
+    (merged, pairs, warm)
 }
 
 #[cfg(test)]

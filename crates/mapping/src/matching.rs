@@ -803,6 +803,119 @@ pub fn perfect_matching_pairs(
     pairs
 }
 
+/// Warm-started maximum-weight perfect matching: seed with `prev` — the
+/// pairing from the last solve — locally improve it, and **certify** the
+/// result instead of recomputing from scratch.
+///
+/// The streaming remap loop solves near-identical instances back to back:
+/// the decayed window moves a little between remaps, so the previous
+/// pairing is usually optimal or one 2-swap away. The warm path
+///
+/// 1. validates `prev` is a perfect matching of `n` vertices,
+/// 2. runs deterministic 2-opt passes (swap `(a,b),(c,d)` into
+///    `(a,c),(b,d)` or `(a,d),(b,c)` whenever that gains weight) until a
+///    fixpoint,
+/// 3. checks the even-split dual certificate: with potential
+///    `y(v) = w(v, mate(v))` (twice the half-weight of the matched edge),
+///    the pairing is a maximum-weight perfect matching if
+///    `y(i) + y(j) ≥ 2·w(i, j)` for **every** edge — each perfect
+///    matching's doubled weight is bounded by `Σy`, and this one attains
+///    the bound.
+///
+/// The certificate is sound but not complete (odd alternating cycles can
+/// hide behind it), so on failure the cold [`perfect_matching_pairs`]
+/// path runs. Returns the sorted pairs and whether the warm path was
+/// certified — the cost is the cold cost either way, which
+/// `warm_matching_cost_equals_cold` proptests.
+///
+/// # Panics
+/// Panics if `n` is odd (no perfect matching exists).
+pub fn perfect_matching_pairs_warm(
+    n: usize,
+    weight: &dyn Fn(usize, usize) -> i64,
+    prev: &[(usize, usize)],
+) -> (Vec<(usize, usize)>, bool) {
+    assert!(
+        n.is_multiple_of(2),
+        "perfect matching requires an even vertex count"
+    );
+    if n == 0 {
+        return (Vec::new(), true);
+    }
+    // Seed validation: `prev` must cover every vertex exactly once.
+    let mut seen = vec![false; n];
+    let valid = prev.len() == n / 2
+        && prev.iter().all(|&(i, j)| {
+            let ok = i < j && j < n && !seen[i] && !seen[j];
+            if ok {
+                seen[i] = true;
+                seen[j] = true;
+            }
+            ok
+        });
+    if !valid {
+        return (perfect_matching_pairs(n, weight), false);
+    }
+
+    // The cold solver only ever evaluates `weight(i, j)` with `i < j`, so
+    // callers are free to pass asymmetric functions. Canonicalise here too:
+    // evaluating a swapped orientation would let a "strictly improving"
+    // 2-swap lower the true (canonical) objective and cycle forever.
+    let w = |i: usize, j: usize| -> i64 {
+        if i < j {
+            weight(i, j)
+        } else {
+            weight(j, i)
+        }
+    };
+
+    // Deterministic 2-opt: scan pair combinations in index order, take the
+    // first strictly improving swap, restart. Each swap raises the total
+    // weight, so the loop terminates.
+    let mut pairs: Vec<(usize, usize)> = prev.to_vec();
+    pairs.sort_unstable();
+    'improve: loop {
+        for p in 0..pairs.len() {
+            for q in p + 1..pairs.len() {
+                let (a, b) = pairs[p];
+                let (c, d) = pairs[q];
+                let here = w(a, b) + w(c, d);
+                let cross = w(a, c) + w(b, d);
+                let skew = w(a, d) + w(b, c);
+                if cross > here && cross >= skew {
+                    pairs[p] = (a.min(c), a.max(c));
+                    pairs[q] = (b.min(d), b.max(d));
+                    continue 'improve;
+                }
+                if skew > here {
+                    pairs[p] = (a.min(d), a.max(d));
+                    pairs[q] = (b.min(c), b.max(c));
+                    continue 'improve;
+                }
+            }
+        }
+        break;
+    }
+    pairs.sort_unstable();
+
+    // Even-split dual certificate. Doubled to stay in integers: the
+    // potential of each vertex is the full weight of its matched edge.
+    let mut y = vec![0i64; n];
+    for &(i, j) in &pairs {
+        let w = weight(i, j);
+        y[i] = w;
+        y[j] = w;
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if y[i].saturating_add(y[j]) < 2 * weight(i, j) {
+                return (perfect_matching_pairs(n, weight), false);
+            }
+        }
+    }
+    (pairs, true)
+}
+
 #[cfg(test)]
 #[allow(clippy::needless_range_loop)]
 mod tests {
@@ -1000,5 +1113,62 @@ mod tests {
     #[should_panic(expected = "self-loop")]
     fn self_loop_rejected() {
         max_weight_matching(2, &[(1, 1, 3)], false);
+    }
+
+    #[test]
+    fn warm_with_optimal_seed_is_certified() {
+        // Strong distinct pairs: the seed is the unique optimum, so the
+        // even-split certificate holds and the warm path keeps it.
+        let w = |i: usize, j: usize| -> i64 {
+            match (i.min(j), i.max(j)) {
+                (0, 1) => 100,
+                (2, 3) => 90,
+                _ => 1,
+            }
+        };
+        let (pairs, warm) = perfect_matching_pairs_warm(4, &w, &[(0, 1), (2, 3)]);
+        assert!(warm, "optimal seed must certify");
+        assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn warm_repairs_a_stale_seed_by_two_opt() {
+        let w = |i: usize, j: usize| -> i64 {
+            match (i.min(j), i.max(j)) {
+                (0, 1) => 100,
+                (2, 3) => 90,
+                _ => 1,
+            }
+        };
+        // The stale seed crosses the strong pairs; one 2-swap fixes it.
+        let (pairs, warm) = perfect_matching_pairs_warm(4, &w, &[(0, 2), (1, 3)]);
+        assert!(warm, "repaired seed must certify");
+        assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+        assert_eq!(matching_weight(&pairs, &w), 190);
+    }
+
+    #[test]
+    fn warm_rejects_malformed_seeds_and_falls_back() {
+        let w = |i: usize, j: usize| (i + j) as i64;
+        let cold = perfect_matching_pairs(6, &w);
+        let cold_w = matching_weight(&cold, &w);
+        for bad in [
+            vec![],                        // wrong cardinality
+            vec![(0, 1), (2, 3)],          // vertex 4, 5 uncovered
+            vec![(0, 1), (1, 2), (4, 5)],  // vertex 1 twice
+            vec![(1, 0), (2, 3), (4, 5)],  // unsorted pair
+            vec![(0, 1), (2, 3), (4, 99)], // out of range
+        ] {
+            let (pairs, warm) = perfect_matching_pairs_warm(6, &w, &bad);
+            assert!(!warm, "seed {bad:?} must fall back to the cold path");
+            assert_eq!(matching_weight(&pairs, &w), cold_w);
+        }
+    }
+
+    #[test]
+    fn warm_zero_vertices() {
+        let (pairs, warm) = perfect_matching_pairs_warm(0, &|_, _| 0, &[]);
+        assert!(pairs.is_empty());
+        assert!(warm);
     }
 }

@@ -163,6 +163,24 @@ pub enum Event {
         /// `"ok"` or the stable error-code name.
         outcome: &'static str,
     },
+    /// A streaming session's drift judge crossed the remap threshold and a
+    /// new mapping was installed. Times are host microseconds; like
+    /// [`Event::ServeRequest`], `cycle()` reports 0.
+    Remap {
+        /// Session ID the remap belongs to.
+        session: u64,
+        /// Delta sequence number (within the session) that triggered it.
+        seq: u64,
+        /// Cosine similarity of the decayed window to the installed
+        /// mapping's reference matrix, scaled by 1e6 (integral so traces
+        /// stay byte-stable — the [`Event::PhaseChange`] convention).
+        similarity_ppm: u64,
+        /// Whether the matching was warm-started from the previous
+        /// pairing on every level (no cold blossom recompute).
+        warm: bool,
+        /// Time spent recomputing the mapping.
+        compute_us: u64,
+    },
 }
 
 impl Event {
@@ -180,6 +198,7 @@ impl Event {
             Event::Snapshot { .. } => "snapshot",
             Event::MapperRound { .. } => "mapper_round",
             Event::ServeRequest { .. } => "serve_request",
+            Event::Remap { .. } => "remap",
         }
     }
 
@@ -195,7 +214,7 @@ impl Event {
             | Event::Migration { cycle, .. }
             | Event::PhaseChange { cycle, .. }
             | Event::Snapshot { cycle, .. } => cycle,
-            Event::MapperRound { .. } | Event::ServeRequest { .. } => 0,
+            Event::MapperRound { .. } | Event::ServeRequest { .. } | Event::Remap { .. } => 0,
         }
     }
 
@@ -295,6 +314,19 @@ impl Event {
                 push("cached", Json::Bool(cached));
                 push("outcome", Json::Str(outcome.to_string()));
             }
+            Event::Remap {
+                session,
+                seq,
+                similarity_ppm,
+                warm,
+                compute_us,
+            } => {
+                push("session", Json::U64(session));
+                push("seq", Json::U64(seq));
+                push("similarity_ppm", Json::U64(similarity_ppm));
+                push("warm", Json::Bool(warm));
+                push("compute_us", Json::U64(compute_us));
+            }
         }
         Json::Obj(pairs)
     }
@@ -312,6 +344,12 @@ impl Event {
             // Service requests render as complete slices whose duration
             // is the request's wall time in microseconds.
             Event::ServeRequest { total_us, .. } => ("X", 0, Some(total_us.max(1))),
+            // Remaps render as slices on their session's track.
+            Event::Remap {
+                session,
+                compute_us,
+                ..
+            } => ("X", session, Some(compute_us.max(1))),
             Event::TlbMiss { core, .. }
             | Event::TlbFlush { core, .. }
             | Event::SearchStart { core, .. } => ("i", u64::from(core), None),
@@ -435,6 +473,13 @@ mod tests {
                 total_us: 260,
                 cached: false,
                 outcome: "ok",
+            },
+            Event::Remap {
+                session: 2,
+                seq: 17,
+                similarity_ppm: 431_000,
+                warm: true,
+                compute_us: 90,
             },
         ];
         let mut names: Vec<_> = events.iter().map(|e| e.name()).collect();

@@ -70,10 +70,28 @@ pub enum CounterId {
     FlightWindows,
     /// Flight-recorder windows dropped from the bounded ring.
     FlightWindowsDropped,
+    /// Streaming sessions opened.
+    SessionsOpened,
+    /// Streaming sessions closed by the client.
+    SessionsClosed,
+    /// Streaming sessions evicted (idle timeout or capacity pressure).
+    SessionsEvicted,
+    /// Matrix deltas ingested across all streaming sessions.
+    SessionDeltas,
+    /// Remaps the drift judge triggered (threshold crossed, new mapping
+    /// installed).
+    RemapsTriggered,
+    /// Remaps the control loop suppressed (drift below threshold, or
+    /// inside the cooldown window).
+    RemapsSuppressed,
+    /// Remaps whose matching was warm-started on every level.
+    WarmStartHits,
+    /// Remaps where at least one level fell back to a cold solve.
+    WarmStartFallbacks,
 }
 
 /// All counters, in registry order.
-pub const COUNTERS: [CounterId; 27] = [
+pub const COUNTERS: [CounterId; 35] = [
     CounterId::Accesses,
     CounterId::TlbMisses,
     CounterId::DetectionSearches,
@@ -101,6 +119,14 @@ pub const COUNTERS: [CounterId; 27] = [
     CounterId::ServeSlowRequests,
     CounterId::FlightWindows,
     CounterId::FlightWindowsDropped,
+    CounterId::SessionsOpened,
+    CounterId::SessionsClosed,
+    CounterId::SessionsEvicted,
+    CounterId::SessionDeltas,
+    CounterId::RemapsTriggered,
+    CounterId::RemapsSuppressed,
+    CounterId::WarmStartHits,
+    CounterId::WarmStartFallbacks,
 ];
 
 impl CounterId {
@@ -134,6 +160,14 @@ impl CounterId {
             CounterId::ServeSlowRequests => "serve_slow_requests",
             CounterId::FlightWindows => "flight_windows",
             CounterId::FlightWindowsDropped => "flight_windows_dropped",
+            CounterId::SessionsOpened => "sessions_opened",
+            CounterId::SessionsClosed => "sessions_closed",
+            CounterId::SessionsEvicted => "sessions_evicted",
+            CounterId::SessionDeltas => "session_deltas",
+            CounterId::RemapsTriggered => "remaps_triggered",
+            CounterId::RemapsSuppressed => "remaps_suppressed",
+            CounterId::WarmStartHits => "warm_start_hits",
+            CounterId::WarmStartFallbacks => "warm_start_fallbacks",
         }
     }
 }
@@ -155,16 +189,20 @@ pub enum HistId {
     ServeRequestLatencyUs,
     /// Work-queue depth observed at each mapping-service enqueue.
     ServeQueueDepth,
+    /// Streaming-session remap latency in host microseconds (drift
+    /// decision to new mapping installed).
+    ServeRemapLatencyUs,
 }
 
 /// All histograms, in registry order.
-pub const HISTS: [HistId; 6] = [
+pub const HISTS: [HistId; 7] = [
     HistId::DetectionSearchCycles,
     HistId::TlbMissInterArrival,
     HistId::MatrixIncrementAmount,
     HistId::MapperLevelWeight,
     HistId::ServeRequestLatencyUs,
     HistId::ServeQueueDepth,
+    HistId::ServeRemapLatencyUs,
 ];
 
 impl HistId {
@@ -177,6 +215,7 @@ impl HistId {
             HistId::MapperLevelWeight => "mapper_level_weight",
             HistId::ServeRequestLatencyUs => "serve_request_latency_us",
             HistId::ServeQueueDepth => "serve_queue_depth",
+            HistId::ServeRemapLatencyUs => "serve_remap_latency_us",
         }
     }
 }

@@ -9,6 +9,7 @@ use tlbmap_sim::Topology;
 use crate::protocol::{
     check_version, read_frame, write_frame, AdminKind, ErrorCode, FrameError, Request, Response,
 };
+use crate::session::DeltaOutcome;
 
 /// Largest response frame a client will accept.
 const MAX_RESPONSE_BYTES: usize = 1 << 20;
@@ -147,6 +148,69 @@ impl Client {
             other => Err(ServeError::Transport(format!(
                 "expected an admin {} response, got {other:?}",
                 kind.as_str()
+            ))),
+        }
+    }
+
+    /// Open a streaming session on `topo`. `None` knobs take the server's
+    /// defaults. Returns the session ID and the initial mapping (computed
+    /// on the empty window — the first delta installs the first real one).
+    pub fn open_session(
+        &mut self,
+        topo: &Topology,
+        decay_shift: Option<u32>,
+        drift_threshold_ppm: Option<u64>,
+        cooldown_deltas: Option<u64>,
+    ) -> Result<(u64, Vec<usize>), ServeError> {
+        let request = Request::OpenSession {
+            topo: *topo,
+            decay_shift,
+            drift_threshold_ppm,
+            cooldown_deltas,
+        };
+        match self.round_trip(&request)? {
+            Response::OpenSession { session, mapping } => Ok((session, mapping)),
+            other => Err(ServeError::Transport(format!(
+                "expected an open_session response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Stream one communication delta into an open session; the reply says
+    /// what the control loop decided (and carries the new mapping when it
+    /// remapped).
+    pub fn delta(&mut self, session: u64, delta: &CommMatrix) -> Result<DeltaOutcome, ServeError> {
+        let request = Request::Delta {
+            session,
+            delta: delta.clone(),
+        };
+        match self.round_trip(&request)? {
+            Response::Delta {
+                seq,
+                similarity_ppm,
+                decision,
+                warm,
+                mapping,
+                ..
+            } => Ok(DeltaOutcome {
+                seq,
+                similarity_ppm,
+                decision,
+                warm,
+                mapping,
+            }),
+            other => Err(ServeError::Transport(format!(
+                "expected a delta response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Close a session, returning its lifetime `(deltas, remaps)`.
+    pub fn close_session(&mut self, session: u64) -> Result<(u64, u64), ServeError> {
+        match self.round_trip(&Request::CloseSession { session })? {
+            Response::CloseSession { deltas, remaps, .. } => Ok((deltas, remaps)),
+            other => Err(ServeError::Transport(format!(
+                "expected a close_session response, got {other:?}"
             ))),
         }
     }

@@ -44,6 +44,27 @@ pub struct ServeConfig {
     /// 1 — a zero-capacity ring would drop every window at close,
     /// silently recording nothing while claiming to be enabled.
     pub flight_capacity: usize,
+    /// Maximum concurrently open streaming sessions; an `open_session`
+    /// over the limit is answered `overloaded`. 0 is defused to 1.
+    pub max_sessions: usize,
+    /// Default decay shift of each session's sliding window: every delta
+    /// keeps `1 - 2^-shift` of the accumulated history (shift 1 halves
+    /// it, shift 4 keeps 93.75%). Shifts above 63 clamp to 63; 0 is the
+    /// memoryless window.
+    pub session_decay_shift: u32,
+    /// Default remap threshold: a delta whose decayed window scores a
+    /// cosine similarity (in ppm) *below* this against the installed
+    /// mapping's reference matrix triggers a remap. Values above
+    /// 1,000,000 clamp to 1,000,000.
+    pub session_drift_threshold_ppm: u64,
+    /// Default cooldown, in deltas, after a remap during which further
+    /// threshold crossings are suppressed (hysteresis against phase
+    /// oscillation). 0 = remap on every crossing.
+    pub session_cooldown_deltas: u64,
+    /// Idle eviction: sessions that have not seen a delta for this many
+    /// milliseconds are evicted on the next registry access. 0 = never
+    /// evict.
+    pub session_idle_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +90,11 @@ impl ServeConfig {
             http_stats: true,
             flight_window: 0,
             flight_capacity: 64,
+            max_sessions: 32,
+            session_decay_shift: 2,
+            session_drift_threshold_ppm: 800_000,
+            session_cooldown_deltas: 2,
+            session_idle_ms: 60_000,
         }
     }
 
@@ -129,6 +155,36 @@ impl ServeConfig {
     /// Override the flight-recorder ring capacity (0 is defused to 1).
     pub fn with_flight_capacity(mut self, windows: usize) -> Self {
         self.flight_capacity = windows;
+        self
+    }
+
+    /// Override the open-session cap (0 is defused to 1).
+    pub fn with_max_sessions(mut self, sessions: usize) -> Self {
+        self.max_sessions = sessions;
+        self
+    }
+
+    /// Override the default session decay shift (clamped to 63).
+    pub fn with_session_decay_shift(mut self, shift: u32) -> Self {
+        self.session_decay_shift = shift;
+        self
+    }
+
+    /// Override the default drift threshold in ppm (clamped to 1e6).
+    pub fn with_session_drift_threshold_ppm(mut self, ppm: u64) -> Self {
+        self.session_drift_threshold_ppm = ppm;
+        self
+    }
+
+    /// Override the default remap cooldown in deltas (0 = none).
+    pub fn with_session_cooldown_deltas(mut self, deltas: u64) -> Self {
+        self.session_cooldown_deltas = deltas;
+        self
+    }
+
+    /// Override the idle-eviction timeout (0 = never evict).
+    pub fn with_session_idle_ms(mut self, ms: u64) -> Self {
+        self.session_idle_ms = ms;
         self
     }
 
@@ -215,6 +271,35 @@ impl ServeConfig {
     /// it is treated as 1 (mirroring `ObsConfig::effective_flight_capacity`).
     pub fn effective_flight_capacity(&self) -> usize {
         self.flight_capacity.max(1)
+    }
+
+    /// Session cap with the zero hazard removed: a zero-session server
+    /// would answer every `open_session` `overloaded` while advertising
+    /// the feature, so it is treated as 1.
+    pub fn effective_max_sessions(&self) -> usize {
+        self.max_sessions.max(1)
+    }
+
+    /// Decay shift clamped to 63 — `v >> 64` is not a meaningful decay
+    /// and would panic in debug builds.
+    pub fn effective_session_decay_shift(&self) -> u32 {
+        self.session_decay_shift.min(63)
+    }
+
+    /// Drift threshold clamped to 1e6 ppm: cosine similarity never
+    /// exceeds 1, so a larger threshold would remap on *every* delta —
+    /// almost certainly a typo, not intent.
+    pub fn effective_session_drift_threshold_ppm(&self) -> u64 {
+        self.session_drift_threshold_ppm.min(1_000_000)
+    }
+
+    /// Idle-eviction timeout as an option (0 = sessions never expire).
+    pub fn effective_session_idle_ms(&self) -> Option<u64> {
+        if self.session_idle_ms == 0 {
+            None
+        } else {
+            Some(self.session_idle_ms)
+        }
     }
 }
 
@@ -324,6 +409,33 @@ mod tests {
                 .effective_flight_capacity(),
             16
         );
+    }
+
+    #[test]
+    fn session_knob_hazards_are_defused() {
+        // A zero-session cap, a 64-bit decay shift, and a >1.0 cosine
+        // threshold are all configuration typos that would make streaming
+        // unusable (or panic); each clamps to its nearest sane value.
+        let cfg = ServeConfig::new()
+            .with_max_sessions(0)
+            .with_session_decay_shift(200)
+            .with_session_drift_threshold_ppm(5_000_000)
+            .with_session_idle_ms(0);
+        assert_eq!(cfg.effective_max_sessions(), 1);
+        assert_eq!(cfg.effective_session_decay_shift(), 63);
+        assert_eq!(cfg.effective_session_drift_threshold_ppm(), 1_000_000);
+        assert_eq!(cfg.effective_session_idle_ms(), None);
+        let cfg = ServeConfig::new()
+            .with_max_sessions(8)
+            .with_session_decay_shift(3)
+            .with_session_drift_threshold_ppm(900_000)
+            .with_session_cooldown_deltas(5)
+            .with_session_idle_ms(30_000);
+        assert_eq!(cfg.effective_max_sessions(), 8);
+        assert_eq!(cfg.effective_session_decay_shift(), 3);
+        assert_eq!(cfg.effective_session_drift_threshold_ppm(), 900_000);
+        assert_eq!(cfg.session_cooldown_deltas, 5);
+        assert_eq!(cfg.effective_session_idle_ms(), Some(30_000));
     }
 
     #[test]

@@ -67,10 +67,15 @@ pub mod config;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod session;
 
 pub use cache::{CacheKey, CacheOutcome, MapCache};
 pub use client::{Client, MapReply, ServeError};
 pub use config::ServeConfig;
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, SecondStat};
-pub use protocol::{AdminKind, ErrorCode, Request, Response, PROTOCOL_VERSION};
+pub use loadgen::{
+    run_loadgen, run_stream_loadgen, stream_delta, LoadgenConfig, LoadgenReport, SecondStat,
+    StreamConfig, StreamReport,
+};
+pub use protocol::{AdminKind, DeltaDecision, ErrorCode, Request, Response, PROTOCOL_VERSION};
 pub use server::{Server, ServerHandle};
+pub use session::{DeltaOutcome, SessionRegistry, SessionSummary};

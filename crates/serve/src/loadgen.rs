@@ -27,7 +27,7 @@ use tlbmap_obs::Json;
 use tlbmap_sim::Topology;
 
 use crate::client::{Client, ServeError};
-use crate::protocol::AdminKind;
+use crate::protocol::{AdminKind, DeltaDecision};
 
 /// What the load generator sends.
 #[derive(Debug, Clone)]
@@ -470,6 +470,289 @@ pub fn run_loadgen(addr: &str, cfg: &LoadgenConfig) -> Result<LoadgenReport, Str
     })
 }
 
+/// What the streaming load generator sends (`loadgen --stream`).
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Concurrent sessions (threads, one session each).
+    pub sessions: usize,
+    /// Deltas per session.
+    pub deltas: usize,
+    /// Flip the communication phase every this many deltas (0 = a
+    /// stationary stream that never changes phase).
+    pub phase_every: usize,
+    /// The topology every session maps onto.
+    pub topo: Topology,
+}
+
+impl StreamConfig {
+    /// A small default campaign: 2 sessions × 24 deltas, phase flip every
+    /// 8, on the paper's 2×2×2 machine.
+    pub fn new() -> Self {
+        StreamConfig {
+            sessions: 2,
+            deltas: 24,
+            phase_every: 8,
+            topo: Topology::harpertown(),
+        }
+    }
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig::new()
+    }
+}
+
+/// Aggregated result of a streaming run.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Sessions opened successfully.
+    pub sessions: usize,
+    /// Deltas answered (any decision).
+    pub deltas_sent: usize,
+    /// Deltas the server answered with a fresh mapping.
+    pub remaps_triggered: usize,
+    /// Deltas answered `stable` or `cooldown` (no remap).
+    pub remaps_suppressed: usize,
+    /// Of the remaps, how many the warm-start certificate served.
+    pub warm_remaps: usize,
+    /// Failures by error label.
+    pub errors: BTreeMap<String, usize>,
+    /// Median round-trip latency of remapping deltas in microseconds.
+    pub remap_p50_us: f64,
+    /// 99th-percentile latency of remapping deltas in microseconds.
+    pub remap_p99_us: f64,
+    /// Median round-trip latency of non-remapping deltas in microseconds.
+    pub suppressed_p50_us: f64,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl StreamReport {
+    /// Total failed operations.
+    pub fn total_errors(&self) -> usize {
+        self.errors.values().sum()
+    }
+
+    /// The report as a benchmark-artifact JSON document (kind
+    /// `"loadgen_stream"`), shaped like the other `results/BENCH_*.json`
+    /// sections.
+    pub fn to_json(&self, cfg: &StreamConfig) -> Json {
+        Json::obj(vec![
+            ("kind", Json::Str("loadgen_stream".into())),
+            ("sessions", Json::U64(cfg.sessions as u64)),
+            ("deltas_per_session", Json::U64(cfg.deltas as u64)),
+            ("phase_every", Json::U64(cfg.phase_every as u64)),
+            ("deltas_sent", Json::U64(self.deltas_sent as u64)),
+            ("remaps_triggered", Json::U64(self.remaps_triggered as u64)),
+            (
+                "remaps_suppressed",
+                Json::U64(self.remaps_suppressed as u64),
+            ),
+            ("warm_remaps", Json::U64(self.warm_remaps as u64)),
+            (
+                "errors",
+                Json::Obj(
+                    self.errors
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::U64(*v as u64)))
+                        .collect(),
+                ),
+            ),
+            ("remap_p50_us", Json::F64(self.remap_p50_us)),
+            ("remap_p99_us", Json::F64(self.remap_p99_us)),
+            ("suppressed_p50_us", Json::F64(self.suppressed_p50_us)),
+            ("wall_ms", Json::F64(self.wall_ms)),
+        ])
+    }
+
+    /// Render the report as a plain-text table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec!["metric", "value"]);
+        table.row(vec!["sessions".to_string(), self.sessions.to_string()]);
+        table.row(vec!["deltas".to_string(), self.deltas_sent.to_string()]);
+        table.row(vec![
+            "remaps triggered".to_string(),
+            self.remaps_triggered.to_string(),
+        ]);
+        table.row(vec![
+            "remaps suppressed".to_string(),
+            self.remaps_suppressed.to_string(),
+        ]);
+        table.row(vec![
+            "warm remaps".to_string(),
+            format!(
+                "{} ({:.0}%)",
+                self.warm_remaps,
+                if self.remaps_triggered > 0 {
+                    100.0 * self.warm_remaps as f64 / self.remaps_triggered as f64
+                } else {
+                    0.0
+                }
+            ),
+        ]);
+        table.row(vec!["errors".to_string(), self.total_errors().to_string()]);
+        table.row(vec![
+            "remap p50 (us)".to_string(),
+            format!("{:.1}", self.remap_p50_us),
+        ]);
+        table.row(vec![
+            "remap p99 (us)".to_string(),
+            format!("{:.1}", self.remap_p99_us),
+        ]);
+        table.row(vec![
+            "suppressed p50 (us)".to_string(),
+            format!("{:.1}", self.suppressed_p50_us),
+        ]);
+        table.row(vec![
+            "wall time (ms)".to_string(),
+            format!("{:.1}", self.wall_ms),
+        ]);
+        let mut out = table.render();
+        for (label, count) in &self.errors {
+            out.push_str(&format!("  error[{label}] = {count}\n"));
+        }
+        out
+    }
+}
+
+/// The delta a streaming connection sends at step `step`: neighbour pairs
+/// in the even phases, across-the-machine pairs in the odd ones (the same
+/// two patterns the simulator's phase benchmarks use). `phase_every = 0`
+/// pins phase 0 forever.
+pub fn stream_delta(topo: &Topology, step: usize, phase_every: usize) -> CommMatrix {
+    let n = topo.num_cores();
+    let phase = step.checked_div(phase_every).map_or(0, |p| p % 2);
+    let mut delta = CommMatrix::new(n);
+    if phase == 0 {
+        for i in (0..n.saturating_sub(1)).step_by(2) {
+            delta.add(i, i + 1, 1_000);
+        }
+    } else {
+        for i in 0..n / 2 {
+            delta.add(i, i + n / 2, 1_000);
+        }
+    }
+    delta
+}
+
+struct StreamOutcome {
+    opened: bool,
+    deltas: usize,
+    remap_latencies: Vec<f64>,
+    suppressed_latencies: Vec<f64>,
+    remaps: usize,
+    suppressed: usize,
+    warm: usize,
+    errors: BTreeMap<String, usize>,
+}
+
+fn run_stream_connection(addr: &str, cfg: &StreamConfig) -> Result<StreamOutcome, String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut outcome = StreamOutcome {
+        opened: false,
+        deltas: 0,
+        remap_latencies: Vec::new(),
+        suppressed_latencies: Vec::new(),
+        remaps: 0,
+        suppressed: 0,
+        warm: 0,
+        errors: BTreeMap::new(),
+    };
+    let session = match client.open_session(&cfg.topo, None, None, None) {
+        Ok((session, _)) => session,
+        Err(e) => {
+            *outcome.errors.entry(error_label(&e)).or_insert(0) += 1;
+            return Ok(outcome);
+        }
+    };
+    outcome.opened = true;
+    for step in 0..cfg.deltas {
+        let delta = stream_delta(&cfg.topo, step, cfg.phase_every);
+        let start = Instant::now();
+        match client.delta(session, &delta) {
+            Ok(reply) => {
+                let latency_us = start.elapsed().as_secs_f64() * 1e6;
+                outcome.deltas += 1;
+                if reply.decision == DeltaDecision::Remap {
+                    outcome.remaps += 1;
+                    outcome.remap_latencies.push(latency_us);
+                    if reply.warm {
+                        outcome.warm += 1;
+                    }
+                } else {
+                    outcome.suppressed += 1;
+                    outcome.suppressed_latencies.push(latency_us);
+                }
+            }
+            Err(e) => {
+                *outcome.errors.entry(error_label(&e)).or_insert(0) += 1;
+                if matches!(e, ServeError::Transport(_)) {
+                    return Ok(outcome);
+                }
+            }
+        }
+    }
+    if let Err(e) = client.close_session(session) {
+        *outcome.errors.entry(error_label(&e)).or_insert(0) += 1;
+    }
+    Ok(outcome)
+}
+
+/// Run the streaming campaign against a live server at `addr`: each
+/// connection opens one session, streams `deltas` deltas through the
+/// phased (or stationary) workload, and closes.
+pub fn run_stream_loadgen(addr: &str, cfg: &StreamConfig) -> Result<StreamReport, String> {
+    if cfg.sessions == 0 || cfg.deltas == 0 {
+        return Err("stream loadgen needs at least 1 session and 1 delta".to_string());
+    }
+    let start = Instant::now();
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.sessions)
+            .map(|_| scope.spawn(|| run_stream_connection(addr, cfg)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| "stream connection thread panicked".to_string())?
+            })
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+    let wall = start.elapsed();
+
+    let mut report = StreamReport {
+        sessions: 0,
+        deltas_sent: 0,
+        remaps_triggered: 0,
+        remaps_suppressed: 0,
+        warm_remaps: 0,
+        errors: BTreeMap::new(),
+        remap_p50_us: 0.0,
+        remap_p99_us: 0.0,
+        suppressed_p50_us: 0.0,
+        wall_ms: wall.as_secs_f64() * 1e3,
+    };
+    let mut remap_latencies = Vec::new();
+    let mut suppressed_latencies = Vec::new();
+    for outcome in outcomes {
+        report.sessions += usize::from(outcome.opened);
+        report.deltas_sent += outcome.deltas;
+        report.remaps_triggered += outcome.remaps;
+        report.remaps_suppressed += outcome.suppressed;
+        report.warm_remaps += outcome.warm;
+        remap_latencies.extend(outcome.remap_latencies);
+        suppressed_latencies.extend(outcome.suppressed_latencies);
+        for (label, count) in outcome.errors {
+            *report.errors.entry(label).or_insert(0) += count;
+        }
+    }
+    report.remap_p50_us = percentile(&remap_latencies, 50.0).unwrap_or(0.0);
+    report.remap_p99_us = percentile(&remap_latencies, 99.0).unwrap_or(0.0);
+    report.suppressed_p50_us = percentile(&suppressed_latencies, 50.0).unwrap_or(0.0);
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,5 +875,54 @@ mod tests {
         let mut cfg = LoadgenConfig::new();
         cfg.connections = 0;
         assert!(run_loadgen("127.0.0.1:1", &cfg).is_err());
+        let mut cfg = StreamConfig::new();
+        cfg.sessions = 0;
+        assert!(run_stream_loadgen("127.0.0.1:1", &cfg).is_err());
+    }
+
+    #[test]
+    fn stream_deltas_alternate_phases_on_schedule() {
+        let topo = Topology::harpertown();
+        // phase_every = 4: steps 0-3 are neighbour pairs, 4-7 across.
+        let early = stream_delta(&topo, 0, 4);
+        assert_eq!(early.get(0, 1), 1_000);
+        assert_eq!(early.get(0, 4), 0);
+        let late = stream_delta(&topo, 5, 4);
+        assert_eq!(late.get(0, 1), 0);
+        assert_eq!(late.get(0, 4), 1_000);
+        // Stationary: phase 0 forever.
+        let stationary = stream_delta(&topo, 999, 0);
+        assert_eq!(stationary.get(0, 1), 1_000);
+    }
+
+    #[test]
+    fn stream_report_json_has_the_benchmark_shape() {
+        let cfg = StreamConfig::new();
+        let report = StreamReport {
+            sessions: 2,
+            deltas_sent: 48,
+            remaps_triggered: 6,
+            remaps_suppressed: 42,
+            warm_remaps: 4,
+            errors: BTreeMap::new(),
+            remap_p50_us: 400.0,
+            remap_p99_us: 900.0,
+            suppressed_p50_us: 80.0,
+            wall_ms: 12.0,
+        };
+        let json = report.to_json(&cfg);
+        assert_eq!(
+            json.get("kind").and_then(Json::as_str),
+            Some("loadgen_stream")
+        );
+        assert_eq!(json.get("remaps_triggered").and_then(Json::as_u64), Some(6));
+        assert_eq!(
+            json.get("remaps_suppressed").and_then(Json::as_u64),
+            Some(42)
+        );
+        assert_eq!(json.get("warm_remaps").and_then(Json::as_u64), Some(4));
+        let text = report.render();
+        assert!(text.contains("remaps triggered"), "{text}");
+        assert!(text.contains("(67%)"), "{text}");
     }
 }

@@ -17,13 +17,16 @@
 //!
 //! ## Requests (client → server)
 //!
-//! | `req`      | fields                                                            |
-//! |------------|-------------------------------------------------------------------|
-//! | `map`      | `matrix` (CommMatrix JSON), `topology` (optional, default 2×2×2), `deadline_ms` (optional), `delay_ms` (optional, testing/loadgen) |
-//! | `health`   | —                                                                 |
-//! | `stats`    | —                                                                 |
-//! | `admin`    | `kind`: `stats` (live telemetry snapshot), `health` (liveness + uptime), `trace` (slow-request log), `flight` (flight-recorder windows + phases) |
-//! | `shutdown` | —                                                                 |
+//! | `req`           | fields                                                            |
+//! |-----------------|-------------------------------------------------------------------|
+//! | `map`           | `matrix` (CommMatrix JSON), `topology` (optional, default 2×2×2), `deadline_ms` (optional), `delay_ms` (optional, testing/loadgen) |
+//! | `health`        | —                                                                 |
+//! | `stats`         | —                                                                 |
+//! | `admin`         | `kind`: `stats` (live telemetry snapshot), `health` (liveness + uptime), `trace` (slow-request log), `flight` (flight-recorder windows + phases), `sessions` (streaming-session registry) |
+//! | `open_session`  | `topology` (optional, default 2×2×2), `decay_shift` / `drift_threshold_ppm` / `cooldown_deltas` (optional per-session overrides) |
+//! | `delta`         | `session`, `n` (thread count), `cells` (sparse upper-triangle `[i, j, amount]` triples) |
+//! | `close_session` | `session`                                                         |
+//! | `shutdown`      | —                                                                 |
 //!
 //! ## Responses (server → client)
 //!
@@ -99,6 +102,9 @@ pub enum AdminKind {
     /// The flight recorder: retained windows, phase timeline, per-phase
     /// aggregates (`null` when the recorder is disabled).
     Flight,
+    /// The streaming-session registry: per-session control-loop state
+    /// plus the aggregate session counters.
+    Sessions,
 }
 
 impl AdminKind {
@@ -109,6 +115,7 @@ impl AdminKind {
             AdminKind::Health => "health",
             AdminKind::Trace => "trace",
             AdminKind::Flight => "flight",
+            AdminKind::Sessions => "sessions",
         }
     }
 
@@ -119,6 +126,42 @@ impl AdminKind {
             "health" => AdminKind::Health,
             "trace" => AdminKind::Trace,
             "flight" => AdminKind::Flight,
+            "sessions" => AdminKind::Sessions,
+            _ => return None,
+        })
+    }
+}
+
+/// What the session control loop decided about one ingested delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaDecision {
+    /// Drift crossed the threshold: a new mapping was computed and
+    /// installed (the response carries it).
+    Remap,
+    /// The decayed window still matches the installed mapping's
+    /// reference; no remap needed.
+    Stable,
+    /// Drift crossed the threshold but the session is inside its cooldown
+    /// (hysteresis): the remap was suppressed to avoid thrashing.
+    Cooldown,
+}
+
+impl DeltaDecision {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeltaDecision::Remap => "remap",
+            DeltaDecision::Stable => "stable",
+            DeltaDecision::Cooldown => "cooldown",
+        }
+    }
+
+    /// Parse a wire name back into a decision.
+    pub fn from_wire(s: &str) -> Option<DeltaDecision> {
+        Some(match s {
+            "remap" => DeltaDecision::Remap,
+            "stable" => DeltaDecision::Stable,
+            "cooldown" => DeltaDecision::Cooldown,
             _ => return None,
         })
     }
@@ -150,6 +193,34 @@ pub enum Request {
     Admin {
         /// What to snapshot.
         kind: AdminKind,
+    },
+    /// Open a streaming session: the server allocates a decayed-window
+    /// matrix sized for `topo` and an identity initial mapping, and hands
+    /// back a session ID for subsequent `delta` frames.
+    OpenSession {
+        /// The machine the session maps onto.
+        topo: Topology,
+        /// Per-session decay shift override (`None` = server default).
+        decay_shift: Option<u32>,
+        /// Per-session drift threshold override in ppm of cosine
+        /// similarity (`None` = server default).
+        drift_threshold_ppm: Option<u64>,
+        /// Per-session remap cooldown override, in deltas (`None` =
+        /// server default).
+        cooldown_deltas: Option<u64>,
+    },
+    /// Ingest one sparse communication-matrix delta into a session's
+    /// decayed window and run the remap control loop on it.
+    Delta {
+        /// The session the delta belongs to.
+        session: u64,
+        /// The delta, already assembled from the wire's sparse cells.
+        delta: CommMatrix,
+    },
+    /// Close a streaming session and free its window.
+    CloseSession {
+        /// The session to close.
+        session: u64,
     },
     /// Begin graceful shutdown: drain queued work, then exit.
     Shutdown,
@@ -211,6 +282,41 @@ impl Request {
                 pairs.push(("req", Json::Str("admin".into())));
                 pairs.push(("kind", Json::Str(kind.as_str().into())));
             }
+            Request::OpenSession {
+                topo,
+                decay_shift,
+                drift_threshold_ppm,
+                cooldown_deltas,
+            } => {
+                pairs.push(("req", Json::Str("open_session".into())));
+                pairs.push(("topology", topology_to_json(topo)));
+                if let Some(s) = decay_shift {
+                    pairs.push(("decay_shift", Json::U64(u64::from(*s))));
+                }
+                if let Some(t) = drift_threshold_ppm {
+                    pairs.push(("drift_threshold_ppm", Json::U64(*t)));
+                }
+                if let Some(c) = cooldown_deltas {
+                    pairs.push(("cooldown_deltas", Json::U64(*c)));
+                }
+            }
+            Request::Delta { session, delta } => {
+                pairs.push(("req", Json::Str("delta".into())));
+                pairs.push(("session", Json::U64(*session)));
+                pairs.push(("n", Json::U64(delta.num_threads() as u64)));
+                let cells: Vec<Json> = delta
+                    .pairs()
+                    .filter(|&(_, _, v)| v > 0)
+                    .map(|(i, j, v)| {
+                        Json::Arr(vec![Json::U64(i as u64), Json::U64(j as u64), Json::U64(v)])
+                    })
+                    .collect();
+                pairs.push(("cells", Json::Arr(cells)));
+            }
+            Request::CloseSession { session } => {
+                pairs.push(("req", Json::Str("close_session".into())));
+                pairs.push(("session", Json::U64(*session)));
+            }
             Request::Shutdown => pairs.push(("req", Json::Str("shutdown".into()))),
         }
         Json::obj(pairs)
@@ -248,10 +354,72 @@ impl Request {
                 Some(kind) => AdminKind::from_wire(kind)
                     .map(|kind| Request::Admin { kind })
                     .ok_or_else(|| {
-                        format!("unknown admin kind `{kind}` (stats | health | trace | flight)")
+                        format!(
+                            "unknown admin kind `{kind}` \
+                             (stats | health | trace | flight | sessions)"
+                        )
                     }),
                 None => Err("admin request: missing or mistyped field `kind`".to_string()),
             },
+            Some("open_session") => {
+                let topo = match json.get("topology") {
+                    Some(t) => topology_from_json(t)?,
+                    None => Topology::harpertown(),
+                };
+                let decay_shift = json
+                    .get("decay_shift")
+                    .and_then(Json::as_u64)
+                    .map(|s| s.min(63) as u32);
+                let drift_threshold_ppm = json.get("drift_threshold_ppm").and_then(Json::as_u64);
+                let cooldown_deltas = json.get("cooldown_deltas").and_then(Json::as_u64);
+                Ok(Request::OpenSession {
+                    topo,
+                    decay_shift,
+                    drift_threshold_ppm,
+                    cooldown_deltas,
+                })
+            }
+            Some("delta") => {
+                let session = json.get("session").and_then(Json::as_u64).ok_or_else(|| {
+                    "delta request: missing or mistyped field `session`".to_string()
+                })?;
+                let n = json
+                    .get("n")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| "delta request: missing or mistyped field `n`".to_string())?;
+                if n == 0 || n > 1 << 16 {
+                    return Err(format!("delta request: `n` must be in 1..=65536, got {n}"));
+                }
+                let n = n as usize;
+                let cells = json.get("cells").and_then(Json::as_array).ok_or_else(|| {
+                    "delta request: missing or mistyped field `cells`".to_string()
+                })?;
+                let mut delta = CommMatrix::new(n);
+                for cell in cells {
+                    let triple = cell
+                        .as_array()
+                        .filter(|t| t.len() == 3)
+                        .and_then(|t| Some((t[0].as_u64()?, t[1].as_u64()?, t[2].as_u64()?)))
+                        .ok_or_else(|| {
+                            "delta request: each cell must be an [i, j, amount] triple".to_string()
+                        })?;
+                    let (i, j, amount) = triple;
+                    if i >= j || j >= n as u64 {
+                        return Err(format!(
+                            "delta request: cell ({i}, {j}) is not an upper-triangle pair of {n} threads"
+                        ));
+                    }
+                    delta.add(i as usize, j as usize, amount);
+                }
+                Ok(Request::Delta { session, delta })
+            }
+            Some("close_session") => json
+                .get("session")
+                .and_then(Json::as_u64)
+                .map(|session| Request::CloseSession { session })
+                .ok_or_else(|| {
+                    "close_session request: missing or mistyped field `session`".to_string()
+                }),
             Some("shutdown") => Ok(Request::Shutdown),
             Some(other) => Err(format!("unknown request kind `{other}`")),
             None => Err("missing or mistyped field `req`".to_string()),
@@ -280,6 +448,40 @@ pub enum Response {
         kind: AdminKind,
         /// The snapshot document.
         doc: Json,
+    },
+    /// A streaming session was opened.
+    OpenSession {
+        /// The allocated session ID — carry it in every `delta` /
+        /// `close_session` frame.
+        session: u64,
+        /// The initial mapping (identity until the first remap).
+        mapping: Vec<usize>,
+    },
+    /// One delta was ingested; the control loop's verdict.
+    Delta {
+        /// The session the delta landed in.
+        session: u64,
+        /// Sequence number of this delta within the session (1-based).
+        seq: u64,
+        /// Cosine similarity of the decayed window to the installed
+        /// mapping's reference matrix, in ppm.
+        similarity_ppm: u64,
+        /// What the control loop decided.
+        decision: DeltaDecision,
+        /// Whether the remap's matching was fully warm-started (only
+        /// meaningful when `decision` is `remap`).
+        warm: bool,
+        /// The newly installed mapping when `decision` is `remap`.
+        mapping: Option<Vec<usize>>,
+    },
+    /// A streaming session was closed; its lifetime summary.
+    CloseSession {
+        /// The closed session's ID.
+        session: u64,
+        /// Deltas it ingested.
+        deltas: u64,
+        /// Remaps it installed.
+        remaps: u64,
     },
     /// Shutdown acknowledged; the server drains and exits.
     Shutdown,
@@ -320,6 +522,48 @@ impl Response {
                 pairs.push(("resp", Json::Str("admin".into())));
                 pairs.push(("kind", Json::Str(kind.as_str().into())));
                 pairs.push(("body", doc.clone()));
+            }
+            Response::OpenSession { session, mapping } => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("resp", Json::Str("open_session".into())));
+                pairs.push(("session", Json::U64(*session)));
+                pairs.push((
+                    "mapping",
+                    Json::Arr(mapping.iter().map(|&c| Json::U64(c as u64)).collect()),
+                ));
+            }
+            Response::Delta {
+                session,
+                seq,
+                similarity_ppm,
+                decision,
+                warm,
+                mapping,
+            } => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("resp", Json::Str("delta".into())));
+                pairs.push(("session", Json::U64(*session)));
+                pairs.push(("seq", Json::U64(*seq)));
+                pairs.push(("similarity_ppm", Json::U64(*similarity_ppm)));
+                pairs.push(("decision", Json::Str(decision.as_str().into())));
+                pairs.push(("warm", Json::Bool(*warm)));
+                if let Some(mapping) = mapping {
+                    pairs.push((
+                        "mapping",
+                        Json::Arr(mapping.iter().map(|&c| Json::U64(c as u64)).collect()),
+                    ));
+                }
+            }
+            Response::CloseSession {
+                session,
+                deltas,
+                remaps,
+            } => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("resp", Json::Str("close_session".into())));
+                pairs.push(("session", Json::U64(*session)));
+                pairs.push(("deltas", Json::U64(*deltas)));
+                pairs.push(("remaps", Json::U64(*remaps)));
             }
             Response::Shutdown => {
                 pairs.push(("ok", Json::Bool(true)));
@@ -379,6 +623,63 @@ impl Response {
                 Ok(Response::Admin {
                     kind,
                     doc: json.get("body").cloned().unwrap_or(Json::Null),
+                })
+            }
+            Some("open_session") => {
+                let session = json
+                    .get("session")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| "open_session response: missing `session`".to_string())?;
+                let mapping = json
+                    .get("mapping")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| "open_session response: missing `mapping`".to_string())?
+                    .iter()
+                    .map(|v| v.as_u64().map(|c| c as usize))
+                    .collect::<Option<Vec<usize>>>()
+                    .ok_or_else(|| "open_session response: non-integer core".to_string())?;
+                Ok(Response::OpenSession { session, mapping })
+            }
+            Some("delta") => {
+                let field = |name: &str| -> Result<u64, String> {
+                    json.get(name)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("delta response: missing `{name}`"))
+                };
+                let decision = json
+                    .get("decision")
+                    .and_then(Json::as_str)
+                    .and_then(DeltaDecision::from_wire)
+                    .ok_or_else(|| "delta response: missing or unknown `decision`".to_string())?;
+                let warm = json.get("warm").and_then(Json::as_bool).unwrap_or(false);
+                let mapping = match json.get("mapping").and_then(Json::as_array) {
+                    Some(arr) => Some(
+                        arr.iter()
+                            .map(|v| v.as_u64().map(|c| c as usize))
+                            .collect::<Option<Vec<usize>>>()
+                            .ok_or_else(|| "delta response: non-integer core".to_string())?,
+                    ),
+                    None => None,
+                };
+                Ok(Response::Delta {
+                    session: field("session")?,
+                    seq: field("seq")?,
+                    similarity_ppm: field("similarity_ppm")?,
+                    decision,
+                    warm,
+                    mapping,
+                })
+            }
+            Some("close_session") => {
+                let field = |name: &str| -> Result<u64, String> {
+                    json.get(name)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("close_session response: missing `{name}`"))
+                };
+                Ok(Response::CloseSession {
+                    session: field("session")?,
+                    deltas: field("deltas")?,
+                    remaps: field("remaps")?,
                 })
             }
             Some("shutdown") => Ok(Response::Shutdown),
@@ -516,6 +817,20 @@ mod tests {
             Request::Admin {
                 kind: AdminKind::Flight,
             },
+            Request::Admin {
+                kind: AdminKind::Sessions,
+            },
+            Request::OpenSession {
+                topo: Topology::harpertown(),
+                decay_shift: Some(3),
+                drift_threshold_ppm: Some(850_000),
+                cooldown_deltas: None,
+            },
+            Request::Delta {
+                session: 7,
+                delta: sample_matrix(),
+            },
+            Request::CloseSession { session: 7 },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -544,6 +859,31 @@ mod tests {
             Response::Admin {
                 kind: AdminKind::Trace,
                 doc: Json::Arr(vec![Json::obj(vec![("req_id", Json::U64(7))])]),
+            },
+            Response::OpenSession {
+                session: 3,
+                mapping: vec![0, 1, 2, 3],
+            },
+            Response::Delta {
+                session: 3,
+                seq: 12,
+                similarity_ppm: 431_337,
+                decision: DeltaDecision::Remap,
+                warm: true,
+                mapping: Some(vec![2, 3, 0, 1]),
+            },
+            Response::Delta {
+                session: 3,
+                seq: 13,
+                similarity_ppm: 991_000,
+                decision: DeltaDecision::Stable,
+                warm: false,
+                mapping: None,
+            },
+            Response::CloseSession {
+                session: 3,
+                deltas: 13,
+                remaps: 2,
             },
             Response::Shutdown,
             Response::Error {
@@ -591,7 +931,10 @@ mod tests {
         let json = Json::parse(r#"{"v":1,"req":"admin","kind":"flamegraph"}"#).unwrap();
         let err = Request::from_json(&json).unwrap_err();
         assert!(err.contains("flamegraph"), "{err}");
-        assert!(err.contains("stats | health | trace | flight"), "{err}");
+        assert!(
+            err.contains("stats | health | trace | flight | sessions"),
+            "{err}"
+        );
 
         let missing = Json::parse(r#"{"v":1,"req":"admin"}"#).unwrap();
         let err = Request::from_json(&missing).unwrap_err();
@@ -611,10 +954,49 @@ mod tests {
             AdminKind::Health,
             AdminKind::Trace,
             AdminKind::Flight,
+            AdminKind::Sessions,
         ] {
             assert_eq!(AdminKind::from_wire(kind.as_str()), Some(kind));
         }
         assert_eq!(AdminKind::from_wire("metrics"), None);
+    }
+
+    #[test]
+    fn delta_decision_wire_names_are_stable() {
+        for d in [
+            DeltaDecision::Remap,
+            DeltaDecision::Stable,
+            DeltaDecision::Cooldown,
+        ] {
+            assert_eq!(DeltaDecision::from_wire(d.as_str()), Some(d));
+        }
+        assert_eq!(DeltaDecision::from_wire("thrash"), None);
+    }
+
+    #[test]
+    fn malformed_session_frames_are_rejected() {
+        for text in [
+            r#"{"v":1,"req":"delta"}"#,
+            r#"{"v":1,"req":"delta","session":1}"#,
+            r#"{"v":1,"req":"delta","session":1,"n":0,"cells":[]}"#,
+            r#"{"v":1,"req":"delta","session":1,"n":4,"cells":[[0,0,5]]}"#,
+            r#"{"v":1,"req":"delta","session":1,"n":4,"cells":[[1,0,5]]}"#,
+            r#"{"v":1,"req":"delta","session":1,"n":4,"cells":[[0,9,5]]}"#,
+            r#"{"v":1,"req":"delta","session":1,"n":4,"cells":[[0,1]]}"#,
+            r#"{"v":1,"req":"close_session"}"#,
+            r#"{"v":1,"req":"open_session","topology":{"chips":0,"l2_per_chip":1,"cores_per_l2":2}}"#,
+        ] {
+            let json = Json::parse(text).unwrap();
+            assert!(Request::from_json(&json).is_err(), "{text}");
+        }
+        // Sparse cells accumulate: duplicate triples on the same pair sum.
+        let json =
+            Json::parse(r#"{"v":1,"req":"delta","session":1,"n":4,"cells":[[0,1,5],[0,1,2]]}"#)
+                .unwrap();
+        match Request::from_json(&json).unwrap() {
+            Request::Delta { delta, .. } => assert_eq!(delta.get(0, 1), 7),
+            other => panic!("unexpected request {other:?}"),
+        }
     }
 
     #[test]

@@ -59,6 +59,7 @@ use crate::config::ServeConfig;
 use crate::protocol::{
     check_version, write_frame, AdminKind, ErrorCode, FrameError, Request, Response,
 };
+use crate::session::SessionRegistry;
 
 /// How often blocked reads wake up to check the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(50);
@@ -181,6 +182,8 @@ struct Shared {
     slow_ring: Mutex<VecDeque<Json>>,
     /// Optional JSONL sink for slow requests (one object per line).
     slow_writer: Option<Mutex<Box<dyn Write + Send>>>,
+    /// Open streaming sessions (the `open_session`/`delta` plane).
+    sessions: SessionRegistry,
     shutdown: AtomicBool,
 }
 
@@ -235,6 +238,7 @@ impl Server {
             busy_us: AtomicU64::new(0),
             slow_ring: Mutex::new(VecDeque::new()),
             slow_writer: slow_log.map(Mutex::new),
+            sessions: SessionRegistry::new(&cfg),
             shutdown: AtomicBool::new(false),
             cfg,
         });
@@ -617,8 +621,66 @@ fn handle_payload(json: &Json, shared: &Arc<Shared>, req_id: u64) -> Handled {
                 AdminKind::Health => admin_health_doc(shared),
                 AdminKind::Trace => admin_trace_doc(shared),
                 AdminKind::Flight => admin_flight_doc(shared),
+                AdminKind::Sessions => admin_sessions_doc(shared),
             };
             Handled::inline(Response::Admin { kind, doc }, "admin", parse_us)
+        }
+        Request::OpenSession {
+            topo,
+            decay_shift,
+            drift_threshold_ppm,
+            cooldown_deltas,
+        } => {
+            if shared.shutting_down() {
+                return Handled::inline(drain_refusal(), "open_session", parse_us);
+            }
+            let start = Instant::now();
+            let response = match shared.sessions.open(
+                topo,
+                decay_shift,
+                drift_threshold_ppm,
+                cooldown_deltas,
+                &shared.rec,
+            ) {
+                Ok((session, mapping)) => Response::OpenSession { session, mapping },
+                Err((code, message)) => Response::Error { code, message },
+            };
+            let mut done = Handled::inline(response, "open_session", parse_us);
+            done.compute_us = start.elapsed().as_micros() as u64;
+            done
+        }
+        Request::Delta { session, delta } => {
+            if shared.shutting_down() {
+                return Handled::inline(drain_refusal(), "delta", parse_us);
+            }
+            let start = Instant::now();
+            let response = match shared.sessions.delta(session, &delta, &shared.rec) {
+                Ok(outcome) => Response::Delta {
+                    session,
+                    seq: outcome.seq,
+                    similarity_ppm: outcome.similarity_ppm,
+                    decision: outcome.decision,
+                    warm: outcome.warm,
+                    mapping: outcome.mapping,
+                },
+                Err((code, message)) => Response::Error { code, message },
+            };
+            let mut done = Handled::inline(response, "delta", parse_us);
+            done.compute_us = start.elapsed().as_micros() as u64;
+            done
+        }
+        // Close is honoured even while draining: it is how a streaming
+        // client finishes, so a drain must not strand its sessions.
+        Request::CloseSession { session } => {
+            let response = match shared.sessions.close(session, &shared.rec) {
+                Ok((deltas, remaps)) => Response::CloseSession {
+                    session,
+                    deltas,
+                    remaps,
+                },
+                Err((code, message)) => Response::Error { code, message },
+            };
+            Handled::inline(response, "close_session", parse_us)
         }
         Request::Shutdown => {
             shared.begin_shutdown();
@@ -796,7 +858,65 @@ fn admin_stats_doc(shared: &Shared) -> Json {
         ("lifetime_p99_us", q(lifetime.quantile(99.0))),
         ("slow_threshold_us", Json::U64(shared.cfg.slow_threshold_us)),
         ("slow_requests", c(CounterId::ServeSlowRequests)),
+        (
+            "open_sessions",
+            Json::U64(shared.sessions.open_count(rec) as u64),
+        ),
+        ("sessions_opened", c(CounterId::SessionsOpened)),
+        ("sessions_closed", c(CounterId::SessionsClosed)),
+        ("sessions_evicted", c(CounterId::SessionsEvicted)),
+        ("session_deltas", c(CounterId::SessionDeltas)),
+        ("remaps_triggered", c(CounterId::RemapsTriggered)),
+        ("remaps_suppressed", c(CounterId::RemapsSuppressed)),
+        ("warm_start_hits", c(CounterId::WarmStartHits)),
+        ("warm_start_fallbacks", c(CounterId::WarmStartFallbacks)),
     ])
+}
+
+/// The `admin sessions` document: the same counters the stats document
+/// carries (so `tlbmap top` needs one scrape), plus one row per open
+/// session.
+fn admin_sessions_doc(shared: &Shared) -> Json {
+    let rec = &shared.rec;
+    let c = |id: CounterId| Json::U64(rec.counter(id));
+    let rows: Vec<Json> = shared
+        .sessions
+        .summaries(rec)
+        .into_iter()
+        .map(|row| {
+            Json::obj(vec![
+                ("id", Json::U64(row.id)),
+                ("threads", Json::U64(row.threads as u64)),
+                ("deltas", Json::U64(row.deltas)),
+                ("remaps", Json::U64(row.remaps)),
+                ("last_similarity_ppm", Json::U64(row.last_similarity_ppm)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("open_sessions", Json::U64(rows.len() as u64)),
+        (
+            "max_sessions",
+            Json::U64(shared.cfg.effective_max_sessions() as u64),
+        ),
+        ("sessions_opened", c(CounterId::SessionsOpened)),
+        ("sessions_closed", c(CounterId::SessionsClosed)),
+        ("sessions_evicted", c(CounterId::SessionsEvicted)),
+        ("session_deltas", c(CounterId::SessionDeltas)),
+        ("remaps_triggered", c(CounterId::RemapsTriggered)),
+        ("remaps_suppressed", c(CounterId::RemapsSuppressed)),
+        ("warm_start_hits", c(CounterId::WarmStartHits)),
+        ("warm_start_fallbacks", c(CounterId::WarmStartFallbacks)),
+        ("sessions", Json::Arr(rows)),
+    ])
+}
+
+/// The refusal open/delta frames get while the server drains.
+fn drain_refusal() -> Response {
+    Response::Error {
+        code: ErrorCode::ShuttingDown,
+        message: "server is draining for shutdown".to_string(),
+    }
 }
 
 /// The `admin health` document: liveness with uptime and drain state.

@@ -1,0 +1,633 @@
+//! Streaming sessions: decayed windows and the incremental remap loop.
+//!
+//! A session is the server-side state behind the `open_session` / `delta`
+//! / `close_session` frames: an exponentially decayed [`DecayedMatrix`]
+//! window of the client's communication deltas, the currently installed
+//! mapping, and the reference matrix that mapping was computed from. Each
+//! delta drives one turn of the control loop:
+//!
+//! ```text
+//!            ingest delta into the decayed window
+//!                           │
+//!        cosine(window, reference of installed mapping)
+//!                           │
+//!         ≥ threshold ──────┼────── < threshold
+//!              │            │            │
+//!           stable          │     inside cooldown? ── yes ──▶ cooldown
+//!     (remap suppressed)    │            │ no          (remap suppressed)
+//!                           │            ▼
+//!                           │   warm-started remap: seed the
+//!                           │   hierarchical mapper with the previous
+//!                           │   per-level pairings, install the result,
+//!                           │   re-anchor the reference to the window
+//!                           ▼
+//! ```
+//!
+//! The loop is deliberately hysteretic: a remap re-anchors the reference
+//! to the window that triggered it, and the next `cooldown_deltas` deltas
+//! cannot remap even if they cross the threshold again — a phase change
+//! costs one remap, not one per delta while the window catches up.
+//!
+//! The registry is two-level locked: a short-held table mutex to resolve
+//! an ID to its session, then a per-session mutex held for the whole
+//! delta (ingest + judge + possible remap). Deltas for one session are
+//! therefore processed in arrival order while different sessions proceed
+//! in parallel on their own connection threads.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tlbmap_core::{CommMatrix, DecayedMatrix};
+use tlbmap_mapping::HierarchicalMapper;
+use tlbmap_obs::{drift::cosine_u64, CounterId, Event, HistId, Recorder};
+use tlbmap_sim::Topology;
+
+use crate::config::ServeConfig;
+use crate::protocol::{DeltaDecision, ErrorCode};
+
+/// A rejected session operation: the stable error code plus a message
+/// naming what was wrong (mirroring the `AdminKind::from_wire` style of
+/// listing the accepted values).
+pub type SessionError = (ErrorCode, String);
+
+/// What one `delta` frame did to its session — everything the `delta`
+/// response carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// 1-based sequence number of this delta within the session.
+    pub seq: u64,
+    /// Cosine similarity of the decayed window to the installed mapping's
+    /// reference, scaled by 1e6.
+    pub similarity_ppm: u64,
+    /// What the control loop decided.
+    pub decision: DeltaDecision,
+    /// Whether a triggered remap was served entirely by the warm-start
+    /// certificate (always `false` when no remap happened).
+    pub warm: bool,
+    /// The freshly installed mapping when `decision` is `Remap`.
+    pub mapping: Option<Vec<usize>>,
+}
+
+/// One row of the `admin sessions` table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// Session ID.
+    pub id: u64,
+    /// Threads in the session's window (one per topology core).
+    pub threads: usize,
+    /// Deltas ingested so far.
+    pub deltas: u64,
+    /// Remaps triggered so far.
+    pub remaps: u64,
+    /// Similarity the most recent delta scored (1e6 ppm; 0 before the
+    /// first delta).
+    pub last_similarity_ppm: u64,
+}
+
+struct Session {
+    id: u64,
+    topo: Topology,
+    window: DecayedMatrix,
+    /// Upper-triangle cells of the window at the instant the current
+    /// mapping was installed — what drift is judged against.
+    reference: Vec<u64>,
+    mapping: Vec<usize>,
+    /// Per-level pairings of the last solve, the warm-start seed.
+    pairings: Vec<Vec<(usize, usize)>>,
+    seq: u64,
+    remaps: u64,
+    /// Sequence number of the last remap; `None` until the first one, so
+    /// cooldown can never suppress the session's initial mapping.
+    last_remap_seq: Option<u64>,
+    last_similarity_ppm: u64,
+    last_active: Instant,
+    drift_threshold_ppm: u64,
+    cooldown_deltas: u64,
+}
+
+impl Session {
+    /// One turn of the control loop. The caller has already checked that
+    /// the delta's size matches the session's window.
+    fn apply_delta(
+        &mut self,
+        delta: &CommMatrix,
+        mapper: &HierarchicalMapper,
+        rec: &Recorder,
+    ) -> DeltaOutcome {
+        self.seq += 1;
+        self.last_active = Instant::now();
+        rec.inc(CounterId::SessionDeltas);
+        self.window.ingest(delta);
+        let cells = self.window.upper_cells();
+        let similarity = cosine_u64(&cells, &self.reference);
+        let similarity_ppm = (similarity.clamp(0.0, 1.0) * 1e6).round() as u64;
+        self.last_similarity_ppm = similarity_ppm;
+        if similarity_ppm >= self.drift_threshold_ppm {
+            rec.inc(CounterId::RemapsSuppressed);
+            return DeltaOutcome {
+                seq: self.seq,
+                similarity_ppm,
+                decision: DeltaDecision::Stable,
+                warm: false,
+                mapping: None,
+            };
+        }
+        if let Some(last) = self.last_remap_seq {
+            if self.seq - last <= self.cooldown_deltas {
+                rec.inc(CounterId::RemapsSuppressed);
+                return DeltaOutcome {
+                    seq: self.seq,
+                    similarity_ppm,
+                    decision: DeltaDecision::Cooldown,
+                    warm: false,
+                    mapping: None,
+                };
+            }
+        }
+        let seed = if self.pairings.is_empty() {
+            None
+        } else {
+            Some(self.pairings.as_slice())
+        };
+        let start = Instant::now();
+        let result = mapper
+            .try_map_warm_observed(self.window.window(), &self.topo, seed, rec)
+            .expect("session window is sized for its topology");
+        let compute_us = start.elapsed().as_micros() as u64;
+        let warm = result.fully_warm();
+        self.mapping = result.mapping.as_slice().to_vec();
+        self.pairings = result.pairings;
+        self.reference = cells;
+        self.remaps += 1;
+        self.last_remap_seq = Some(self.seq);
+        rec.inc(CounterId::RemapsTriggered);
+        rec.inc(if warm {
+            CounterId::WarmStartHits
+        } else {
+            CounterId::WarmStartFallbacks
+        });
+        rec.observe(HistId::ServeRemapLatencyUs, compute_us);
+        let (session, seq) = (self.id, self.seq);
+        rec.emit(|_| Event::Remap {
+            session,
+            seq,
+            similarity_ppm,
+            warm,
+            compute_us,
+        });
+        DeltaOutcome {
+            seq: self.seq,
+            similarity_ppm,
+            decision: DeltaDecision::Remap,
+            warm,
+            mapping: Some(self.mapping.clone()),
+        }
+    }
+}
+
+struct RegistryState {
+    sessions: HashMap<u64, Arc<Mutex<Session>>>,
+    next_id: u64,
+}
+
+/// The server's table of open sessions, sized and tuned from
+/// [`ServeConfig`] at startup.
+pub struct SessionRegistry {
+    max_sessions: usize,
+    decay_shift: u32,
+    drift_threshold_ppm: u64,
+    cooldown_deltas: u64,
+    idle: Option<Duration>,
+    mapper: HierarchicalMapper,
+    inner: Mutex<RegistryState>,
+}
+
+impl SessionRegistry {
+    /// An empty registry tuned from the server configuration's effective
+    /// (hazard-free) session knobs.
+    pub fn new(cfg: &ServeConfig) -> SessionRegistry {
+        SessionRegistry {
+            max_sessions: cfg.effective_max_sessions(),
+            decay_shift: cfg.effective_session_decay_shift(),
+            drift_threshold_ppm: cfg.effective_session_drift_threshold_ppm(),
+            cooldown_deltas: cfg.session_cooldown_deltas,
+            idle: cfg.effective_session_idle_ms().map(Duration::from_millis),
+            mapper: HierarchicalMapper::new(),
+            inner: Mutex::new(RegistryState {
+                sessions: HashMap::new(),
+                next_id: 1,
+            }),
+        }
+    }
+
+    /// Open a session: evict idle ones, enforce the cap, compute the
+    /// initial mapping on the (empty) window. Per-session overrides fall
+    /// back to the server defaults.
+    pub fn open(
+        &self,
+        topo: Topology,
+        decay_shift: Option<u32>,
+        drift_threshold_ppm: Option<u64>,
+        cooldown_deltas: Option<u64>,
+        rec: &Recorder,
+    ) -> Result<(u64, Vec<usize>), SessionError> {
+        let n = topo.num_cores();
+        let window = DecayedMatrix::new(n, decay_shift.unwrap_or(self.decay_shift));
+        // The empty window maps deterministically (all-zero weights), so a
+        // session always has an installed mapping; the first delta scores
+        // similarity 0 against the all-zero reference and remaps onto the
+        // first real traffic.
+        let result = self
+            .mapper
+            .try_map_warm_observed(window.window(), &topo, None, rec)
+            .map_err(|message| (ErrorCode::BadRequest, message))?;
+        let mut state = self.inner.lock().unwrap();
+        self.sweep(&mut state, rec);
+        if state.sessions.len() >= self.max_sessions {
+            return Err((
+                ErrorCode::Overloaded,
+                format!(
+                    "session table is full ({} sessions open); close or let one idle out",
+                    state.sessions.len()
+                ),
+            ));
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        let mapping = result.mapping.as_slice().to_vec();
+        let session = Session {
+            id,
+            topo,
+            window,
+            reference: vec![0; n.saturating_sub(1) * n / 2],
+            mapping: mapping.clone(),
+            pairings: result.pairings,
+            seq: 0,
+            remaps: 0,
+            last_remap_seq: None,
+            last_similarity_ppm: 0,
+            last_active: Instant::now(),
+            drift_threshold_ppm: drift_threshold_ppm
+                .unwrap_or(self.drift_threshold_ppm)
+                .min(1_000_000),
+            cooldown_deltas: cooldown_deltas.unwrap_or(self.cooldown_deltas),
+        };
+        state.sessions.insert(id, Arc::new(Mutex::new(session)));
+        rec.inc(CounterId::SessionsOpened);
+        Ok((id, mapping))
+    }
+
+    /// Ingest one delta and run the control loop. The registry lock is
+    /// dropped before the (possibly remapping) session work so other
+    /// sessions are never stalled behind a slow solve.
+    pub fn delta(
+        &self,
+        id: u64,
+        delta: &CommMatrix,
+        rec: &Recorder,
+    ) -> Result<DeltaOutcome, SessionError> {
+        let session = {
+            let mut state = self.inner.lock().unwrap();
+            self.sweep(&mut state, rec);
+            match state.sessions.get(&id) {
+                Some(session) => Arc::clone(session),
+                None => return Err(self.unknown_session(&state, id)),
+            }
+        };
+        let mut session = session.lock().unwrap();
+        if delta.num_threads() != session.window.num_threads() {
+            return Err((
+                ErrorCode::BadRequest,
+                format!(
+                    "delta is sized for {} threads but session {} holds {}",
+                    delta.num_threads(),
+                    id,
+                    session.window.num_threads()
+                ),
+            ));
+        }
+        Ok(session.apply_delta(delta, &self.mapper, rec))
+    }
+
+    /// Close a session, returning its lifetime `(deltas, remaps)`.
+    pub fn close(&self, id: u64, rec: &Recorder) -> Result<(u64, u64), SessionError> {
+        let mut state = self.inner.lock().unwrap();
+        self.sweep(&mut state, rec);
+        match state.sessions.remove(&id) {
+            Some(session) => {
+                rec.inc(CounterId::SessionsClosed);
+                let session = session.lock().unwrap();
+                Ok((session.seq, session.remaps))
+            }
+            None => Err(self.unknown_session(&state, id)),
+        }
+    }
+
+    /// Number of currently open sessions (evicting stale ones first).
+    pub fn open_count(&self, rec: &Recorder) -> usize {
+        let mut state = self.inner.lock().unwrap();
+        self.sweep(&mut state, rec);
+        state.sessions.len()
+    }
+
+    /// One summary row per open session, sorted by ID (for `admin
+    /// sessions`).
+    pub fn summaries(&self, rec: &Recorder) -> Vec<SessionSummary> {
+        let mut state = self.inner.lock().unwrap();
+        self.sweep(&mut state, rec);
+        let mut rows: Vec<SessionSummary> = state
+            .sessions
+            .values()
+            .map(|session| {
+                let s = session.lock().unwrap();
+                SessionSummary {
+                    id: s.id,
+                    threads: s.window.num_threads(),
+                    deltas: s.seq,
+                    remaps: s.remaps,
+                    last_similarity_ppm: s.last_similarity_ppm,
+                }
+            })
+            .collect();
+        rows.sort_by_key(|row| row.id);
+        rows
+    }
+
+    /// Evict sessions idle past the timeout. A session whose mutex is
+    /// held is mid-delta — active by definition — and is skipped rather
+    /// than waited on.
+    fn sweep(&self, state: &mut RegistryState, rec: &Recorder) {
+        let Some(idle) = self.idle else { return };
+        let stale: Vec<u64> = state
+            .sessions
+            .iter()
+            .filter_map(|(&id, session)| {
+                let session = session.try_lock().ok()?;
+                (session.last_active.elapsed() > idle).then_some(id)
+            })
+            .collect();
+        for id in stale {
+            state.sessions.remove(&id);
+            rec.inc(CounterId::SessionsEvicted);
+        }
+    }
+
+    /// The stable unknown-session answer: names the offender and lists
+    /// what *would* be accepted, like the unknown-admin-kind message.
+    fn unknown_session(&self, state: &RegistryState, id: u64) -> SessionError {
+        let mut open: Vec<u64> = state.sessions.keys().copied().collect();
+        open.sort_unstable();
+        let message = if open.is_empty() {
+            format!("unknown session `{id}` (no open sessions)")
+        } else {
+            let list = open
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(" | ");
+            format!("unknown session `{id}` (open sessions: {list})")
+        };
+        (ErrorCode::BadRequest, message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlbmap_obs::ObsConfig;
+
+    fn recorder() -> Recorder {
+        Recorder::new(ObsConfig::new(0).with_ring_capacity(64))
+    }
+
+    /// A delta concentrating traffic on thread pairs `(0,1)`, `(2,3)`, …
+    fn phase_a(n: usize) -> CommMatrix {
+        let mut m = CommMatrix::new(n);
+        for i in (0..n).step_by(2) {
+            m.add(i, i + 1, 1_000);
+        }
+        m
+    }
+
+    /// The opposite phase: traffic on `(0,n/2)`, `(1,n/2+1)`, …
+    fn phase_b(n: usize) -> CommMatrix {
+        let mut m = CommMatrix::new(n);
+        for i in 0..n / 2 {
+            m.add(i, i + n / 2, 1_000);
+        }
+        m
+    }
+
+    #[test]
+    fn first_delta_installs_the_first_real_mapping() {
+        let rec = recorder();
+        let reg = SessionRegistry::new(&ServeConfig::new());
+        let (id, mapping) = reg
+            .open(Topology::harpertown(), None, None, None, &rec)
+            .unwrap();
+        assert_eq!(mapping.len(), 8);
+        let out = reg.delta(id, &phase_a(8), &rec).unwrap();
+        assert_eq!(out.decision, DeltaDecision::Remap);
+        assert_eq!(out.seq, 1);
+        assert_eq!(out.similarity_ppm, 0, "empty reference scores zero");
+        assert!(out.mapping.is_some());
+        assert_eq!(rec.counter(CounterId::RemapsTriggered), 1);
+    }
+
+    #[test]
+    fn stationary_stream_never_remaps_again() {
+        let rec = recorder();
+        let reg = SessionRegistry::new(&ServeConfig::new());
+        let (id, _) = reg
+            .open(Topology::harpertown(), None, None, None, &rec)
+            .unwrap();
+        reg.delta(id, &phase_a(8), &rec).unwrap();
+        for _ in 0..10 {
+            let out = reg.delta(id, &phase_a(8), &rec).unwrap();
+            assert_eq!(out.decision, DeltaDecision::Stable);
+            assert_eq!(out.similarity_ppm, 1_000_000);
+            assert!(out.mapping.is_none());
+        }
+        assert_eq!(rec.counter(CounterId::RemapsTriggered), 1);
+        assert_eq!(rec.counter(CounterId::RemapsSuppressed), 10);
+        let (deltas, remaps) = reg.close(id, &rec).unwrap();
+        assert_eq!((deltas, remaps), (11, 1));
+    }
+
+    #[test]
+    fn phase_shift_remaps_exactly_once_under_cooldown() {
+        let rec = recorder();
+        let cfg = ServeConfig::new().with_session_cooldown_deltas(8);
+        let reg = SessionRegistry::new(&cfg);
+        let (id, _) = reg
+            .open(Topology::harpertown(), None, None, None, &rec)
+            .unwrap();
+        for _ in 0..8 {
+            reg.delta(id, &phase_a(8), &rec).unwrap();
+        }
+        assert_eq!(rec.counter(CounterId::RemapsTriggered), 1);
+        // Phase shift: the decayed window swings toward B; the threshold
+        // crossing remaps once, then cooldown holds while the window
+        // finishes converging.
+        let mut decisions = Vec::new();
+        for _ in 0..8 {
+            decisions.push(reg.delta(id, &phase_b(8), &rec).unwrap().decision);
+        }
+        let remaps = decisions
+            .iter()
+            .filter(|&&d| d == DeltaDecision::Remap)
+            .count();
+        assert_eq!(remaps, 1, "decisions were {decisions:?}");
+        assert_eq!(rec.counter(CounterId::RemapsTriggered), 2);
+    }
+
+    #[test]
+    fn cooldown_expires_and_the_next_crossing_remaps() {
+        let rec = recorder();
+        // Threshold 1e6: any similarity below exactly 1.0 crosses, so
+        // alternating phases cross on every delta.
+        let cfg = ServeConfig::new()
+            .with_session_drift_threshold_ppm(1_000_000)
+            .with_session_cooldown_deltas(2);
+        let reg = SessionRegistry::new(&cfg);
+        let (id, _) = reg
+            .open(Topology::harpertown(), None, None, None, &rec)
+            .unwrap();
+        // Alternate phases only briefly: once the decayed window converges
+        // to the alternating fixpoint, same-parity windows become nearly
+        // parallel and similarity rounds back up to 1.0.
+        let phases = [phase_a(8), phase_b(8)];
+        let mut decisions = Vec::new();
+        for i in 0..4 {
+            decisions.push(reg.delta(id, &phases[i % 2], &rec).unwrap().decision);
+        }
+        use DeltaDecision::{Cooldown, Remap};
+        assert_eq!(decisions, vec![Remap, Cooldown, Cooldown, Remap]);
+    }
+
+    #[test]
+    fn capacity_answers_overloaded() {
+        let rec = recorder();
+        let cfg = ServeConfig::new().with_max_sessions(1);
+        let reg = SessionRegistry::new(&cfg);
+        reg.open(Topology::harpertown(), None, None, None, &rec)
+            .unwrap();
+        let err = reg
+            .open(Topology::harpertown(), None, None, None, &rec)
+            .unwrap_err();
+        assert_eq!(err.0, ErrorCode::Overloaded);
+        assert!(err.1.contains("session table is full"), "{}", err.1);
+    }
+
+    #[test]
+    fn unknown_session_lists_open_ids() {
+        let rec = recorder();
+        let reg = SessionRegistry::new(&ServeConfig::new());
+        let (code, message) = reg.delta(9, &phase_a(8), &rec).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+        assert_eq!(message, "unknown session `9` (no open sessions)");
+        let (a, _) = reg
+            .open(Topology::harpertown(), None, None, None, &rec)
+            .unwrap();
+        let (b, _) = reg
+            .open(Topology::harpertown(), None, None, None, &rec)
+            .unwrap();
+        let (_, message) = reg.close(99, &rec).unwrap_err();
+        assert_eq!(
+            message,
+            format!("unknown session `99` (open sessions: {a} | {b})")
+        );
+    }
+
+    #[test]
+    fn mismatched_delta_is_a_bad_request() {
+        let rec = recorder();
+        let reg = SessionRegistry::new(&ServeConfig::new());
+        let (id, _) = reg
+            .open(Topology::harpertown(), None, None, None, &rec)
+            .unwrap();
+        let (code, message) = reg.delta(id, &phase_a(4), &rec).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+        assert!(message.contains("sized for 4 threads"), "{message}");
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_on_access() {
+        let rec = recorder();
+        let cfg = ServeConfig::new().with_session_idle_ms(1);
+        let reg = SessionRegistry::new(&cfg);
+        let (id, _) = reg
+            .open(Topology::harpertown(), None, None, None, &rec)
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(reg.open_count(&rec), 0);
+        assert_eq!(rec.counter(CounterId::SessionsEvicted), 1);
+        let (_, message) = reg.delta(id, &phase_a(8), &rec).unwrap_err();
+        assert!(message.contains("no open sessions"), "{message}");
+    }
+
+    #[test]
+    fn summaries_report_per_session_progress() {
+        let rec = recorder();
+        let reg = SessionRegistry::new(&ServeConfig::new());
+        let (a, _) = reg
+            .open(Topology::harpertown(), None, None, None, &rec)
+            .unwrap();
+        let (b, _) = reg
+            .open(Topology::harpertown(), None, None, None, &rec)
+            .unwrap();
+        reg.delta(a, &phase_a(8), &rec).unwrap();
+        reg.delta(a, &phase_a(8), &rec).unwrap();
+        let rows = reg.summaries(&rec);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, a);
+        assert_eq!((rows[0].deltas, rows[0].remaps), (2, 1));
+        assert_eq!(rows[0].last_similarity_ppm, 1_000_000);
+        assert_eq!((rows[1].id, rows[1].deltas, rows[1].remaps), (b, 0, 0));
+    }
+
+    /// The warm path actually fires on a replayed phase: the second remap
+    /// onto the same stationary pattern is served warm.
+    #[test]
+    fn replayed_phase_hits_the_warm_start() {
+        let rec = recorder();
+        // Always-cross threshold so every delta past cooldown remaps.
+        let cfg = ServeConfig::new()
+            .with_session_drift_threshold_ppm(1_000_000)
+            .with_session_cooldown_deltas(0)
+            .with_session_decay_shift(1);
+        let reg = SessionRegistry::new(&cfg);
+        let (id, _) = reg
+            .open(Topology::harpertown(), None, None, None, &rec)
+            .unwrap();
+        // Strong pair weights plus cross-group ties: the optimum is
+        // unique at every level and the even-split certificate proves a
+        // replayed pairing optimal.
+        let pattern = |a: u64, b: u64, c: u64, d: u64| {
+            let mut m = CommMatrix::new(8);
+            m.add(0, 1, a);
+            m.add(2, 3, b);
+            m.add(4, 5, c);
+            m.add(6, 7, d);
+            m.add(0, 2, 500);
+            m.add(4, 6, 500);
+            m
+        };
+        let first = reg
+            .delta(id, &pattern(4_000, 3_000, 2_000, 1_000), &rec)
+            .unwrap();
+        assert_eq!(first.decision, DeltaDecision::Remap);
+        // The second delta shifts the pair magnitudes (so the window's
+        // direction moves and similarity drops below 1.0) but keeps the
+        // same dominant structure: the previous pairing is still optimal
+        // and certifies warm at every level.
+        let second = reg
+            .delta(id, &pattern(1_000, 2_000, 3_000, 4_000), &rec)
+            .unwrap();
+        assert_eq!(second.decision, DeltaDecision::Remap);
+        assert!(second.warm, "replayed phase should certify warm");
+        assert_eq!(second.mapping, first.mapping);
+        assert!(rec.counter(CounterId::WarmStartHits) >= 1);
+    }
+}

@@ -4,10 +4,12 @@
 
 use std::time::Duration;
 
-use tlbmap_core::CommMatrix;
+use tlbmap_core::{CommMatrix, DecayedMatrix};
 use tlbmap_mapping::HierarchicalMapper;
-use tlbmap_obs::{CounterId, Json, ObsConfig, Recorder};
-use tlbmap_serve::{AdminKind, Client, ErrorCode, ServeConfig, ServeError, Server, ServerHandle};
+use tlbmap_obs::{CounterId, Event, Json, ObsConfig, Recorder};
+use tlbmap_serve::{
+    AdminKind, Client, DeltaDecision, ErrorCode, ServeConfig, ServeError, Server, ServerHandle,
+};
 use tlbmap_sim::Topology;
 
 fn ring_matrix(n: usize) -> CommMatrix {
@@ -490,5 +492,270 @@ fn loadgen_completes_cleanly_below_the_queue_bound() {
         "stats counts the stats request itself"
     );
     c.shutdown().unwrap();
+    handle.join();
+}
+
+/// A communication pattern whose hierarchy optimum is unique at every
+/// level: dominant pairs (0,1)/(2,3)/(4,5)/(6,7) carry the given weights,
+/// and the 500-weight cross ties (0,2) and (4,6) break the upper-level
+/// ties. Permuting `a..d` changes the matrix *direction* (so cosine drift
+/// fires) without moving the optimal pairing structure.
+fn pattern(a: u64, b: u64, c: u64, d: u64) -> CommMatrix {
+    let mut m = CommMatrix::new(8);
+    m.add(0, 1, a);
+    m.add(2, 3, b);
+    m.add(4, 5, c);
+    m.add(6, 7, d);
+    m.add(0, 2, 500);
+    m.add(4, 6, 500);
+    m
+}
+
+fn remap_events(handle: &ServerHandle) -> Vec<Event> {
+    handle
+        .recorder()
+        .events()
+        .into_iter()
+        .filter(|e| matches!(e, Event::Remap { .. }))
+        .collect()
+}
+
+#[test]
+fn streaming_session_tracks_a_phase_shift_end_to_end() {
+    let handle = start(ServeConfig::new());
+    let addr = handle.addr().to_string();
+    let topo = Topology::harpertown();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Decay shift 1, threshold 1.0 (remap on any measurable drift), no
+    // cooldown: the control loop's decisions depend only on direction.
+    let (session, initial) = client
+        .open_session(&topo, Some(1), Some(1_000_000), Some(0))
+        .unwrap();
+    assert_eq!(initial.len(), 8, "the empty window still yields a mapping");
+
+    // Mirror the server's decayed window client-side to check the final
+    // mapping against a one-shot `map` on the same window.
+    let mut mirror = DecayedMatrix::new(8, 1);
+    let phase_a = pattern(4000, 3000, 2000, 1000);
+    let phase_b = pattern(1000, 2000, 3000, 4000);
+
+    // Four stationary deltas: the first installs the first real mapping,
+    // the repeats leave the window exactly proportional to the reference
+    // (all weights are even, so the decay is exact) and must be stable.
+    let mut outcomes = Vec::new();
+    for _ in 0..4 {
+        mirror.ingest(&phase_a);
+        outcomes.push(client.delta(session, &phase_a).unwrap());
+    }
+    // The phase shift: same pair structure, permuted magnitudes.
+    mirror.ingest(&phase_b);
+    outcomes.push(client.delta(session, &phase_b).unwrap());
+
+    let decisions: Vec<DeltaDecision> = outcomes.iter().map(|o| o.decision).collect();
+    assert_eq!(
+        decisions,
+        vec![
+            DeltaDecision::Remap,
+            DeltaDecision::Stable,
+            DeltaDecision::Stable,
+            DeltaDecision::Stable,
+            DeltaDecision::Remap,
+        ],
+        "outcomes: {outcomes:?}"
+    );
+    assert_eq!(outcomes[1].similarity_ppm, 1_000_000, "exactly parallel");
+    assert!(outcomes[4].similarity_ppm < 1_000_000, "the shift drifted");
+
+    // The decayed window tracked the new phase, and the session's final
+    // mapping is exactly what a one-shot `map` on that window returns.
+    let final_mapping = outcomes[4].mapping.clone().expect("remap carries mapping");
+    let one_shot = client.map(mirror.window(), &topo, None, 0).unwrap();
+    assert_eq!(final_mapping, one_shot.mapping);
+
+    // Exactly one remap event beyond the first-delta install, and the
+    // warm start served at least one of them.
+    let remaps = remap_events(&handle);
+    assert_eq!(remaps.len(), 2, "install + one phase-shift remap");
+    match remaps[1] {
+        Event::Remap {
+            session: s,
+            seq,
+            warm,
+            ..
+        } => {
+            assert_eq!(s, session);
+            assert_eq!(seq, 5);
+            assert!(warm, "the replayed pair structure must certify warm");
+        }
+        _ => unreachable!(),
+    }
+    let rec = handle.recorder();
+    assert_eq!(rec.counter(CounterId::RemapsTriggered), 2);
+    assert_eq!(rec.counter(CounterId::RemapsSuppressed), 3);
+    assert!(rec.counter(CounterId::WarmStartHits) >= 1);
+
+    assert_eq!(client.close_session(session).unwrap(), (5, 2));
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn stationary_stream_never_remaps_after_the_install() {
+    let handle = start(ServeConfig::new());
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Server-default knobs (threshold 0.8, cooldown 2, shift 2): the
+    // weights are all divisible by four, so repeats stay exactly parallel.
+    let (session, _) = client
+        .open_session(&Topology::harpertown(), None, None, None)
+        .unwrap();
+    let matrix = pattern(4000, 3000, 2000, 1000);
+    for i in 0..8 {
+        let outcome = client.delta(session, &matrix).unwrap();
+        let expected = if i == 0 {
+            DeltaDecision::Remap
+        } else {
+            DeltaDecision::Stable
+        };
+        assert_eq!(outcome.decision, expected, "delta {i}: {outcome:?}");
+    }
+    assert_eq!(client.close_session(session).unwrap(), (8, 1));
+
+    assert_eq!(remap_events(&handle).len(), 1, "only the install remaps");
+    let rec = handle.recorder();
+    assert_eq!(rec.counter(CounterId::RemapsTriggered), 1);
+    assert_eq!(rec.counter(CounterId::RemapsSuppressed), 7);
+    assert_eq!(rec.counter(CounterId::SessionDeltas), 8);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn session_errors_answer_stable_bad_requests() {
+    let handle = start(ServeConfig::new());
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let delta = pattern(100, 100, 100, 100);
+
+    // Unknown session, nothing open: the message says so.
+    match client.delta(77, &delta) {
+        Err(ServeError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert_eq!(message, "unknown session `77` (no open sessions)");
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    // Unknown session with peers open: the open IDs are listed, mirroring
+    // the accepted-kinds list of an unknown admin kind.
+    let (session, _) = client
+        .open_session(&Topology::harpertown(), None, None, None)
+        .unwrap();
+    match client.delta(77, &delta) {
+        Err(ServeError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert_eq!(
+                message,
+                format!("unknown session `77` (open sessions: {session})")
+            );
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    // Wrong delta size for an open session.
+    match client.delta(session, &CommMatrix::new(4)) {
+        Err(ServeError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("4 threads"), "{message}");
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    // A delta for a just-closed session is an unknown session again.
+    client.close_session(session).unwrap();
+    match client.delta(session, &delta) {
+        Err(ServeError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("unknown session"), "{message}");
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    // The connection survives all of it.
+    client.health().unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn sessions_admin_kind_reports_totals_and_rows() {
+    let handle = start(ServeConfig::new());
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let (first, _) = client
+        .open_session(&Topology::harpertown(), None, None, None)
+        .unwrap();
+    let (second, _) = client
+        .open_session(&Topology::harpertown(), None, None, None)
+        .unwrap();
+    client
+        .delta(first, &pattern(4000, 3000, 2000, 1000))
+        .unwrap();
+
+    let doc = client.admin(AdminKind::Sessions).unwrap();
+    assert_eq!(doc.get("open_sessions").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("max_sessions").and_then(Json::as_u64), Some(32));
+    assert_eq!(doc.get("sessions_opened").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("session_deltas").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("remaps_triggered").and_then(Json::as_u64), Some(1));
+    let rows = doc
+        .get("sessions")
+        .and_then(Json::as_array)
+        .expect("sessions rows");
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get("id").and_then(Json::as_u64), Some(first));
+    assert_eq!(rows[0].get("deltas").and_then(Json::as_u64), Some(1));
+    assert_eq!(rows[0].get("remaps").and_then(Json::as_u64), Some(1));
+    assert_eq!(rows[1].get("id").and_then(Json::as_u64), Some(second));
+    assert_eq!(rows[1].get("deltas").and_then(Json::as_u64), Some(0));
+
+    // The session counters also surface in the flat stats document (which
+    // is what `tlbmap top` and the text exposition scrape).
+    let stats = client.admin(AdminKind::Stats).unwrap();
+    assert_eq!(stats.get("open_sessions").and_then(Json::as_u64), Some(2));
+    assert_eq!(stats.get("sessions_opened").and_then(Json::as_u64), Some(2));
+
+    client.close_session(first).unwrap();
+    client.close_session(second).unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn draining_server_refuses_session_work_but_honours_close() {
+    let handle = start(ServeConfig::new());
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let topo = Topology::harpertown();
+
+    let (session, _) = client.open_session(&topo, None, None, None).unwrap();
+    client.shutdown().unwrap();
+
+    // New streaming work is refused during the drain...
+    match client.open_session(&topo, None, None, None) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ErrorCode::ShuttingDown),
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+    match client.delta(session, &pattern(100, 100, 100, 100)) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ErrorCode::ShuttingDown),
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+
+    // ...but closing an open session is part of draining cleanly.
+    assert_eq!(client.close_session(session).unwrap(), (0, 0));
     handle.join();
 }
