@@ -6,8 +6,8 @@
 use tlbmap_core::CommMatrix;
 use tlbmap_obs::{Json, ObsConfig, Recorder};
 use tlbmap_serve::{
-    run_loadgen, run_stream_loadgen, AdminKind, Client, LoadgenConfig, ServeConfig, Server,
-    StreamConfig,
+    run_curve, run_loadgen, run_stream_loadgen, AdminKind, Client, CurveConfig, LoadgenConfig,
+    ServeConfig, Server, StreamConfig,
 };
 use tlbmap_sim::Topology;
 
@@ -89,6 +89,10 @@ impl ServeOptions {
                 }
                 "--cache" => {
                     o.cfg.cache_capacity = parse_u64("--cache", &value("--cache")?)? as usize
+                }
+                "--cache-shards" => {
+                    o.cfg.cache_shards =
+                        parse_u64("--cache-shards", &value("--cache-shards")?)? as usize
                 }
                 "--deadline-ms" => {
                     o.cfg.default_deadline_ms =
@@ -224,6 +228,11 @@ pub struct ClientOptions {
     /// `client session`: flush a delta every this many `matrix_inc`
     /// events (0 = flush on `barrier` events only).
     pub batch: u64,
+    /// Loadgen: open-loop offered-load points in requests per second
+    /// (comma-separated `--rps` list). Empty = closed-loop mode.
+    pub rps: Vec<u64>,
+    /// Loadgen: how long each open-loop point runs, in milliseconds.
+    pub duration_ms: u64,
 }
 
 impl ClientOptions {
@@ -246,6 +255,8 @@ impl ClientOptions {
             phase_every: 8,
             trace: None,
             batch: 0,
+            rps: Vec::new(),
+            duration_ms: 1000,
         };
         let mut i = 0;
         while i < args.len() {
@@ -282,6 +293,18 @@ impl ClientOptions {
                 }
                 "--trace" => o.trace = Some(value("--trace")?),
                 "--batch" => o.batch = parse_u64("--batch", &value("--batch")?)?,
+                "--rps" => {
+                    o.rps = value("--rps")?
+                        .split(',')
+                        .map(|part| parse_u64("--rps", part.trim()))
+                        .collect::<Result<Vec<u64>, String>>()?;
+                    if o.rps.is_empty() {
+                        return Err("--rps needs at least one point".into());
+                    }
+                }
+                "--duration-ms" => {
+                    o.duration_ms = parse_u64("--duration-ms", &value("--duration-ms")?)?
+                }
                 flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
                 word if positional_action && o.action.is_empty() => {
                     o.action = word.to_string();
@@ -482,9 +505,15 @@ fn replay_session(client: &mut Client, path: &str, o: &ClientOptions) -> Result<
 /// requests and print a latency/throughput report. Exits non-zero if any
 /// request failed. With `--stream`, each connection opens a streaming
 /// session instead and the report shows remap decisions and latencies.
+/// With `--rps P1,P2,…`, the generator switches to an open loop: each
+/// point offers a fixed arrival rate for `--duration-ms` and the report
+/// is a p99-vs-offered-load curve.
 pub fn loadgen(o: ClientOptions) -> Result<(), String> {
     if o.stream {
         return stream_loadgen(&o);
+    }
+    if !o.rps.is_empty() {
+        return curve_loadgen(&o);
     }
     let matrix = match &o.matrix {
         Some(path) => load_matrix(path)?,
@@ -513,6 +542,38 @@ pub fn loadgen(o: ClientOptions) -> Result<(), String> {
             report.total_errors(),
             report.sent,
             report.errors
+        ));
+    }
+    Ok(())
+}
+
+/// The `--rps` arm of `tlbmap loadgen`: an open-loop offered-load sweep.
+fn curve_loadgen(o: &ClientOptions) -> Result<(), String> {
+    let matrix = match &o.matrix {
+        Some(path) => load_matrix(path)?,
+        None => CurveConfig::new().matrix,
+    };
+    let cfg = CurveConfig {
+        connections: o.connections,
+        rps_points: o.rps.clone(),
+        duration_ms: o.duration_ms,
+        deadline_ms: o.deadline_ms,
+        delay_ms: o.delay_ms,
+        matrix,
+        topo: o.topo,
+    };
+    let report = run_curve(&o.addr, &cfg)?;
+    print!("{}", report.render());
+    if let Some(path) = &o.out {
+        let mut text = report.to_json().render();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("# loadgen curve written to {path}");
+    }
+    if report.total_errors() > 0 {
+        return Err(format!(
+            "open-loop sweep saw {} failed requests",
+            report.total_errors()
         ));
     }
     Ok(())
@@ -657,6 +718,29 @@ mod tests {
             ClientOptions::parse(&words(&["stray"]), false).is_err(),
             "loadgen takes no positional argument"
         );
+    }
+
+    #[test]
+    fn parses_open_loop_loadgen_options() {
+        let o = ClientOptions::parse(
+            &words(&["--rps", "500,2000,8000", "--duration-ms", "750"]),
+            false,
+        )
+        .unwrap();
+        assert_eq!(o.rps, vec![500, 2000, 8000]);
+        assert_eq!(o.duration_ms, 750);
+        // Closed-loop default: no rps points.
+        let o = ClientOptions::parse(&[], false).unwrap();
+        assert!(o.rps.is_empty());
+        assert_eq!(o.duration_ms, 1000);
+        assert!(ClientOptions::parse(&words(&["--rps", "5x0"]), false).is_err());
+    }
+
+    #[test]
+    fn parses_cache_shard_serve_options() {
+        let o = ServeOptions::parse(&words(&["--cache-shards", "8"])).unwrap();
+        assert_eq!(o.cfg.cache_shards, 8);
+        assert_eq!(ServeOptions::parse(&[]).unwrap().cfg.cache_shards, 0);
     }
 
     #[test]

@@ -87,6 +87,40 @@ fn quantile_cell(doc: &Json, key: &str) -> String {
     }
 }
 
+/// Render the event-loop rows from the `loop` object of an `admin stats`
+/// document: open connections, registered fds, tick rate, and the
+/// per-tick batch-size quantiles. An older server without the field just
+/// loses these rows.
+pub fn render_loop_rows(table: &mut Table, doc: &Json) {
+    let Some(loop_doc) = doc.get("loop") else {
+        return;
+    };
+    table.row(vec![
+        "connections".to_string(),
+        format!(
+            "{} open, {} accepted",
+            u64_of(loop_doc, "conns_open"),
+            u64_of(loop_doc, "conns_accepted"),
+        ),
+    ]);
+    table.row(vec![
+        "event loop".to_string(),
+        format!(
+            "{} fds, {:.1} ticks/s",
+            u64_of(loop_doc, "fds"),
+            f64_of(loop_doc, "ticks_per_s"),
+        ),
+    ]);
+    table.row(vec![
+        "batch size".to_string(),
+        format!(
+            "p50 {} / p99 {}",
+            quantile_cell(loop_doc, "batch_p50"),
+            quantile_cell(loop_doc, "batch_p99"),
+        ),
+    ]);
+}
+
 /// Render the streaming-sessions rows from an `admin sessions` document:
 /// open sessions, delta throughput, remap decisions, and the warm-start
 /// hit rate.
@@ -195,6 +229,7 @@ pub fn render_frame(
         "slow requests".to_string(),
         u64_of(doc, "slow_requests").to_string(),
     ]);
+    render_loop_rows(&mut table, doc);
     if let Some(sessions) = sessions {
         render_sessions_rows(&mut table, sessions, deltas_per_s);
     }
@@ -353,6 +388,32 @@ mod tests {
         // Error total sums the per-code counters.
         assert!(frame.contains("errors"), "{frame}");
         // Without a sessions scrape the sessions rows stay out of the frame.
+        assert!(!frame.contains("sessions"), "{frame}");
+    }
+
+    #[test]
+    fn renders_event_loop_rows_from_the_loop_field() {
+        let doc = Json::obj(vec![
+            ("uptime_ms", Json::U64(2000)),
+            ("window_rps", Json::F64(10.0)),
+            (
+                "loop",
+                Json::obj(vec![
+                    ("ticks", Json::U64(480)),
+                    ("ticks_per_s", Json::F64(240.5)),
+                    ("fds", Json::U64(7)),
+                    ("conns_open", Json::U64(5)),
+                    ("conns_accepted", Json::U64(19)),
+                    ("batch_p50", Json::U64(2)),
+                    ("batch_p99", Json::Null),
+                ]),
+            ),
+        ]);
+        let frame = render_frame(&doc, None, 0.0, &[], &[]);
+        assert!(frame.contains("5 open, 19 accepted"), "{frame}");
+        assert!(frame.contains("7 fds, 240.5 ticks/s"), "{frame}");
+        assert!(frame.contains("p50 2 / p99 -"), "{frame}");
+        // The loop rows must not trip the no-sessions assertion.
         assert!(!frame.contains("sessions"), "{frame}");
     }
 

@@ -88,10 +88,15 @@ pub enum CounterId {
     WarmStartHits,
     /// Remaps where at least one level fell back to a cold solve.
     WarmStartFallbacks,
+    /// Mapping-service event-loop iterations (one per `epoll_wait`
+    /// return that found work or a wakeup).
+    ServeLoopTicks,
+    /// Mapping-service connections accepted by the readiness loop.
+    ServeConnsAccepted,
 }
 
 /// All counters, in registry order.
-pub const COUNTERS: [CounterId; 35] = [
+pub const COUNTERS: [CounterId; 37] = [
     CounterId::Accesses,
     CounterId::TlbMisses,
     CounterId::DetectionSearches,
@@ -127,6 +132,8 @@ pub const COUNTERS: [CounterId; 35] = [
     CounterId::RemapsSuppressed,
     CounterId::WarmStartHits,
     CounterId::WarmStartFallbacks,
+    CounterId::ServeLoopTicks,
+    CounterId::ServeConnsAccepted,
 ];
 
 impl CounterId {
@@ -168,6 +175,8 @@ impl CounterId {
             CounterId::RemapsSuppressed => "remaps_suppressed",
             CounterId::WarmStartHits => "warm_start_hits",
             CounterId::WarmStartFallbacks => "warm_start_fallbacks",
+            CounterId::ServeLoopTicks => "serve_loop_ticks",
+            CounterId::ServeConnsAccepted => "serve_conns_accepted",
         }
     }
 }
@@ -192,10 +201,13 @@ pub enum HistId {
     /// Streaming-session remap latency in host microseconds (drift
     /// decision to new mapping installed).
     ServeRemapLatencyUs,
+    /// Frames decoded together per mapping-service event-loop tick (the
+    /// batch the shared resident state is evaluated against).
+    ServeBatchSize,
 }
 
 /// All histograms, in registry order.
-pub const HISTS: [HistId; 7] = [
+pub const HISTS: [HistId; 8] = [
     HistId::DetectionSearchCycles,
     HistId::TlbMissInterArrival,
     HistId::MatrixIncrementAmount,
@@ -203,6 +215,7 @@ pub const HISTS: [HistId; 7] = [
     HistId::ServeRequestLatencyUs,
     HistId::ServeQueueDepth,
     HistId::ServeRemapLatencyUs,
+    HistId::ServeBatchSize,
 ];
 
 impl HistId {
@@ -216,6 +229,7 @@ impl HistId {
             HistId::ServeRequestLatencyUs => "serve_request_latency_us",
             HistId::ServeQueueDepth => "serve_queue_depth",
             HistId::ServeRemapLatencyUs => "serve_remap_latency_us",
+            HistId::ServeBatchSize => "serve_batch_size",
         }
     }
 }

@@ -12,6 +12,12 @@
 //! condvar and receive the leader's result ([`CacheOutcome::Coalesced`]).
 //! If the leader fails, one waiter is promoted to leader and retries.
 //!
+//! **Sharding:** [`ShardedCache`] splits the key space over independent
+//! [`MapCache`] shards by the hash of the matrix fingerprint, so workers
+//! resolving *different* matrices stop serializing on one global lock
+//! while identical concurrent requests (same fingerprint → same shard)
+//! still coalesce onto a single computation.
+//!
 //! [`CommMatrix::fingerprint`]: tlbmap_core::CommMatrix::fingerprint
 
 use std::collections::HashMap;
@@ -170,6 +176,66 @@ impl MapCache {
     }
 }
 
+/// A result cache split over independent [`MapCache`] shards.
+///
+/// The shard is chosen by hashing only the matrix fingerprint (the
+/// topology arities are near-constant across a deployment and would add
+/// nothing to the spread), so a given matrix always lands on the same
+/// shard and single-flight coalescing keeps working within it. Distinct
+/// matrices spread across shards and take distinct locks.
+pub struct ShardedCache {
+    shards: Vec<MapCache>,
+}
+
+impl ShardedCache {
+    /// A cache of `capacity` total entries split over `shards` shards.
+    ///
+    /// Capacity is divided evenly (rounding up, so the total is never
+    /// silently below the request); each shard keeps at least one entry.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "ShardedCache capacity must be positive");
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedCache {
+            shards: (0..shards).map(|_| MapCache::new(per_shard)).collect(),
+        }
+    }
+
+    /// Number of shards the key space is split over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to (stable for a given fingerprint).
+    pub fn shard_of(&self, key: &CacheKey) -> usize {
+        // Fibonacci multiplicative hash: the fingerprint is itself a
+        // mixed 64-bit digest, so one odd-constant multiply spreads its
+        // low bits well enough for a handful of shards.
+        let mixed = key.fingerprint.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (mixed >> 32) as usize % self.shards.len()
+    }
+
+    /// Ready entries summed across every shard.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(MapCache::len).sum()
+    }
+
+    /// Whether no shard holds a ready entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up `key` on its shard, computing with `compute` on a miss.
+    /// Only callers whose keys share a shard ever contend on a lock.
+    pub fn get_or_compute(
+        &self,
+        key: CacheKey,
+        compute: impl FnOnce() -> Result<Vec<usize>, String>,
+    ) -> (Result<Vec<usize>, String>, CacheOutcome) {
+        self.shards[self.shard_of(&key)].get_or_compute(key, compute)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +337,78 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn sharded_routing_is_stable_and_still_coalesces() {
+        let cache = ShardedCache::new(16, 4);
+        assert_eq!(cache.shard_count(), 4);
+        // Routing is a pure function of the fingerprint.
+        for fp in 0..64 {
+            assert_eq!(cache.shard_of(&key(fp)), cache.shard_of(&key(fp)));
+        }
+        // Hits still work through the shard layer.
+        let (r, o) = cache.get_or_compute(key(5), || Ok(vec![5]));
+        assert_eq!(r.unwrap(), vec![5]);
+        assert_eq!(o, CacheOutcome::Miss);
+        let (r, o) = cache.get_or_compute(key(5), || panic!("should not recompute"));
+        assert_eq!(r.unwrap(), vec![5]);
+        assert_eq!(o, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn sharded_len_sums_across_shards() {
+        let cache = ShardedCache::new(64, 4);
+        assert!(cache.is_empty());
+        for fp in 0..32 {
+            cache.get_or_compute(key(fp), || Ok(vec![fp as usize])).0.unwrap();
+        }
+        assert_eq!(cache.len(), 32);
+        // The multiplicative hash should actually spread keys: no single
+        // shard may have swallowed everything.
+        let per_shard: Vec<usize> = (0..32)
+            .map(|fp| cache.shard_of(&key(fp)))
+            .fold(vec![0usize; 4], |mut acc, s| {
+                acc[s] += 1;
+                acc
+            });
+        assert!(per_shard.iter().filter(|&&n| n > 0).count() > 1);
+    }
+
+    #[test]
+    fn sharded_capacity_divides_with_a_floor_of_one() {
+        // 2 entries over 4 shards: each shard still holds one entry, so
+        // total capacity rounds up rather than collapsing to zero.
+        let cache = ShardedCache::new(2, 4);
+        for fp in 0..16 {
+            cache.get_or_compute(key(fp), || Ok(vec![1])).0.unwrap();
+        }
+        assert!(cache.len() <= 4);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn sharded_concurrent_identical_requests_coalesce() {
+        let cache = Arc::new(ShardedCache::new(16, 4));
+        let computations = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computations = Arc::clone(&computations);
+                std::thread::spawn(move || {
+                    cache.get_or_compute(key(42), || {
+                        computations.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        Ok(vec![4, 2])
+                    })
+                })
+            })
+            .collect();
+        for t in threads {
+            let (r, _) = t.join().unwrap();
+            assert_eq!(r.unwrap(), vec![4, 2]);
+        }
+        assert_eq!(computations.load(Ordering::SeqCst), 1);
     }
 
     #[test]

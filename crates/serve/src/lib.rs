@@ -15,16 +15,27 @@
 //!   response schemas, stable error codes.
 //! * [`ServeConfig`] — worker/queue/cache sizing with the zero hazards
 //!   guarded (mirroring `ObsConfig`'s snapshot-period-0 precedent).
-//! * [`MapCache`] — an LRU result cache keyed by the matrix
-//!   [fingerprint](tlbmap_core::CommMatrix::fingerprint) + topology, with
-//!   single-flight coalescing of identical concurrent requests.
-//! * [`Server`]/[`ServerHandle`] — the TCP server: a handwritten worker
-//!   pool behind a **bounded** queue (overload answers an `overloaded`
-//!   error frame instead of hanging), per-request deadlines, and graceful
-//!   shutdown that drains in-flight work.
+//! * [`MapCache`]/[`ShardedCache`] — an LRU result cache keyed by the
+//!   matrix [fingerprint](tlbmap_core::CommMatrix::fingerprint) +
+//!   topology, with single-flight coalescing of identical concurrent
+//!   requests; the server shards it by fingerprint hash (one shard per
+//!   worker by default) so unrelated requests never contend on one lock.
+//! * [`sys`] — a `std`-only epoll/eventfd wrapper over raw fds (the four
+//!   syscalls the readiness loop needs, declared against the libc `std`
+//!   already links).
+//! * [`Server`]/[`ServerHandle`] — the TCP server: a nonblocking
+//!   **readiness loop** owns every socket (connections are slab entries,
+//!   not threads; frames arriving in the same tick decode as one batch),
+//!   and a handwritten worker pool behind a **bounded** queue evaluates
+//!   `map` requests against one shared resident mapper (overload answers
+//!   an `overloaded` error frame instead of hanging), with per-request
+//!   deadlines and graceful shutdown that drains in-flight work on an
+//!   eventfd doorbell.
 //! * [`Client`] — a blocking client speaking the same frames.
-//! * [`loadgen`] — N connections × M requests, reporting p50/p90/p99
-//!   latency, throughput, and a per-second time series.
+//! * [`loadgen`] — closed loop (N connections × M requests, p50/p90/p99
+//!   + a per-second time series) and open loop ([`run_curve`]: fixed
+//!   arrival rates, latency from scheduled send time, a p99-vs-offered-
+//!   load curve).
 //!
 //! The server records everything through `tlbmap-obs` (request counters,
 //! latency histogram, queue-depth histogram, cache hit/miss counters), so
@@ -68,13 +79,14 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod sys;
 
-pub use cache::{CacheKey, CacheOutcome, MapCache};
+pub use cache::{CacheKey, CacheOutcome, MapCache, ShardedCache};
 pub use client::{Client, MapReply, ServeError};
 pub use config::ServeConfig;
 pub use loadgen::{
-    run_loadgen, run_stream_loadgen, stream_delta, LoadgenConfig, LoadgenReport, SecondStat,
-    StreamConfig, StreamReport,
+    run_curve, run_loadgen, run_stream_loadgen, stream_delta, CurveConfig, CurvePoint,
+    CurveReport, LoadgenConfig, LoadgenReport, SecondStat, StreamConfig, StreamReport,
 };
 pub use protocol::{AdminKind, DeltaDecision, ErrorCode, Request, Response, PROTOCOL_VERSION};
 pub use server::{Server, ServerHandle};

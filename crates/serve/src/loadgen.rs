@@ -1,7 +1,22 @@
-//! Closed-loop load generator: N connections × M requests each.
+//! Load generators: a closed loop (N connections × M requests) and an
+//! open loop (target arrival rate, latency from *scheduled* send time).
 //!
-//! Each connection is a thread running a closed loop (send, wait, send),
-//! so the offered load is `connections` in-flight requests at all times.
+//! In the closed loop each connection is a thread running send, wait,
+//! send — the offered load is `connections` in-flight requests at all
+//! times, and the measured latency is a *response time under constant
+//! concurrency*. That is the wrong instrument for a capacity question:
+//! when the server slows down, a closed loop slows its own arrivals too,
+//! so queueing delay hides (coordinated omission).
+//!
+//! The open loop ([`run_curve`]) instead fixes an arrival schedule at a
+//! target RPS — request *j* of a point is due at `start + j/rps`,
+//! striped round-robin across the connections — and measures each
+//! latency from its **scheduled** send time, so a stalled server keeps
+//! accumulating due requests and the stall shows up in the percentiles
+//! instead of disappearing into a slower send rate. Sweeping several RPS
+//! points yields a p99-vs-offered-load curve, the shape capacity
+//! planning actually needs.
+//!
 //! Latencies are merged across connections and summarized with the
 //! nearest-rank percentiles from `tlbmap-bench`, putting service latency
 //! in the same statistical vocabulary as the simulator's benchmarks.
@@ -470,6 +485,330 @@ pub fn run_loadgen(addr: &str, cfg: &LoadgenConfig) -> Result<LoadgenReport, Str
     })
 }
 
+/// What the open-loop load generator sends (`loadgen --rps`).
+#[derive(Debug, Clone)]
+pub struct CurveConfig {
+    /// Connections the arrival schedule is striped across.
+    pub connections: usize,
+    /// Offered-load points to sweep, in requests per second.
+    pub rps_points: Vec<u64>,
+    /// How long each point runs, in milliseconds.
+    pub duration_ms: u64,
+    /// Per-request deadline in milliseconds (0 = server default).
+    pub deadline_ms: u64,
+    /// Artificial worker delay per request in milliseconds.
+    pub delay_ms: u64,
+    /// The matrix every request carries.
+    pub matrix: CommMatrix,
+    /// The topology every request targets.
+    pub topo: Topology,
+}
+
+impl CurveConfig {
+    /// A small default sweep: 500 / 2000 / 8000 offered RPS for 1 s each
+    /// over 4 connections, same ring matrix as [`LoadgenConfig::new`].
+    pub fn new() -> Self {
+        let base = LoadgenConfig::new();
+        CurveConfig {
+            connections: 4,
+            rps_points: vec![500, 2000, 8000],
+            duration_ms: 1000,
+            deadline_ms: 0,
+            delay_ms: 0,
+            matrix: base.matrix,
+            topo: base.topo,
+        }
+    }
+}
+
+impl Default for CurveConfig {
+    fn default() -> Self {
+        CurveConfig::new()
+    }
+}
+
+/// One offered-load point of an open-loop sweep.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// The target arrival rate of this point (requests per second).
+    pub offered_rps: u64,
+    /// Requests the schedule called for (and the connections attempted).
+    pub sent: usize,
+    /// Requests answered with a mapping.
+    pub ok: usize,
+    /// Of the `ok` answers, how many the server served from cache.
+    pub cached: usize,
+    /// Failures by error label.
+    pub errors: BTreeMap<String, usize>,
+    /// Median latency in microseconds, measured from *scheduled* send.
+    pub p50_us: f64,
+    /// 90th percentile, scheduled-send basis.
+    pub p90_us: f64,
+    /// 99th percentile, scheduled-send basis.
+    pub p99_us: f64,
+    /// Completions per second actually achieved over the point's wall
+    /// clock. Tracks `offered_rps` until the server saturates.
+    pub achieved_rps: f64,
+    /// Worst observed send lag behind schedule in microseconds — how far
+    /// the *generator* fell behind, as opposed to the server. Large
+    /// values mean the curve under-offered and the point should be read
+    /// with suspicion.
+    pub max_lag_us: f64,
+    /// Wall-clock duration of the point in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl CurvePoint {
+    /// JSON shape used inside the curve report's `points` array.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("offered_rps", Json::U64(self.offered_rps)),
+            ("sent", Json::U64(self.sent as u64)),
+            ("ok", Json::U64(self.ok as u64)),
+            ("cached", Json::U64(self.cached as u64)),
+            (
+                "errors",
+                Json::Obj(
+                    self.errors
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::U64(*v as u64)))
+                        .collect(),
+                ),
+            ),
+            ("p50_us", Json::F64(self.p50_us)),
+            ("p90_us", Json::F64(self.p90_us)),
+            ("p99_us", Json::F64(self.p99_us)),
+            ("achieved_rps", Json::F64(self.achieved_rps)),
+            ("max_lag_us", Json::F64(self.max_lag_us)),
+            ("wall_ms", Json::F64(self.wall_ms)),
+        ])
+    }
+}
+
+/// Aggregated result of an open-loop sweep: one [`CurvePoint`] per
+/// offered-load level, in the order they were run.
+#[derive(Debug, Clone)]
+pub struct CurveReport {
+    /// Connections the schedule was striped across.
+    pub connections: usize,
+    /// Milliseconds each point ran.
+    pub duration_ms: u64,
+    /// The measured points.
+    pub points: Vec<CurvePoint>,
+}
+
+impl CurveReport {
+    /// Total failed requests across all points.
+    pub fn total_errors(&self) -> usize {
+        self.points.iter().map(|p| p.errors.values().sum::<usize>()).sum()
+    }
+
+    /// Whether achieved throughput is monotone (non-decreasing, within
+    /// `tolerance` as a fraction) in offered load across the sweep — the
+    /// sanity property the CI service gate asserts: more offered load
+    /// must never *reduce* completions until the generator itself lags.
+    pub fn monotone_achieved(&self, tolerance: f64) -> bool {
+        self.points.windows(2).all(|w| {
+            w[1].achieved_rps >= w[0].achieved_rps * (1.0 - tolerance)
+        })
+    }
+
+    /// The report as a benchmark-artifact JSON document (kind
+    /// `"loadgen_curve"`), shaped like the other `results/BENCH_*.json`
+    /// files. `monotone_achieved` is precomputed (10% tolerance) so
+    /// text-level CI gates can grep for it.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::Str("loadgen_curve".into())),
+            ("connections", Json::U64(self.connections as u64)),
+            ("duration_ms_per_point", Json::U64(self.duration_ms)),
+            (
+                "monotone_achieved",
+                Json::Bool(self.monotone_achieved(0.10)),
+            ),
+            (
+                "points",
+                Json::Arr(self.points.iter().map(CurvePoint::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Render the sweep as a plain-text table, one row per point.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec![
+            "offered rps",
+            "achieved rps",
+            "ok",
+            "errors",
+            "p50 (us)",
+            "p99 (us)",
+            "max lag (us)",
+        ]);
+        for p in &self.points {
+            table.row(vec![
+                p.offered_rps.to_string(),
+                format!("{:.0}", p.achieved_rps),
+                p.ok.to_string(),
+                p.errors.values().sum::<usize>().to_string(),
+                format!("{:.1}", p.p50_us),
+                format!("{:.1}", p.p99_us),
+                format!("{:.0}", p.max_lag_us),
+            ]);
+        }
+        let mut out = table.render();
+        if self.points.len() > 1 {
+            let p99: Vec<f64> = self.points.iter().map(|p| p.p99_us).collect();
+            out.push_str(&format!("  p99 vs load  {}\n", sparkline(&p99)));
+        }
+        out
+    }
+}
+
+/// One connection's share of an open-loop point: requests `first`,
+/// `first + stride`, … below `total`, each due at `start + j/rps` on the
+/// *global* schedule. Sleeps until each due time, then measures from the
+/// due time — a late send (server stall backing up this connection)
+/// charges its wait to the latency, which is the whole point of an open
+/// loop.
+#[allow(clippy::too_many_arguments)]
+fn run_open_loop_connection(
+    addr: &str,
+    cfg: &CurveConfig,
+    rps: u64,
+    first: usize,
+    stride: usize,
+    total: usize,
+    start: Instant,
+) -> Result<PointOutcome, String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut outcome = PointOutcome::default();
+    let deadline = if cfg.deadline_ms > 0 {
+        Some(cfg.deadline_ms)
+    } else {
+        None
+    };
+    let mut j = first;
+    while j < total {
+        let due = start + Duration::from_nanos((j as u64).saturating_mul(1_000_000_000) / rps);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let lag_us = Instant::now().saturating_duration_since(due).as_secs_f64() * 1e6;
+        outcome.max_lag_us = outcome.max_lag_us.max(lag_us);
+        let result = client.map(&cfg.matrix, &cfg.topo, deadline, cfg.delay_ms);
+        let latency_us = Instant::now().saturating_duration_since(due).as_secs_f64() * 1e6;
+        outcome.sent += 1;
+        match result {
+            Ok(reply) => {
+                outcome.latencies.push(latency_us);
+                outcome.ok += 1;
+                if reply.cached {
+                    outcome.cached += 1;
+                }
+            }
+            Err(e) => {
+                *outcome.errors.entry(error_label(&e)).or_insert(0) += 1;
+                if matches!(e, ServeError::Transport(_)) {
+                    break;
+                }
+            }
+        }
+        j += stride;
+    }
+    Ok(outcome)
+}
+
+#[derive(Default)]
+struct PointOutcome {
+    latencies: Vec<f64>,
+    sent: usize,
+    ok: usize,
+    cached: usize,
+    errors: BTreeMap<String, usize>,
+    max_lag_us: f64,
+}
+
+/// Run one offered-load point of the sweep.
+fn run_curve_point(addr: &str, cfg: &CurveConfig, rps: u64) -> Result<CurvePoint, String> {
+    let total = ((rps.saturating_mul(cfg.duration_ms)) / 1000).max(1) as usize;
+    let start = Instant::now();
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections.min(total))
+            .map(|first| {
+                scope.spawn(move || {
+                    run_open_loop_connection(addr, cfg, rps, first, cfg.connections, total, start)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| "open-loop connection thread panicked".to_string())?
+            })
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+    let wall = start.elapsed();
+    let mut latencies = Vec::new();
+    let mut point = CurvePoint {
+        offered_rps: rps,
+        sent: 0,
+        ok: 0,
+        cached: 0,
+        errors: BTreeMap::new(),
+        p50_us: 0.0,
+        p90_us: 0.0,
+        p99_us: 0.0,
+        achieved_rps: 0.0,
+        max_lag_us: 0.0,
+        wall_ms: wall.as_secs_f64() * 1e3,
+    };
+    for o in outcomes {
+        latencies.extend(o.latencies);
+        point.sent += o.sent;
+        point.ok += o.ok;
+        point.cached += o.cached;
+        point.max_lag_us = point.max_lag_us.max(o.max_lag_us);
+        for (label, count) in o.errors {
+            *point.errors.entry(label).or_insert(0) += count;
+        }
+    }
+    point.p50_us = percentile(&latencies, 50.0).unwrap_or(0.0);
+    point.p90_us = percentile(&latencies, 90.0).unwrap_or(0.0);
+    point.p99_us = percentile(&latencies, 99.0).unwrap_or(0.0);
+    if wall.as_secs_f64() > 0.0 {
+        point.achieved_rps = point.ok as f64 / wall.as_secs_f64();
+    }
+    Ok(point)
+}
+
+/// Run the open-loop sweep against a live server at `addr`: one
+/// [`CurvePoint`] per entry of [`CurveConfig::rps_points`], in order.
+/// Points run back to back on fresh connections, so later points start
+/// with the server's cache warm from the earlier ones — deliberate: the
+/// curve isolates *load* effects, not cold-start effects.
+pub fn run_curve(addr: &str, cfg: &CurveConfig) -> Result<CurveReport, String> {
+    if cfg.connections == 0 || cfg.rps_points.is_empty() || cfg.duration_ms == 0 {
+        return Err(
+            "open-loop loadgen needs at least 1 connection, 1 rps point, and a positive duration"
+                .to_string(),
+        );
+    }
+    if cfg.rps_points.contains(&0) {
+        return Err("open-loop rps points must be positive".to_string());
+    }
+    let mut points = Vec::with_capacity(cfg.rps_points.len());
+    for &rps in &cfg.rps_points {
+        points.push(run_curve_point(addr, cfg, rps)?);
+    }
+    Ok(CurveReport {
+        connections: cfg.connections,
+        duration_ms: cfg.duration_ms,
+        points,
+    })
+}
+
 /// What the streaming load generator sends (`loadgen --stream`).
 #[derive(Debug, Clone)]
 pub struct StreamConfig {
@@ -878,6 +1217,86 @@ mod tests {
         let mut cfg = StreamConfig::new();
         cfg.sessions = 0;
         assert!(run_stream_loadgen("127.0.0.1:1", &cfg).is_err());
+    }
+
+    fn sample_point(rps: u64, achieved: f64, p99: f64) -> CurvePoint {
+        CurvePoint {
+            offered_rps: rps,
+            sent: 100,
+            ok: 100,
+            cached: 99,
+            errors: BTreeMap::new(),
+            p50_us: 100.0,
+            p90_us: 200.0,
+            p99_us: p99,
+            achieved_rps: achieved,
+            max_lag_us: 40.0,
+            wall_ms: 1000.0,
+        }
+    }
+
+    #[test]
+    fn curve_report_json_has_the_benchmark_shape() {
+        let report = CurveReport {
+            connections: 4,
+            duration_ms: 1000,
+            points: vec![
+                sample_point(500, 499.0, 300.0),
+                sample_point(2000, 1998.0, 450.0),
+                sample_point(8000, 7100.0, 2200.0),
+            ],
+        };
+        let json = report.to_json();
+        assert_eq!(
+            json.get("kind").and_then(Json::as_str),
+            Some("loadgen_curve")
+        );
+        assert_eq!(json.get("monotone_achieved"), Some(&Json::Bool(true)));
+        let points = json.get("points").and_then(Json::as_array).unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].get("offered_rps").and_then(Json::as_u64), Some(500));
+        assert_eq!(points[2].get("p99_us"), Some(&Json::F64(2200.0)));
+        let text = report.render();
+        assert!(text.contains("offered rps"), "{text}");
+        assert!(text.contains("p99 vs load"), "{text}");
+        assert_eq!(report.total_errors(), 0);
+    }
+
+    #[test]
+    fn curve_monotonicity_allows_tolerance_but_not_collapse() {
+        let rising = CurveReport {
+            connections: 4,
+            duration_ms: 1000,
+            points: vec![sample_point(500, 500.0, 300.0), sample_point(2000, 1900.0, 400.0)],
+        };
+        assert!(rising.monotone_achieved(0.10));
+        // A small sag within tolerance still counts as monotone…
+        let sag = CurveReport {
+            connections: 4,
+            duration_ms: 1000,
+            points: vec![sample_point(500, 500.0, 300.0), sample_point(2000, 460.0, 400.0)],
+        };
+        assert!(sag.monotone_achieved(0.10));
+        // …but a collapse does not.
+        let collapse = CurveReport {
+            connections: 4,
+            duration_ms: 1000,
+            points: vec![sample_point(500, 500.0, 300.0), sample_point(2000, 300.0, 400.0)],
+        };
+        assert!(!collapse.monotone_achieved(0.10));
+    }
+
+    #[test]
+    fn zero_sized_curves_are_rejected() {
+        let mut cfg = CurveConfig::new();
+        cfg.rps_points.clear();
+        assert!(run_curve("127.0.0.1:1", &cfg).is_err());
+        let mut cfg = CurveConfig::new();
+        cfg.rps_points = vec![500, 0];
+        assert!(run_curve("127.0.0.1:1", &cfg).is_err());
+        let mut cfg = CurveConfig::new();
+        cfg.duration_ms = 0;
+        assert!(run_curve("127.0.0.1:1", &cfg).is_err());
     }
 
     #[test]

@@ -1,26 +1,54 @@
-//! The mapping server: acceptor, bounded work queue, worker pool, and the
-//! live telemetry plane.
+//! The mapping server: a nonblocking readiness loop, bounded work queue,
+//! worker pool, and the live telemetry plane.
 //!
 //! ## Threading model
 //!
 //! ```text
-//! acceptor thread ──accept──▶ one thread per connection
-//!                                   │  (parses frames, answers
-//!                                   │   health/stats/admin inline)
-//!                                   ▼
-//!                           bounded job queue ──▶ worker pool
-//!                                   │                 │
-//!                            full → `overloaded`      ▼
-//!                                            cache / mapper
+//!            epoll (level-triggered)
+//!                      │
+//!               event-loop thread ◀──eventfd wake── workers
+//!      accept / read / decode / answer inline           ▲
+//!                      │                                │
+//!              bounded job queue ──▶ worker pool ── completions
+//!                      │                  │
+//!               full → `overloaded`       ▼
+//!                            sharded cache / shared mapper
 //! ```
 //!
-//! Backpressure is explicit: the queue is bounded and a full queue answers
-//! an `overloaded` error frame immediately instead of letting latency grow
-//! without bound. Deadlines are checked when a worker dequeues a job — a
-//! request that waited past its deadline is answered `timeout` without
-//! doing the work. Shutdown is graceful: the acceptor stops, connection
-//! threads finish their in-flight request, and workers drain every job
-//! already admitted to the queue before exiting.
+//! One **event-loop thread** owns every socket: it accepts, reads, and
+//! writes nonblocking fds behind an epoll interest list ([`crate::sys`]),
+//! keeping per-connection read/write state machines with partial-frame
+//! buffers. Frames that arrive in the same readiness tick are decoded
+//! together — one *batch* — and answered against shared resident state
+//! (one [`HierarchicalMapper`], one sharded result cache) instead of
+//! per-thread copies. Concurrency is bounded by fds, not OS threads: a
+//! thousand idle keep-alive connections cost a thousand slab slots and
+//! zero stacks.
+//!
+//! Cheap requests (`health`, `stats`, `admin`, the session plane, and
+//! `shutdown`) are answered inline on the loop. `map` requests are
+//! admitted to the bounded job queue and picked up by the worker pool;
+//! workers publish completions to a shared vector and ring an `eventfd`
+//! doorbell, so the loop wakes exactly when there is work to deliver —
+//! there is no sleep-based polling anywhere.
+//!
+//! Backpressure is explicit: a full queue answers an `overloaded` error
+//! frame immediately instead of letting latency grow without bound.
+//! Deadlines are checked when a worker dequeues a job. Requests on one
+//! connection are answered strictly in order (a connection with a map in
+//! flight buffers subsequent bytes until the answer is queued), so the
+//! wire contract matches the old thread-per-connection server exactly.
+//!
+//! ## Drain protocol
+//!
+//! Shutdown (client `shutdown` frame or [`ServerHandle::shutdown`]) stops
+//! the listener at once but keeps every open connection serviced:
+//! admitted jobs finish, refusals (`shutting_down`) are answered for new
+//! map/session work, and `close_session` is still honoured. The loop
+//! exits only once no job is in flight, every write buffer has drained,
+//! and a short linger window has passed with no new traffic — so a client
+//! that probes right after its `shutdown` response still gets answers,
+//! exactly as it did when each connection had a dedicated thread.
 //!
 //! ## Telemetry plane
 //!
@@ -35,18 +63,24 @@
 //!   optional JSONL writer, for requests over
 //!   [`ServeConfig::slow_threshold_us`].
 //!
-//! Per-error-code counting happens at the single response-send choke
+//! The loop itself is measured too: ticks ([`CounterId::ServeLoopTicks`]),
+//! per-tick batch sizes ([`HistId::ServeBatchSize`]), accepted and open
+//! connections, and registered fds, all surfaced as a nested `loop`
+//! object in the `admin stats` document.
+//!
+//! Per-error-code counting happens at the single response-queue choke
 //! point, so every `bad_frame`/`overloaded`/`timeout`/… answer is counted
 //! exactly once no matter where it originated. A plain `GET` on the
 //! service port (detected by the 4 length-prefix bytes spelling `"GET "`)
-//! is answered with a plain-text metrics exposition so `curl` and scrapers
-//! work without speaking the frame protocol.
+//! is answered with a plain-text metrics exposition so `curl` and
+//! scrapers work without speaking the frame protocol.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use tlbmap_core::CommMatrix;
@@ -54,22 +88,38 @@ use tlbmap_mapping::HierarchicalMapper;
 use tlbmap_obs::{CounterId, Event, HistId, Json, LiveRegistry, Recorder};
 use tlbmap_sim::Topology;
 
-use crate::cache::{CacheKey, CacheOutcome, MapCache};
+use crate::cache::{CacheKey, CacheOutcome, ShardedCache};
 use crate::config::ServeConfig;
 use crate::protocol::{
     check_version, write_frame, AdminKind, ErrorCode, FrameError, Request, Response,
 };
 use crate::session::SessionRegistry;
+use crate::sys::{Epoll, EpollEvent, WakeFd, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
-/// How often blocked reads wake up to check the shutdown flag.
-const READ_POLL: Duration = Duration::from_millis(50);
-/// How often the non-blocking acceptor polls between connections.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// Most recent slow-request entries retained for `admin trace`.
 const SLOW_RING_CAP: usize = 256;
+/// Readiness reports drained per `epoll_wait` call. Level-triggered
+/// registration makes this a throughput knob, not a correctness one:
+/// anything beyond the batch stays ready and lands in the next tick.
+const EVENT_BATCH: usize = 256;
+/// epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// epoll token of the wake doorbell.
+const TOKEN_WAKE: u64 = 1;
+/// Connection tokens start here: token = slot index + `TOKEN_CONN_BASE`.
+const TOKEN_CONN_BASE: u64 = 2;
+/// After drain quiesces (no in-flight work, buffers flushed), the loop
+/// lingers this long so a client can still probe the draining server on
+/// an open connection — the event-loop analogue of the old per-thread
+/// read-poll grace.
+const DRAIN_LINGER: Duration = Duration::from_millis(100);
+/// How long an HTTP `GET` may dribble headers before the exposition is
+/// answered with whatever arrived.
+const HTTP_HEADER_TIMEOUT: Duration = Duration::from_millis(200);
+/// HTTP header bytes drained before answering regardless.
+const HTTP_HEADER_CAP: usize = 8192;
 
-/// A connection thread's verdict plus the worker-side span timings, sent
-/// back over the job's reply channel.
+/// A worker's verdict plus the worker-side span timings.
 struct WorkerDone {
     response: Response,
     /// Time the job spent queued before a worker dequeued it.
@@ -78,14 +128,31 @@ struct WorkerDone {
     compute_us: u64,
 }
 
+/// A finished job on its way back to the event loop.
+struct Completion {
+    /// Slab slot of the owning connection.
+    slot: usize,
+    /// Slot generation at admission — a reused slot ignores stale
+    /// completions addressed to its previous occupant.
+    generation: u64,
+    req_id: u64,
+    parse_us: u64,
+    /// When the request frame was decoded (total-latency anchor).
+    started: Instant,
+    done: WorkerDone,
+}
+
 struct Job {
     req_id: u64,
+    slot: usize,
+    generation: u64,
+    parse_us: u64,
+    started: Instant,
     matrix: CommMatrix,
     topo: Topology,
     deadline: Option<Instant>,
     delay_ms: u64,
     enqueued_at: Instant,
-    reply: mpsc::Sender<WorkerDone>,
 }
 
 enum SubmitError {
@@ -166,7 +233,11 @@ impl JobQueue {
 struct Shared {
     cfg: ServeConfig,
     queue: JobQueue,
-    cache: Option<MapCache>,
+    cache: Option<ShardedCache>,
+    /// The shared resident mapper every worker maps through (the mapper
+    /// is stateless, so sharing one is free — and it is the single
+    /// evaluation point the per-tick batches converge on).
+    mapper: HierarchicalMapper,
     rec: Recorder,
     /// Rolling-window live metrics behind the admin endpoint.
     live: LiveRegistry,
@@ -178,6 +249,14 @@ struct Shared {
     busy_workers: AtomicU64,
     /// Cumulative worker busy time in microseconds (for utilization).
     busy_us: AtomicU64,
+    /// Open connections (gauge, maintained by the event loop).
+    conns_open: AtomicU64,
+    /// Fds on the epoll interest list (gauge: conns + listener + wake).
+    fds_registered: AtomicU64,
+    /// Finished jobs awaiting delivery; workers push, the loop drains.
+    completions: Mutex<Vec<Completion>>,
+    /// The doorbell that wakes the loop for completions and drain.
+    wake: WakeFd,
     /// Most recent slow requests, oldest first (`admin trace`).
     slow_ring: Mutex<VecDeque<Json>>,
     /// Optional JSONL sink for slow requests (one object per line).
@@ -207,8 +286,8 @@ pub struct Server;
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:7411"`, or port 0 for an ephemeral
-    /// port) and start the acceptor and worker threads. All observability
-    /// flows through `rec`.
+    /// port) and start the event-loop and worker threads. All
+    /// observability flows through `rec`.
     pub fn start(addr: &str, cfg: ServeConfig, rec: Recorder) -> io::Result<ServerHandle> {
         Server::start_with_slow_log(addr, cfg, rec, None)
     }
@@ -229,13 +308,20 @@ impl Server {
 
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.effective_queue_capacity()),
-            cache: cfg.effective_cache_capacity().map(MapCache::new),
+            cache: cfg
+                .effective_cache_capacity()
+                .map(|cap| ShardedCache::new(cap, cfg.effective_cache_shards())),
+            mapper: HierarchicalMapper::new(),
             rec,
             live: LiveRegistry::new(cfg.effective_telemetry()),
             started: Instant::now(),
             next_conn_id: AtomicU64::new(1),
             busy_workers: AtomicU64::new(0),
             busy_us: AtomicU64::new(0),
+            conns_open: AtomicU64::new(0),
+            fds_registered: AtomicU64::new(0),
+            completions: Mutex::new(Vec::new()),
+            wake: WakeFd::new()?,
             slow_ring: Mutex::new(VecDeque::new()),
             slow_writer: slow_log.map(Mutex::new),
             sessions: SessionRegistry::new(&cfg),
@@ -253,22 +339,19 @@ impl Server {
             })
             .collect();
 
-        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let acceptor = {
+        let event_loop = {
             let shared = Arc::clone(&shared);
-            let conns = Arc::clone(&conns);
             std::thread::Builder::new()
-                .name("serve-acceptor".to_string())
-                .spawn(move || acceptor_loop(listener, &shared, &conns))
-                .expect("spawn acceptor thread")
+                .name("serve-loop".to_string())
+                .spawn(move || event_loop(listener, &shared))
+                .expect("spawn event-loop thread")
         };
 
         Ok(ServerHandle {
             addr: local_addr,
             shared,
-            acceptor: Some(acceptor),
+            event_loop: Some(event_loop),
             workers,
-            conns,
         })
     }
 }
@@ -277,9 +360,8 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    event_loop: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
 impl ServerHandle {
@@ -306,21 +388,20 @@ impl ServerHandle {
     }
 
     /// Begin graceful shutdown from the hosting process: stop accepting,
-    /// drain admitted work, then let every thread exit.
+    /// drain admitted work, then let every thread exit. The doorbell
+    /// wakes the loop immediately — there is no polling interval to wait
+    /// out.
     pub fn shutdown(&self) {
         self.shared.begin_shutdown();
+        self.shared.wake.wake();
     }
 
     /// Wait for the server to finish. Only returns once shutdown has been
     /// triggered (by [`Self::shutdown`] or a client request) and all
     /// in-flight work has drained.
     pub fn join(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
-        for conn in conns {
-            let _ = conn.join();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -328,116 +409,548 @@ impl ServerHandle {
     }
 }
 
-fn acceptor_loop(
-    listener: TcpListener,
+/// One connection's state machine on the loop: partial-frame read buffer,
+/// pending-write buffer, and the in-order dispatch gate.
+struct Conn {
+    stream: TcpStream,
+    /// Guards completions against slab-slot reuse.
+    generation: u64,
+    conn_id: u64,
+    seq: u64,
+    /// Bytes read but not yet decoded (may end mid-frame).
+    rbuf: Vec<u8>,
+    /// Encoded responses not yet written.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` has been written.
+    wpos: usize,
+    /// Interest mask currently registered with epoll.
+    interest: u32,
+    /// `Some(when detected)` once the length-prefix bytes spelled
+    /// `"GET "`: the connection is an HTTP scraper, not a frame peer.
+    http: Option<Instant>,
+    /// The peer closed its write half (EOF observed).
+    peer_closed: bool,
+    /// Close once `wbuf` drains (oversized frame, HTTP one-shot).
+    close_after_flush: bool,
+    /// A map job is out with the workers; frames buffered behind it wait
+    /// so responses stay in request order.
+    inflight: bool,
+}
+
+impl Conn {
+    fn flushed(&self) -> bool {
+        self.wpos == self.wbuf.len()
+    }
+}
+
+/// Loop-private state: the connection slab and drain bookkeeping.
+struct LoopState {
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_generation: u64,
+    /// Jobs admitted but not yet completed (across all connections).
+    inflight_total: usize,
+    /// Last accept/frame/completion activity, for the drain linger.
+    last_activity: Instant,
+}
+
+fn event_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let Ok(epoll) = Epoll::new() else {
+        shared.begin_shutdown();
+        return;
+    };
+    let mut listener = Some(listener);
+    if let Some(l) = &listener {
+        if epoll.add(l.as_raw_fd(), EPOLLIN, TOKEN_LISTENER).is_err() {
+            shared.begin_shutdown();
+            return;
+        }
+    }
+    if epoll.add(shared.wake.fd(), EPOLLIN, TOKEN_WAKE).is_err() {
+        shared.begin_shutdown();
+        return;
+    }
+    shared.fds_registered.store(2, Ordering::Relaxed);
+
+    let mut state = LoopState {
+        conns: Vec::new(),
+        free: Vec::new(),
+        next_generation: 0,
+        inflight_total: 0,
+        last_activity: Instant::now(),
+    };
+    let mut events = vec![EpollEvent::zeroed(); EVENT_BATCH];
+
+    loop {
+        let timeout = next_timeout(&state, shared);
+        let n = match epoll.wait(&mut events, timeout) {
+            Ok(n) => n,
+            Err(_) => {
+                shared.begin_shutdown();
+                break;
+            }
+        };
+        shared.rec.inc(CounterId::ServeLoopTicks);
+
+        // A drain stops the listener at once; open connections live on.
+        if shared.shutting_down() {
+            if let Some(l) = listener.take() {
+                let _ = epoll.del(l.as_raw_fd());
+                shared.fds_registered.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+
+        let mut activity = false;
+        let mut accept_ready = false;
+        let mut touched: Vec<usize> = Vec::new();
+        for ev in &events[..n] {
+            match ev.token() {
+                TOKEN_WAKE => shared.wake.drain(),
+                TOKEN_LISTENER => accept_ready = true,
+                token => {
+                    let slot = (token - TOKEN_CONN_BASE) as usize;
+                    if ev.readiness() & EPOLLOUT != 0 {
+                        touched.push(slot);
+                    }
+                    // Read on anything else too (ERR/HUP surface as read
+                    // errors or EOF, which is how they are handled).
+                    if ev.readiness() & !EPOLLOUT != 0 {
+                        match read_into(&mut state.conns, slot) {
+                            Ok(read_any) => {
+                                activity |= read_any;
+                                touched.push(slot);
+                            }
+                            Err(()) => close_conn(&epoll, &mut state, shared, slot),
+                        }
+                    }
+                }
+            }
+        }
+
+        if accept_ready {
+            if let Some(l) = &listener {
+                activity |= accept_burst(&epoll, l, shared, &mut state, &mut touched);
+            }
+        }
+
+        // Deliver finished jobs before decoding: a connection whose map
+        // just completed may have buffered frames waiting their turn.
+        activity |= deliver_completions(shared, &mut state, &mut touched);
+
+        // HTTP header timeouts fire even on quiet ticks.
+        for slot in 0..state.conns.len() {
+            if let Some(conn) = &state.conns[slot] {
+                if let Some(started) = conn.http {
+                    if started.elapsed() >= HTTP_HEADER_TIMEOUT && !conn.close_after_flush {
+                        touched.push(slot);
+                    }
+                }
+            }
+        }
+
+        touched.sort_unstable();
+        touched.dedup();
+
+        // The batch: every frame decoded across every readable
+        // connection this tick, dispatched against the shared state.
+        let mut batch: u64 = 0;
+        for &slot in &touched {
+            process_conn(&epoll, &mut state, shared, slot, &mut batch);
+        }
+        if batch > 0 {
+            activity = true;
+            shared.rec.observe(HistId::ServeBatchSize, batch);
+            shared.live.observe(HistId::ServeBatchSize, batch);
+        }
+        for &slot in &touched {
+            finalize_conn(&epoll, &mut state, shared, slot);
+        }
+
+        if activity {
+            state.last_activity = Instant::now();
+        }
+
+        if shared.shutting_down()
+            && state.inflight_total == 0
+            && state
+                .conns
+                .iter()
+                .flatten()
+                .all(|conn| conn.flushed())
+            && state.last_activity.elapsed() >= DRAIN_LINGER
+        {
+            break;
+        }
+    }
+
+    // Drop of the slab closes every remaining socket; `epoll` and the
+    // listener close on drop as well.
+    shared.conns_open.store(0, Ordering::Relaxed);
+    shared.fds_registered.store(0, Ordering::Relaxed);
+}
+
+/// The epoll timeout for the next tick: `None` (wait forever — accepts,
+/// reads, and the doorbell are all edge sources) unless a timer is
+/// pending: the drain linger, or an HTTP header deadline.
+fn next_timeout(state: &LoopState, shared: &Shared) -> Option<u64> {
+    let mut timeout: Option<u64> = None;
+    let mut consider = |ms: u64| {
+        timeout = Some(timeout.map_or(ms, |t| t.min(ms)));
+    };
+    if shared.shutting_down() && state.inflight_total == 0 {
+        let waited = state.last_activity.elapsed();
+        consider(DRAIN_LINGER.saturating_sub(waited).as_millis() as u64 + 1);
+    }
+    for conn in state.conns.iter().flatten() {
+        if let Some(started) = conn.http {
+            if !conn.close_after_flush {
+                let waited = started.elapsed();
+                consider(HTTP_HEADER_TIMEOUT.saturating_sub(waited).as_millis() as u64 + 1);
+            }
+        }
+    }
+    timeout
+}
+
+/// Accept until the listener runs dry. Returns whether anything arrived.
+fn accept_burst(
+    epoll: &Epoll,
+    listener: &TcpListener,
     shared: &Arc<Shared>,
-    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-) {
+    state: &mut LoopState,
+    touched: &mut Vec<usize>,
+) -> bool {
+    let mut any = false;
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
                 let _ = stream.set_nodelay(true);
-                let shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
-                    .name("serve-conn".to_string())
-                    .spawn(move || connection_loop(stream, &shared))
-                    .expect("spawn connection thread");
-                conns.lock().unwrap().push(handle);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if shared.shutting_down() {
-                    return;
+                let slot = state.free.pop().unwrap_or_else(|| {
+                    state.conns.push(None);
+                    state.conns.len() - 1
+                });
+                let token = TOKEN_CONN_BASE + slot as u64;
+                if epoll
+                    .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+                    .is_err()
+                {
+                    state.free.push(slot);
+                    continue;
                 }
-                std::thread::sleep(ACCEPT_POLL);
+                state.next_generation += 1;
+                state.conns[slot] = Some(Conn {
+                    stream,
+                    generation: state.next_generation,
+                    conn_id: shared.next_conn_id.fetch_add(1, Ordering::Relaxed),
+                    seq: 0,
+                    rbuf: Vec::new(),
+                    wbuf: Vec::new(),
+                    wpos: 0,
+                    interest: EPOLLIN | EPOLLRDHUP,
+                    http: None,
+                    peer_closed: false,
+                    close_after_flush: false,
+                    inflight: false,
+                });
+                shared.rec.inc(CounterId::ServeConnsAccepted);
+                shared.conns_open.fetch_add(1, Ordering::Relaxed);
+                shared.fds_registered.fetch_add(1, Ordering::Relaxed);
+                touched.push(slot);
+                any = true;
             }
-            Err(_) => {
-                if shared.shutting_down() {
-                    return;
-                }
-                std::thread::sleep(ACCEPT_POLL);
+            Err(_) => break,
+        }
+    }
+    any
+}
+
+/// Read everything currently available on `slot` into its `rbuf`.
+/// `Err(())` means the transport failed and the connection must close.
+fn read_into(conns: &mut [Option<Conn>], slot: usize) -> Result<bool, ()> {
+    let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) else {
+        return Ok(false);
+    };
+    let mut buf = [0u8; 4096];
+    let mut any = false;
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                return Ok(any);
             }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&buf[..n]);
+                any = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(any),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(()),
         }
     }
 }
 
-/// What arrived on the wire.
-enum Incoming {
-    /// A complete frame payload.
-    Frame(Json),
-    /// The server began shutting down while the read was blocked.
-    Shutdown,
-    /// The four length-prefix bytes spell `"GET "`: an HTTP scraper.
-    HttpGet,
+/// Route finished jobs back to their connections. The generation check
+/// drops completions addressed to a connection that closed and whose
+/// slot was reused while the job was with a worker.
+fn deliver_completions(shared: &Arc<Shared>, state: &mut LoopState, touched: &mut Vec<usize>) -> bool {
+    let pending = std::mem::take(&mut *shared.completions.lock().unwrap());
+    let any = !pending.is_empty();
+    for comp in pending {
+        state.inflight_total -= 1;
+        let Some(conn) = state.conns.get_mut(comp.slot).and_then(Option::as_mut) else {
+            continue;
+        };
+        if conn.generation != comp.generation {
+            continue;
+        }
+        conn.inflight = false;
+        let cached = matches!(comp.done.response, Response::Map { cached: true, .. });
+        let handled = Handled {
+            response: comp.done.response,
+            kind: "map",
+            parse_us: comp.parse_us,
+            queue_us: comp.done.queue_us,
+            compute_us: comp.done.compute_us,
+            cached,
+        };
+        let total_us = comp.started.elapsed().as_micros() as u64;
+        finish_request(shared, comp.req_id, &handled, total_us);
+        queue_response(shared, conn, &handled.response);
+        touched.push(comp.slot);
+    }
+    any
 }
 
-/// Read one frame with periodic shutdown checks, detecting plain HTTP
-/// `GET`s by their signature in the length-prefix position (`"GET "` as a
-/// big-endian u32 would announce a ~1.2 GiB frame, so the two protocols
-/// cannot collide under any sane frame cap).
-fn read_frame_polled(
-    stream: &mut TcpStream,
-    max_bytes: usize,
-    shared: &Shared,
-) -> Result<Incoming, FrameError> {
-    fn fill(
-        stream: &mut TcpStream,
-        buf: &mut [u8],
-        shared: &Shared,
-        frame_started: bool,
-    ) -> Result<bool, FrameError> {
-        let mut filled = 0;
-        while filled < buf.len() {
-            match stream.read(&mut buf[filled..]) {
-                Ok(0) if filled == 0 && !frame_started => return Err(FrameError::Closed),
-                Ok(0) => {
-                    return Err(FrameError::Io(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "eof inside frame",
-                    )))
-                }
-                Ok(n) => filled += n,
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    if shared.shutting_down() {
-                        return Ok(false);
+/// What one decode attempt on a read buffer yielded.
+enum Decoded {
+    /// A complete, valid frame payload (consumed from the buffer).
+    Frame(Json),
+    /// A complete frame whose payload is not UTF-8/JSON (consumed; the
+    /// framing itself stayed intact, so the connection survives).
+    BadPayload(String),
+    /// The length prefix announces more than the cap allows.
+    TooLarge(usize),
+    /// Not enough bytes yet.
+    NeedMore,
+}
+
+fn decode_one(rbuf: &mut Vec<u8>, max_bytes: usize) -> Decoded {
+    if rbuf.len() < 4 {
+        return Decoded::NeedMore;
+    }
+    let len = u32::from_be_bytes([rbuf[0], rbuf[1], rbuf[2], rbuf[3]]) as usize;
+    if len > max_bytes {
+        return Decoded::TooLarge(len);
+    }
+    if rbuf.len() < 4 + len {
+        return Decoded::NeedMore;
+    }
+    let parsed = match std::str::from_utf8(&rbuf[4..4 + len]) {
+        Ok(text) => Json::parse(text).map_err(|e| e.message),
+        Err(e) => Err(format!("not UTF-8: {e}")),
+    };
+    rbuf.drain(..4 + len);
+    match parsed {
+        Ok(json) => Decoded::Frame(json),
+        Err(message) => Decoded::BadPayload(message),
+    }
+}
+
+/// Decode and dispatch everything ready on `slot`: detect HTTP, decode
+/// frames in order (pausing behind an in-flight map so responses keep
+/// request order), answer inline kinds, and admit map jobs.
+fn process_conn(
+    epoll: &Epoll,
+    state: &mut LoopState,
+    shared: &Arc<Shared>,
+    slot: usize,
+    batch: &mut u64,
+) {
+    let max_bytes = shared.cfg.effective_max_frame_bytes();
+    loop {
+        let Some(conn) = state.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.close_after_flush {
+            return;
+        }
+        if conn.http.is_none() && conn.rbuf.len() >= 4 && &conn.rbuf[..4] == b"GET " {
+            // An HTTP scraper announced itself in the length-prefix
+            // position ("GET " as a big-endian u32 would be a ~1.2 GiB
+            // frame, so the protocols cannot collide under any sane cap).
+            if !shared.cfg.http_stats {
+                close_conn(epoll, state, shared, slot);
+                return;
+            }
+            let Some(conn) = state.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            conn.http = Some(Instant::now());
+        }
+        let Some(conn) = state.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.http.is_some() {
+            try_finish_http(shared, conn);
+            return;
+        }
+        if conn.inflight {
+            // Frames behind the in-flight map stay buffered in `rbuf`
+            // until its completion reopens the gate.
+            return;
+        }
+        match decode_one(&mut conn.rbuf, max_bytes) {
+            Decoded::NeedMore => return,
+            Decoded::BadPayload(message) => {
+                *batch += 1;
+                queue_response(
+                    shared,
+                    conn,
+                    &Response::Error {
+                        code: ErrorCode::BadFrame,
+                        message: FrameError::Parse(message).to_string(),
+                    },
+                );
+            }
+            Decoded::TooLarge(len) => {
+                // Oversized frames cannot be resynchronized without
+                // reading (and discarding) the announced bytes; answer,
+                // then close once the answer flushes.
+                queue_response(
+                    shared,
+                    conn,
+                    &Response::Error {
+                        code: ErrorCode::BadFrame,
+                        message: FrameError::TooLarge(len).to_string(),
+                    },
+                );
+                conn.close_after_flush = true;
+                return;
+            }
+            Decoded::Frame(json) => {
+                *batch += 1;
+                let started = Instant::now();
+                conn.seq += 1;
+                let req_id = (conn.conn_id << 32) | (conn.seq & 0xffff_ffff);
+                let generation = conn.generation;
+                match handle_frame(&json, shared, req_id, slot, generation, started) {
+                    Dispatch::Reply(handled) => {
+                        let total_us = started.elapsed().as_micros() as u64;
+                        finish_request(shared, req_id, &handled, total_us);
+                        let Some(conn) = state.conns.get_mut(slot).and_then(Option::as_mut)
+                        else {
+                            return;
+                        };
+                        queue_response(shared, conn, &handled.response);
+                    }
+                    Dispatch::InFlight => {
+                        let Some(conn) = state.conns.get_mut(slot).and_then(Option::as_mut)
+                        else {
+                            return;
+                        };
+                        conn.inflight = true;
+                        state.inflight_total += 1;
                     }
                 }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(FrameError::Io(e)),
             }
         }
-        Ok(true)
     }
-
-    let mut len_buf = [0u8; 4];
-    if !fill(stream, &mut len_buf, shared, false)? {
-        return Ok(Incoming::Shutdown);
-    }
-    if &len_buf == b"GET " {
-        return Ok(Incoming::HttpGet);
-    }
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > max_bytes {
-        return Err(FrameError::TooLarge(len));
-    }
-    let mut payload = vec![0u8; len];
-    if !fill(stream, &mut payload, shared, true)? {
-        return Ok(Incoming::Shutdown);
-    }
-    let text =
-        std::str::from_utf8(&payload).map_err(|e| FrameError::Parse(format!("not UTF-8: {e}")))?;
-    Json::parse(text)
-        .map(Incoming::Frame)
-        .map_err(|e| FrameError::Parse(e.message))
 }
 
-/// Count an outgoing error frame by its stable code, then write it. The
-/// single choke point: every error answer — from frame decoding, admission
-/// control, the workers — is counted exactly once, and the counters stay
-/// ahead of the client's view of the response.
-fn send_response(stream: &mut TcpStream, shared: &Shared, response: &Response) -> io::Result<()> {
+/// Flush pending writes, then settle the connection's fate: close when
+/// flagged (or the peer is gone and nothing is owed), otherwise keep the
+/// epoll interest mask in step with whether writes are pending.
+fn finalize_conn(epoll: &Epoll, state: &mut LoopState, shared: &Arc<Shared>, slot: usize) {
+    let Some(conn) = state.conns.get_mut(slot).and_then(Option::as_mut) else {
+        return;
+    };
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                close_conn(epoll, state, shared, slot);
+                return;
+            }
+        }
+    }
+    if conn.flushed() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    let flushed = conn.flushed();
+    if conn.close_after_flush && flushed {
+        close_conn(epoll, state, shared, slot);
+        return;
+    }
+    // Clean EOF with nothing owed and nothing in flight: the peer hung
+    // up (any partial frame left in `rbuf` dies silently, matching the
+    // old mid-frame-EOF behavior).
+    if conn.peer_closed && flushed && !conn.inflight && conn.http.is_none() {
+        let has_complete_frame = conn.rbuf.len() >= 4 && {
+            let len = u32::from_be_bytes([conn.rbuf[0], conn.rbuf[1], conn.rbuf[2], conn.rbuf[3]])
+                as usize;
+            len > shared.cfg.effective_max_frame_bytes() || conn.rbuf.len() >= 4 + len
+        };
+        if !has_complete_frame {
+            close_conn(epoll, state, shared, slot);
+            return;
+        }
+    }
+    let want = EPOLLIN | EPOLLRDHUP | if flushed { 0 } else { EPOLLOUT };
+    if want != conn.interest
+        && epoll
+            .modify(conn.stream.as_raw_fd(), want, TOKEN_CONN_BASE + slot as u64)
+            .is_ok()
+    {
+        conn.interest = want;
+    }
+}
+
+fn close_conn(epoll: &Epoll, state: &mut LoopState, shared: &Shared, slot: usize) {
+    if let Some(conn) = state.conns.get_mut(slot).and_then(Option::take) {
+        let _ = epoll.del(conn.stream.as_raw_fd());
+        state.free.push(slot);
+        shared.conns_open.fetch_sub(1, Ordering::Relaxed);
+        shared.fds_registered.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Answer the HTTP exposition once the header is complete (blank line),
+/// the peer stopped sending, the cap is hit, or the header timeout
+/// passed — whichever comes first.
+fn try_finish_http(shared: &Shared, conn: &mut Conn) {
+    let Some(started) = conn.http else { return };
+    if conn.close_after_flush {
+        return;
+    }
+    let complete = conn.rbuf.windows(4).any(|w| w == b"\r\n\r\n")
+        || conn.peer_closed
+        || conn.rbuf.len() >= HTTP_HEADER_CAP
+        || started.elapsed() >= HTTP_HEADER_TIMEOUT;
+    if !complete {
+        return;
+    }
+    let body = exposition_text(shared);
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    conn.wbuf.extend_from_slice(response.as_bytes());
+    conn.close_after_flush = true;
+}
+
+/// Count an outgoing error frame by its stable code, then append the
+/// encoded frame to the connection's write buffer. The single choke
+/// point: every error answer — from frame decoding, admission control,
+/// the workers — is counted exactly once, and the counters stay ahead of
+/// the client's view of the response.
+fn queue_response(shared: &Shared, conn: &mut Conn, response: &Response) {
     if let Response::Error { code, .. } = response {
         let counter = match code {
             ErrorCode::BadFrame => CounterId::ServeBadFrames,
@@ -449,63 +962,8 @@ fn send_response(stream: &mut TcpStream, shared: &Shared, response: &Response) -
         };
         shared.rec.inc(counter);
     }
-    write_frame(stream, &response.to_json())
-}
-
-fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let max_bytes = shared.cfg.effective_max_frame_bytes();
-    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
-    let mut seq: u64 = 0;
-    loop {
-        let json = match read_frame_polled(&mut stream, max_bytes, shared) {
-            Ok(Incoming::Frame(json)) => json,
-            // Shutdown while idle: the connection winds up.
-            Ok(Incoming::Shutdown) => return,
-            // An HTTP scraper: answer the plain-text exposition (if
-            // enabled) and close — HTTP/1.0 semantics, one shot.
-            Ok(Incoming::HttpGet) => {
-                if shared.cfg.http_stats {
-                    serve_http_exposition(&mut stream, shared);
-                }
-                return;
-            }
-            // Clean EOF at a frame boundary: client hung up.
-            Err(FrameError::Closed) => return,
-            // A bad payload leaves the framing intact (the length prefix
-            // was honoured), so answer and keep the connection alive.
-            Err(e @ FrameError::Parse(_)) => {
-                let resp = Response::Error {
-                    code: ErrorCode::BadFrame,
-                    message: e.to_string(),
-                };
-                if send_response(&mut stream, shared, &resp).is_err() {
-                    return;
-                }
-                continue;
-            }
-            // Oversized frames cannot be resynchronized without reading
-            // (and discarding) the announced bytes; answer, then close.
-            Err(e @ FrameError::TooLarge(_)) => {
-                let resp = Response::Error {
-                    code: ErrorCode::BadFrame,
-                    message: e.to_string(),
-                };
-                let _ = send_response(&mut stream, shared, &resp);
-                return;
-            }
-            Err(FrameError::Io(_)) => return,
-        };
-        let started = Instant::now();
-        seq += 1;
-        let req_id = (conn_id << 32) | (seq & 0xffff_ffff);
-        let done = handle_payload(&json, shared, req_id);
-        let total_us = started.elapsed().as_micros() as u64;
-        finish_request(shared, req_id, &done, total_us);
-        if send_response(&mut stream, shared, &done.response).is_err() {
-            return;
-        }
-    }
+    // Writing into a Vec cannot fail.
+    let _ = write_frame(&mut conn.wbuf, &response.to_json());
 }
 
 /// A handled request: the answer plus everything the telemetry plane
@@ -532,6 +990,13 @@ impl Handled {
             cached: false,
         }
     }
+}
+
+/// How a frame was dispatched: answered now, or admitted to the workers
+/// (the answer arrives later as a [`Completion`]).
+enum Dispatch {
+    Reply(Handled),
+    InFlight,
 }
 
 /// Post-response bookkeeping: span timings into the live windows and the
@@ -585,36 +1050,48 @@ fn finish_request(shared: &Shared, req_id: u64, done: &Handled, total_us: u64) {
     }
 }
 
-fn handle_payload(json: &Json, shared: &Arc<Shared>, req_id: u64) -> Handled {
+fn handle_frame(
+    json: &Json,
+    shared: &Arc<Shared>,
+    req_id: u64,
+    slot: usize,
+    generation: u64,
+    started: Instant,
+) -> Dispatch {
     let parse_start = Instant::now();
     if let Err(message) = check_version(json) {
-        return Handled::inline(
+        return Dispatch::Reply(Handled::inline(
             Response::Error {
                 code: ErrorCode::BadFrame,
                 message,
             },
             "?",
             parse_start.elapsed().as_micros() as u64,
-        );
+        ));
     }
     let request = match Request::from_json(json) {
         Ok(request) => request,
         Err(message) => {
-            return Handled::inline(
+            return Dispatch::Reply(Handled::inline(
                 Response::Error {
                     code: ErrorCode::BadRequest,
                     message,
                 },
                 "?",
                 parse_start.elapsed().as_micros() as u64,
-            )
+            ))
         }
     };
     let parse_us = parse_start.elapsed().as_micros() as u64;
     shared.rec.inc(CounterId::ServeRequests);
+    let reply = |handled| Dispatch::Reply(handled);
     match request {
-        Request::Health => Handled::inline(Response::Health, "health", parse_us),
-        Request::Stats => Handled::inline(Response::Stats(stats_doc(shared)), "stats", parse_us),
+        Request::Health => reply(Handled::inline(Response::Health, "health", parse_us)),
+        Request::Stats => reply(Handled::inline(
+            Response::Stats(stats_doc(shared)),
+            "stats",
+            parse_us,
+        )),
         Request::Admin { kind } => {
             let doc = match kind {
                 AdminKind::Stats => admin_stats_doc(shared),
@@ -623,7 +1100,7 @@ fn handle_payload(json: &Json, shared: &Arc<Shared>, req_id: u64) -> Handled {
                 AdminKind::Flight => admin_flight_doc(shared),
                 AdminKind::Sessions => admin_sessions_doc(shared),
             };
-            Handled::inline(Response::Admin { kind, doc }, "admin", parse_us)
+            reply(Handled::inline(Response::Admin { kind, doc }, "admin", parse_us))
         }
         Request::OpenSession {
             topo,
@@ -632,7 +1109,7 @@ fn handle_payload(json: &Json, shared: &Arc<Shared>, req_id: u64) -> Handled {
             cooldown_deltas,
         } => {
             if shared.shutting_down() {
-                return Handled::inline(drain_refusal(), "open_session", parse_us);
+                return reply(Handled::inline(drain_refusal(), "open_session", parse_us));
             }
             let start = Instant::now();
             let response = match shared.sessions.open(
@@ -647,11 +1124,11 @@ fn handle_payload(json: &Json, shared: &Arc<Shared>, req_id: u64) -> Handled {
             };
             let mut done = Handled::inline(response, "open_session", parse_us);
             done.compute_us = start.elapsed().as_micros() as u64;
-            done
+            reply(done)
         }
         Request::Delta { session, delta } => {
             if shared.shutting_down() {
-                return Handled::inline(drain_refusal(), "delta", parse_us);
+                return reply(Handled::inline(drain_refusal(), "delta", parse_us));
             }
             let start = Instant::now();
             let response = match shared.sessions.delta(session, &delta, &shared.rec) {
@@ -667,7 +1144,7 @@ fn handle_payload(json: &Json, shared: &Arc<Shared>, req_id: u64) -> Handled {
             };
             let mut done = Handled::inline(response, "delta", parse_us);
             done.compute_us = start.elapsed().as_micros() as u64;
-            done
+            reply(done)
         }
         // Close is honoured even while draining: it is how a streaming
         // client finishes, so a drain must not strand its sessions.
@@ -680,11 +1157,11 @@ fn handle_payload(json: &Json, shared: &Arc<Shared>, req_id: u64) -> Handled {
                 },
                 Err((code, message)) => Response::Error { code, message },
             };
-            Handled::inline(response, "close_session", parse_us)
+            reply(Handled::inline(response, "close_session", parse_us))
         }
         Request::Shutdown => {
             shared.begin_shutdown();
-            Handled::inline(Response::Shutdown, "shutdown", parse_us)
+            reply(Handled::inline(Response::Shutdown, "shutdown", parse_us))
         }
         Request::Map {
             matrix,
@@ -693,78 +1170,56 @@ fn handle_payload(json: &Json, shared: &Arc<Shared>, req_id: u64) -> Handled {
             delay_ms,
         } => {
             shared.rec.inc(CounterId::ServeMapRequests);
-            let start = Instant::now();
-            let done = submit_map(shared, req_id, matrix, topo, deadline_ms, delay_ms, start);
-            let cached = matches!(done.response, Response::Map { cached: true, .. });
-            Handled {
-                response: done.response,
-                kind: "map",
-                parse_us,
-                queue_us: done.queue_us,
-                compute_us: done.compute_us,
-                cached,
+            let refused = |code: ErrorCode, message: String| {
+                Dispatch::Reply(Handled {
+                    response: Response::Error { code, message },
+                    kind: "map",
+                    parse_us,
+                    queue_us: 0,
+                    compute_us: 0,
+                    cached: false,
+                })
+            };
+            if shared.shutting_down() {
+                return refused(
+                    ErrorCode::ShuttingDown,
+                    "server is draining for shutdown".to_string(),
+                );
             }
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn submit_map(
-    shared: &Arc<Shared>,
-    req_id: u64,
-    matrix: CommMatrix,
-    topo: Topology,
-    deadline_ms: Option<u64>,
-    delay_ms: u64,
-    start: Instant,
-) -> WorkerDone {
-    let refused = |code: ErrorCode, message: String| WorkerDone {
-        response: Response::Error { code, message },
-        queue_us: 0,
-        compute_us: 0,
-    };
-    if shared.shutting_down() {
-        return refused(
-            ErrorCode::ShuttingDown,
-            "server is draining for shutdown".to_string(),
-        );
-    }
-    let deadline = deadline_ms
-        .or(shared.cfg.effective_default_deadline_ms())
-        .map(|ms| start + Duration::from_millis(ms));
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let job = Job {
-        req_id,
-        matrix,
-        topo,
-        deadline,
-        delay_ms,
-        enqueued_at: start,
-        reply: reply_tx,
-    };
-    match shared.queue.try_push(job) {
-        Ok(depth) => {
-            shared.rec.observe(HistId::ServeQueueDepth, depth as u64);
-            shared.live.observe(HistId::ServeQueueDepth, depth as u64);
-            match reply_rx.recv() {
-                Ok(done) => done,
-                Err(_) => refused(
-                    ErrorCode::Internal,
-                    "worker dropped the request".to_string(),
+            let deadline = deadline_ms
+                .or(shared.cfg.effective_default_deadline_ms())
+                .map(|ms| started + Duration::from_millis(ms));
+            let job = Job {
+                req_id,
+                slot,
+                generation,
+                parse_us,
+                started,
+                matrix,
+                topo,
+                deadline,
+                delay_ms,
+                enqueued_at: started,
+            };
+            match shared.queue.try_push(job) {
+                Ok(depth) => {
+                    shared.rec.observe(HistId::ServeQueueDepth, depth as u64);
+                    shared.live.observe(HistId::ServeQueueDepth, depth as u64);
+                    Dispatch::InFlight
+                }
+                Err(SubmitError::Full) => refused(
+                    ErrorCode::Overloaded,
+                    format!(
+                        "work queue is full ({} requests waiting)",
+                        shared.cfg.effective_queue_capacity()
+                    ),
+                ),
+                Err(SubmitError::Closed) => refused(
+                    ErrorCode::ShuttingDown,
+                    "server is draining for shutdown".to_string(),
                 ),
             }
         }
-        Err(SubmitError::Full) => refused(
-            ErrorCode::Overloaded,
-            format!(
-                "work queue is full ({} requests waiting)",
-                shared.cfg.effective_queue_capacity()
-            ),
-        ),
-        Err(SubmitError::Closed) => refused(
-            ErrorCode::ShuttingDown,
-            "server is draining for shutdown".to_string(),
-        ),
     }
 }
 
@@ -789,7 +1244,7 @@ fn stats_doc(shared: &Shared) -> Json {
         ("queue_depth", Json::U64(shared.queue.depth() as u64)),
         (
             "cache_entries",
-            Json::U64(shared.cache.as_ref().map_or(0, MapCache::len) as u64),
+            Json::U64(shared.cache.as_ref().map_or(0, ShardedCache::len) as u64),
         ),
         ("workers", Json::U64(shared.cfg.effective_workers() as u64)),
     ])
@@ -797,7 +1252,8 @@ fn stats_doc(shared: &Shared) -> Json {
 
 /// The `admin stats` document: a flat object (easy to grep, easy for
 /// `tlbmap top` to tabulate) of counters, gauges, and the rolling-window
-/// latency quantiles. Quantile keys are `null` when the window is empty.
+/// latency quantiles, plus a nested `loop` object describing the event
+/// loop. Quantile keys are `null` when the window is empty.
 fn admin_stats_doc(shared: &Shared) -> Json {
     let rec = &shared.rec;
     let c = |id: CounterId| Json::U64(rec.counter(id));
@@ -820,6 +1276,25 @@ fn admin_stats_doc(shared: &Shared) -> Json {
     let window_rps = window.count as f64 / (window_ms as f64 / 1000.0);
     let q = |snap: Option<u64>| snap.map_or(Json::Null, Json::U64);
 
+    let ticks = rec.counter(CounterId::ServeLoopTicks);
+    let ticks_per_s = ticks as f64 / (uptime_ms.max(1) as f64 / 1000.0);
+    let batch = shared.live.window(HistId::ServeBatchSize);
+    let loop_doc = Json::obj(vec![
+        ("ticks", Json::U64(ticks)),
+        ("ticks_per_s", Json::F64(ticks_per_s)),
+        (
+            "fds",
+            Json::U64(shared.fds_registered.load(Ordering::Relaxed)),
+        ),
+        (
+            "conns_open",
+            Json::U64(shared.conns_open.load(Ordering::Relaxed)),
+        ),
+        ("conns_accepted", c(CounterId::ServeConnsAccepted)),
+        ("batch_p50", q(batch.quantile(50.0))),
+        ("batch_p99", q(batch.quantile(99.0))),
+    ]);
+
     Json::obj(vec![
         ("uptime_ms", Json::U64(uptime_ms)),
         ("requests", c(CounterId::ServeRequests)),
@@ -840,7 +1315,7 @@ fn admin_stats_doc(shared: &Shared) -> Json {
         ("cache_coalesced", c(CounterId::ServeCacheCoalesced)),
         (
             "cache_entries",
-            Json::U64(shared.cache.as_ref().map_or(0, MapCache::len) as u64),
+            Json::U64(shared.cache.as_ref().map_or(0, ShardedCache::len) as u64),
         ),
         ("err_bad_frame", c(CounterId::ServeBadFrames)),
         ("err_bad_request", c(CounterId::ServeBadRequests)),
@@ -870,6 +1345,7 @@ fn admin_stats_doc(shared: &Shared) -> Json {
         ("remaps_suppressed", c(CounterId::RemapsSuppressed)),
         ("warm_start_hits", c(CounterId::WarmStartHits)),
         ("warm_start_fallbacks", c(CounterId::WarmStartFallbacks)),
+        ("loop", loop_doc),
     ])
 }
 
@@ -945,56 +1421,34 @@ fn admin_flight_doc(shared: &Shared) -> Json {
 }
 
 /// Render the plain-text exposition: one `tlbmap_<key> <value>` line per
-/// numeric field of the admin stats document, in document order.
+/// numeric field of the admin stats document, in document order. The
+/// nested `loop` object flattens to `tlbmap_loop_<key>` lines.
 fn exposition_text(shared: &Shared) -> String {
     let doc = admin_stats_doc(shared);
     let mut out = String::new();
+    let mut line = |key: &str, value: &Json| match value {
+        Json::U64(n) => out.push_str(&format!("tlbmap_{key} {n}\n")),
+        Json::F64(x) => out.push_str(&format!("tlbmap_{key} {x:.6}\n")),
+        // Null quantiles (empty window) are omitted rather than
+        // reported as 0 — a scraper must not graph "infinitely
+        // fast" out of "no traffic".
+        _ => {}
+    };
     if let Json::Obj(pairs) = &doc {
         for (key, value) in pairs {
-            match value {
-                Json::U64(n) => out.push_str(&format!("tlbmap_{key} {n}\n")),
-                Json::F64(x) => out.push_str(&format!("tlbmap_{key} {x:.6}\n")),
-                // Null quantiles (empty window) are omitted rather than
-                // reported as 0 — a scraper must not graph "infinitely
-                // fast" out of "no traffic".
-                _ => {}
+            if let ("loop", Json::Obj(inner)) = (key.as_str(), value) {
+                for (k, v) in inner {
+                    line(&format!("loop_{k}"), v);
+                }
+            } else {
+                line(key, value);
             }
         }
     }
     out
 }
 
-/// Answer an HTTP `GET` with the exposition and close. The request line
-/// and headers are drained best-effort first so the peer does not see a
-/// reset before it finishes sending.
-fn serve_http_exposition(stream: &mut TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let mut drained = Vec::with_capacity(512);
-    let mut buf = [0u8; 512];
-    while drained.len() < 8192 {
-        match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => {
-                drained.extend_from_slice(&buf[..n]);
-                if drained.windows(4).any(|w| w == b"\r\n\r\n") {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    let body = exposition_text(shared);
-    let response = format!(
-        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-        body.len(),
-        body
-    );
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.flush();
-}
-
 fn worker_loop(shared: &Arc<Shared>) {
-    let mapper = HierarchicalMapper::new();
     while let Some((job, depth)) = shared.queue.pop() {
         // Satellite fix: sample the depth at dequeue too, so the
         // histograms see the queue draining, not only filling.
@@ -1018,25 +1472,29 @@ fn worker_loop(shared: &Arc<Shared>) {
                 ),
             }
         } else {
-            compute_map(shared, &mapper, &job.matrix, &job.topo)
+            compute_map(shared, &job.matrix, &job.topo)
         };
         let compute_us = busy_start.elapsed().as_micros() as u64;
         shared.busy_us.fetch_add(compute_us, Ordering::Relaxed);
         shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
-        let _ = job.reply.send(WorkerDone {
-            response,
-            queue_us,
-            compute_us,
+        shared.completions.lock().unwrap().push(Completion {
+            slot: job.slot,
+            generation: job.generation,
+            req_id: job.req_id,
+            parse_us: job.parse_us,
+            started: job.started,
+            done: WorkerDone {
+                response,
+                queue_us,
+                compute_us,
+            },
         });
+        shared.wake.wake();
     }
 }
 
-fn compute_map(
-    shared: &Arc<Shared>,
-    mapper: &HierarchicalMapper,
-    matrix: &CommMatrix,
-    topo: &Topology,
-) -> Response {
+fn compute_map(shared: &Arc<Shared>, matrix: &CommMatrix, topo: &Topology) -> Response {
+    let mapper = &shared.mapper;
     let compute = || mapper.try_map(matrix, topo).map(|m| m.as_slice().to_vec());
     let (result, outcome) = match &shared.cache {
         Some(cache) => {

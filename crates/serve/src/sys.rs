@@ -1,0 +1,336 @@
+//! Minimal Linux readiness-notification bindings: `epoll` and `eventfd`
+//! over raw fds, declared against the C library the Rust standard library
+//! already links — no new dependencies.
+//!
+//! The serve event loop needs exactly four primitives the standard library
+//! does not expose: create an epoll instance, register/modify/remove
+//! interest in a file descriptor, block for readiness, and a userspace
+//! doorbell (`eventfd`) other threads can ring to wake the loop for
+//! worker completions and drain. Everything here is a thin `io::Result`
+//! wrapper that turns `-1` returns into `io::Error::last_os_error()`;
+//! ownership follows RAII (`Drop` closes the fd).
+//!
+//! The bindings are deliberately *not* a general epoll crate: one
+//! interest list, `u64` tokens, level-triggered only. Level-triggered is
+//! the right discipline for a batching loop — a connection whose buffer
+//! still holds a partial frame stays readable on the next tick without
+//! re-arm bookkeeping, so a missed byte can cost a tick but never a hang.
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::io::RawFd;
+
+/// Readiness: data to read (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: writable without blocking (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Condition: error on the fd (`EPOLLERR`, always reported).
+pub const EPOLLERR: u32 = 0x008;
+/// Condition: hangup (`EPOLLHUP`, always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// Condition: peer closed its write half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+/// `EPOLL_CLOEXEC` == `O_CLOEXEC` (octal 02000000).
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// One readiness report. On x86-64 the kernel ABI packs the struct
+/// (no padding between the 32-bit mask and the 64-bit payload); other
+/// architectures use natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bitmask (`EPOLLIN` | …).
+    pub events: u32,
+    /// The caller's token, returned verbatim.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// An empty slot for the `wait` output buffer.
+    pub fn zeroed() -> Self {
+        EpollEvent { events: 0, data: 0 }
+    }
+
+    /// The readiness bitmask, copied out (the struct may be packed, so
+    /// fields must be read by value, never by reference).
+    pub fn readiness(&self) -> u32 {
+        self.events
+    }
+
+    /// The caller's token, copied out.
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An epoll instance: one interest list, level-triggered, `u64` tokens.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Create an epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Epoll> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Register interest in `fd`; readiness reports carry `token` back.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Change the interest mask of an already registered `fd`.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Remove `fd` from the interest list.
+    pub fn del(&self, fd: RawFd) -> io::Result<()> {
+        // The event argument is ignored for DEL on modern kernels but must
+        // be non-null on pre-2.6.9 ABIs; passing a real struct costs
+        // nothing.
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Block until at least one registered fd is ready, a signal lands,
+    /// or `timeout_ms` elapses (`None` = wait forever). Returns how many
+    /// slots of `events` were filled; `EINTR` reads as 0 ready fds so the
+    /// caller's loop re-evaluates its own state instead of dying.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: Option<u64>) -> io::Result<usize> {
+        let timeout = timeout_ms.map_or(-1, |ms| ms.min(c_int::MAX as u64) as c_int);
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as c_int,
+                timeout,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+/// A wakeup doorbell: an `eventfd` the loop registers for `EPOLLIN` and
+/// any thread rings with [`WakeFd::wake`]. Nonblocking on both ends, and
+/// the counter semantics coalesce: a thousand wakes between two ticks
+/// cost one readiness report and one 8-byte drain.
+#[derive(Debug)]
+pub struct WakeFd {
+    fd: RawFd,
+}
+
+impl WakeFd {
+    /// Create the doorbell (counter 0, nonblocking, close-on-exec).
+    pub fn new() -> io::Result<WakeFd> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(WakeFd { fd })
+    }
+
+    /// The fd to register with [`Epoll::add`].
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Ring the doorbell. Safe from any thread; a full counter (already
+    /// `u64::MAX - 1` pending wakes) is indistinguishable from success —
+    /// the loop is getting woken either way.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe {
+            write(self.fd, (&one as *const u64).cast::<c_void>(), 8);
+        }
+    }
+
+    /// Drain pending wakes so the level-triggered registration goes quiet
+    /// until the next [`WakeFd::wake`].
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        unsafe {
+            read(self.fd, (&mut buf as *mut u64).cast::<c_void>(), 8);
+        }
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+/// Raise the soft `RLIMIT_NOFILE` cap toward `want` (bounded by the hard
+/// limit). Returns the resulting soft limit. The event loop itself never
+/// needs this, but tests that open a thousand loopback connections hold
+/// *both* ends in one process and can outrun a conservative default of
+/// 1024.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    const RLIMIT_NOFILE: c_int = 7;
+    extern "C" {
+        fn getrlimit(resource: c_int, rlim: *mut c_void) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const c_void) -> c_int;
+    }
+    let mut lim = RLimit { cur: 0, max: 0 };
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, (&mut lim as *mut RLimit).cast()) })?;
+    if lim.cur >= want {
+        return Ok(lim.cur);
+    }
+    lim.cur = want.min(lim.max);
+    cvt(unsafe { setrlimit(RLIMIT_NOFILE, (&lim as *const RLimit).cast()) })?;
+    Ok(lim.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn wake_fd_reports_readable_and_drains_quiet() {
+        let ep = Epoll::new().unwrap();
+        let wake = WakeFd::new().unwrap();
+        ep.add(wake.fd(), EPOLLIN, 7).unwrap();
+
+        // Quiet doorbell: a zero-timeout wait sees nothing.
+        let mut events = [EpollEvent::zeroed(); 4];
+        assert_eq!(ep.wait(&mut events, Some(0)).unwrap(), 0);
+
+        // Many wakes coalesce into one readiness report with our token.
+        wake.wake();
+        wake.wake();
+        wake.wake();
+        let n = ep.wait(&mut events, Some(1000)).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert_ne!(events[0].readiness() & EPOLLIN, 0);
+
+        // Drained, the level-triggered registration goes quiet again.
+        wake.drain();
+        assert_eq!(ep.wait(&mut events, Some(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn socket_readiness_follows_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(server_side.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 42)
+            .unwrap();
+
+        let mut events = [EpollEvent::zeroed(); 4];
+        assert_eq!(ep.wait(&mut events, Some(0)).unwrap(), 0, "no data yet");
+
+        client.write_all(b"ping").unwrap();
+        let n = ep.wait(&mut events, Some(1000)).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert_ne!(events[0].readiness() & EPOLLIN, 0);
+
+        // Level-triggered: unread data keeps the fd ready on every tick.
+        let again = ep.wait(&mut events, Some(0)).unwrap();
+        assert_eq!(again, 1);
+
+        // Reading it all quiets the fd; peer close raises RDHUP.
+        let mut buf = [0u8; 8];
+        let mut s = &server_side;
+        assert_eq!(s.read(&mut buf).unwrap(), 4);
+        assert_eq!(ep.wait(&mut events, Some(0)).unwrap(), 0);
+        drop(client);
+        let n = ep.wait(&mut events, Some(1000)).unwrap();
+        assert_eq!(n, 1);
+        assert_ne!(events[0].readiness() & (EPOLLRDHUP | EPOLLHUP | EPOLLIN), 0);
+
+        ep.del(server_side.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut events, Some(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn modify_switches_interest_to_writes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let ep = Epoll::new().unwrap();
+        // Interest in reads only: an idle connected socket is quiet.
+        ep.add(server_side.as_raw_fd(), EPOLLIN, 1).unwrap();
+        let mut events = [EpollEvent::zeroed(); 4];
+        assert_eq!(ep.wait(&mut events, Some(0)).unwrap(), 0);
+        // Swap to writes: an empty send buffer reports writable at once.
+        ep.modify(server_side.as_raw_fd(), EPOLLOUT, 2).unwrap();
+        let n = ep.wait(&mut events, Some(1000)).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 2);
+        assert_ne!(events[0].readiness() & EPOLLOUT, 0);
+        drop(client);
+    }
+
+    #[test]
+    fn nofile_limit_is_monotone() {
+        let now = raise_nofile_limit(0).unwrap();
+        assert!(now > 0);
+        // Asking for what we already have (or less) never lowers it.
+        assert_eq!(raise_nofile_limit(now).unwrap(), now);
+    }
+}

@@ -759,3 +759,121 @@ fn draining_server_refuses_session_work_but_honours_close() {
     assert_eq!(client.close_session(session).unwrap(), (0, 0));
     handle.join();
 }
+
+/// Current thread count of this process, from `/proc/self/status`.
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("read /proc/self/status")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads: line")
+        .trim()
+        .parse()
+        .expect("thread count")
+}
+
+#[test]
+fn a_thousand_idle_connections_cost_no_threads_and_no_latency() {
+    // Both ends of every connection live in this process, so the default
+    // 1024-fd soft limit would cap the test well short of 1000 conns.
+    tlbmap_serve::sys::raise_nofile_limit(8192).expect("raise RLIMIT_NOFILE");
+    let handle = start(ServeConfig::new());
+    let addr = handle.addr().to_string();
+
+    // Thread-count baseline once the server (event loop + workers) is up.
+    let baseline_threads = thread_count();
+
+    // Park 1000 idle keep-alive connections on the server. Under the old
+    // thread-per-connection server this was 1000 OS threads; the event
+    // loop must absorb them with zero new threads.
+    let idle: Vec<std::net::TcpStream> = (0..1000)
+        .map(|i| {
+            std::net::TcpStream::connect(&addr)
+                .unwrap_or_else(|e| panic!("idle connection {i}: {e}"))
+        })
+        .collect();
+    // Other loopback tests run concurrently in this process and start or
+    // join their own servers, so the global count jitters by a few — the
+    // assertion is that 1000 connections did not add ~1000 threads.
+    let after_connect = thread_count();
+    assert!(
+        after_connect <= baseline_threads + 32,
+        "idle connections must not spawn threads ({baseline_threads} -> {after_connect})"
+    );
+
+    // The server sees them: the loop gauge counts all 1000.
+    let mut admin = Client::connect(&addr).unwrap();
+    let stats = admin.admin(AdminKind::Stats).unwrap();
+    let conns_open = stats
+        .get("loop")
+        .and_then(|l| l.get("conns_open"))
+        .and_then(Json::as_u64)
+        .expect("loop.conns_open in admin stats");
+    assert!(conns_open >= 1001, "gauge saw {conns_open} connections");
+
+    // A full loadgen campaign completes with sane latency while the 1000
+    // idle connections stay parked.
+    let report =
+        tlbmap_serve::run_loadgen(&addr, &tlbmap_serve::LoadgenConfig::new()).expect("loadgen");
+    assert_eq!(report.total_errors(), 0, "errors: {:?}", report.errors);
+    assert_eq!(report.ok, 100);
+    assert!(
+        report.p99_us < 200_000.0,
+        "p99 {} us under 1000 idle connections",
+        report.p99_us
+    );
+    // Loadgen's scoped threads have joined: still flat (same jitter
+    // allowance for concurrent tests).
+    let after_campaign = thread_count();
+    assert!(
+        after_campaign <= baseline_threads + 32,
+        "thread count must stay flat after the campaign ({baseline_threads} -> {after_campaign})"
+    );
+
+    drop(idle);
+    admin.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn open_loop_curve_sweeps_points_against_a_live_server() {
+    let handle = start(ServeConfig::new());
+    let addr = handle.addr().to_string();
+
+    let mut cfg = tlbmap_serve::CurveConfig::new();
+    cfg.rps_points = vec![200, 800, 2000];
+    cfg.duration_ms = 250;
+    let report = tlbmap_serve::run_curve(&addr, &cfg).expect("curve");
+
+    assert_eq!(report.points.len(), 3);
+    for point in &report.points {
+        assert!(point.sent > 0, "point {} sent nothing", point.offered_rps);
+        assert_eq!(
+            point.errors.values().sum::<usize>(),
+            0,
+            "point {} errors: {:?}",
+            point.offered_rps,
+            point.errors
+        );
+        assert_eq!(point.ok, point.sent);
+        assert!(point.achieved_rps > 0.0);
+        assert!(point.p99_us > 0.0);
+    }
+    // The schedule sizes each point: rps × duration.
+    assert_eq!(report.points[0].sent, 50);
+    assert_eq!(report.points[2].sent, 500);
+    // The JSON document round-trips with the curve kind.
+    let json = report.to_json();
+    assert_eq!(
+        json.get("kind").and_then(Json::as_str),
+        Some("loadgen_curve")
+    );
+    assert_eq!(
+        json.get("points").and_then(Json::as_array).map(|p| p.len()),
+        Some(3)
+    );
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+}
