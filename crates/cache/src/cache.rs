@@ -770,11 +770,7 @@ mod tests {
         };
         let mut aos = Cache::new(cfg);
         let mut soa = Cache::new_resident(cfg);
-        let states = [
-            MesiState::Modified,
-            MesiState::Exclusive,
-            MesiState::Shared,
-        ];
+        let states = [MesiState::Modified, MesiState::Exclusive, MesiState::Shared];
         let mut x = 0x9E37_79B9_7F4A_7C15u64;
         for step in 0..50_000u64 {
             x = x

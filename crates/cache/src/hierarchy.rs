@@ -21,11 +21,13 @@ use crate::stats::{CacheStats, MissKind};
 use std::collections::HashSet;
 
 /// [`MemoryHierarchy::history`] flag bit: the line was resident in this L2
-/// at some point (distinguishes capacity from cold misses).
-const HIST_EVER: u32 = 0;
+/// at some point (distinguishes capacity from cold misses). Shared with
+/// the per-domain hierarchy ([`crate::domain`]), which keeps the same
+/// per-L2 miss taxonomy.
+pub(crate) const HIST_EVER: u32 = 0;
 /// [`MemoryHierarchy::history`] flag bit: the line's copy in this L2 was
 /// destroyed by a coherence invalidation and has not re-missed yet.
-const HIST_LOST: u32 = 1;
+pub(crate) const HIST_LOST: u32 = 1;
 
 /// Load or store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -361,17 +361,21 @@ mod tests {
         let cache = ShardedCache::new(64, 4);
         assert!(cache.is_empty());
         for fp in 0..32 {
-            cache.get_or_compute(key(fp), || Ok(vec![fp as usize])).0.unwrap();
+            cache
+                .get_or_compute(key(fp), || Ok(vec![fp as usize]))
+                .0
+                .unwrap();
         }
         assert_eq!(cache.len(), 32);
         // The multiplicative hash should actually spread keys: no single
         // shard may have swallowed everything.
-        let per_shard: Vec<usize> = (0..32)
-            .map(|fp| cache.shard_of(&key(fp)))
-            .fold(vec![0usize; 4], |mut acc, s| {
-                acc[s] += 1;
-                acc
-            });
+        let per_shard: Vec<usize> =
+            (0..32)
+                .map(|fp| cache.shard_of(&key(fp)))
+                .fold(vec![0usize; 4], |mut acc, s| {
+                    acc[s] += 1;
+                    acc
+                });
         assert!(per_shard.iter().filter(|&&n| n > 0).count() > 1);
     }
 

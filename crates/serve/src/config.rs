@@ -364,7 +364,9 @@ mod tests {
             7
         );
         assert_eq!(
-            ServeConfig::new().with_cache_shards(3).effective_cache_shards(),
+            ServeConfig::new()
+                .with_cache_shards(3)
+                .effective_cache_shards(),
             3
         );
         // Even a zero-worker typo still yields at least one shard.

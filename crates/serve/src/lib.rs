@@ -33,7 +33,7 @@
 //!   eventfd doorbell.
 //! * [`Client`] — a blocking client speaking the same frames.
 //! * [`loadgen`] — closed loop (N connections × M requests, p50/p90/p99
-//!   + a per-second time series) and open loop ([`run_curve`]: fixed
+//!   and a per-second time series) and open loop ([`run_curve`]: fixed
 //!   arrival rates, latency from scheduled send time, a p99-vs-offered-
 //!   load curve).
 //!
@@ -85,8 +85,8 @@ pub use cache::{CacheKey, CacheOutcome, MapCache, ShardedCache};
 pub use client::{Client, MapReply, ServeError};
 pub use config::ServeConfig;
 pub use loadgen::{
-    run_curve, run_loadgen, run_stream_loadgen, stream_delta, CurveConfig, CurvePoint,
-    CurveReport, LoadgenConfig, LoadgenReport, SecondStat, StreamConfig, StreamReport,
+    run_curve, run_loadgen, run_stream_loadgen, stream_delta, CurveConfig, CurvePoint, CurveReport,
+    LoadgenConfig, LoadgenReport, SecondStat, StreamConfig, StreamReport,
 };
 pub use protocol::{AdminKind, DeltaDecision, ErrorCode, Request, Response, PROTOCOL_VERSION};
 pub use server::{Server, ServerHandle};

@@ -600,7 +600,10 @@ pub struct CurveReport {
 impl CurveReport {
     /// Total failed requests across all points.
     pub fn total_errors(&self) -> usize {
-        self.points.iter().map(|p| p.errors.values().sum::<usize>()).sum()
+        self.points
+            .iter()
+            .map(|p| p.errors.values().sum::<usize>())
+            .sum()
     }
 
     /// Whether achieved throughput is monotone (non-decreasing, within
@@ -608,9 +611,9 @@ impl CurveReport {
     /// sanity property the CI service gate asserts: more offered load
     /// must never *reduce* completions until the generator itself lags.
     pub fn monotone_achieved(&self, tolerance: f64) -> bool {
-        self.points.windows(2).all(|w| {
-            w[1].achieved_rps >= w[0].achieved_rps * (1.0 - tolerance)
-        })
+        self.points
+            .windows(2)
+            .all(|w| w[1].achieved_rps >= w[0].achieved_rps * (1.0 - tolerance))
     }
 
     /// The report as a benchmark-artifact JSON document (kind
@@ -1254,7 +1257,10 @@ mod tests {
         assert_eq!(json.get("monotone_achieved"), Some(&Json::Bool(true)));
         let points = json.get("points").and_then(Json::as_array).unwrap();
         assert_eq!(points.len(), 3);
-        assert_eq!(points[0].get("offered_rps").and_then(Json::as_u64), Some(500));
+        assert_eq!(
+            points[0].get("offered_rps").and_then(Json::as_u64),
+            Some(500)
+        );
         assert_eq!(points[2].get("p99_us"), Some(&Json::F64(2200.0)));
         let text = report.render();
         assert!(text.contains("offered rps"), "{text}");
@@ -1267,21 +1273,30 @@ mod tests {
         let rising = CurveReport {
             connections: 4,
             duration_ms: 1000,
-            points: vec![sample_point(500, 500.0, 300.0), sample_point(2000, 1900.0, 400.0)],
+            points: vec![
+                sample_point(500, 500.0, 300.0),
+                sample_point(2000, 1900.0, 400.0),
+            ],
         };
         assert!(rising.monotone_achieved(0.10));
         // A small sag within tolerance still counts as monotone…
         let sag = CurveReport {
             connections: 4,
             duration_ms: 1000,
-            points: vec![sample_point(500, 500.0, 300.0), sample_point(2000, 460.0, 400.0)],
+            points: vec![
+                sample_point(500, 500.0, 300.0),
+                sample_point(2000, 460.0, 400.0),
+            ],
         };
         assert!(sag.monotone_achieved(0.10));
         // …but a collapse does not.
         let collapse = CurveReport {
             connections: 4,
             duration_ms: 1000,
-            points: vec![sample_point(500, 500.0, 300.0), sample_point(2000, 300.0, 400.0)],
+            points: vec![
+                sample_point(500, 500.0, 300.0),
+                sample_point(2000, 300.0, 400.0),
+            ],
         };
         assert!(!collapse.monotone_achieved(0.10));
     }

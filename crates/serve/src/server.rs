@@ -572,11 +572,7 @@ fn event_loop(listener: TcpListener, shared: &Arc<Shared>) {
 
         if shared.shutting_down()
             && state.inflight_total == 0
-            && state
-                .conns
-                .iter()
-                .flatten()
-                .all(|conn| conn.flushed())
+            && state.conns.iter().flatten().all(|conn| conn.flushed())
             && state.last_activity.elapsed() >= DRAIN_LINGER
         {
             break;
@@ -621,48 +617,43 @@ fn accept_burst(
     touched: &mut Vec<usize>,
 ) -> bool {
     let mut any = false;
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if stream.set_nonblocking(true).is_err() {
-                    continue;
-                }
-                let _ = stream.set_nodelay(true);
-                let slot = state.free.pop().unwrap_or_else(|| {
-                    state.conns.push(None);
-                    state.conns.len() - 1
-                });
-                let token = TOKEN_CONN_BASE + slot as u64;
-                if epoll
-                    .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
-                    .is_err()
-                {
-                    state.free.push(slot);
-                    continue;
-                }
-                state.next_generation += 1;
-                state.conns[slot] = Some(Conn {
-                    stream,
-                    generation: state.next_generation,
-                    conn_id: shared.next_conn_id.fetch_add(1, Ordering::Relaxed),
-                    seq: 0,
-                    rbuf: Vec::new(),
-                    wbuf: Vec::new(),
-                    wpos: 0,
-                    interest: EPOLLIN | EPOLLRDHUP,
-                    http: None,
-                    peer_closed: false,
-                    close_after_flush: false,
-                    inflight: false,
-                });
-                shared.rec.inc(CounterId::ServeConnsAccepted);
-                shared.conns_open.fetch_add(1, Ordering::Relaxed);
-                shared.fds_registered.fetch_add(1, Ordering::Relaxed);
-                touched.push(slot);
-                any = true;
-            }
-            Err(_) => break,
+    while let Ok((stream, _)) = listener.accept() {
+        if stream.set_nonblocking(true).is_err() {
+            continue;
         }
+        let _ = stream.set_nodelay(true);
+        let slot = state.free.pop().unwrap_or_else(|| {
+            state.conns.push(None);
+            state.conns.len() - 1
+        });
+        let token = TOKEN_CONN_BASE + slot as u64;
+        if epoll
+            .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+            .is_err()
+        {
+            state.free.push(slot);
+            continue;
+        }
+        state.next_generation += 1;
+        state.conns[slot] = Some(Conn {
+            stream,
+            generation: state.next_generation,
+            conn_id: shared.next_conn_id.fetch_add(1, Ordering::Relaxed),
+            seq: 0,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            interest: EPOLLIN | EPOLLRDHUP,
+            http: None,
+            peer_closed: false,
+            close_after_flush: false,
+            inflight: false,
+        });
+        shared.rec.inc(CounterId::ServeConnsAccepted);
+        shared.conns_open.fetch_add(1, Ordering::Relaxed);
+        shared.fds_registered.fetch_add(1, Ordering::Relaxed);
+        touched.push(slot);
+        any = true;
     }
     any
 }
@@ -695,7 +686,11 @@ fn read_into(conns: &mut [Option<Conn>], slot: usize) -> Result<bool, ()> {
 /// Route finished jobs back to their connections. The generation check
 /// drops completions addressed to a connection that closed and whose
 /// slot was reused while the job was with a worker.
-fn deliver_completions(shared: &Arc<Shared>, state: &mut LoopState, touched: &mut Vec<usize>) -> bool {
+fn deliver_completions(
+    shared: &Arc<Shared>,
+    state: &mut LoopState,
+    touched: &mut Vec<usize>,
+) -> bool {
     let pending = std::mem::take(&mut *shared.completions.lock().unwrap());
     let any = !pending.is_empty();
     for comp in pending {
@@ -840,15 +835,13 @@ fn process_conn(
                     Dispatch::Reply(handled) => {
                         let total_us = started.elapsed().as_micros() as u64;
                         finish_request(shared, req_id, &handled, total_us);
-                        let Some(conn) = state.conns.get_mut(slot).and_then(Option::as_mut)
-                        else {
+                        let Some(conn) = state.conns.get_mut(slot).and_then(Option::as_mut) else {
                             return;
                         };
                         queue_response(shared, conn, &handled.response);
                     }
                     Dispatch::InFlight => {
-                        let Some(conn) = state.conns.get_mut(slot).and_then(Option::as_mut)
-                        else {
+                        let Some(conn) = state.conns.get_mut(slot).and_then(Option::as_mut) else {
                             return;
                         };
                         conn.inflight = true;
@@ -1100,7 +1093,11 @@ fn handle_frame(
                 AdminKind::Flight => admin_flight_doc(shared),
                 AdminKind::Sessions => admin_sessions_doc(shared),
             };
-            reply(Handled::inline(Response::Admin { kind, doc }, "admin", parse_us))
+            reply(Handled::inline(
+                Response::Admin { kind, doc },
+                "admin",
+                parse_us,
+            ))
         }
         Request::OpenSession {
             topo,

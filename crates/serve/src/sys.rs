@@ -133,14 +133,7 @@ impl Epoll {
     /// caller's loop re-evaluates its own state instead of dying.
     pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: Option<u64>) -> io::Result<usize> {
         let timeout = timeout_ms.map_or(-1, |ms| ms.min(c_int::MAX as u64) as c_int);
-        let n = unsafe {
-            epoll_wait(
-                self.fd,
-                events.as_mut_ptr(),
-                events.len() as c_int,
-                timeout,
-            )
-        };
+        let n = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), events.len() as c_int, timeout) };
         if n < 0 {
             let err = io::Error::last_os_error();
             if err.kind() == io::ErrorKind::Interrupted {

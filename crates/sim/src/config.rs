@@ -4,7 +4,7 @@ use crate::jitter::JitterConfig;
 use crate::numa::{NumaConfig, NumaPolicy};
 use crate::topology::Topology;
 use tlbmap_cache::HierarchyConfig;
-use tlbmap_mem::{MmuConfig, PageGeometry};
+use tlbmap_mem::{FrameAlloc, MmuConfig, PageGeometry};
 
 /// Everything the engine needs besides the traces and the mapping.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +28,12 @@ pub struct SimConfig {
     /// NUMA page placement; `None` models the paper's UMA Harpertown.
     /// Takes effect when the hierarchy's `numa_remote_penalty` is nonzero.
     pub numa: Option<NumaConfig>,
+    /// Physical-frame allocation policy for the serial engine's page
+    /// table. The windowed engine always uses [`FrameAlloc::VpnKeyed`]
+    /// (its per-domain page-table replicas must agree without
+    /// coordinating); setting it here lets a serial run share the same
+    /// physical layout for parity comparisons.
+    pub frame_alloc: FrameAlloc,
     /// Clock frequency in Hz, used only to convert cycles to seconds for
     /// Table IV-style "per second" reporting (2 GHz Xeon E5405).
     pub frequency_hz: u64,
@@ -46,6 +52,7 @@ impl SimConfig {
             migration_cost: 3_000,
             jitter: None,
             numa: None,
+            frame_alloc: FrameAlloc::FirstTouch,
             frequency_hz: 2_000_000_000,
         }
     }
@@ -79,6 +86,12 @@ impl SimConfig {
     pub fn with_numa(mut self, policy: NumaPolicy, remote_penalty: u64) -> Self {
         self.numa = Some(NumaConfig { policy });
         self.hierarchy.numa_remote_penalty = remote_penalty;
+        self
+    }
+
+    /// Override the frame-allocation policy (builder style).
+    pub fn with_frame_alloc(mut self, alloc: FrameAlloc) -> Self {
+        self.frame_alloc = alloc;
         self
     }
 }

@@ -25,18 +25,24 @@ pub mod engine;
 pub mod hooks;
 pub mod jitter;
 pub mod mapping;
+pub mod msgq;
 pub mod numa;
 mod sched;
+pub mod shard;
 pub mod stats;
 pub mod topology;
 pub mod trace;
 
 pub use codec::{decode_traces, encode_traces, CodecError};
 pub use config::SimConfig;
-pub use engine::{simulate, simulate_observed};
+pub use engine::{
+    simulate, simulate_observed, simulate_observed_with_plan, simulate_with_plan, ExecPlan,
+    DEFAULT_LAG,
+};
 pub use hooks::{NoHooks, SimHooks, TlbView};
 pub use jitter::JitterConfig;
 pub use mapping::Mapping;
+pub use msgq::DelayedQueue;
 pub use numa::{NumaConfig, NumaPolicy};
 pub use stats::RunStats;
 pub use topology::Topology;
@@ -44,5 +50,5 @@ pub use trace::{PackedEvent, ThreadTrace, TraceEvent};
 
 // Re-export the types that appear in this crate's public API.
 pub use tlbmap_cache::{AccessKind, AccessOutcome, MemOp};
-pub use tlbmap_mem::{PageGeometry, VirtAddr};
+pub use tlbmap_mem::{FrameAlloc, PageGeometry, VirtAddr};
 pub use tlbmap_obs::{ObsConfig, Recorder};

@@ -70,6 +70,29 @@ impl Topology {
         }
     }
 
+    /// A topology for `cores` total cores, scaling the paper's machine
+    /// shape upward. Small counts keep the Harpertown flavour (pairs of
+    /// cores per L2); from 64 cores the machine is fixed at 8 chips × 4
+    /// L2s (32 L2 groups — within the owner directory's 64-group bitmap)
+    /// and the cores-per-L2 arity grows instead.
+    ///
+    /// # Errors
+    /// `cores` must be a power of two and at least 4.
+    pub fn scaled(cores: usize) -> Result<Self, String> {
+        if !cores.is_power_of_two() || cores < 4 {
+            return Err(format!(
+                "core count must be a power of two >= 4, got {cores}"
+            ));
+        }
+        Ok(match cores {
+            4 => Topology::new(1, 2, 2),
+            8 => Topology::new(2, 2, 2),
+            16 => Topology::new(2, 4, 2),
+            32 => Topology::new(4, 4, 2),
+            n => Topology::new(8, 4, n / 32),
+        })
+    }
+
     /// Total number of cores.
     pub fn num_cores(&self) -> usize {
         self.chips * self.l2_per_chip * self.cores_per_l2
@@ -199,5 +222,20 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_arity_rejected() {
         Topology::new(2, 0, 2);
+    }
+
+    #[test]
+    fn scaled_covers_powers_of_two() {
+        assert_eq!(Topology::scaled(8).unwrap(), Topology::harpertown());
+        for n in [4usize, 8, 16, 32, 64, 128, 256, 512] {
+            let t = Topology::scaled(n).unwrap();
+            assert_eq!(t.num_cores(), n);
+            assert!(t.num_l2() <= 64, "directory bitmap limit");
+        }
+        assert_eq!(Topology::scaled(64).unwrap().num_l2(), 32);
+        assert_eq!(Topology::scaled(256).unwrap().cores_per_l2, 8);
+        assert!(Topology::scaled(0).is_err());
+        assert!(Topology::scaled(2).is_err());
+        assert!(Topology::scaled(48).is_err());
     }
 }
